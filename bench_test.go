@@ -1,0 +1,129 @@
+package hardharvest_test
+
+// One benchmark per table and figure of the paper's evaluation: each bench
+// regenerates its artifact end to end (workload generation, simulation,
+// table assembly). Run a single figure with e.g.
+//
+//	go test -bench BenchmarkFig11 -benchtime 1x
+//
+// The benches use a reduced measurement window; cmd/hhsim -scale full runs
+// the paper-scale versions.
+
+import (
+	"testing"
+
+	"hardharvest"
+	"hardharvest/internal/experiments"
+)
+
+func benchScale() hardharvest.Scale {
+	sc := experiments.Quick()
+	sc.Measure = 120 * hardharvest.Millisecond
+	sc.Warmup = 20 * hardharvest.Millisecond
+	sc.Servers = 2
+	return sc
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	sc := benchScale()
+	// A per-experiment seed space with a fresh seed per iteration defeats
+	// the figure-sharing result cache, so every iteration measures the
+	// full regeneration cost (and no benchmark warms another's cache).
+	base := uint64(1)
+	for _, c := range id {
+		base = base*131 + uint64(c)
+	}
+	for i := 0; i < b.N; i++ {
+		sc.Seed = base + uint64(i)
+		tbl, ok := hardharvest.RunExperiment(id, sc)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("experiment %q produced no rows", id)
+		}
+	}
+}
+
+// Motivation figures (§3).
+func BenchmarkFig2AlibabaCDF(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3UtilizationSeries(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4HypervisorOverhead(b *testing.B) {
+	benchExperiment(b, "fig4")
+}
+func BenchmarkFig5FlushOverhead(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6RequestBreakdown(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7CacheSizeSensitivity(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Evaluation figures (§6).
+func BenchmarkFig11TailLatency(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12OptBreakdown(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13SchedCtxtSwAblation(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14ReplacementPolicies(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15NoHarvestOpts(b *testing.B)       { benchExperiment(b, "fig15") }
+func BenchmarkFig16MedianLatency(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkFig17HarvestThroughput(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkUtilizationTable(b *testing.B)         { benchExperiment(b, "util") }
+func BenchmarkStorageCost(b *testing.B)              { benchExperiment(b, "storage") }
+func BenchmarkFig18LLCSensitivity(b *testing.B)      { benchExperiment(b, "fig18") }
+func BenchmarkFig19EvictionCandidates(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkTable1Parameters(b *testing.B)         { benchExperiment(b, "table1") }
+
+// Ablation of the design choices DESIGN.md calls out (extension policies).
+func BenchmarkExtensionPolicies(b *testing.B) { benchExperiment(b, "ext") }
+
+// End-to-end application composition over Figure 1's DAGs.
+func BenchmarkApplicationE2E(b *testing.B) { benchExperiment(b, "app") }
+
+// The §4.2.2 shared-before-serve profiling sweep over three suites.
+func BenchmarkProfilingSweep(b *testing.B) { benchExperiment(b, "profiling") }
+
+// Latency-load curve extension.
+func BenchmarkLoadSweep(b *testing.B) { benchExperiment(b, "loadsweep") }
+
+// Micro-benchmarks of the core primitives, for engineering regressions.
+
+func BenchmarkControllerEnqueueDequeue(b *testing.B) {
+	ctrl := hardharvest.NewController()
+	// Same shape as one Primary VM slice of the server.
+	mustB(b, ctrl.AddVM(1, true, defaultMask()))
+	mustB(b, ctrl.BindCore(0, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := requestFor(1, uint64(i))
+		if _, _, err := ctrl.Enqueue(1, r); err != nil {
+			b.Fatal(err)
+		}
+		got, _, _, err := ctrl.Dequeue(0, false)
+		if err != nil || got == nil {
+			b.Fatalf("dequeue: %v %v", got, err)
+		}
+		if err := ctrl.Complete(0, got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerSimulation(b *testing.B) {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 50 * hardharvest.Millisecond
+	cfg.WarmupDuration = 10 * hardharvest.Millisecond
+	work, _ := hardharvest.WorkloadByName("BFS")
+	opts := hardharvest.SystemOptions(hardharvest.HardHarvestBlock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		r := hardharvest.RunServer(cfg, opts, work)
+		if r.Requests == 0 {
+			b.Fatal("no requests simulated")
+		}
+	}
+}
+
+func mustB(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}

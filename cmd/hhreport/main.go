@@ -1,0 +1,61 @@
+// Command hhreport runs every experiment and renders a Markdown report in
+// the EXPERIMENTS.md format (paper artifact -> regenerated data).
+//
+// Usage:
+//
+//	hhreport > report.md
+//	hhreport -scale full -o EXPERIMENTS_FULL.md
+//	hhreport -only fig11,util
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hardharvest/internal/experiments"
+	"hardharvest/internal/report"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "quick or full")
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	sc := experiments.Quick()
+	if *scaleName == "full" {
+		sc = experiments.Full()
+	}
+	sc.Seed = *seed
+
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	var b strings.Builder
+	n, err := report.Generate(&b, sc, report.Options{
+		Title:     "HardHarvest reproduction report",
+		ScaleName: *scaleName,
+		Only:      ids,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "hhreport: no experiments matched")
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d sections)\n", *out, n)
+}

@@ -1,0 +1,79 @@
+// Command hhsim runs the paper's experiments and prints the regenerated
+// tables and figures.
+//
+// Usage:
+//
+//	hhsim -exp fig11            # one experiment
+//	hhsim -all                  # every experiment
+//	hhsim -all -scale full      # paper-scale runs
+//	hhsim -list                 # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hardharvest/internal/experiments"
+	"hardharvest/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiment ids")
+	scaleName := flag.String("scale", "quick", "quick or full")
+	seed := flag.Uint64("seed", 1, "random seed")
+	measureMS := flag.Int("measure-ms", 0, "override measurement window [ms]")
+	asJSON := flag.Bool("json", false, "emit tables as JSON")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	sc := experiments.Quick()
+	if *scaleName == "full" {
+		sc = experiments.Full()
+	}
+	sc.Seed = *seed
+	if *measureMS > 0 {
+		sc.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	}
+
+	run := func(r experiments.Runner) {
+		start := time.Now()
+		tbl := r.Run(sc)
+		if *asJSON {
+			out, err := json.MarshalIndent(tbl, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("  (%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+	}
+	switch {
+	case *all:
+		for _, r := range experiments.Runners() {
+			run(r)
+		}
+	case *exp != "":
+		r := experiments.ByID(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		run(*r)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// Command hhtrace generates and analyzes Alibaba-like microservice
+// utilization traces (the Figure 2/3 substrate).
+//
+// Usage:
+//
+//	hhtrace -n 2000             # instance CDF summary (Figure 2)
+//	hhtrace -series             # one bursty utilization time series (Figure 3)
+//	hhtrace -series -steps 64   # a longer series
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hardharvest/internal/stats"
+	"hardharvest/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "number of instances to generate")
+	seed := flag.Uint64("seed", 1, "random seed")
+	series := flag.Bool("series", false, "print a utilization time series instead of the CDF")
+	steps := flag.Int("steps", 17, "series steps (30 s each)")
+	avgUtil := flag.Float64("avg", 0.17, "series instance average utilization")
+	maxUtil := flag.Float64("max", 0.75, "series instance maximum utilization")
+	flag.Parse()
+
+	rng := stats.NewRNG(*seed)
+	if *series {
+		p := trace.DefaultSeriesParams()
+		p.Steps = *steps
+		inst := trace.Instance{AvgUtil: *avgUtil, MaxUtil: *maxUtil}
+		s := inst.Series(rng, p)
+		fmt.Println("time[s]  utilization")
+		for i, u := range s {
+			bar := int(u * 50)
+			fmt.Printf("%6d   %.3f  %s\n", i*30, u, bars(bar))
+		}
+		avg, max := trace.SummarizeSeries(s)
+		fmt.Printf("\navg=%.3f max=%.3f\n", avg, max)
+		return
+	}
+
+	insts := trace.GenerateInstances(rng, *n)
+	fmt.Printf("generated %d instances\n\n", *n)
+	fmt.Println("utilization  P(avg<u)  P(max<u)")
+	for u := 0.05; u <= 1.0001; u += 0.05 {
+		fmt.Printf("%10.2f  %8.3f  %8.3f\n", u,
+			trace.FractionBelowAvg(insts, u), trace.FractionBelowMax(insts, u))
+	}
+	fmt.Printf("\npaper calibration points: P(avg<0.161)=%.3f (target 0.50), P(max<0.407)=%.3f (target 0.90)\n",
+		trace.FractionBelowAvg(insts, 0.161), trace.FractionBelowMax(insts, 0.407))
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,56 @@
+// Composedapp: the application-level view — per-service tails compose over
+// the ComposePost DAG of Figure 1, so harvesting overheads amplify
+// end-to-end ("the tail at scale"). The example measures per-service
+// latency distributions under three systems and Monte-Carlo composes them
+// into end-to-end application latencies.
+package main
+
+import (
+	"fmt"
+
+	"hardharvest"
+	"hardharvest/internal/app"
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/stats"
+)
+
+func main() {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 500 * hardharvest.Millisecond
+	work, _ := hardharvest.WorkloadByName("Hadoop")
+
+	systems := []hardharvest.SystemKind{
+		hardharvest.NoHarvest, hardharvest.HarvestTerm, hardharvest.HardHarvestBlock,
+	}
+	results := map[hardharvest.SystemKind]*hardharvest.ServerResult{}
+	for _, k := range systems {
+		results[k] = hardharvest.RunServer(cfg, hardharvest.SystemOptions(k), work)
+	}
+
+	cp := app.ComposePost()
+	fmt.Printf("Application: %s (%d stages, critical path %d deep)\n",
+		cp.Name, len(cp.Stages), cp.CriticalPathLen())
+	for i, st := range cp.Stages {
+		fmt.Printf("  stage %d: %-9s deps=%v\n", i, st.Service, st.Deps)
+	}
+	fmt.Println()
+
+	fmt.Printf("%-20s %14s %14s %16s\n", "System", "E2E P50 [ms]", "E2E P99 [ms]", "vs NoHarvest P99")
+	var base float64
+	for _, k := range systems {
+		src := app.RecorderSource(results[k].Service)
+		e2e, err := cp.SimulateE2E(src, stats.NewRNG(7), 30000)
+		if err != nil {
+			panic(err)
+		}
+		p99 := e2e.P99().Milliseconds()
+		if base == 0 {
+			base = p99
+		}
+		fmt.Printf("%-20s %14.3f %14.3f %15.2fx\n",
+			cluster.SystemKind(k).String(), e2e.P50().Milliseconds(), p99, p99/base)
+	}
+	fmt.Println("\nComposition multiplies exposure: a request is only as fast as the")
+	fmt.Println("slowest service on its path, so software harvesting's per-service tail")
+	fmt.Println("inflation compounds at the application level.")
+}

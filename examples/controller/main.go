@@ -1,0 +1,80 @@
+// Controller: drive the HardHarvest hardware controller directly — the
+// paper's §4.1 protocol step by step: VM registration, RQ chunk allocation,
+// request arrival, core loans to a Harvest VM, and reclamation by hardware
+// interrupt.
+package main
+
+import (
+	"fmt"
+
+	"hardharvest/internal/core"
+)
+
+func main() {
+	ctrl := core.DefaultController()
+
+	mask := core.DefaultHarvestMask([core.NumMaskedStructs]int{12, 8, 8, 4, 8})
+	must(ctrl.AddVM(1, true, mask))  // Primary VM
+	must(ctrl.AddVM(2, false, mask)) // Harvest VM
+	for c := core.CoreID(0); c < 4; c++ {
+		must(ctrl.BindCore(c, 1))
+	}
+	must(ctrl.BindCore(8, 2))
+
+	fmt.Printf("Primary VM subqueue: %d chunks (%d slots); Harvest VM: %d chunks\n",
+		ctrl.QM(1).Chunks(), ctrl.QM(1).Capacity(), ctrl.QM(2).Chunks())
+
+	// The NIC deposits requests; the controller wakes idle cores.
+	r1 := &core.Request{ID: 1, VM: 1, PayloadAddr: 0xD000_0040}
+	_, wake, err := ctrl.Enqueue(1, r1)
+	must(err)
+	fmt.Printf("request 1 arrives -> controller wakes core %d (preempt=%v)\n", wake.Core, wake.Preempt)
+	got, _, _, _ := ctrl.Dequeue(wake.Core, true)
+	fmt.Printf("core %d dequeues request %d (status %v)\n", wake.Core, got.ID, got.Status)
+
+	// The Harvest VM always has work; idle Primary cores get loaned.
+	for i := core.ReqID(100); i < 104; i++ {
+		_, _, err := ctrl.Enqueue(2, &core.Request{ID: i, VM: 2})
+		must(err)
+	}
+	job, vm, cross, _ := ctrl.Dequeue(1, true) // idle primary core asks for work
+	fmt.Printf("idle core 1 is loaned to VM %d: runs job %d (cross-VM=%v, state=%v)\n",
+		vm, job.ID, cross, ctrl.State(1))
+
+	// Occupy the remaining primary cores, then a new primary request forces
+	// reclamation of the loaned core via hardware interrupt.
+	for i := core.ReqID(2); i <= 3; i++ {
+		_, _, err := ctrl.Enqueue(1, &core.Request{ID: i, VM: 1})
+		must(err)
+	}
+	ctrl.Dequeue(2, true)
+	ctrl.Dequeue(3, true)
+	_, wake2, err := ctrl.Enqueue(1, &core.Request{ID: 9, VM: 1})
+	must(err)
+	fmt.Printf("request 9 arrives, all cores busy -> preempt core %d (preempt=%v)\n",
+		wake2.Core, wake2.Preempt)
+
+	pre, err := ctrl.PreemptCore(wake2.Core)
+	must(err)
+	fmt.Printf("core %d saves job %d back to the Harvest queue (status %v)\n",
+		wake2.Core, pre.ID, pre.Status)
+	back, vm2, cross2, _ := ctrl.Dequeue(wake2.Core, true)
+	fmt.Printf("core %d now runs primary request %d of VM %d (cross-VM=%v)\n",
+		wake2.Core, back.ID, vm2, cross2)
+
+	// Another core picks the preempted job up from the head of the queue.
+	resumed, _, _, _ := ctrl.Dequeue(8, false)
+	fmt.Printf("harvest core 8 resumes the preempted job %d\n", resumed.ID)
+
+	fmt.Printf("\ncontroller stats: %d loans, %d reclamations\n", ctrl.Loans(), ctrl.Reclaims())
+
+	cost := core.ComputeStorageCost(core.DefaultStorageParams())
+	fmt.Printf("hardware cost: %.2f KB controller (%.2f KB/core), Shared bits %.2f KB/core\n",
+		float64(cost.ControllerBytes)/1024, cost.ControllerPerCoreB/1024, cost.SharedBitsPerCoreB/1024)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

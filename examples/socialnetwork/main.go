@@ -1,0 +1,50 @@
+// Socialnetwork: the paper's headline experiment on a smaller scale —
+// per-service P99 tail latency of the SocialNet microservices under all
+// five architectures (Figure 11), plus median latencies (Figure 16).
+package main
+
+import (
+	"fmt"
+
+	"hardharvest"
+)
+
+func main() {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 600 * hardharvest.Millisecond
+	work, _ := hardharvest.WorkloadByName("PRank")
+
+	services := hardharvest.Services()
+	fmt.Println("P99 tail latency [ms] per service (lower is better)")
+	fmt.Printf("%-20s", "System")
+	for _, s := range services {
+		fmt.Printf("%10s", s.Name)
+	}
+	fmt.Printf("%10s\n", "Avg")
+
+	var results []*hardharvest.ServerResult
+	for _, k := range hardharvest.Systems() {
+		r := hardharvest.RunServer(cfg, hardharvest.SystemOptions(k), work)
+		results = append(results, r)
+		fmt.Printf("%-20s", r.System)
+		for _, s := range services {
+			fmt.Printf("%10.3f", r.P99(s.Name).Milliseconds())
+		}
+		fmt.Printf("%10.3f\n", r.AvgP99().Milliseconds())
+	}
+
+	fmt.Println()
+	fmt.Println("Median latency [ms]")
+	fmt.Printf("%-20s%10s\n", "System", "Avg P50")
+	for _, r := range results {
+		fmt.Printf("%-20s%10.3f\n", r.System, r.AvgP50().Milliseconds())
+	}
+
+	no, ht, hhb := results[0], results[1], results[4]
+	fmt.Println()
+	fmt.Printf("Software harvesting (Harvest-Term) inflates the tail %.1fx over NoHarvest;\n",
+		float64(ht.AvgP99())/float64(no.AvgP99()))
+	fmt.Printf("HardHarvest-Block cuts that tail by %.0f%% and is %.0f%% below NoHarvest.\n",
+		100*(1-float64(hhb.AvgP99())/float64(ht.AvgP99())),
+		100*(1-float64(hhb.AvgP99())/float64(no.AvgP99())))
+}

@@ -1,0 +1,3 @@
+module hardharvest
+
+go 1.22

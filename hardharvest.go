@@ -1,0 +1,152 @@
+// Package hardharvest is a from-scratch reproduction of "HardHarvest:
+// Hardware-Supported Core Harvesting for Microservices" (ISCA 2025): the
+// first architecture for core harvesting in hardware, which lets Harvest VMs
+// steal idle cores from Primary VMs with nanosecond-scale re-assignment and
+// way-partitioned caches/TLBs, instead of millisecond-scale hypervisor moves
+// and full flushes.
+//
+// The package is a facade over the internal implementation:
+//
+//   - internal/core — the HardHarvest hardware controller (request queue
+//     chunks, Queue Managers, VM State Register Sets, HarvestMask, loan and
+//     reclamation protocol, Algorithm 1's replacement policy support).
+//   - internal/mem — set-associative cache/TLB models with LRU, RRIP,
+//     flush-aware Belady, and the HardHarvest replacement policy.
+//   - internal/cluster — the discrete-event server/cluster simulation of the
+//     five evaluated systems.
+//   - internal/experiments — one runner per table and figure of the paper.
+//
+// Quick start:
+//
+//	res := hardharvest.RunServer(hardharvest.DefaultConfig(),
+//	    hardharvest.SystemOptions(hardharvest.HardHarvestBlock),
+//	    hardharvest.Workloads()[0])
+//	fmt.Println(res.AvgP99())
+package hardharvest
+
+import (
+	"hardharvest/internal/batch"
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/core"
+	"hardharvest/internal/experiments"
+	"hardharvest/internal/mem"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/workload"
+)
+
+// Re-exported simulation types.
+type (
+	// Config carries the server shape and every cost constant (Table 1).
+	Config = cluster.Config
+	// Options select a system's mechanisms; use SystemOptions for presets.
+	Options = cluster.Options
+	// SystemKind names the five evaluated architectures.
+	SystemKind = cluster.SystemKind
+	// ServerResult is one simulated server's measurements.
+	ServerResult = cluster.ServerResult
+	// ClusterResult aggregates the 8-server cluster.
+	ClusterResult = cluster.ClusterResult
+	// Workload describes one Harvest VM batch application.
+	Workload = batch.Workload
+	// ServiceProfile describes one Primary VM microservice.
+	ServiceProfile = workload.Profile
+	// Duration is simulated time in picoseconds.
+	Duration = sim.Duration
+	// Scale bounds an experiment's cost.
+	Scale = experiments.Scale
+	// Table is a regenerated figure/table.
+	Table = experiments.Table
+	// Controller is the HardHarvest hardware controller itself, usable as
+	// a standalone architectural model.
+	Controller = core.Controller
+	// CachePolicy selects a replacement policy for the cache models.
+	CachePolicy = mem.PolicyKind
+)
+
+// The five evaluated systems (Figure 11, §5).
+const (
+	NoHarvest        = cluster.NoHarvest
+	HarvestTerm      = cluster.HarvestTerm
+	HarvestBlock     = cluster.HarvestBlock
+	HardHarvestTerm  = cluster.HardHarvestTerm
+	HardHarvestBlock = cluster.HardHarvestBlock
+)
+
+// Replacement policies of the cache models (Figure 14).
+const (
+	PolicyLRU         = mem.PolicyLRU
+	PolicyRRIP        = mem.PolicySRRIP
+	PolicyHardHarvest = mem.PolicyHardHarvest
+	PolicyBelady      = mem.PolicyBelady
+)
+
+// Common durations for configuring simulations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultConfig returns the Table 1 server configuration with the paper's
+// measured cost constants.
+func DefaultConfig() Config { return cluster.DefaultConfig() }
+
+// SystemOptions returns the preset for one of the five architectures.
+func SystemOptions(kind SystemKind) Options { return cluster.SystemOptions(kind) }
+
+// Systems lists the five architectures in figure order.
+func Systems() []SystemKind { return cluster.Systems() }
+
+// RunServer simulates one 36-core server: 8 Primary VMs running the eight
+// SocialNet-like services plus 1 Harvest VM running the given batch
+// workload.
+func RunServer(cfg Config, opts Options, work *Workload) *ServerResult {
+	return cluster.RunServer(cfg, opts, work)
+}
+
+// RunCluster simulates the 8-server cluster (one batch workload per
+// server); servers <= 0 runs all 8.
+func RunCluster(cfg Config, opts Options, servers int) *ClusterResult {
+	return cluster.RunCluster(cfg, opts, servers)
+}
+
+// Workloads returns the eight Harvest VM batch applications.
+func Workloads() []*Workload { return batch.Workloads() }
+
+// WorkloadByName returns the named batch workload.
+func WorkloadByName(name string) (*Workload, error) { return batch.WorkloadByName(name) }
+
+// Services returns the eight Primary VM microservice profiles.
+func Services() []*ServiceProfile { return workload.Profiles() }
+
+// NewController builds the HardHarvest hardware controller with Table 1
+// parameters (32-chunk RQ, 16 Queue Managers), for direct use as an
+// architectural model.
+func NewController() *Controller { return core.DefaultController() }
+
+// QuickScale returns a test-friendly experiment scale; FullScale the
+// paper-scale one.
+func QuickScale() Scale { return experiments.Quick() }
+
+// FullScale returns the paper-scale experiment configuration.
+func FullScale() Scale { return experiments.Full() }
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (e.g. "fig11", "util", "storage"); see ExperimentIDs.
+func RunExperiment(id string, sc Scale) (*Table, bool) {
+	r := experiments.ByID(id)
+	if r == nil {
+		return nil, false
+	}
+	return r.Run(sc), true
+}
+
+// ExperimentIDs lists every reproducible table/figure id in paper order.
+func ExperimentIDs() []string {
+	rs := experiments.Runners()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}

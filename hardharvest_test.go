@@ -1,0 +1,107 @@
+package hardharvest_test
+
+import (
+	"testing"
+
+	"hardharvest"
+	"hardharvest/internal/core"
+)
+
+func defaultMask() core.HarvestMask {
+	return core.DefaultHarvestMask([core.NumMaskedStructs]int{12, 8, 8, 4, 8})
+}
+
+func requestFor(vm core.VMID, id uint64) *core.Request {
+	return &core.Request{ID: core.ReqID(id), VM: vm, PayloadAddr: id << 6}
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	if len(hardharvest.Systems()) != 5 {
+		t.Fatal("want 5 systems")
+	}
+	if len(hardharvest.Workloads()) != 8 {
+		t.Fatal("want 8 batch workloads")
+	}
+	if len(hardharvest.Services()) != 8 {
+		t.Fatal("want 8 service profiles")
+	}
+	if _, err := hardharvest.WorkloadByName("Hadoop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hardharvest.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	cfg := hardharvest.DefaultConfig()
+	if cfg.CoresPerServer != 36 || cfg.PrimaryVMs != 8 {
+		t.Fatalf("Table 1 shape wrong: %+v", cfg)
+	}
+	ids := hardharvest.ExperimentIDs()
+	if len(ids) < 18 {
+		t.Fatalf("experiment ids = %d", len(ids))
+	}
+	if _, ok := hardharvest.RunExperiment("nope", hardharvest.QuickScale()); ok {
+		t.Fatal("unknown experiment should not run")
+	}
+}
+
+func TestPublicRunServer(t *testing.T) {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 120 * hardharvest.Millisecond
+	cfg.WarmupDuration = 20 * hardharvest.Millisecond
+	work, _ := hardharvest.WorkloadByName("CC")
+	res := hardharvest.RunServer(cfg, hardharvest.SystemOptions(hardharvest.HardHarvestBlock), work)
+	if res.Requests == 0 || res.HarvestJobs == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.AvgP99() < res.AvgP50() {
+		t.Fatal("P99 below P50")
+	}
+}
+
+func TestPublicRunCluster(t *testing.T) {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 100 * hardharvest.Millisecond
+	cfg.WarmupDuration = 20 * hardharvest.Millisecond
+	cr := hardharvest.RunCluster(cfg, hardharvest.SystemOptions(hardharvest.NoHarvest), 2)
+	if len(cr.Servers) != 2 {
+		t.Fatalf("servers = %d", len(cr.Servers))
+	}
+	if cr.AvgP99() <= 0 {
+		t.Fatal("no cluster tail")
+	}
+}
+
+func TestPublicController(t *testing.T) {
+	ctrl := hardharvest.NewController()
+	if err := ctrl.AddVM(1, true, defaultMask()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.BindCore(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := requestFor(1, 1)
+	if _, _, err := ctrl.Enqueue(1, r); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := ctrl.Dequeue(0, false)
+	if err != nil || got != r {
+		t.Fatalf("dequeue = %v, %v", got, err)
+	}
+	if err := ctrl.Complete(0, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExperiment(t *testing.T) {
+	tbl, ok := hardharvest.RunExperiment("storage", hardharvest.QuickScale())
+	if !ok || len(tbl.Rows) == 0 {
+		t.Fatal("storage experiment failed")
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty rendering")
+	}
+	full := hardharvest.FullScale()
+	if full.Measure <= hardharvest.QuickScale().Measure {
+		t.Fatal("full scale should exceed quick scale")
+	}
+}

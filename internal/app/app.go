@@ -1,0 +1,189 @@
+// Package app models microservice applications as DAGs of service
+// invocations, following Figure 1's ComposePost application: a frontend
+// fans out to several services (Text, UniqueId/UrlShort, UsrMnt), their
+// results feed ComposePost, which writes through PostStorage and updates
+// HomeTimeline and the social graph. End-to-end application latency is the
+// critical path over the DAG, so per-service tail inflation compounds —
+// "the tail at scale" — which is why the paper treats P99 per service as
+// the key metric.
+//
+// The package composes measured per-service latency distributions (from
+// cluster simulations) into end-to-end application latencies by Monte-Carlo
+// sampling the DAG's critical path.
+package app
+
+import (
+	"fmt"
+
+	"hardharvest/internal/metrics"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// Stage is one service invocation within an application.
+type Stage struct {
+	// Service is the workload profile name serving this stage.
+	Service string
+	// Deps lists stage indices that must complete before this stage
+	// starts; an empty list makes the stage a root.
+	Deps []int
+}
+
+// App is a DAG of stages.
+type App struct {
+	Name   string
+	Stages []Stage
+}
+
+// ComposePost returns Figure 1's application: the frontend fans out to
+// Text, UrlShort (UniqueId+UrlShorten path), and UsrMnt; ComposePost joins
+// them; PstStr persists the post; HomeT and SGraph consume the write.
+func ComposePost() *App {
+	return &App{
+		Name: "ComposePost",
+		Stages: []Stage{
+			{Service: "Text"},                        // 0: text processing
+			{Service: "UrlShort"},                    // 1: unique id + url shorten
+			{Service: "UsrMnt"},                      // 2: user mentions
+			{Service: "CPost", Deps: []int{0, 1, 2}}, // 3: compose
+			{Service: "PstStr", Deps: []int{3}},      // 4: post storage
+			{Service: "HomeT", Deps: []int{4}},       // 5: home timeline
+			{Service: "SGraph", Deps: []int{4}},      // 6: social graph fanout
+		},
+	}
+}
+
+// ReadTimeline returns a read-side application: user lookup fans out to the
+// timeline and social graph reads.
+func ReadTimeline() *App {
+	return &App{
+		Name: "ReadTimeline",
+		Stages: []Stage{
+			{Service: "User"},                   // 0: auth + user record
+			{Service: "HomeT", Deps: []int{0}},  // 1: timeline fetch
+			{Service: "PstStr", Deps: []int{1}}, // 2: post hydration
+		},
+	}
+}
+
+// FollowUser returns a short write application.
+func FollowUser() *App {
+	return &App{
+		Name: "FollowUser",
+		Stages: []Stage{
+			{Service: "User"},                   // 0
+			{Service: "SGraph", Deps: []int{0}}, // 1
+		},
+	}
+}
+
+// Apps returns the modeled applications.
+func Apps() []*App {
+	return []*App{ComposePost(), ReadTimeline(), FollowUser()}
+}
+
+// Validate checks that the DAG is acyclic with in-range dependencies.
+func (a *App) Validate() error {
+	for i, st := range a.Stages {
+		if st.Service == "" {
+			return fmt.Errorf("app %s: stage %d has no service", a.Name, i)
+		}
+		for _, d := range st.Deps {
+			if d < 0 || d >= i {
+				// Stages are topologically ordered by construction: deps
+				// must point at earlier stages.
+				return fmt.Errorf("app %s: stage %d depends on %d (must be earlier)", a.Name, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Services returns the distinct service names the app invokes.
+func (a *App) Services() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, st := range a.Stages {
+		if !seen[st.Service] {
+			seen[st.Service] = true
+			out = append(out, st.Service)
+		}
+	}
+	return out
+}
+
+// CriticalPathLen reports the number of stages on the longest dependency
+// chain.
+func (a *App) CriticalPathLen() int {
+	depth := make([]int, len(a.Stages))
+	best := 0
+	for i, st := range a.Stages {
+		d := 1
+		for _, dep := range st.Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[i] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// LatencySource provides per-service latency sampling; cluster results
+// satisfy it through the metrics recorders.
+type LatencySource interface {
+	// SampleLatency draws one latency for the named service given a
+	// uniform [0,1) variate.
+	SampleLatency(service string, u float64) (sim.Duration, bool)
+}
+
+// RecorderSource adapts per-service latency recorders (inverse-CDF
+// sampling over the measured distribution).
+type RecorderSource map[string]*metrics.LatencyRecorder
+
+// SampleLatency draws from the measured distribution of the service.
+func (rs RecorderSource) SampleLatency(service string, u float64) (sim.Duration, bool) {
+	rec, ok := rs[service]
+	if !ok || rec.Count() == 0 {
+		return 0, false
+	}
+	return rec.SampleLatency(u), true
+}
+
+// SimulateE2E Monte-Carlo samples the application's end-to-end latency n
+// times from the per-service distributions and returns the recorder of
+// totals. Stages on independent branches overlap; a stage starts when its
+// slowest dependency finishes.
+func (a *App) SimulateE2E(src LatencySource, rng *stats.RNG, n int) (*metrics.LatencyRecorder, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	for _, svc := range a.Services() {
+		if _, ok := src.SampleLatency(svc, 0.5); !ok {
+			return nil, fmt.Errorf("app %s: no latency data for service %s", a.Name, svc)
+		}
+	}
+	out := metrics.NewLatencyRecorder()
+	finish := make([]sim.Duration, len(a.Stages))
+	for trial := 0; trial < n; trial++ {
+		var total sim.Duration
+		for i, st := range a.Stages {
+			var start sim.Duration
+			for _, d := range st.Deps {
+				if finish[d] > start {
+					start = finish[d]
+				}
+			}
+			lat, _ := src.SampleLatency(st.Service, rng.Float64())
+			finish[i] = start + lat
+			if finish[i] > total {
+				total = finish[i]
+			}
+		}
+		out.Add(total)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hardharvest/internal/metrics"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// constSource returns fixed latencies per service.
+type constSource map[string]sim.Duration
+
+func (cs constSource) SampleLatency(svc string, u float64) (sim.Duration, bool) {
+	d, ok := cs[svc]
+	return d, ok
+}
+
+func TestAppsValid(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 3 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if a.CriticalPathLen() < 2 {
+			t.Errorf("%s: trivial critical path", a.Name)
+		}
+		if len(a.Services()) < 2 {
+			t.Errorf("%s: too few services", a.Name)
+		}
+	}
+	cp := ComposePost()
+	// Figure 1's composition: fan-out roots -> CPost -> PstStr -> HomeT is
+	// 4 stages deep.
+	if got := cp.CriticalPathLen(); got != 4 {
+		t.Fatalf("ComposePost critical path = %d, want 4", got)
+	}
+}
+
+func TestValidateRejectsBadDAGs(t *testing.T) {
+	bad := &App{Name: "b", Stages: []Stage{{Service: "X", Deps: []int{0}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("self/forward dependency should fail")
+	}
+	bad2 := &App{Name: "b2", Stages: []Stage{{Service: ""}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty service should fail")
+	}
+}
+
+func TestE2ECriticalPathMath(t *testing.T) {
+	// Deterministic latencies: E2E must be exactly the critical path sum.
+	src := constSource{
+		"Text": 3 * sim.Millisecond, "UrlShort": 1 * sim.Millisecond,
+		"UsrMnt": 2 * sim.Millisecond, "CPost": 4 * sim.Millisecond,
+		"PstStr": 2 * sim.Millisecond, "HomeT": 5 * sim.Millisecond,
+		"SGraph": 1 * sim.Millisecond,
+	}
+	rec, err := ComposePost().SimulateE2E(src, stats.NewRNG(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path: max(Text=3,Url=1,Mnt=2) + CPost 4 + PstStr 2 + max(HomeT 5, SGraph 1) = 14ms.
+	want := 14 * sim.Millisecond
+	if rec.P50() != want || rec.Max() != want {
+		t.Fatalf("E2E = %v / %v, want %v", rec.P50(), rec.Max(), want)
+	}
+}
+
+func TestE2EMissingService(t *testing.T) {
+	src := constSource{"Text": sim.Millisecond}
+	if _, err := ComposePost().SimulateE2E(src, stats.NewRNG(1), 10); err == nil {
+		t.Fatal("missing service data should fail")
+	}
+}
+
+func TestE2EFromRecorders(t *testing.T) {
+	rng := stats.NewRNG(2)
+	src := RecorderSource{}
+	for _, svc := range ComposePost().Services() {
+		rec := metrics.NewLatencyRecorder()
+		for i := 0; i < 500; i++ {
+			rec.Add(sim.Duration(rng.Exp(float64(2 * sim.Millisecond))))
+		}
+		src[svc] = rec
+	}
+	e2e, err := ComposePost().SimulateE2E(src, stats.NewRNG(3), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e.Count() != 5000 {
+		t.Fatalf("samples = %d", e2e.Count())
+	}
+	// E2E must exceed any single stage (composition) and the tail must
+	// amplify relative to a single service's tail.
+	single := src["CPost"]
+	if e2e.P50() <= single.P50() {
+		t.Fatal("composition should lengthen the median")
+	}
+	if e2e.P99() <= single.P99() {
+		t.Fatal("composition should lengthen the tail")
+	}
+}
+
+// Property: end-to-end latency is bounded below by the slowest single stage
+// draw and above by the sum of all stage draws, for any distribution.
+func TestE2EBoundsProperty(t *testing.T) {
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := sim.Duration(int64(scaleRaw)+1) * sim.Microsecond
+		src := constSource{}
+		var sum, maxD sim.Duration
+		for _, svc := range ComposePost().Services() {
+			d := scale * sim.Duration(len(svc)) // deterministic variety
+			src[svc] = d
+		}
+		for _, st := range ComposePost().Stages {
+			d := src[st.Service]
+			sum += d
+			if d > maxD {
+				maxD = d
+			}
+		}
+		rec, err := ComposePost().SimulateE2E(src, stats.NewRNG(seed), 50)
+		if err != nil {
+			return false
+		}
+		got := rec.Max()
+		return got >= maxD && got <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

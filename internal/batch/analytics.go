@@ -1,0 +1,152 @@
+package batch
+
+import (
+	"sort"
+	"strings"
+
+	"hardharvest/internal/stats"
+)
+
+// Data-analytics and bioinformatics kernels: a map/reduce-style word count
+// (the CloudSuite Hadoop stand-in) and a maximal-exact-match finder over DNA
+// strings (the BioBench MUMmer stand-in).
+
+// WordCountResult is the reduced word→count table plus op accounting.
+type WordCountResult struct {
+	Counts map[string]int
+	Ops    uint64
+}
+
+// WordCount tokenizes the corpus into words and counts them through an
+// explicit map→shuffle→reduce pipeline (three passes, as Hadoop would).
+func WordCount(corpus []string) WordCountResult {
+	var ops uint64
+	// Map phase: emit (word, 1) pairs.
+	type kv struct {
+		k string
+	}
+	var pairs []kv
+	for _, line := range corpus {
+		for _, w := range strings.Fields(line) {
+			w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
+			if w == "" {
+				continue
+			}
+			pairs = append(pairs, kv{w})
+			ops++
+		}
+	}
+	// Shuffle phase: sort pairs by key.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	ops += uint64(len(pairs))
+	// Reduce phase: aggregate runs.
+	counts := make(map[string]int)
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].k == pairs[i].k {
+			j++
+			ops++
+		}
+		counts[pairs[i].k] = j - i
+		i = j
+	}
+	return WordCountResult{Counts: counts, Ops: ops}
+}
+
+// GenerateCorpus builds lines of synthetic text with a Zipf word
+// distribution, the shape real corpora have.
+func GenerateCorpus(rng *stats.RNG, lines, wordsPerLine, vocab int) []string {
+	z := stats.NewZipf(rng, vocab, 1.1)
+	out := make([]string, lines)
+	var b strings.Builder
+	for i := range out {
+		b.Reset()
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(wordFor(z.Next()))
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+func wordFor(rank int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if rank == 0 {
+		return "a"
+	}
+	var b []byte
+	for rank > 0 {
+		b = append(b, letters[rank%26])
+		rank /= 26
+	}
+	return string(b)
+}
+
+// GenerateDNA builds a random DNA string of length n.
+func GenerateDNA(rng *stats.RNG, n int) string {
+	const bases = "ACGT"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+// MatchResult is the longest exact match between two sequences.
+type MatchResult struct {
+	Length int
+	PosA   int
+	PosB   int
+	Ops    uint64
+}
+
+// MaxExactMatch finds the longest common substring of a and b with the
+// classic rolling dynamic program over suffix alignment (O(|a|*|b|) in the
+// worst case, restricted by k-mer seeding to keep synthetic inputs fast):
+// positions sharing a seed of length k are extended to maximal matches, the
+// way MUMmer anchors alignments.
+func MaxExactMatch(a, b string, k int) MatchResult {
+	if k <= 0 {
+		k = 12
+	}
+	var ops uint64
+	if len(a) < k || len(b) < k {
+		return MatchResult{}
+	}
+	// Index all k-mers of a.
+	seeds := make(map[string][]int, len(a))
+	for i := 0; i+k <= len(a); i++ {
+		s := a[i : i+k]
+		seeds[s] = append(seeds[s], i)
+		ops++
+	}
+	best := MatchResult{}
+	for j := 0; j+k <= len(b); j++ {
+		s := b[j : j+k]
+		ops++
+		for _, i := range seeds[s] {
+			// Extend right.
+			l := k
+			for i+l < len(a) && j+l < len(b) && a[i+l] == b[j+l] {
+				l++
+				ops++
+			}
+			// Extend left.
+			li, lj := i, j
+			for li > 0 && lj > 0 && a[li-1] == b[lj-1] {
+				li--
+				lj--
+				l++
+				ops++
+			}
+			if l > best.Length {
+				best = MatchResult{Length: l, PosA: li, PosB: lj}
+			}
+		}
+	}
+	best.Ops = ops
+	return best
+}

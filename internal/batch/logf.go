@@ -1,0 +1,5 @@
+package batch
+
+import "math"
+
+func logf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,177 @@
+package batch
+
+import (
+	"math"
+
+	"hardharvest/internal/stats"
+)
+
+// ML training kernels standing in for FunctionBench's LRTrain and RndFTrain.
+
+// Dataset is a dense feature matrix with binary labels.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// GenerateDataset draws n samples with dim features from two Gaussian
+// blobs, linearly separable with noise — enough structure for the trainers
+// to measurably learn.
+func GenerateDataset(rng *stats.RNG, n, dim int) *Dataset {
+	d := &Dataset{X: make([][]float64, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		row := make([]float64, dim)
+		for j := range row {
+			center := -1.0
+			if y == 1 {
+				center = 1.0
+			}
+			row[j] = rng.Normal(center*float64(j%3+1)*0.3, 1.0)
+		}
+		d.X[i] = row
+		d.Y[i] = y
+	}
+	return d
+}
+
+// LRModel is a logistic-regression model.
+type LRModel struct {
+	W    []float64
+	Bias float64
+	Ops  uint64
+}
+
+// TrainLogistic runs full-batch gradient descent for epochs rounds.
+func TrainLogistic(d *Dataset, epochs int, lr float64) *LRModel {
+	dim := len(d.X[0])
+	m := &LRModel{W: make([]float64, dim)}
+	gradW := make([]float64, dim)
+	for e := 0; e < epochs; e++ {
+		for j := range gradW {
+			gradW[j] = 0
+		}
+		gradB := 0.0
+		for i, row := range d.X {
+			p := m.predict(row)
+			err := p - float64(d.Y[i])
+			for j, x := range row {
+				gradW[j] += err * x
+				m.Ops++
+			}
+			gradB += err
+		}
+		n := float64(len(d.X))
+		for j := range m.W {
+			m.W[j] -= lr * gradW[j] / n
+		}
+		m.Bias -= lr * gradB / n
+	}
+	return m
+}
+
+func (m *LRModel) predict(row []float64) float64 {
+	z := m.Bias
+	for j, x := range row {
+		z += m.W[j] * x
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Accuracy reports the fraction of correct predictions on d.
+func (m *LRModel) Accuracy(d *Dataset) float64 {
+	correct := 0
+	for i, row := range d.X {
+		p := 0
+		if m.predict(row) >= 0.5 {
+			p = 1
+		}
+		if p == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.X))
+}
+
+// Stump is a depth-1 decision tree on one feature.
+type Stump struct {
+	Feature   int
+	Threshold float64
+	LeftClass int // class predicted when x[Feature] < Threshold
+}
+
+// Forest is a bag of stumps trained on bootstrap samples.
+type Forest struct {
+	Stumps []Stump
+	Ops    uint64
+}
+
+// TrainForest trains trees stumps, each on a bootstrap sample, choosing the
+// best (feature, threshold) by classification error over a small threshold
+// grid. This captures random-forest training's access pattern: repeated
+// passes over resampled data (memory-intensive, as the paper notes for
+// RndFTrain).
+func TrainForest(rng *stats.RNG, d *Dataset, trees int) *Forest {
+	f := &Forest{}
+	n := len(d.X)
+	dim := len(d.X[0])
+	for t := 0; t < trees; t++ {
+		// Bootstrap sample indices.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		best := Stump{Feature: 0, Threshold: 0, LeftClass: 0}
+		bestErr := n + 1
+		for feat := 0; feat < dim; feat++ {
+			for _, thr := range []float64{-1, -0.5, 0, 0.5, 1} {
+				for _, leftClass := range []int{0, 1} {
+					errs := 0
+					for _, i := range idx {
+						pred := leftClass
+						if d.X[i][feat] >= thr {
+							pred = 1 - leftClass
+						}
+						if pred != d.Y[i] {
+							errs++
+						}
+						f.Ops++
+					}
+					if errs < bestErr {
+						bestErr = errs
+						best = Stump{Feature: feat, Threshold: thr, LeftClass: leftClass}
+					}
+				}
+			}
+		}
+		f.Stumps = append(f.Stumps, best)
+	}
+	return f
+}
+
+// Predict classifies a row by majority vote.
+func (f *Forest) Predict(row []float64) int {
+	votes := 0
+	for _, s := range f.Stumps {
+		pred := s.LeftClass
+		if row[s.Feature] >= s.Threshold {
+			pred = 1 - s.LeftClass
+		}
+		votes += pred
+	}
+	if votes*2 >= len(f.Stumps) {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy reports the forest's accuracy on d.
+func (f *Forest) Accuracy(d *Dataset) float64 {
+	correct := 0
+	for i, row := range d.X {
+		if f.Predict(row) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.X))
+}

@@ -1,0 +1,132 @@
+// Package calibrate derives the cluster simulator's execution-time factors
+// from the detailed cache models in internal/mem, closing the loop between
+// the two modeling layers: the DES charges CPU-burst multipliers for cache
+// warmth (cold restart after a full flush, partially-cold restart after a
+// partitioned reclaim, steady-state benefit of the HardHarvest replacement
+// policy), and this package measures those multipliers by running address
+// streams through the real set-associative hierarchy.
+package calibrate
+
+import (
+	"hardharvest/internal/mem"
+	"hardharvest/internal/stats"
+)
+
+// Calibration is the measured set of execution factors.
+type Calibration struct {
+	// ColdFactor is the execution multiplier right after a full cache/TLB
+	// flush (the paper measures ~1.2x, §3).
+	ColdFactor float64
+	// PartReclaimFactor is the multiplier right after a partitioned
+	// reclaim: the non-harvest region is warm, private state is cold.
+	PartReclaimFactor float64
+	// ReplWarmFactor is the steady-state multiplier of the HardHarvest
+	// replacement policy relative to LRU (< 1: it improves hit rates even
+	// without harvesting, §6.3-6.4).
+	ReplWarmFactor float64
+}
+
+// amatOver runs a trace through a fresh hierarchy and reports the mean
+// access latency in cycles over the window [skip, skip+measure) accesses.
+func amatOver(h *mem.Hierarchy, tr mem.Trace, skip, measure int) float64 {
+	var total float64
+	n, seen := 0, 0
+	for _, e := range tr {
+		switch e.Kind {
+		case mem.EvAccess:
+			lat := h.AccessData(e.Addr, e.Shared, false)
+			seen++
+			if seen <= skip {
+				continue
+			}
+			total += float64(lat.ToCycles())
+			n++
+			if n >= measure {
+				return total / float64(n)
+			}
+		case mem.EvFlushHarvest:
+			h.FlushHarvestRegion()
+		case mem.EvFlushAll:
+			h.FlushAll()
+		case mem.EvSetRegion:
+			h.SetRegion(e.Region)
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// execFactor converts an AMAT ratio into an execution-time multiplier with
+// a fixed compute component per access.
+func execFactor(amat, baseAMAT float64) float64 {
+	const compute = 8
+	return (compute + amat) / (compute + baseAMAT)
+}
+
+// Run performs the three calibrations at the given seed.
+func Run(seed uint64) Calibration {
+	sp := mem.DefaultStreamParams()
+	gen := func() mem.Trace {
+		g := mem.NewStreamGen(sp, stats.NewRNG(seed))
+		var tr mem.Trace
+		for i := 0; i < 8; i++ {
+			g.AppendInvocation(&tr)
+		}
+		return tr
+	}
+
+	var c Calibration
+
+	// Steady-state warm AMAT with LRU (the baseline the factors are
+	// relative to).
+	lruParams := mem.DefaultHierarchyParams()
+	lruParams.Policy = mem.PolicyLRU
+	warmLRU := amatOver(mem.NewHierarchy(lruParams), gen(), 40000, 60000)
+
+	// ColdFactor: flush everything mid-trace and measure the first ~25K
+	// accesses afterwards (roughly the paper's 100 us warm-up window of
+	// CPU time).
+	{
+		g := mem.NewStreamGen(sp, stats.NewRNG(seed))
+		var tr mem.Trace
+		for i := 0; i < 3; i++ {
+			g.AppendInvocation(&tr)
+		}
+		tr.AddFlushAll()
+		mark := tr.Accesses()
+		for i := 0; i < 3; i++ {
+			g.AppendInvocation(&tr)
+		}
+		cold := amatOver(mem.NewHierarchy(lruParams), tr, mark, 25000)
+		c.ColdFactor = execFactor(cold, warmLRU)
+	}
+
+	// PartReclaimFactor: harvest episode then reclaim; only the harvest
+	// region was flushed, the non-harvest region kept the shared state.
+	{
+		hhParams := mem.DefaultHierarchyParams()
+		g := mem.NewStreamGen(sp, stats.NewRNG(seed))
+		var tr mem.Trace
+		for i := 0; i < 3; i++ {
+			g.AppendInvocation(&tr)
+		}
+		g.AppendHarvestEpisode(&tr)
+		mark := tr.Accesses()
+		for i := 0; i < 3; i++ {
+			g.AppendInvocation(&tr)
+		}
+		warmHH := amatOver(mem.NewHierarchy(hhParams), gen(), 40000, 60000)
+		rec := amatOver(mem.NewHierarchy(hhParams), tr, mark, 25000)
+		c.PartReclaimFactor = execFactor(rec, warmHH)
+	}
+
+	// ReplWarmFactor: HardHarvest policy steady state vs LRU steady state.
+	{
+		hhParams := mem.DefaultHierarchyParams()
+		warmHH := amatOver(mem.NewHierarchy(hhParams), gen(), 40000, 60000)
+		c.ReplWarmFactor = execFactor(warmHH, warmLRU)
+	}
+	return c
+}

@@ -1,0 +1,51 @@
+package calibrate
+
+import (
+	"testing"
+
+	"hardharvest/internal/cluster"
+)
+
+// TestCalibrationMatchesClusterConstants closes the modeling loop: the
+// execution factors the cluster DES charges must be consistent with what
+// the detailed cache models measure.
+func TestCalibrationMatchesClusterConstants(t *testing.T) {
+	c := Run(1)
+	cfg := cluster.DefaultConfig()
+	t.Logf("measured: cold=%.3f reclaim=%.3f repl=%.3f | configured: cold=%.3f reclaim=%.3f repl=%.3f",
+		c.ColdFactor, c.PartReclaimFactor, c.ReplWarmFactor,
+		cfg.ColdFactor, cfg.PartReclaimFactor, cfg.ReplWarmFactor)
+
+	// Cold restart after a full flush: the paper measures ~1.2x; the DES
+	// charges cfg.ColdFactor. The measured value must be materially above
+	// 1 and in the same band.
+	if c.ColdFactor < 1.05 || c.ColdFactor > 1.6 {
+		t.Errorf("cold factor %.3f outside the plausible band", c.ColdFactor)
+	}
+	// A partitioned reclaim restarts warmer than a full flush.
+	if c.PartReclaimFactor >= c.ColdFactor {
+		t.Errorf("partitioned reclaim %.3f not warmer than full flush %.3f",
+			c.PartReclaimFactor, c.ColdFactor)
+	}
+	if c.PartReclaimFactor < 1.0 {
+		t.Errorf("partitioned reclaim %.3f below warm baseline", c.PartReclaimFactor)
+	}
+	// The replacement policy improves (or at worst matches) steady state.
+	if c.ReplWarmFactor > 1.02 {
+		t.Errorf("replacement policy factor %.3f should not degrade steady state", c.ReplWarmFactor)
+	}
+	// The configured constants sit within 0.15 of the measured ones.
+	if d := c.ColdFactor - cfg.ColdFactor; d < -0.15 || d > 0.25 {
+		t.Errorf("configured cold factor %.2f far from measured %.3f", cfg.ColdFactor, c.ColdFactor)
+	}
+	if d := c.PartReclaimFactor - cfg.PartReclaimFactor; d < -0.15 || d > 0.15 {
+		t.Errorf("configured reclaim factor %.2f far from measured %.3f", cfg.PartReclaimFactor, c.PartReclaimFactor)
+	}
+}
+
+func TestCalibrationDeterminism(t *testing.T) {
+	a, b := Run(5), Run(5)
+	if a != b {
+		t.Fatalf("nondeterministic calibration: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hardharvest/internal/core"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/workload"
+)
+
+// request is the cluster-side view of one unit of work: a Primary VM
+// microservice invocation (multiple CPU/IO phases) or a Harvest VM batch job
+// (one CPU phase, possibly preempted and resumed).
+type request struct {
+	id      uint64
+	vmIdx   int
+	phases  []workload.Phase
+	phase   int
+	arrival sim.Time
+	// measured marks requests arriving inside the measurement window.
+	measured bool
+	// isJob marks Harvest VM batch jobs.
+	isJob bool
+	// resuming marks a request waiting, pinned, to continue after blocking
+	// I/O (it re-enters the queue through unblock, not enqueue).
+	resuming bool
+
+	// Critical-path overhead attribution (Figure 6).
+	reassign sim.Duration
+	flush    sim.Duration
+	exec     sim.Duration
+
+	// hw is the controller-side request object (hardware backend only).
+	hw *core.Request
+}
+
+func (r *request) currentPhase() workload.Phase { return r.phases[r.phase] }
+
+// wakeInfo is a backend's notification decision after new work arrived.
+type wakeInfo struct {
+	core    int
+	preempt bool
+}
+
+// backend abstracts the queueing substrate: the HardHarvest controller for
+// hardware systems (including NoHarvest-with-optimizations), or plain
+// software queues for the SmartHarvest-style baselines.
+type backend interface {
+	// enqueue stores a ready request and returns the wake decision, if any.
+	enqueue(r *request) *wakeInfo
+	// dequeue hands the core its next request; allowLoan permits cross-VM
+	// harvesting on the hardware path. Returns nil when no work exists.
+	dequeue(coreID int, allowLoan bool) (r *request, crossVM bool)
+	// dequeueFrom force-dequeues from a specific VM's queue (software
+	// lending path).
+	dequeueFrom(vmIdx, coreID int) *request
+	// complete releases a finished request.
+	complete(coreID int, r *request)
+	// block parks a running request on I/O.
+	block(coreID int, r *request)
+	// unblock readies a blocked request and returns the wake decision.
+	unblock(r *request) *wakeInfo
+	// preempt aborts the harvest request a core is running and requeues it
+	// at the head of its VM's queue (hardware reclamation path).
+	preempt(coreID int, r *request)
+	// readyLen reports the ready requests queued for a VM.
+	readyLen(vmIdx int) int
+}
+
+// hwBackend adapts the core.Controller.
+type hwBackend struct {
+	ctrl *core.Controller
+	reqs map[core.ReqID]*request
+	next core.ReqID
+}
+
+func newHWBackend(cfg Config) *hwBackend {
+	ctrl := core.DefaultController()
+	b := &hwBackend{ctrl: ctrl, reqs: make(map[core.ReqID]*request)}
+	return b
+}
+
+func (b *hwBackend) addVM(vmIdx int, isPrimary bool, mask core.HarvestMask) {
+	if err := b.ctrl.AddVM(core.VMID(vmIdx), isPrimary, mask); err != nil {
+		panic(err)
+	}
+}
+
+func (b *hwBackend) bindCore(coreID, vmIdx int) {
+	if err := b.ctrl.BindCore(core.CoreID(coreID), core.VMID(vmIdx)); err != nil {
+		panic(err)
+	}
+}
+
+func (b *hwBackend) enqueue(r *request) *wakeInfo {
+	b.next++
+	r.hw = &core.Request{ID: b.next, VM: core.VMID(r.vmIdx), PayloadAddr: uint64(r.id) << 6}
+	b.reqs[r.hw.ID] = r
+	_, wake, err := b.ctrl.Enqueue(core.VMID(r.vmIdx), r.hw)
+	if err != nil {
+		panic(err)
+	}
+	return toWake(wake)
+}
+
+func toWake(w *core.WakeDecision) *wakeInfo {
+	if w == nil {
+		return nil
+	}
+	return &wakeInfo{core: int(w.Core), preempt: w.Preempt}
+}
+
+func (b *hwBackend) dequeue(coreID int, allowLoan bool) (*request, bool) {
+	hr, _, cross, err := b.ctrl.Dequeue(core.CoreID(coreID), allowLoan)
+	if err != nil {
+		panic(err)
+	}
+	if hr == nil {
+		return nil, false
+	}
+	return b.reqs[hr.ID], cross
+}
+
+func (b *hwBackend) dequeueFrom(vmIdx, coreID int) *request {
+	panic("cluster: dequeueFrom is a software-lending operation")
+}
+
+func (b *hwBackend) complete(coreID int, r *request) {
+	if err := b.ctrl.Complete(core.CoreID(coreID), r.hw); err != nil {
+		panic(err)
+	}
+	delete(b.reqs, r.hw.ID)
+	r.hw = nil
+}
+
+func (b *hwBackend) block(coreID int, r *request) {
+	if err := b.ctrl.Block(core.CoreID(coreID), r.hw); err != nil {
+		panic(err)
+	}
+}
+
+func (b *hwBackend) unblock(r *request) *wakeInfo {
+	wake, err := b.ctrl.Unblock(core.VMID(r.vmIdx), r.hw)
+	if err != nil {
+		panic(err)
+	}
+	return toWake(wake)
+}
+
+func (b *hwBackend) preempt(coreID int, r *request) {
+	pre, err := b.ctrl.PreemptCore(core.CoreID(coreID))
+	if err != nil {
+		panic(err)
+	}
+	if pre != r.hw {
+		panic(fmt.Sprintf("cluster: preempted %v, expected %v", pre.ID, r.hw.ID))
+	}
+}
+
+func (b *hwBackend) readyLen(vmIdx int) int {
+	qm := b.ctrl.QM(core.VMID(vmIdx))
+	if qm == nil {
+		return 0
+	}
+	return qm.ReadyLen()
+}
+
+// swBackend is the software path: per-VM FIFO queues in memory. Blocked
+// requests live off-queue; unblocked requests rejoin at the head (they are
+// older than anything queued behind them).
+type swBackend struct {
+	queues  [][]*request
+	binding []int // coreID -> vmIdx
+}
+
+func newSWBackend(numVMs, numCores int) *swBackend {
+	b := &swBackend{queues: make([][]*request, numVMs), binding: make([]int, numCores)}
+	for i := range b.binding {
+		b.binding[i] = -1
+	}
+	return b
+}
+
+func (b *swBackend) bindCore(coreID, vmIdx int) { b.binding[coreID] = vmIdx }
+
+func (b *swBackend) enqueue(r *request) *wakeInfo {
+	b.queues[r.vmIdx] = append(b.queues[r.vmIdx], r)
+	// Software systems have no hardware notification: the server layer
+	// implements polling discovery.
+	return nil
+}
+
+func (b *swBackend) dequeue(coreID int, allowLoan bool) (*request, bool) {
+	vm := b.binding[coreID]
+	if vm < 0 {
+		return nil, false
+	}
+	return b.pop(vm), false
+}
+
+func (b *swBackend) pop(vmIdx int) *request {
+	q := b.queues[vmIdx]
+	if len(q) == 0 {
+		return nil
+	}
+	r := q[0]
+	b.queues[vmIdx] = q[1:]
+	return r
+}
+
+func (b *swBackend) dequeueFrom(vmIdx, coreID int) *request {
+	return b.pop(vmIdx)
+}
+
+func (b *swBackend) complete(coreID int, r *request) {}
+
+func (b *swBackend) block(coreID int, r *request) {}
+
+func (b *swBackend) unblock(r *request) *wakeInfo {
+	// Rejoin at the head: the request is older than queued work.
+	b.queues[r.vmIdx] = append([]*request{r}, b.queues[r.vmIdx]...)
+	return nil
+}
+
+func (b *swBackend) preempt(coreID int, r *request) {
+	b.queues[r.vmIdx] = append([]*request{r}, b.queues[r.vmIdx]...)
+}
+
+func (b *swBackend) readyLen(vmIdx int) int { return len(b.queues[vmIdx]) }

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/metrics"
+	"hardharvest/internal/sim"
+)
+
+// RunServer simulates one server with the given batch workload.
+func RunServer(cfg Config, opts Options, work *batch.Workload) *ServerResult {
+	return NewServer(cfg, opts, work).Run()
+}
+
+// ClusterResult aggregates the 8-server cluster: each server runs a
+// different Harvest VM batch workload; per-service latency is aggregated
+// across servers (each server hosts an instance of every service, §5).
+type ClusterResult struct {
+	System string
+	// Servers holds the individual results in workload order.
+	Servers []*ServerResult
+	// Service aggregates latencies across servers.
+	Service map[string]*metrics.LatencyRecorder
+	// WorkloadJobsPerSec maps each batch workload to its throughput.
+	WorkloadJobsPerSec map[string]float64
+	// BusyCores is the average busy core count per server.
+	BusyCores float64
+}
+
+// RunCluster simulates the full 8-server cluster of the evaluation. The
+// servers never communicate (microservices only talk within a server, §5),
+// so they run in parallel, one per batch workload. servers limits the count
+// (0 or >8 runs all 8).
+func RunCluster(cfg Config, opts Options, servers int) *ClusterResult {
+	works := batch.Workloads()
+	if servers <= 0 || servers > len(works) {
+		servers = len(works)
+	}
+	results := make([]*ServerResult, servers)
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		i := i
+		scfg := cfg
+		scfg.Seed = cfg.Seed + uint64(i)*7919
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = RunServer(scfg, opts, works[i])
+		}()
+	}
+	wg.Wait()
+	return aggregate(opts.Name, results)
+}
+
+func aggregate(system string, results []*ServerResult) *ClusterResult {
+	cr := &ClusterResult{
+		System:             system,
+		Servers:            results,
+		Service:            make(map[string]*metrics.LatencyRecorder),
+		WorkloadJobsPerSec: make(map[string]float64),
+	}
+	for _, r := range results {
+		for svc, rec := range r.Service {
+			agg, ok := cr.Service[svc]
+			if !ok {
+				agg = metrics.NewLatencyRecorder()
+				cr.Service[svc] = agg
+			}
+			agg.Merge(rec)
+		}
+		cr.WorkloadJobsPerSec[r.Workload] = r.HarvestJobsPerSec
+		cr.BusyCores += r.BusyCores
+	}
+	if len(results) > 0 {
+		cr.BusyCores /= float64(len(results))
+	}
+	return cr
+}
+
+// ServiceNames returns the aggregated service names sorted alphabetically.
+func (cr *ClusterResult) ServiceNames() []string {
+	names := make([]string, 0, len(cr.Service))
+	for n := range cr.Service {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AvgP99 reports the mean of per-service P99 latencies.
+func (cr *ClusterResult) AvgP99() sim.Duration {
+	var sum sim.Duration
+	n := 0
+	for _, rec := range cr.Service {
+		sum += rec.P99()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Duration(n)
+}
+
+// AvgP50 reports the mean of per-service median latencies.
+func (cr *ClusterResult) AvgP50() sim.Duration {
+	var sum sim.Duration
+	n := 0
+	for _, rec := range cr.Service {
+		sum += rec.P50()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Duration(n)
+}

@@ -1,0 +1,478 @@
+package cluster
+
+import (
+	"testing"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/hypervisor"
+	"hardharvest/internal/sim"
+)
+
+// testConfig returns a short-horizon configuration for tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupDuration = 40 * sim.Millisecond
+	cfg.MeasureDuration = 400 * sim.Millisecond
+	return cfg
+}
+
+func bfs(t *testing.T) *batch.Workload {
+	t.Helper()
+	w, err := batch.WorkloadByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSystemOptionsPresets(t *testing.T) {
+	if len(Systems()) != 5 {
+		t.Fatal("want 5 systems")
+	}
+	no := SystemOptions(NoHarvest)
+	if no.Harvesting || no.HWSched {
+		t.Fatalf("NoHarvest = %+v", no)
+	}
+	ht := SystemOptions(HarvestTerm)
+	if !ht.Harvesting || !ht.SoftwareHarvest || ht.HarvestOnBlock {
+		t.Fatalf("HarvestTerm = %+v", ht)
+	}
+	if ht.Reassign != hypervisor.ReassignOpt {
+		t.Fatal("software baseline should use the optimized reassign path")
+	}
+	hhb := SystemOptions(HardHarvestBlock)
+	if !hhb.HWSched || !hhb.HWQueue || !hhb.HWCtxtSw || !hhb.Partition || !hhb.EffFlush || !hhb.ReplPolicy {
+		t.Fatalf("HardHarvestBlock = %+v", hhb)
+	}
+	if !hhb.HarvestOnBlock || SystemOptions(HardHarvestTerm).HarvestOnBlock {
+		t.Fatal("Term/Block flag wrong")
+	}
+	for _, k := range Systems() {
+		if k.String() == "" {
+			t.Fatal("empty system name")
+		}
+	}
+}
+
+func TestLadders(t *testing.T) {
+	steps := Fig12Steps()
+	if len(steps) != 7 {
+		t.Fatalf("fig12 steps = %d", len(steps))
+	}
+	if steps[0].Name != "Harvest-Block" || steps[6].Name != "HardHarvest" {
+		t.Fatalf("fig12 endpoints: %s .. %s", steps[0].Name, steps[6].Name)
+	}
+	// Cumulative: each step keeps earlier features.
+	last := steps[6]
+	if !last.HWSched || !last.HWQueue || !last.HWCtxtSw || !last.Partition || !last.EffFlush || !last.ReplPolicy {
+		t.Fatalf("fig12 final step missing features: %+v", last)
+	}
+	f13 := Fig13Variants()
+	if len(f13) != 4 {
+		t.Fatalf("fig13 variants = %d", len(f13))
+	}
+	if !f13[3].HWCtxtSw || !f13[3].HWSched {
+		t.Fatal("fig13 combined variant wrong")
+	}
+	f15 := Fig15Steps()
+	if len(f15) != 5 {
+		t.Fatalf("fig15 steps = %d", len(f15))
+	}
+	for _, o := range f15 {
+		if o.Harvesting {
+			t.Fatal("fig15 must not harvest")
+		}
+	}
+	if len(Fig4Variants()) != 5 || len(Fig5Variants()) != 5 {
+		t.Fatal("fig4/5 variant counts")
+	}
+}
+
+func TestServerRunsAndMeasures(t *testing.T) {
+	cfg := testConfig()
+	r := RunServer(cfg, SystemOptions(NoHarvest), bfs(t))
+	if r.Requests < 1000 {
+		t.Fatalf("requests = %d, too few", r.Requests)
+	}
+	if len(r.Service) != cfg.PrimaryVMs {
+		t.Fatalf("services = %d", len(r.Service))
+	}
+	for name, rec := range r.Service {
+		if rec.Count() < 20 {
+			t.Errorf("service %s has %d samples", name, rec.Count())
+		}
+		if rec.P99() < rec.P50() {
+			t.Errorf("service %s P99 < P50", name)
+		}
+		if rec.P50() <= 0 {
+			t.Errorf("service %s non-positive median", name)
+		}
+	}
+	if r.BusyCores <= 0 || r.BusyCores > float64(cfg.CoresPerServer) {
+		t.Fatalf("busy cores = %v", r.BusyCores)
+	}
+	if r.HarvestJobs == 0 {
+		t.Fatal("harvest VM ran no jobs")
+	}
+	if r.Reassigns != 0 {
+		t.Fatal("NoHarvest must not reassign cores")
+	}
+	if r.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	a := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	b := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	if a.AvgP99() != b.AvgP99() || a.HarvestJobs != b.HarvestJobs || a.Reassigns != b.Reassigns {
+		t.Fatalf("nondeterministic: %v/%v jobs %d/%d moves %d/%d",
+			a.AvgP99(), b.AvgP99(), a.HarvestJobs, b.HarvestJobs, a.Reassigns, b.Reassigns)
+	}
+	cfg.Seed++
+	c := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	if a.AvgP99() == c.AvgP99() && a.HarvestJobs == c.HarvestJobs {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestFig11Shape asserts the headline result: software harvesting inflates
+// Primary VM tails; HardHarvest keeps them at or below NoHarvest.
+func TestFig11Shape(t *testing.T) {
+	cfg := testConfig()
+	work := bfs(t)
+	no := RunServer(cfg, SystemOptions(NoHarvest), work)
+	ht := RunServer(cfg, SystemOptions(HarvestTerm), work)
+	hb := RunServer(cfg, SystemOptions(HarvestBlock), work)
+	hht := RunServer(cfg, SystemOptions(HardHarvestTerm), work)
+	hhb := RunServer(cfg, SystemOptions(HardHarvestBlock), work)
+
+	t.Logf("P99: no=%v ht=%v hb=%v hht=%v hhb=%v",
+		no.AvgP99(), ht.AvgP99(), hb.AvgP99(), hht.AvgP99(), hhb.AvgP99())
+	if ht.AvgP99() < 2*no.AvgP99() {
+		t.Errorf("Harvest-Term tail %v should be well above NoHarvest %v", ht.AvgP99(), no.AvgP99())
+	}
+	if hb.AvgP99() < ht.AvgP99() {
+		t.Errorf("Harvest-Block %v should be above Harvest-Term %v", hb.AvgP99(), ht.AvgP99())
+	}
+	if hht.AvgP99() > no.AvgP99() {
+		t.Errorf("HardHarvest-Term %v should not exceed NoHarvest %v", hht.AvgP99(), no.AvgP99())
+	}
+	if hhb.AvgP99() > no.AvgP99() {
+		t.Errorf("HardHarvest-Block %v should not exceed NoHarvest %v", hhb.AvgP99(), no.AvgP99())
+	}
+	// Tail reduction vs the software baseline (paper: 83.3%).
+	red := 1 - float64(hhb.AvgP99())/float64(ht.AvgP99())
+	if red < 0.5 {
+		t.Errorf("HardHarvest tail reduction vs Harvest-Term = %.2f, want > 0.5", red)
+	}
+}
+
+// TestUtilizationShape asserts the §6.7 ordering.
+func TestUtilizationShape(t *testing.T) {
+	cfg := testConfig()
+	work := bfs(t)
+	busy := map[SystemKind]float64{}
+	for _, k := range Systems() {
+		busy[k] = RunServer(cfg, SystemOptions(k), work).BusyCores
+	}
+	t.Logf("busy: %v", busy)
+	if !(busy[NoHarvest] < busy[HarvestTerm] &&
+		busy[HarvestTerm] < busy[HardHarvestBlock] &&
+		busy[HardHarvestTerm] < busy[HardHarvestBlock]) {
+		t.Errorf("utilization ordering broken: %v", busy)
+	}
+	if busy[HardHarvestBlock] < 30 {
+		t.Errorf("HardHarvest-Block busy = %.1f, want near-full server", busy[HardHarvestBlock])
+	}
+	if busy[NoHarvest] > 16 {
+		t.Errorf("NoHarvest busy = %.1f, want underutilized server", busy[NoHarvest])
+	}
+}
+
+// TestThroughputShape asserts Figure 17's ordering.
+func TestThroughputShape(t *testing.T) {
+	cfg := testConfig()
+	work := bfs(t)
+	jobs := map[SystemKind]float64{}
+	for _, k := range Systems() {
+		jobs[k] = RunServer(cfg, SystemOptions(k), work).HarvestJobsPerSec
+	}
+	t.Logf("jobs/s: %v", jobs)
+	if !(jobs[NoHarvest] < jobs[HarvestTerm] && jobs[HarvestTerm] < jobs[HardHarvestBlock]) {
+		t.Errorf("throughput ordering broken: %v", jobs)
+	}
+	ratio := jobs[HardHarvestBlock] / jobs[NoHarvest]
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("HardHarvest-Block throughput ratio = %.2f, want a few x", ratio)
+	}
+}
+
+// TestMemoryIntensityShape: memory-intensive jobs gain less (Figure 17).
+func TestMemoryIntensityShape(t *testing.T) {
+	cfg := testConfig()
+	lr, _ := batch.WorkloadByName("LRTrain")   // compute-bound
+	rf, _ := batch.WorkloadByName("RndFTrain") // memory-bound
+	gain := func(w *batch.Workload) float64 {
+		no := RunServer(cfg, SystemOptions(NoHarvest), w).HarvestJobsPerSec
+		hh := RunServer(cfg, SystemOptions(HardHarvestBlock), w).HarvestJobsPerSec
+		return hh / no
+	}
+	glr, grf := gain(lr), gain(rf)
+	t.Logf("gain LRTrain=%.2f RndFTrain=%.2f", glr, grf)
+	if grf >= glr {
+		t.Errorf("memory-intensive RndFTrain gain %.2f should be below LRTrain %.2f", grf, glr)
+	}
+}
+
+func TestFig12Monotone(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 300 * sim.Millisecond
+	work := bfs(t)
+	var prev sim.Duration
+	for i, o := range Fig12Steps() {
+		r := RunServer(cfg, o, work)
+		p99 := r.AvgP99()
+		t.Logf("%-14s P99=%v", o.Name, p99)
+		if i == 0 {
+			prev = p99
+			continue
+		}
+		// Each optimization must not make the tail much worse; the ladder
+		// ends far below the start.
+		if p99 > prev*13/10 {
+			t.Errorf("step %s regressed: %v -> %v", o.Name, prev, p99)
+		}
+		prev = p99
+	}
+	first := RunServer(cfg, Fig12Steps()[0], work).AvgP99()
+	last := RunServer(cfg, Fig12Steps()[6], work).AvgP99()
+	if float64(last) > 0.5*float64(first) {
+		t.Errorf("full ladder reduction too small: %v -> %v", first, last)
+	}
+}
+
+func TestFig15Monotone(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 300 * sim.Millisecond
+	work := bfs(t)
+	var series []sim.Duration
+	for _, o := range Fig15Steps() {
+		series = append(series, RunServer(cfg, o, work).AvgP99())
+	}
+	t.Logf("fig15 tails: %v", series)
+	for i := 1; i < len(series); i++ {
+		if series[i] > series[i-1]*11/10 {
+			t.Errorf("fig15 step %d regressed: %v -> %v", i, series[i-1], series[i])
+		}
+	}
+	if float64(series[4]) > 0.95*float64(series[0]) {
+		t.Errorf("fig15 cumulative gain too small: %v -> %v", series[0], series[4])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceSteps = 0 // the motivation experiments run flat load
+	work := bfs(t)
+	var res []*ServerResult
+	for _, o := range Fig4Variants() {
+		res = append(res, RunServer(cfg, o, work))
+	}
+	noMove := res[0].AvgP99()
+	t.Logf("fig4: noMove=%v kvmT=%v kvmB=%v optT=%v optB=%v",
+		noMove, res[1].AvgP99(), res[2].AvgP99(), res[3].AvgP99(), res[4].AvgP99())
+	for i := 1; i < 5; i++ {
+		if res[i].AvgP99() < noMove*12/10 {
+			t.Errorf("%s tail %v not clearly above No-Move %v", Fig4Variants()[i].Name, res[i].AvgP99(), noMove)
+		}
+	}
+	// Block >= Term within each cost class.
+	if res[2].AvgP99() < res[1].AvgP99() {
+		t.Errorf("KVM-Block %v below KVM-Term %v", res[2].AvgP99(), res[1].AvgP99())
+	}
+	if res[4].AvgP99() < res[3].AvgP99() {
+		t.Errorf("Opt-Block %v below Opt-Term %v", res[4].AvgP99(), res[3].AvgP99())
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceSteps = 0
+	work := bfs(t)
+	var res []*ServerResult
+	for _, o := range Fig5Variants() {
+		res = append(res, RunServer(cfg, o, work))
+	}
+	noFlush := res[0].AvgP99()
+	t.Logf("fig5: noFlush=%v flushT=%v flushB=%v harvT=%v harvB=%v",
+		noFlush, res[1].AvgP99(), res[2].AvgP99(), res[3].AvgP99(), res[4].AvgP99())
+	for i := 1; i < 5; i++ {
+		if res[i].AvgP99() < noFlush {
+			t.Errorf("%s tail below No-Flush", Fig5Variants()[i].Name)
+		}
+	}
+	// Adding the hypervisor cost on top of flushing makes things worse.
+	if res[3].AvgP99() < res[1].AvgP99() {
+		t.Errorf("Harvest-Term %v below Flush-Term %v", res[3].AvgP99(), res[1].AvgP99())
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	cfg := testConfig()
+	r := RunServer(cfg, SystemOptions(HarvestBlock), bfs(t))
+	re, fl, ex := r.Breakdown.Mean()
+	if ex <= 0 {
+		t.Fatal("no execution time recorded")
+	}
+	if re+fl <= 0 {
+		t.Fatal("software harvesting recorded no overhead")
+	}
+	no := RunServer(cfg, SystemOptions(NoHarvest), bfs(t))
+	nre, nfl, _ := no.Breakdown.Mean()
+	if nre != 0 || nfl != 0 {
+		t.Fatalf("NoHarvest overheads = %v/%v, want zero", nre, nfl)
+	}
+}
+
+func TestLLCFactorSensitivity(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 200 * sim.Millisecond
+	work := bfs(t)
+	small := cfg
+	small.LLCFactor = 1.1 // smaller LLC -> slower execution
+	base := RunServer(cfg, SystemOptions(HardHarvestBlock), work)
+	shrunk := RunServer(small, SystemOptions(HardHarvestBlock), work)
+	if shrunk.AvgP99() <= base.AvgP99() {
+		t.Errorf("smaller LLC should raise tails: %v vs %v", shrunk.AvgP99(), base.AvgP99())
+	}
+}
+
+func TestRunCluster(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	cr := RunCluster(cfg, SystemOptions(HardHarvestBlock), 3)
+	if len(cr.Servers) != 3 {
+		t.Fatalf("servers = %d", len(cr.Servers))
+	}
+	if len(cr.Service) != cfg.PrimaryVMs {
+		t.Fatalf("services = %d", len(cr.Service))
+	}
+	if len(cr.WorkloadJobsPerSec) != 3 {
+		t.Fatalf("workloads = %d", len(cr.WorkloadJobsPerSec))
+	}
+	// Aggregated samples are the union of the per-server samples.
+	total := 0
+	for _, s := range cr.Servers {
+		total += s.Service["Text"].Count()
+	}
+	if cr.Service["Text"].Count() != total {
+		t.Fatalf("aggregation lost samples: %d vs %d", cr.Service["Text"].Count(), total)
+	}
+	if cr.AvgP99() <= 0 || cr.AvgP50() <= 0 {
+		t.Fatal("cluster percentiles empty")
+	}
+	names := cr.ServiceNames()
+	if len(names) != cfg.PrimaryVMs || names[0] > names[1] {
+		t.Fatalf("service names = %v", names)
+	}
+	if cr.BusyCores <= 0 {
+		t.Fatal("cluster busy cores empty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.PrimaryVMs = 10 // 44 cores > 36
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversubscribed config should panic")
+			}
+		}()
+		bad.validate()
+	}()
+	bad2 := DefaultConfig()
+	bad2.MeasureDuration = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero measure window should panic")
+			}
+		}()
+		bad2.validate()
+	}()
+	if DefaultConfig().TotalPrimaryCores() != 32 {
+		t.Fatal("TotalPrimaryCores")
+	}
+}
+
+func TestHWHarvestingRequiresScheduler(t *testing.T) {
+	opts := SystemOptions(HardHarvestBlock)
+	opts.HWSched = false
+	defer func() {
+		if recover() == nil {
+			t.Error("hardware harvesting without +Sched should panic")
+		}
+	}()
+	NewServer(testConfig(), opts, bfs(t))
+}
+
+func TestExtensionVariants(t *testing.T) {
+	vars := ExtensionVariants()
+	if len(vars) != 4 {
+		t.Fatalf("variants = %d", len(vars))
+	}
+	cfg := testConfig()
+	cfg.MeasureDuration = 250 * sim.Millisecond
+	work := bfs(t)
+	base := RunServer(cfg, vars[0], work)
+	buf2 := RunServer(cfg, vars[2], work)
+	adaptive := RunServer(cfg, vars[3], work)
+	t.Logf("base: busy=%.1f jobs=%.0f | buf2: busy=%.1f jobs=%.0f | adaptive: busy=%.1f jobs=%.0f",
+		base.BusyCores, base.HarvestJobsPerSec, buf2.BusyCores, buf2.HarvestJobsPerSec,
+		adaptive.BusyCores, adaptive.HarvestJobsPerSec)
+	// The burst buffer withholds cores: lower utilization and throughput.
+	if buf2.BusyCores >= base.BusyCores {
+		t.Errorf("burst buffer should reduce busy cores: %.1f vs %.1f", buf2.BusyCores, base.BusyCores)
+	}
+	if buf2.HarvestJobsPerSec >= base.HarvestJobsPerSec {
+		t.Errorf("burst buffer should reduce throughput: %.0f vs %.0f",
+			buf2.HarvestJobsPerSec, base.HarvestJobsPerSec)
+	}
+	// Adaptive block-harvesting reduces loan churn on short-block services.
+	if adaptive.Reassigns >= base.Reassigns {
+		t.Errorf("adaptive policy should reduce loans: %d vs %d", adaptive.Reassigns, base.Reassigns)
+	}
+}
+
+// TestFig13Additivity: hardware scheduling and hardware context switching
+// each reduce the software-harvesting tail, and applying both does at least
+// as well as the better one (partially additive, §6.2).
+func TestFig13Additivity(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 300 * sim.Millisecond
+	work := bfs(t)
+	vars := Fig13Variants()
+	res := make([]sim.Duration, len(vars))
+	for i, o := range vars {
+		res[i] = RunServer(cfg, o, work).AvgP99()
+	}
+	base, ctxt, sched, both := res[0], res[1], res[2], res[3]
+	t.Logf("fig13: base=%v +CtxtSw=%v +Sched=%v both=%v", base, ctxt, sched, both)
+	if ctxt > base*105/100 {
+		t.Errorf("+CtxtSw regressed the tail: %v vs %v", ctxt, base)
+	}
+	if sched >= base {
+		t.Errorf("+Sched did not improve the tail: %v vs %v", sched, base)
+	}
+	best := ctxt
+	if sched < best {
+		best = sched
+	}
+	if both > best*11/10 {
+		t.Errorf("both (%v) should do at least as well as the better single (%v)", both, best)
+	}
+}

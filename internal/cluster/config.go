@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"hardharvest/internal/core"
+	"hardharvest/internal/hypervisor"
+	"hardharvest/internal/nic"
+	"hardharvest/internal/noc"
+	"hardharvest/internal/sim"
+)
+
+// Config carries every latency constant and shape parameter of the server
+// model. Defaults follow Table 1 and the paper's measured costs (§3); the
+// hardware-path constants follow the estimates of §4.1.1 (a reassignment
+// takes a few microseconds without hardware context switching and a few
+// tens of nanoseconds with it).
+type Config struct {
+	Seed uint64
+
+	// Server shape (Table 1).
+	CoresPerServer  int
+	PrimaryVMs      int
+	CoresPerPrimary int
+	HarvestOwnCores int
+
+	// Measurement window.
+	WarmupDuration  sim.Duration
+	MeasureDuration sim.Duration
+
+	// LoadScale multiplies every service's base arrival rate.
+	LoadScale float64
+	// TraceStep is the simulated duration of one utilization-series step
+	// (the 30 s production granularity is compressed so bursts occur within
+	// feasible simulation horizons).
+	TraceStep sim.Duration
+	// TraceSteps is the number of series steps generated per VM.
+	TraceSteps int
+	// BurstBatchProb is the probability that an arrival is the head of a
+	// flash batch (microservice fan-outs deliver correlated request
+	// groups); BurstBatchMean is the mean batch size.
+	BurstBatchProb float64
+	BurstBatchMean float64
+
+	// Software substrate costs.
+	Costs hypervisor.Costs
+	// SWQueueAccess is the cost of one memory-mapped queue operation,
+	// including locking and cache-hierarchy contention (§4.1.6).
+	SWQueueAccess sim.Duration
+	// SWCtxSw is a software process context switch on request dispatch.
+	SWCtxSw sim.Duration
+	// SWVMContextLoad is the software cost of loading another VM's context
+	// on a cross-VM transition (SmartHarvest-class optimized path, §3);
+	// HardHarvest's Request Context Memory replaces it (+CtxtSw).
+	SWVMContextLoad sim.Duration
+	// AgentInterval is the software harvesting agent's prediction window.
+	AgentInterval sim.Duration
+	// AgentSample is how often the agent samples per-VM busy cores.
+	AgentSample sim.Duration
+	// PollInterval is the software work-discovery granularity: without a
+	// hardware scheduler, a core learns of newly queued work only on its
+	// next poll, which under virtualization includes vCPU wakeup latency.
+	PollInterval sim.Duration
+	// MoveStallFrac is the fraction of a hypervisor core-move cost during
+	// which the affected VM's other vCPUs stall (hypervisor lock + IPIs,
+	// §4.1.1: detach acquires a lock and interrupts the affected core).
+	MoveStallFrac float64
+	// PollExecFactor inflates execution when cores must poll for work
+	// (cycles diverted from application logic, §4.1.6).
+	PollExecFactor float64
+	// MMQueueExecFactor inflates execution under memory-mapped queues (the
+	// scheduler and NIC contend with cores on the cache hierarchy, §4.1.6).
+	MMQueueExecFactor float64
+	// PinScale scales the probability that an arrival lands on a lent
+	// vCPU and must wait for a hypervisor reclaim (software path).
+	PinScale float64
+	// GuestMigrateDelay bounds how long a pinned request waits for its
+	// vCPU: after this delay the guest scheduler migrates the handling
+	// thread to a backed vCPU. This is why stock-KVM and optimized
+	// re-assignment produce similar tail inflation (Figure 4): the guest
+	// caps the exposure to the move latency.
+	GuestMigrateDelay sim.Duration
+	// EventLendCooldown rate-limits event-driven core moves (Figures 4-5):
+	// the user-space agent performs moves sequentially and pauses between
+	// them, matching the paper's observed 11-36 reassignments per second
+	// (the conservative Term policy uses 4x this cooldown).
+	EventLendCooldown sim.Duration
+	// GuestUnplugStall is the guest-side disruption of hot-(un)plugging a
+	// vCPU: timer/IRQ migration and stop-machine-style synchronization
+	// pause the VM for milliseconds regardless of hypervisor-side cost —
+	// which is why even SmartHarvest-optimized re-assignment inflates
+	// microservice tails (Figure 4's Opt bars).
+	GuestUnplugStall sim.Duration
+
+	// Hardware path costs.
+	NICLat nic.Latencies
+	// HWNotify is the controller-to-core wake over the dedicated network.
+	HWNotify sim.Duration
+	// HWQueueOp is a dequeue/complete/block instruction against the SRAM RQ.
+	HWQueueOp sim.Duration
+	// HWCtxSw is the in-hardware context save+restore via the Request
+	// Context Memory.
+	HWCtxSw sim.Duration
+	// HWInterrupt is the hardware interrupt delivery for core reclamation.
+	HWInterrupt sim.Duration
+	// PartitionFlushWait is the harvest-region flush with efficient flush
+	// hardware (Table 1: 1000 cycles).
+	PartitionFlushWait sim.Duration
+	// SlowRegionFlush is the harvest-region flush without the efficient
+	// flush hardware (a clflush-style walk over half the hierarchy).
+	SlowRegionFlush sim.Duration
+
+	// Execution-time factors from cache warmth (calibrated against
+	// internal/mem; the 1.2x cold factor is the paper's measurement).
+	// WarmFactor scales CPU bursts on a warm core with default (LRU)
+	// replacement.
+	WarmFactor float64
+	// ReplWarmFactor scales CPU bursts when the HardHarvest replacement
+	// policy preserves shared state across invocations (§6.3-6.4).
+	ReplWarmFactor float64
+	// ColdFactor scales CPU bursts after a full flush, decaying over
+	// ColdWarmupCPUTime of executed CPU.
+	ColdFactor float64
+	// PartReclaimFactor scales CPU bursts right after a partitioned
+	// reclaim: the non-harvest region is warm, only private state is cold.
+	PartReclaimFactor float64
+	// ColdWarmupCPUTime is the executed-CPU budget over which cold factors
+	// decay back to warm.
+	ColdWarmupCPUTime sim.Duration
+
+	// LLCFactor scales every CPU burst to model LLC capacity sensitivity
+	// (Figure 18); 1.0 at the default 2 MB/core.
+	LLCFactor float64
+
+	// MemBWSlope models DRAM-bandwidth contention among concurrently
+	// running batch jobs (102.4 GB/s per socket, Table 1): each active job
+	// beyond the Harvest VM's own cores slows memory-intensive jobs down,
+	// which is why Harvest VM throughput scales sub-linearly with
+	// harvested cores (§6.6: memory-intensive applications gain less).
+	MemBWSlope float64
+	// AgentBufferCores is the per-VM emergency buffer of the software
+	// harvesting agent (0 = rely on prediction alone; SmartHarvest's
+	// buffer is small relative to the server).
+	AgentBufferCores int
+	// AdaptiveBlockMin is the block-duration EWMA below which an
+	// AdaptiveBlock system stops harvesting on blocking calls (§4.1.5
+	// future work: requests that spend very short times blocked).
+	AdaptiveBlockMin sim.Duration
+}
+
+// DefaultConfig returns the Table 1 server with the paper's cost constants.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		CoresPerServer:  36,
+		PrimaryVMs:      8,
+		CoresPerPrimary: 4,
+		HarvestOwnCores: 4,
+
+		WarmupDuration:  100 * sim.Millisecond,
+		MeasureDuration: 1500 * sim.Millisecond,
+
+		LoadScale:      1.85,
+		TraceStep:      50 * sim.Millisecond,
+		TraceSteps:     64,
+		BurstBatchProb: 0.10,
+		BurstBatchMean: 4,
+
+		Costs:             hypervisor.DefaultCosts(),
+		SWQueueAccess:     4 * sim.Microsecond,
+		SWCtxSw:           5 * sim.Microsecond,
+		SWVMContextLoad:   100 * sim.Microsecond,
+		AgentInterval:     50 * sim.Millisecond,
+		AgentSample:       100 * sim.Microsecond,
+		PollInterval:      100 * sim.Microsecond,
+		MoveStallFrac:     0.8,
+		PollExecFactor:    1.10,
+		MMQueueExecFactor: 1.06,
+		PinScale:          0.7,
+		GuestMigrateDelay: 18 * sim.Millisecond,
+		EventLendCooldown: 15 * sim.Millisecond,
+		GuestUnplugStall:  4 * sim.Millisecond,
+
+		NICLat: nic.DefaultLatencies(),
+		// Control messages ride the dedicated tree network (§4.1.8); a
+		// queue operation is a round trip to the controller plus SRAM
+		// access.
+		HWNotify:  noc.DefaultTree().ControllerToCore(),
+		HWQueueOp: noc.DefaultTree().RoundTrip() + sim.Cycles(2),
+		// In-hardware save+restore through the Request Context Memory.
+		HWCtxSw:            core.DefaultCtxMemConfig().SwitchLatency(),
+		HWInterrupt:        200 * sim.Nanosecond,
+		PartitionFlushWait: sim.Cycles(1000),
+		SlowRegionFlush:    150 * sim.Microsecond,
+
+		WarmFactor:        1.0,
+		ReplWarmFactor:    0.93,
+		ColdFactor:        1.2,
+		PartReclaimFactor: 1.05,
+		ColdWarmupCPUTime: 100 * sim.Microsecond,
+
+		LLCFactor: 1.0,
+
+		MemBWSlope:       0.11,
+		AgentBufferCores: 0,
+		AdaptiveBlockMin: 350 * sim.Microsecond,
+	}
+}
+
+// TotalPrimaryCores reports the cores allocated to Primary VMs.
+func (c Config) TotalPrimaryCores() int { return c.PrimaryVMs * c.CoresPerPrimary }
+
+// validate panics on impossible shapes; configs are programmer-provided.
+func (c Config) validate() {
+	if c.TotalPrimaryCores()+c.HarvestOwnCores > c.CoresPerServer {
+		panic("cluster: VM cores exceed server cores")
+	}
+	if c.PrimaryVMs <= 0 || c.CoresPerPrimary <= 0 {
+		panic("cluster: need primary VMs with cores")
+	}
+	if c.MeasureDuration <= 0 {
+		panic("cluster: measurement window must be positive")
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+// Edge-case and stress tests: degenerate shapes, overloads, and overflow
+// storms must complete without deadlock and with sane accounting.
+
+func TestOverloadDoesNotDeadlock(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	cfg.LoadScale = 12 // far beyond capacity: queues grow, sim must finish
+	for _, k := range []SystemKind{NoHarvest, HarvestBlock, HardHarvestBlock} {
+		r := RunServer(cfg, SystemOptions(k), bfs(t))
+		if r.Requests == 0 {
+			t.Fatalf("%v: no requests completed under overload", k)
+		}
+		if r.AvgP99() <= r.AvgP50() {
+			t.Fatalf("%v: degenerate distribution under overload", k)
+		}
+		// Under overload the primary cores saturate.
+		if r.BusyCores < 20 {
+			t.Errorf("%v: busy = %.1f under overload", k, r.BusyCores)
+		}
+	}
+}
+
+func TestNearZeroLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 200 * sim.Millisecond
+	cfg.LoadScale = 0.05
+	r := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	if r.Requests == 0 {
+		t.Fatal("no requests at low load")
+	}
+	// With almost no primary work, nearly the whole server harvests.
+	if r.BusyCores < 30 {
+		t.Errorf("busy = %.1f, want near-full harvesting", r.BusyCores)
+	}
+}
+
+func TestSinglePrimaryVM(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	cfg.PrimaryVMs = 1
+	cfg.CoresPerPrimary = 4
+	for _, k := range Systems() {
+		r := RunServer(cfg, SystemOptions(k), bfs(t))
+		if len(r.Service) != 1 {
+			t.Fatalf("%v: services = %d", k, len(r.Service))
+		}
+		if r.Requests == 0 {
+			t.Fatalf("%v: no requests", k)
+		}
+	}
+}
+
+func TestWidePrimaryVMs(t *testing.T) {
+	// 4 VMs x 8 cores exercises a different chunk-allocation shape.
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	cfg.PrimaryVMs = 4
+	cfg.CoresPerPrimary = 8
+	r := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	if r.Requests == 0 || r.HarvestJobs == 0 {
+		t.Fatal("wide-VM config did not run")
+	}
+}
+
+func TestInactiveHarvestVM(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	opts := SystemOptions(HardHarvestBlock)
+	opts.HarvestVMActive = false
+	r := RunServer(cfg, opts, bfs(t))
+	if r.HarvestJobs != 0 {
+		t.Fatalf("idle harvest VM completed %d jobs", r.HarvestJobs)
+	}
+	if r.Requests == 0 {
+		t.Fatal("primary work did not run")
+	}
+}
+
+func TestOverflowStorm(t *testing.T) {
+	// Overload the hardware path so subqueues spill into the in-memory
+	// overflow; FIFO and conservation are the controller's property tests'
+	// job — here we assert the full system stays live and latencies are
+	// finite.
+	cfg := testConfig()
+	cfg.MeasureDuration = 120 * sim.Millisecond
+	cfg.LoadScale = 20
+	r := RunServer(cfg, SystemOptions(HardHarvestTerm), bfs(t))
+	if r.Requests < 100 {
+		t.Fatalf("storm completed only %d requests", r.Requests)
+	}
+	if r.AvgP99() <= 0 {
+		t.Fatal("no tail measured")
+	}
+}
+
+func TestSoftwareStormWithKVMCosts(t *testing.T) {
+	// Event-driven KVM moves under heavy load: the move lock saturates but
+	// the simulation must drain and pinned requests must be released by
+	// the guest-migration cap.
+	cfg := testConfig()
+	cfg.MeasureDuration = 120 * sim.Millisecond
+	cfg.TraceSteps = 0
+	opts := Fig4Variants()[1] // KVM-Term
+	cfg.LoadScale = 6
+	r := RunServer(cfg, opts, bfs(t))
+	if r.Requests == 0 {
+		t.Fatal("no requests under software storm")
+	}
+	if r.Pins > 0 && r.MeanPinWait > 2*sim.Duration(cfg.GuestMigrateDelay) {
+		t.Fatalf("pinned waits exceed the migration cap: %v", r.MeanPinWait)
+	}
+}
+
+func TestSeedSweepStability(t *testing.T) {
+	// The headline ordering must hold across seeds, not just seed 1.
+	cfg := testConfig()
+	cfg.MeasureDuration = 250 * sim.Millisecond
+	work := bfs(t)
+	for seed := uint64(2); seed <= 4; seed++ {
+		cfg.Seed = seed
+		no := RunServer(cfg, SystemOptions(NoHarvest), work)
+		ht := RunServer(cfg, SystemOptions(HarvestTerm), work)
+		hhb := RunServer(cfg, SystemOptions(HardHarvestBlock), work)
+		if ht.AvgP99() <= no.AvgP99() {
+			t.Errorf("seed %d: software tail %v not above NoHarvest %v", seed, ht.AvgP99(), no.AvgP99())
+		}
+		if hhb.AvgP99() >= ht.AvgP99() {
+			t.Errorf("seed %d: HardHarvest %v not below software %v", seed, hhb.AvgP99(), ht.AvgP99())
+		}
+		if hhb.BusyCores <= no.BusyCores {
+			t.Errorf("seed %d: harvesting did not raise utilization", seed)
+		}
+	}
+}
+
+func TestRequestConservation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeasureDuration = 250 * sim.Millisecond
+	for _, k := range Systems() {
+		r := RunServer(cfg, SystemOptions(k), bfs(t))
+		if r.Requests > r.Arrivals {
+			t.Fatalf("%v: completed %d > arrived %d", k, r.Requests, r.Arrivals)
+		}
+		// The grace window drains the vast majority of in-flight work.
+		if float64(r.Requests) < 0.97*float64(r.Arrivals) {
+			t.Errorf("%v: only %d of %d arrivals completed", k, r.Requests, r.Arrivals)
+		}
+	}
+}

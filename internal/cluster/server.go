@@ -1,0 +1,1156 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/core"
+	"hardharvest/internal/hypervisor"
+	"hardharvest/internal/metrics"
+	"hardharvest/internal/nic"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+	"hardharvest/internal/trace"
+	"hardharvest/internal/workload"
+)
+
+// graceWindow lets requests that arrived near the end of the measurement
+// window complete before the engine stops.
+const graceWindow = 50 * sim.Millisecond
+
+// jobStock is the number of ready batch jobs kept queued per server core so
+// Harvest VMs always have available work (§4.1.4).
+const jobStock = 2
+
+type corePhaseKind int
+
+const (
+	cIdle corePhaseKind = iota
+	cOverhead
+	cRunOwn
+	cRunLoaned
+)
+
+type coreRT struct {
+	id    int
+	owner int // VM index the core is bound to
+
+	kind        corePhaseKind
+	cur         *request
+	burstEv     *sim.Event
+	burstStart  sim.Time
+	burstEnd    sim.Time
+	burstScaled sim.Duration
+	burstRaw    sim.Duration
+
+	lastVM     int // VM whose state is in the private caches; -1 when none
+	warmLeft   sim.Duration
+	coldFactor float64
+
+	idleEligible bool // current idle episode may be harvested
+	lentTo       int  // software lending: harvest VM index, -1 otherwise
+	pendingWake  bool
+	preemptPend  bool
+
+	// Overheads paid before the next dispatched request starts, attributed
+	// to that request's breakdown (Figure 6).
+	pendingReassign sim.Duration
+	pendingFlush    sim.Duration
+}
+
+type vmRT struct {
+	idx       int
+	isPrimary bool
+	profile   *workload.Profile
+	gen       *workload.Generator
+
+	running int // requests currently executing on cores
+	blocked int // requests blocked on I/O
+
+	lentOut         int // software lending: cores currently lent
+	pendingReclaims int
+	lastLendAt      sim.Time
+	// blockEWMA tracks typical I/O block durations for AdaptiveBlock.
+	blockEWMA sim.Duration
+	// stallUntil freezes the VM's dispatching while a hypervisor move
+	// disrupts it (guest-side unplug synchronization).
+	stallUntil sim.Time
+	// pinned holds arrivals that landed on a vCPU whose core is lent out:
+	// the guest cannot run them until a reclaim completes (software path
+	// only; HardHarvest multiplexes vCPUs in hardware, §4.1.5).
+	pinned []*request
+
+	lat       *metrics.LatencyRecorder
+	breakdown metrics.Breakdown
+}
+
+// Server simulates one 36-core server under a given system configuration.
+type Server struct {
+	cfg  Config
+	opts Options
+
+	eng    *sim.Engine
+	be     backend
+	hw     *hwBackend
+	sw     *swBackend
+	nicDev *nic.NIC
+	agent  *hypervisor.Harvester
+
+	flushRNG *stats.RNG
+	pollRNG  *stats.RNG
+	jobRNG   *stats.RNG
+	batchRNG *stats.RNG
+
+	vms        []*vmRT // 0..PrimaryVMs-1 primary, last is the Harvest VM
+	harvestIdx int
+	hwork      *batch.Workload
+	cores      []*coreRT
+
+	util       *metrics.Utilization
+	utilFrozen bool
+	activeJobs int
+	pins       uint64
+	pinWaitSum sim.Duration
+	arrivals   int
+	breakdown  metrics.Breakdown
+	jobsDone   uint64
+	reassigns  uint64
+	requests   int
+
+	measureStart sim.Time
+	measureEnd   sim.Time
+	stopArrivals sim.Time
+	reqSeq       uint64
+
+	// moveBusyUntil serializes software core moves: hypervisor detach and
+	// attach operations take a global lock (§4.1.1), so moves queue behind
+	// each other — unlike HardHarvest's decentralized per-QM hardware.
+	moveBusyUntil sim.Time
+}
+
+// NewServer builds one server running the eight service profiles in its
+// Primary VMs and the given batch workload in its Harvest VM.
+func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
+	cfg.validate()
+	if opts.Harvesting && !opts.SoftwareHarvest && !opts.HWSched {
+		panic("cluster: hardware harvesting requires the hardware scheduler (+Sched)")
+	}
+	s := &Server{
+		cfg:        cfg,
+		opts:       opts,
+		eng:        sim.NewEngine(),
+		nicDev:     nic.New(cfg.NICLat),
+		harvestIdx: cfg.PrimaryVMs,
+		hwork:      work,
+	}
+	root := stats.NewRNG(cfg.Seed)
+	s.flushRNG = root.Split(1)
+	s.pollRNG = root.Split(2)
+	s.jobRNG = root.Split(3)
+	s.batchRNG = root.Split(6)
+	seriesRNG := root.Split(4)
+	instRNG := root.Split(5)
+
+	profiles := workload.Profiles()
+	if len(profiles) < cfg.PrimaryVMs {
+		panic("cluster: not enough service profiles for the primary VMs")
+	}
+	seriesParams := trace.DefaultSeriesParams()
+	seriesParams.Steps = cfg.TraceSteps
+	for i := 0; i < cfg.PrimaryVMs; i++ {
+		p := *profiles[i]
+		p.BaseRPSPerCore *= cfg.LoadScale
+		var series []float64
+		if cfg.TraceSteps > 0 {
+			inst := trace.GenerateInstances(instRNG, 1)[0]
+			series = inst.Series(seriesRNG.Split(uint64(i)), seriesParams)
+		} else {
+			_ = instRNG
+		}
+		v := &vmRT{
+			idx:       i,
+			isPrimary: true,
+			profile:   &p,
+			gen:       workload.NewGenerator(&p, cfg.CoresPerPrimary, series, cfg.TraceStep, root.Split(uint64(100+i))),
+			lat:       metrics.NewLatencyRecorder(),
+		}
+		s.vms = append(s.vms, v)
+		s.nicDev.RegisterVM(i)
+	}
+	s.vms = append(s.vms, &vmRT{idx: s.harvestIdx, lat: metrics.NewLatencyRecorder()})
+	s.nicDev.RegisterVM(s.harvestIdx)
+
+	// Backend.
+	numVMs := cfg.PrimaryVMs + 1
+	if opts.SoftwareHarvest {
+		s.sw = newSWBackend(numVMs, cfg.CoresPerServer)
+		s.be = s.sw
+	} else {
+		s.hw = newHWBackend(cfg)
+		s.be = s.hw
+		mask := core.DefaultHarvestMask([core.NumMaskedStructs]int{12, 8, 8, 4, 8})
+		for i := 0; i < cfg.PrimaryVMs; i++ {
+			s.hw.addVM(i, true, mask)
+		}
+		s.hw.addVM(s.harvestIdx, false, mask)
+	}
+
+	// Cores: primary VMs first, then the Harvest VM's own cores; any
+	// remaining server cores stay unassigned (unallocated cores are out of
+	// scope: the paper's server is fully allocated).
+	coreID := 0
+	bind := func(vmIdx int) {
+		c := &coreRT{id: coreID, owner: vmIdx, lastVM: -1, lentTo: -1, coldFactor: 1, idleEligible: true}
+		s.cores = append(s.cores, c)
+		if s.hw != nil {
+			s.hw.bindCore(coreID, vmIdx)
+		} else {
+			s.sw.bindCore(coreID, vmIdx)
+		}
+		coreID++
+	}
+	for i := 0; i < cfg.PrimaryVMs; i++ {
+		for k := 0; k < cfg.CoresPerPrimary; k++ {
+			bind(i)
+		}
+	}
+	for k := 0; k < cfg.HarvestOwnCores; k++ {
+		bind(s.harvestIdx)
+	}
+
+	s.util = metrics.NewUtilization(len(s.cores))
+	if opts.SoftwareHarvest && !opts.EventDriven() {
+		s.agent = hypervisor.NewHarvester(cfg.Costs)
+		s.agent.Interval = cfg.AgentInterval
+		s.agent.BufferCores = cfg.AgentBufferCores
+	}
+	return s
+}
+
+// EventDriven reports whether the software path moves cores on
+// per-request events (the Figure 4/5 motivation experiments) instead of
+// through the SmartHarvest predictor.
+func (o Options) EventDriven() bool { return o.EventDrivenLend }
+
+func (s *Server) now() sim.Time { return s.eng.Now() }
+
+func (s *Server) harvestVM() *vmRT { return s.vms[s.harvestIdx] }
+
+func (s *Server) coresOf(vmIdx int) []*coreRT {
+	var out []*coreRT
+	for _, c := range s.cores {
+		if c.owner == vmIdx {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Run executes the simulation and returns the server's results.
+func (s *Server) Run() *ServerResult {
+	s.measureStart = sim.Time(s.cfg.WarmupDuration)
+	s.measureEnd = s.measureStart.Add(s.cfg.MeasureDuration)
+	s.stopArrivals = s.measureEnd.Add(graceWindow / 2)
+	horizon := s.measureEnd.Add(graceWindow)
+
+	// Initial work: stock the Harvest VM's job queue and kick its cores.
+	if s.opts.HarvestVMActive {
+		s.refillJobs()
+		for _, c := range s.coresOf(s.harvestIdx) {
+			c := c
+			s.eng.Schedule(0, func() { s.dispatch(c, false) })
+		}
+	}
+	for _, v := range s.vms {
+		if v.isPrimary {
+			s.scheduleNextArrival(v)
+		}
+	}
+	if s.agent != nil {
+		s.eng.Schedule(s.cfg.AgentSample, s.agentSample)
+		s.eng.Schedule(s.cfg.AgentInterval, s.agentTick)
+	}
+	// Reset utilization accounting at the start of the measurement window.
+	s.eng.At(s.measureStart, func() {
+		s.util = metrics.NewUtilization(len(s.cores))
+		for _, c := range s.cores {
+			if c.kind == cRunOwn || c.kind == cRunLoaned {
+				s.util.SetBusy(c.id, s.now(), true)
+			}
+		}
+	})
+	s.eng.At(s.measureEnd, func() {
+		s.util.Finish(s.measureEnd)
+		s.utilFrozen = true
+	})
+
+	s.eng.Run(horizon)
+	return s.result()
+}
+
+func (s *Server) setBusy(c *coreRT, busy bool) {
+	if s.utilFrozen {
+		return
+	}
+	s.util.SetBusy(c.id, s.now(), busy)
+}
+
+func (s *Server) measuring() bool {
+	t := s.now()
+	return t >= s.measureStart && t < s.measureEnd
+}
+
+// ---- Arrivals and notification ----
+
+func (s *Server) scheduleNextArrival(v *vmRT) {
+	a := v.gen.Next()
+	if a.At >= s.stopArrivals {
+		return
+	}
+	s.eng.At(a.At, func() {
+		s.onArrival(v, a.Inv)
+		// Flash batches: microservice fan-outs deliver correlated groups
+		// of requests in near-lockstep.
+		if s.cfg.BurstBatchProb > 0 && s.batchRNG.Float64() < s.cfg.BurstBatchProb {
+			extra := 0
+			for s.batchRNG.Float64() < 1-1/s.cfg.BurstBatchMean && extra < 16 {
+				extra++
+			}
+			for i := 0; i < extra; i++ {
+				s.onArrival(v, v.gen.Profile().Sample(s.batchRNG))
+			}
+		}
+		s.scheduleNextArrival(v)
+	})
+}
+
+func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
+	_, nicLat, err := s.nicDev.Deposit(v.idx, 256)
+	if err != nil {
+		panic(err)
+	}
+	if !s.opts.HWQueue {
+		// Memory-mapped queues: the NIC's deposit contends with cores on
+		// the cache hierarchy and the enqueue needs a locked queue write.
+		nicLat += s.cfg.SWQueueAccess
+	}
+	s.reqSeq++
+	s.arrivals++
+	r := &request{
+		id:       s.reqSeq,
+		vmIdx:    v.idx,
+		phases:   inv.Phases,
+		arrival:  s.now(),
+		measured: s.measuring(),
+	}
+	s.eng.Schedule(nicLat, func() {
+		// Software harvesting: an arrival lands on one of the VM's vCPUs;
+		// with lent cores, some vCPUs have no physical core behind them and
+		// the request stalls until the hypervisor completes a reclaim.
+		if s.sw != nil && s.opts.Harvesting && v.lentOut > 0 {
+			pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
+			if s.pollRNG.Float64() < pinProb {
+				s.pinRequest(v, r)
+				return
+			}
+		}
+		s.enqueueReady(r, true)
+	})
+}
+
+func (s *Server) enqueueReady(r *request, isNew bool) {
+	v := s.vms[r.vmIdx]
+	var wake *wakeInfo
+	if isNew {
+		wake = s.be.enqueue(r)
+	} else {
+		v.blocked--
+		wake = s.be.unblock(r)
+	}
+	s.notify(v, wake)
+}
+
+// notify delivers the backend's wake decision (hardware) or performs the
+// software discovery/reclaim logic.
+func (s *Server) notify(v *vmRT, wake *wakeInfo) {
+	if wake != nil {
+		c := s.cores[wake.core]
+		if wake.preempt {
+			s.schedulePreempt(c)
+			return
+		}
+		delay := s.cfg.HWNotify
+		if !s.opts.HWSched {
+			// The controller structure exists but cores discover work by
+			// polling (conventional baseline).
+			delay = s.pollDelay()
+		}
+		s.scheduleWake(c, delay)
+		return
+	}
+	if s.sw == nil {
+		return
+	}
+	// Software path: wake an idle, unlent core by polling.
+	if c := s.idleCoreOf(v); c != nil {
+		s.scheduleWake(c, s.pollDelay())
+		return
+	}
+	// No idle core: in the event-driven motivation experiments the agent
+	// reclaims a lent core on demand; the SmartHarvest-style agent only
+	// notices at its next prediction tick (agentTick), which is exactly
+	// why software harvesting hurts microsecond-scale requests.
+	if s.opts.Harvesting && s.opts.EventDriven() && v.isPrimary &&
+		v.lentOut-v.pendingReclaims > 0 &&
+		s.be.readyLen(v.idx) > v.pendingReclaims {
+		s.startReclaim(v)
+	}
+}
+
+func (s *Server) pollDelay() sim.Duration {
+	return sim.Duration(s.pollRNG.Int63n(int64(s.cfg.PollInterval)))
+}
+
+func (s *Server) idleCoreOf(v *vmRT) *coreRT {
+	for _, c := range s.cores {
+		if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 && !c.pendingWake {
+			return c
+		}
+	}
+	return nil
+}
+
+// lendableCoreOf returns an idle core the harvesting policy may take: under
+// Term, only cores idle because they terminated a request; under Block, any
+// idle core (including those idled by a blocking call).
+func (s *Server) lendableCoreOf(v *vmRT) *coreRT {
+	for _, c := range s.cores {
+		if c.owner != v.idx || c.kind != cIdle || c.lentTo >= 0 || c.pendingWake {
+			continue
+		}
+		if !s.opts.HarvestOnBlock && !c.idleEligible {
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+func (s *Server) scheduleWake(c *coreRT, delay sim.Duration) {
+	if c.pendingWake {
+		return
+	}
+	c.pendingWake = true
+	s.eng.Schedule(delay, func() {
+		c.pendingWake = false
+		if c.kind == cIdle {
+			s.dispatch(c, c.idleEligible)
+		}
+	})
+}
+
+// ---- Dispatch and execution ----
+
+// dispatch has the core pick its next work item. allowLoan permits
+// cross-VM harvesting on the hardware path for this dispatch.
+func (s *Server) dispatch(c *coreRT, allowLoan bool) {
+	// A frozen VM (mid-move guest synchronization) cannot schedule work.
+	if s.sw != nil && c.lentTo < 0 {
+		if v := s.vms[c.owner]; v.isPrimary && s.now() < v.stallUntil {
+			wait := v.stallUntil.Sub(s.now())
+			s.eng.Schedule(wait, func() {
+				if c.kind == cIdle || c.kind == cOverhead {
+					s.dispatch(c, allowLoan)
+				}
+			})
+			c.kind = cOverhead
+			return
+		}
+	}
+	if s.sw != nil && c.lentTo >= 0 {
+		// A software-lent core serves the Harvest VM. The flush/cold costs
+		// of the move were charged when the hypervisor performed it
+		// (startLend), so the dispatch itself is not a cross-VM event.
+		r := s.be.dequeueFrom(c.lentTo, c.id)
+		if r == nil {
+			s.goIdle(c, false)
+			return
+		}
+		s.startRequest(c, r, false)
+		return
+	}
+	loan := allowLoan && s.opts.Harvesting && s.hw != nil && s.opts.HarvestVMActive &&
+		s.loanAllowed(c)
+	r, cross := s.be.dequeue(c.id, loan)
+	if r == nil {
+		// Software path: a newly idle vCPU lets the guest migrate a pinned
+		// request over to it.
+		if s.sw != nil {
+			if v := s.vms[c.owner]; v.isPrimary && len(v.pinned) > 0 {
+				pr := v.pinned[0]
+				s.eng.Schedule(s.cfg.SWCtxSw, func() { s.releasePin(v, pr) })
+			}
+		}
+		s.goIdle(c, allowLoan)
+		return
+	}
+	s.startRequest(c, r, cross)
+}
+
+// loanAllowed enforces the hardware burst buffer (§4.1.5 future work): a
+// Primary VM core may only be loaned while enough sibling cores stay idle
+// and ready for a burst.
+func (s *Server) loanAllowed(c *coreRT) bool {
+	if s.opts.BurstBufferCores <= 0 || !s.vms[c.owner].isPrimary {
+		return true
+	}
+	idle := 0
+	for _, o := range s.cores {
+		if o != c && o.owner == c.owner && o.kind == cIdle {
+			idle++
+		}
+	}
+	return idle >= s.opts.BurstBufferCores
+}
+
+func (s *Server) goIdle(c *coreRT, eligible bool) {
+	c.kind = cIdle
+	c.cur = nil
+	c.idleEligible = eligible
+	// Event-driven software lending (Figures 4-5): an idle-eligible core
+	// with no ready work migrates to the Harvest VM. At most one core per
+	// VM is moved this way, per the paper's methodology.
+	maxLent, cooldown := 1, 4*s.cfg.EventLendCooldown
+	if s.opts.HarvestOnBlock {
+		// The aggressive design takes blocked cores too: more cores, more
+		// often (the paper observes ~3x the reassignment rate).
+		maxLent, cooldown = 2, s.cfg.EventLendCooldown
+	}
+	if s.sw != nil && s.opts.Harvesting && s.opts.EventDriven() &&
+		eligible && c.lentTo < 0 && s.vms[c.owner].isPrimary &&
+		s.vms[c.owner].lentOut < maxLent &&
+		s.be.readyLen(c.owner) == 0 &&
+		s.now().Sub(s.vms[c.owner].lastLendAt) > cooldown {
+		s.vms[c.owner].lastLendAt = s.now()
+		s.startLend(c)
+	}
+}
+
+// startRequest charges the dispatch-path overheads and begins the request's
+// next CPU burst.
+func (s *Server) startRequest(c *coreRT, r *request, crossVM bool) {
+	v := s.vms[r.vmIdx]
+	c.kind = cOverhead
+	c.cur = r
+
+	queueOp := s.cfg.SWQueueAccess
+	if s.opts.HWQueue {
+		queueOp = s.cfg.HWQueueOp
+	}
+	ctx := s.cfg.SWCtxSw
+	if crossVM {
+		// A cross-VM transition must also load the new VM's context
+		// (VMCS, control registers, ...).
+		ctx += s.cfg.SWVMContextLoad
+	}
+	if s.opts.HWCtxtSw {
+		ctx = s.cfg.HWCtxSw
+	}
+	var wait sim.Duration
+	// Cross-VM flush costs are a hardware-path concern here: the software
+	// path charges them at hypervisor move time (startLend/startReclaim).
+	if crossVM && s.opts.FlushOnSwitch && s.hw != nil {
+		toHarvest := r.vmIdx == s.harvestIdx && c.owner != s.harvestIdx
+		if s.opts.Partition {
+			if toHarvest {
+				// The Harvest VM may not start until the worst-case
+				// harvest-region flush has elapsed (timing side channel,
+				// §4.2.1).
+				if s.opts.EffFlush {
+					wait = s.cfg.PartitionFlushWait
+				} else {
+					wait = s.cfg.SlowRegionFlush
+				}
+				c.pendingFlush += wait
+			} else {
+				// Reclaim: the Primary VM restarts immediately on the warm
+				// non-harvest region; the harvest-region flush proceeds in
+				// the background. Only per-invocation private state is
+				// cold.
+				c.coldFactor = s.cfg.PartReclaimFactor
+				c.warmLeft = s.cfg.ColdWarmupCPUTime / 2
+			}
+		} else {
+			// Unpartitioned: full wbinvd-style flush on the critical path
+			// and a cold restart.
+			f := s.cfg.Costs.FlushCost(s.flushRNG)
+			wait = f
+			c.pendingFlush += f
+			c.coldFactor = s.cfg.Costs.ColdExecutionFactor
+			c.warmLeft = s.cfg.Costs.ColdWarmupCPUTime
+		}
+	}
+	if crossVM {
+		c.pendingReassign += queueOp + ctx
+	}
+	c.lastVM = r.vmIdx
+	v.running++
+	r.reassign += c.pendingReassign
+	r.flush += c.pendingFlush
+	c.pendingReassign = 0
+	c.pendingFlush = 0
+	s.setBusy(c, true) // dispatch overheads occupy the core
+	s.eng.Schedule(queueOp+ctx+wait, func() { s.runBurst(c, r) })
+}
+
+// scaledBurst converts raw CPU demand into simulated time under the core's
+// warmth state and the system's execution factors, consuming warmup budget.
+func (s *Server) scaledBurst(c *coreRT, r *request, raw sim.Duration) sim.Duration {
+	base := s.cfg.WarmFactor
+	if s.opts.ReplPolicy {
+		base = s.cfg.ReplWarmFactor
+	}
+	base *= s.cfg.LLCFactor
+	if !s.opts.HWSched {
+		// Polling for work diverts core cycles from application logic.
+		base *= s.cfg.PollExecFactor
+	}
+	if !s.opts.HWQueue {
+		// Memory-mapped queues contend with cores on the cache hierarchy.
+		base *= s.cfg.MMQueueExecFactor
+	}
+	if r.isJob {
+		if c.owner != s.harvestIdx && s.opts.Partition {
+			// Loaned cores restrict the Harvest VM to the harvest region.
+			base *= s.hwork.HarvestedSlowdown()
+		}
+		// DRAM bandwidth contention among concurrent batch jobs.
+		if extra := s.activeJobs - s.cfg.HarvestOwnCores; extra > 0 && s.cfg.MemBWSlope > 0 {
+			base *= 1 + s.cfg.MemBWSlope*s.hwork.MemoryIntensity*float64(extra)
+		}
+	}
+	coldPart := raw
+	if coldPart > c.warmLeft {
+		coldPart = c.warmLeft
+	}
+	c.warmLeft -= coldPart
+	scaled := float64(coldPart)*c.coldFactor + float64(raw-coldPart)
+	if c.warmLeft == 0 {
+		c.coldFactor = 1
+	}
+	return sim.Duration(scaled * base)
+}
+
+func (s *Server) runBurst(c *coreRT, r *request) {
+	if c.preemptPend && r.isJob && c.owner != s.harvestIdx {
+		// A reclamation interrupt landed while this core was still in the
+		// dispatch path to Harvest work: hand the job straight back.
+		c.preemptPend = false
+		s.abortJob(c, r, 0)
+		s.dispatch(c, false)
+		return
+	}
+	if r.isJob && c.owner != s.harvestIdx {
+		c.kind = cRunLoaned
+	} else {
+		c.kind = cRunOwn
+	}
+	if r.isJob {
+		s.activeJobs++
+	}
+	raw := r.currentPhase().CPU
+	scaled := s.scaledBurst(c, r, raw)
+	c.burstStart = s.now()
+	c.burstEnd = s.now().Add(scaled)
+	c.burstScaled = scaled
+	c.burstRaw = raw
+	s.setBusy(c, true)
+	c.burstEv = s.eng.Schedule(scaled, func() { s.onBurstEnd(c, r) })
+}
+
+func (s *Server) onBurstEnd(c *coreRT, r *request) {
+	s.setBusy(c, false)
+	if r.isJob {
+		s.activeJobs--
+	}
+	r.exec += c.burstScaled
+	v := s.vms[r.vmIdx]
+	ph := r.currentPhase()
+	c.burstEv = nil
+
+	if ph.IO > 0 {
+		// Block on I/O: the request's pointer stays queued (Blocked); the
+		// core moves on.
+		v.running--
+		v.blocked++
+		if v.blockEWMA == 0 {
+			v.blockEWMA = ph.IO
+		} else {
+			v.blockEWMA = (ph.IO + 4*v.blockEWMA) / 5
+		}
+		s.be.block(c.id, r)
+		r.phase++
+		s.eng.Schedule(ph.IO, func() { s.onIOComplete(r) })
+		harvestOK := s.opts.HarvestOnBlock
+		if harvestOK && s.opts.AdaptiveBlock && v.blockEWMA < s.cfg.AdaptiveBlockMin {
+			// Adaptive fallback: short blocks make block-harvesting churn,
+			// so this VM temporarily harvests on termination only.
+			harvestOK = false
+		}
+		s.afterRelease(c, harvestOK)
+		return
+	}
+	// Completion.
+	s.be.complete(c.id, r)
+	v.running--
+	if r.isJob {
+		if s.measuring() {
+			s.jobsDone++
+		}
+		s.refillJobs()
+	} else {
+		s.requests++
+		if r.measured {
+			v.lat.Add(s.now().Sub(r.arrival))
+			s.breakdown.AddRequest(r.reassign, r.flush, r.exec)
+			v.breakdown.AddRequest(r.reassign, r.flush, r.exec)
+		}
+	}
+	s.afterRelease(c, true)
+}
+
+// afterRelease has a core that just finished or blocked a request pick its
+// next work. harvestOK reflects the Term/Block policy for this release
+// reason.
+func (s *Server) afterRelease(c *coreRT, harvestOK bool) {
+	s.dispatch(c, harvestOK)
+}
+
+func (s *Server) onIOComplete(r *request) {
+	// The network response arrives at the NIC, which informs the QM
+	// (hardware) or the response lands in the socket queue (software).
+	delay := s.cfg.NICLat.QMNotify
+	if !s.opts.HWQueue {
+		delay = s.cfg.SWQueueAccess
+	}
+	s.eng.Schedule(delay, func() {
+		// Aggressive software harvesting takes cores mid-request: the
+		// resuming request's state lives on a vCPU that may now be
+		// unbacked, so the resume can pin just like an arrival.
+		v := s.vms[r.vmIdx]
+		if s.sw != nil && s.opts.Harvesting && s.opts.HarvestOnBlock && v.lentOut > 0 {
+			pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
+			if s.pollRNG.Float64() < pinProb {
+				r.resuming = true
+				s.pinRequest(v, r)
+				return
+			}
+		}
+		s.enqueueReady(r, false)
+	})
+}
+
+// ---- Harvest VM jobs ----
+
+func (s *Server) refillJobs() {
+	if !s.opts.HarvestVMActive {
+		return
+	}
+	target := jobStock * s.cfg.CoresPerServer
+	for s.be.readyLen(s.harvestIdx) < target {
+		s.reqSeq++
+		job := &request{
+			id:      s.reqSeq,
+			vmIdx:   s.harvestIdx,
+			isJob:   true,
+			arrival: s.now(),
+			phases:  []workload.Phase{{CPU: s.hwork.SampleJob(s.jobRNG)}},
+		}
+		wake := s.be.enqueue(job)
+		s.notify(s.harvestVM(), wake)
+	}
+}
+
+// abortJob removes a running/starting harvest job from a core and requeues
+// it with its remaining demand. elapsedScaled is how long the current burst
+// has been running.
+func (s *Server) abortJob(c *coreRT, job *request, elapsedScaled sim.Duration) {
+	if elapsedScaled > 0 && c.burstScaled > 0 {
+		consumed := sim.Duration(float64(job.currentPhase().CPU) * float64(elapsedScaled) / float64(c.burstScaled))
+		rem := job.currentPhase().CPU - consumed
+		if rem < 10*sim.Microsecond {
+			rem = 10 * sim.Microsecond
+		}
+		job.phases[job.phase].CPU = rem
+	}
+	s.be.preempt(c.id, job)
+	s.vms[s.harvestIdx].running--
+	c.cur = nil
+}
+
+// ---- Hardware reclamation (§4.1.5) ----
+
+func (s *Server) schedulePreempt(c *coreRT) {
+	s.eng.Schedule(s.cfg.HWInterrupt, func() {
+		switch c.kind {
+		case cRunLoaned:
+			elapsed := s.now().Sub(c.burstStart)
+			s.eng.Cancel(c.burstEv)
+			c.burstEv = nil
+			s.setBusy(c, false)
+			s.activeJobs--
+			job := c.cur
+			job.exec += elapsed
+			s.abortJob(c, job, elapsed)
+			s.reassigns++
+			s.dispatch(c, false)
+		case cIdle:
+			s.dispatch(c, c.idleEligible)
+		case cOverhead:
+			if c.cur != nil && c.cur.isJob {
+				c.preemptPend = true
+			}
+		default:
+			// Already running its own work; nothing to reclaim.
+		}
+	})
+}
+
+// ---- Software harvesting agent (SmartHarvest-style) ----
+
+func (s *Server) agentSample() {
+	for _, v := range s.vms {
+		if !v.isPrimary {
+			continue
+		}
+		// The agent sees the VM's CPU usage counters: running vCPUs plus
+		// runnable queue. Requests blocked on I/O leave their vCPU idle,
+		// so the usage signal cannot tell a blocked core from a free one —
+		// the Term/Block distinction is enforced on core eligibility
+		// instead (lendableCoreOf).
+		busy := v.running + s.be.readyLen(v.idx)
+		if busy > s.cfg.CoresPerPrimary {
+			busy = s.cfg.CoresPerPrimary
+		}
+		s.agent.Observe(v.idx, busy)
+	}
+	if s.now() < s.measureEnd.Add(graceWindow) {
+		s.eng.Schedule(s.cfg.AgentSample, s.agentSample)
+	}
+}
+
+func (s *Server) agentTick() {
+	s.agent.EndWindow()
+	for _, v := range s.vms {
+		if !v.isPrimary {
+			continue
+		}
+		// Reclaim first: unserved demand (queued or pinned work with no
+		// idle core) or a prediction that now exceeds the unlent cores.
+		idle := 0
+		for _, c := range s.cores {
+			if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 {
+				idle++
+			}
+		}
+		deficit := s.be.readyLen(v.idx) + len(v.pinned) - idle
+		if want := s.cfg.CoresPerPrimary - s.agent.Lendable(v.idx, s.cfg.CoresPerPrimary); v.lentOut > want {
+			if d := v.lentOut - want; d > deficit {
+				deficit = d
+			}
+		}
+		for deficit > 0 && v.lentOut-v.pendingReclaims > 0 {
+			s.startReclaim(v)
+			deficit--
+		}
+		// Then lend idle cores above the prediction plus buffer.
+		lend := s.agent.Lendable(v.idx, s.cfg.CoresPerPrimary) - v.lentOut
+		for lend > 0 {
+			c := s.lendableCoreOf(v)
+			if c == nil {
+				break
+			}
+			s.startLend(c)
+			lend--
+		}
+	}
+	if s.now() < s.measureEnd.Add(graceWindow) {
+		s.eng.Schedule(s.cfg.AgentInterval, s.agentTick)
+	}
+}
+
+// stallVM models the hypervisor-side disruption of a core move: detaching
+// or attaching a vCPU acquires hypervisor locks and interrupts cores, so
+// the VM's other running vCPUs stall for part of the move (§2, §4.1.1).
+// The stall extends in-flight bursts and is attributed to re-assignment
+// overhead.
+func (s *Server) stallVM(v *vmRT, stall sim.Duration) {
+	if stall <= 0 {
+		return
+	}
+	until := s.now().Add(stall)
+	if until > v.stallUntil {
+		v.stallUntil = until
+	}
+	for _, c := range s.cores {
+		if c.owner != v.idx || c.kind != cRunOwn || c.burstEv == nil {
+			continue
+		}
+		s.eng.Cancel(c.burstEv)
+		c.burstEnd = c.burstEnd.Add(stall)
+		if c.cur != nil {
+			c.cur.reassign += stall
+		}
+		cc, rr := c, c.cur
+		c.burstEv = s.eng.At(c.burstEnd, func() { s.onBurstEnd(cc, rr) })
+	}
+}
+
+// pinRequest parks an arrival on an unbacked vCPU: it waits for a reclaim,
+// but no longer than GuestMigrateDelay, after which the guest scheduler
+// migrates the handling thread to a backed vCPU.
+func (s *Server) pinRequest(v *vmRT, r *request) {
+	s.pins++
+	v.pinned = append(v.pinned, r)
+	if s.opts.EventDriven() && v.lentOut-v.pendingReclaims > 0 {
+		s.startReclaim(v)
+	}
+	// If another backed vCPU is idle, the guest scheduler migrates the
+	// handling thread quickly (one poll plus a context switch); the long
+	// waits only occur when every backed vCPU is busy.
+	if s.idleCoreOf(v) != nil {
+		s.eng.Schedule(s.pollDelay()+s.cfg.SWCtxSw, func() { s.releasePin(v, r) })
+	}
+	s.eng.Schedule(s.cfg.GuestMigrateDelay, func() { s.releasePin(v, r) })
+}
+
+// releasePin moves a pinned request into the runnable queue if it is still
+// pinned; the accumulated wait counts as re-assignment overhead.
+func (s *Server) releasePin(v *vmRT, r *request) {
+	if s.unpin(v, r) {
+		w := s.now().Sub(r.arrival)
+		if r.resuming {
+			w = 0 // resume waits are visible in latency, not attributed
+		}
+		s.pinWaitSum += w
+		r.reassign += w
+		isNew := !r.resuming
+		r.resuming = false
+		s.enqueueReady(r, isNew)
+	}
+}
+
+// unpin removes r from v's pinned list, reporting whether it was present.
+func (s *Server) unpin(v *vmRT, r *request) bool {
+	for i, pr := range v.pinned {
+		if pr == r {
+			v.pinned = append(v.pinned[:i], v.pinned[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// serializeMove accounts a software move of the given cost against the
+// hypervisor's global lock and returns the delay from now until the move
+// completes (queueing behind in-flight moves included).
+func (s *Server) serializeMove(cost sim.Duration) sim.Duration {
+	start := s.now()
+	if s.moveBusyUntil > start {
+		start = s.moveBusyUntil
+	}
+	s.moveBusyUntil = start.Add(cost)
+	return s.moveBusyUntil.Sub(s.now())
+}
+
+// startLend moves an idle Primary VM core to the Harvest VM through the
+// hypervisor (detach + attach + context load, plus the secure flush).
+func (s *Server) startLend(c *coreRT) {
+	v := s.vms[c.owner]
+	v.lentOut++
+	c.kind = cOverhead
+	c.cur = nil
+	c.lentTo = s.harvestIdx
+	s.reassigns++
+	var cost sim.Duration
+	if !s.opts.ReassignFree {
+		cost = s.cfg.Costs.ReassignCost(s.opts.Reassign)
+	}
+	if s.opts.FlushOnSwitch {
+		f := s.cfg.Costs.FlushCost(s.flushRNG)
+		cost += f
+		c.coldFactor = s.cfg.Costs.ColdExecutionFactor
+		c.warmLeft = s.cfg.Costs.ColdWarmupCPUTime
+	}
+	// The hypervisor calls, the wbinvd-style flush, and the guest-side
+	// vCPU unplug synchronization all disrupt the VM's other vCPUs.
+	s.stallVM(v, sim.Duration(float64(cost)*s.cfg.MoveStallFrac)+s.cfg.GuestUnplugStall)
+	delay := s.serializeMove(cost)
+	s.setBusy(c, true) // the core is occupied by the move, not idle
+	s.eng.Schedule(delay, func() {
+		s.setBusy(c, false)
+		s.dispatch(c, false)
+	})
+}
+
+// startReclaim takes a lent core back for a Primary VM that has queued work
+// and no idle cores, paying the full software re-assignment cost.
+func (s *Server) startReclaim(v *vmRT) {
+	var victim *coreRT
+	for _, c := range s.cores {
+		if c.owner == v.idx && c.lentTo >= 0 && (c.kind == cRunLoaned || c.kind == cIdle) {
+			victim = c
+			break
+		}
+	}
+	if victim == nil {
+		return
+	}
+	v.pendingReclaims++
+	s.reassigns++
+	if victim.kind == cRunLoaned {
+		elapsed := s.now().Sub(victim.burstStart)
+		s.eng.Cancel(victim.burstEv)
+		victim.burstEv = nil
+		s.setBusy(victim, false)
+		s.activeJobs--
+		job := victim.cur
+		job.exec += elapsed
+		s.abortJob(victim, job, elapsed)
+	}
+	victim.kind = cOverhead
+	victim.cur = nil
+	var cost, flushPart sim.Duration
+	if !s.opts.ReassignFree {
+		cost = s.cfg.Costs.ReassignCost(s.opts.Reassign)
+	}
+	if s.opts.FlushOnSwitch {
+		flushPart = s.cfg.Costs.FlushCost(s.flushRNG)
+		cost += flushPart
+		victim.pendingFlush += flushPart
+		victim.coldFactor = s.cfg.Costs.ColdExecutionFactor
+		victim.warmLeft = s.cfg.Costs.ColdWarmupCPUTime
+	}
+	s.stallVM(v, sim.Duration(float64(cost)*s.cfg.MoveStallFrac)+s.cfg.GuestUnplugStall)
+	delay := s.serializeMove(cost)
+	// Lock-queueing plus the move itself are re-assignment overhead on the
+	// reclaimed core's next request; the flush part is attributed above.
+	victim.pendingReassign += delay - flushPart
+	s.setBusy(victim, true)
+	s.eng.Schedule(delay, func() {
+		s.setBusy(victim, false)
+		victim.lentTo = -1
+		v.lentOut--
+		v.pendingReclaims--
+		// The reclaimed vCPU is schedulable again: release every pinned
+		// arrival; the wait counts as re-assignment overhead (Figure 6).
+		pinned := v.pinned
+		v.pinned = nil
+		for _, pr := range pinned {
+			pr.reassign += s.now().Sub(pr.arrival)
+			s.enqueueReady(pr, true)
+		}
+		s.dispatch(victim, false)
+	})
+}
+
+// ---- Results ----
+
+func (s *Server) result() *ServerResult {
+	res := &ServerResult{
+		System:    s.opts.Name,
+		Workload:  s.hwork.Name,
+		Service:   make(map[string]*metrics.LatencyRecorder, s.cfg.PrimaryVMs),
+		Breakdown: s.breakdown,
+		Elapsed:   s.cfg.MeasureDuration,
+		Reassigns: s.reassigns,
+		Requests:  s.requests,
+		Arrivals:  s.arrivals,
+		Pins:      s.pins,
+	}
+	if s.pins > 0 {
+		res.MeanPinWait = s.pinWaitSum / sim.Duration(s.pins)
+	}
+	res.ServiceBreakdown = make(map[string]metrics.Breakdown, s.cfg.PrimaryVMs)
+	for _, v := range s.vms {
+		if v.isPrimary {
+			res.Service[v.profile.Name] = v.lat
+			res.ServiceBreakdown[v.profile.Name] = v.breakdown
+		}
+	}
+	res.BusyCores = s.util.BusyCores(s.cfg.MeasureDuration)
+	res.HarvestJobs = s.jobsDone
+	res.HarvestJobsPerSec = float64(s.jobsDone) / s.cfg.MeasureDuration.Seconds()
+	return res
+}
+
+// ServerResult summarizes one server run.
+type ServerResult struct {
+	System   string
+	Workload string
+	// Service maps service name to its latency recorder.
+	Service map[string]*metrics.LatencyRecorder
+	// Breakdown accumulates Figure 6's per-request components; the
+	// ServiceBreakdown map holds the per-service split.
+	Breakdown        metrics.Breakdown
+	ServiceBreakdown map[string]metrics.Breakdown
+	// BusyCores is the time-averaged busy core count (§6.7).
+	BusyCores float64
+	// HarvestJobs / HarvestJobsPerSec report Harvest VM throughput.
+	HarvestJobs       uint64
+	HarvestJobsPerSec float64
+	// Reassigns counts core movements between VMs.
+	Reassigns uint64
+	// Pins counts arrivals that landed on unbacked vCPUs; MeanPinWait is
+	// their average stall.
+	Pins        uint64
+	MeanPinWait sim.Duration
+	// Requests is the number of completed primary invocations; Arrivals is
+	// how many entered the system (the difference is in flight when the
+	// engine stops).
+	Requests int
+	Arrivals int
+	Elapsed  sim.Duration
+}
+
+// P99 reports a service's tail latency (zero if the service is unknown).
+func (r *ServerResult) P99(service string) sim.Duration {
+	if rec, ok := r.Service[service]; ok {
+		return rec.P99()
+	}
+	return 0
+}
+
+// AvgP99 reports the mean of the per-service P99s, the paper's "Average"
+// bar.
+func (r *ServerResult) AvgP99() sim.Duration {
+	var sum sim.Duration
+	n := 0
+	for _, rec := range r.Service {
+		sum += rec.P99()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Duration(n)
+}
+
+// AvgP50 reports the mean of the per-service median latencies.
+func (r *ServerResult) AvgP50() sim.Duration {
+	var sum sim.Duration
+	n := 0
+	for _, rec := range r.Service {
+		sum += rec.P50()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Duration(n)
+}
+
+func (r *ServerResult) String() string {
+	return fmt.Sprintf("%s[%s]: avgP99=%v busy=%.1f jobs/s=%.0f",
+		r.System, r.Workload, r.AvgP99(), r.BusyCores, r.HarvestJobsPerSec)
+}

@@ -1,0 +1,436 @@
+package core
+
+import "fmt"
+
+// Controller is the HardHarvest hardware controller: a centralized module
+// reached over a dedicated low-latency control network (§4.1.8). It owns the
+// physical RQ, the Queue Managers, and the core↔QM bindings (each core's
+// MyManager register), and it makes all harvesting and reclamation decisions
+// in hardware.
+type Controller struct {
+	rq     *RQ
+	maxQMs int
+	qms    map[VMID]*QueueManager
+	// vmOrder preserves registration order for deterministic decisions.
+	vmOrder []VMID
+
+	binding     map[CoreID]VMID // MyManager registers
+	coreState   map[CoreID]CoreState
+	coreRunning map[CoreID]*Request
+	runningVM   map[CoreID]VMID // VM of the request a core runs
+	lastVM      map[CoreID]VMID // VM whose state is resident in the core's caches
+
+	// nextHarvest rotates loan targets across Harvest VMs.
+	nextHarvest int
+
+	// Stats.
+	loans    uint64
+	reclaims uint64
+	wakes    uint64
+}
+
+// NewController builds a controller with the given RQ geometry and QM count
+// (Table 1 defaults: 32 chunks x 64 entries, 16 QMs).
+func NewController(numChunks, chunkEntries, maxQMs int) *Controller {
+	if maxQMs <= 0 {
+		panic("core: controller needs at least one QM")
+	}
+	return &Controller{
+		rq:          NewRQ(numChunks, chunkEntries),
+		maxQMs:      maxQMs,
+		qms:         make(map[VMID]*QueueManager),
+		binding:     make(map[CoreID]VMID),
+		coreState:   make(map[CoreID]CoreState),
+		coreRunning: make(map[CoreID]*Request),
+		runningVM:   make(map[CoreID]VMID),
+		lastVM:      make(map[CoreID]VMID),
+	}
+}
+
+// DefaultController builds a controller with Table 1 parameters.
+func DefaultController() *Controller {
+	return NewController(DefaultNumChunks, DefaultChunkEntries, 16)
+}
+
+// RQ exposes the physical request queue (read-only use intended).
+func (c *Controller) RQ() *RQ { return c.rq }
+
+// QM returns the Queue Manager serving vm, or nil.
+func (c *Controller) QM(vm VMID) *QueueManager { return c.qms[vm] }
+
+// VMs returns the registered VMs in registration order.
+func (c *Controller) VMs() []VMID {
+	out := make([]VMID, len(c.vmOrder))
+	copy(out, c.vmOrder)
+	return out
+}
+
+// Loans reports the number of cross-VM core loans performed.
+func (c *Controller) Loans() uint64 { return c.loans }
+
+// Reclaims reports the number of preemptive core reclamations.
+func (c *Controller) Reclaims() uint64 { return c.reclaims }
+
+// AddVM registers a VM: it is assigned a Queue Manager and a VM State
+// Register Set, and the RQ chunk shares are rebalanced (§4.1.2).
+func (c *Controller) AddVM(vm VMID, isPrimary bool, mask HarvestMask) error {
+	if _, ok := c.qms[vm]; ok {
+		return fmt.Errorf("%w: %d", ErrVMExists, vm)
+	}
+	if len(c.qms) >= c.maxQMs {
+		return ErrNoQMAvail
+	}
+	qm := newQueueManager(vm, isPrimary, c.rq.NumChunks())
+	qm.SetMask(mask)
+	c.qms[vm] = qm
+	c.vmOrder = append(c.vmOrder, vm)
+	c.Rebalance()
+	return nil
+}
+
+// RemoveVM deregisters a VM; its chunks return to the pool and are
+// redistributed to the remaining VMs.
+func (c *Controller) RemoveVM(vm VMID) error {
+	qm, ok := c.qms[vm]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	for qm.rqMap.Len() > 0 {
+		qm.rqMap.DropTail()
+	}
+	c.rq.release(vm)
+	delete(c.qms, vm)
+	for i, v := range c.vmOrder {
+		if v == vm {
+			c.vmOrder = append(c.vmOrder[:i], c.vmOrder[i+1:]...)
+			break
+		}
+	}
+	for core, b := range c.binding {
+		if b == vm {
+			delete(c.binding, core)
+			delete(c.coreState, core)
+			delete(c.coreRunning, core)
+			delete(c.runningVM, core)
+			delete(c.lastVM, core)
+		}
+	}
+	c.Rebalance()
+	return nil
+}
+
+// BindCore sets a core's MyManager register to vm's QM.
+func (c *Controller) BindCore(core CoreID, vm VMID) error {
+	if _, ok := c.qms[vm]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if _, bound := c.binding[core]; bound {
+		return fmt.Errorf("%w: core %d", ErrCoreBound, core)
+	}
+	c.binding[core] = vm
+	c.coreState[core] = CoreIdle
+	c.qms[vm].boundCores[core] = true
+	c.Rebalance()
+	return nil
+}
+
+// Binding reports the VM a core is bound to.
+func (c *Controller) Binding(core CoreID) (VMID, bool) {
+	vm, ok := c.binding[core]
+	return vm, ok
+}
+
+// State reports a core's controller-tracked state.
+func (c *Controller) State(core CoreID) CoreState { return c.coreState[core] }
+
+// Running reports the request a core currently executes (nil if none) and
+// the VM it belongs to.
+func (c *Controller) Running(core CoreID) (*Request, VMID) {
+	return c.coreRunning[core], c.runningVM[core]
+}
+
+// Rebalance recomputes each VM's chunk share in proportion to its bound
+// cores (§4.1.2). VMs donate chunks from the tails of their subqueues;
+// entries in donated chunks spill to the in-memory overflow subqueue.
+func (c *Controller) Rebalance() {
+	if len(c.vmOrder) == 0 {
+		return
+	}
+	totalCores := 0
+	for _, vm := range c.vmOrder {
+		n := len(c.qms[vm].boundCores)
+		if n == 0 {
+			n = 1 // a coreless VM still gets a minimal share
+		}
+		totalCores += n
+	}
+	targets := make(map[VMID]int, len(c.vmOrder))
+	sum := 0
+	for _, vm := range c.vmOrder {
+		n := len(c.qms[vm].boundCores)
+		if n == 0 {
+			n = 1
+		}
+		t := c.rq.NumChunks() * n / totalCores
+		if t < 1 {
+			t = 1
+		}
+		targets[vm] = t
+		sum += t
+	}
+	// Trim if the minimums overshoot the physical chunks.
+	for sum > c.rq.NumChunks() {
+		trimmed := false
+		for _, vm := range c.vmOrder {
+			if targets[vm] > 1 {
+				targets[vm]--
+				sum--
+				trimmed = true
+				if sum == c.rq.NumChunks() {
+					break
+				}
+			}
+		}
+		if !trimmed {
+			break
+		}
+	}
+	// Shrink donors first so chunks return to the free pool.
+	for _, vm := range c.vmOrder {
+		qm := c.qms[vm]
+		for qm.rqMap.Len() > targets[vm] {
+			ch := qm.rqMap.DropTail()
+			c.rq.transfer(ch, -1)
+		}
+	}
+	// Grow receivers from the pool.
+	for _, vm := range c.vmOrder {
+		qm := c.qms[vm]
+		for qm.rqMap.Len() < targets[vm] {
+			ch := c.rq.allocFree(vm)
+			if ch < 0 {
+				break
+			}
+			qm.rqMap.AppendTail(ch)
+		}
+	}
+	for _, vm := range c.vmOrder {
+		c.qms[vm].setCapacityFromChunks(c.rq.ChunkEntries())
+	}
+}
+
+// WakeDecision tells the cluster layer what the controller decided when new
+// work arrived for a VM.
+type WakeDecision struct {
+	// Core is the core to notify.
+	Core CoreID
+	// Preempt is true when Core currently executes Harvest VM work and must
+	// be interrupted and context-switched back to its Primary VM (§4.1.5).
+	Preempt bool
+}
+
+// Enqueue stores a request arriving from the NIC into vm's subqueue
+// (§4.1.3) and returns the controller's wake decision, if any.
+func (c *Controller) Enqueue(vm VMID, r *Request) (toOverflow bool, wake *WakeDecision, err error) {
+	qm, ok := c.qms[vm]
+	if !ok {
+		return false, nil, fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if r.VM != vm {
+		return false, nil, fmt.Errorf("%w: request for VM %d enqueued to VM %d", ErrIsolation, r.VM, vm)
+	}
+	toOverflow = qm.enqueue(r)
+	return toOverflow, c.notifyWork(qm), nil
+}
+
+// Unblock marks a blocked request ready again (the NIC received its network
+// response) and returns the wake decision (§4.1.5).
+func (c *Controller) Unblock(vm VMID, r *Request) (*WakeDecision, error) {
+	qm, ok := c.qms[vm]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+	}
+	if r.VM != vm {
+		return nil, fmt.Errorf("%w: unblock across VMs", ErrIsolation)
+	}
+	if !qm.unblock(r) {
+		return nil, fmt.Errorf("%w: unblock of %v request", ErrBadTransition, r.Status)
+	}
+	return c.notifyWork(qm), nil
+}
+
+// notifyWork implements the QM's new-work check: wake an idle bound core if
+// one exists; otherwise, for a Primary VM, reclaim a loaned core (§4.1.5).
+func (c *Controller) notifyWork(qm *QueueManager) *WakeDecision {
+	// Deterministic order: lowest core ID first.
+	var idle, loaned CoreID = -1, -1
+	for core := range qm.boundCores {
+		switch c.coreState[core] {
+		case CoreIdle:
+			if idle < 0 || core < idle {
+				idle = core
+			}
+		case CoreLoaned:
+			if loaned < 0 || core < loaned {
+				loaned = core
+			}
+		}
+	}
+	if idle >= 0 {
+		c.coreState[idle] = coreNotified
+		c.wakes++
+		return &WakeDecision{Core: idle}
+	}
+	if qm.isPrimary && loaned >= 0 {
+		c.coreState[loaned] = coreNotified
+		c.reclaims++
+		return &WakeDecision{Core: loaned, Preempt: true}
+	}
+	return nil
+}
+
+// coreNotified is an internal state: a wake/interrupt is in flight and the
+// core must not be chosen for another wake until it reaches the controller
+// again via Preempt/Dequeue.
+const coreNotified CoreState = 100
+
+// PreemptCore services the hardware interrupt on a loaned core: the Harvest
+// VM request it was running is returned, Ready, to the front of the Harvest
+// VM's subqueue for another core to take (Figure 10). Returns that request.
+func (c *Controller) PreemptCore(core CoreID) (*Request, error) {
+	r := c.coreRunning[core]
+	if r == nil {
+		return nil, fmt.Errorf("%w: preempt of a core running nothing (core %d)", ErrBadTransition, core)
+	}
+	hvm := c.runningVM[core]
+	hqm, ok := c.qms[hvm]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVM, hvm)
+	}
+	if !hqm.preempt(r) {
+		return nil, fmt.Errorf("%w: preempt of %v request", ErrBadTransition, r.Status)
+	}
+	delete(c.coreRunning, core)
+	delete(c.runningVM, core)
+	// The core is between contexts until its next Dequeue; it no longer
+	// counts as loaned (its Harvest request is back in the queue).
+	c.coreState[core] = CoreIdle
+	return r, nil
+}
+
+// Dequeue hands the core the oldest ready request of its bound VM. If the
+// core is bound to a Primary VM with no ready work and allowLoan is set, the
+// controller forwards the core to a Harvest VM's QM (§4.1.4). It returns the
+// request (nil if none anywhere), the VM it belongs to, and whether this
+// dequeue re-assigned the core across VMs (the cluster layer charges flush
+// and context-switch costs for cross-VM transitions).
+func (c *Controller) Dequeue(core CoreID, allowLoan bool) (r *Request, vm VMID, crossVM bool, err error) {
+	ownVM, ok := c.binding[core]
+	if !ok {
+		return nil, -1, false, fmt.Errorf("%w: %d", ErrUnknownCore, core)
+	}
+	ownQM := c.qms[ownVM]
+	assign := func(r *Request, vm VMID, state CoreState) bool {
+		prev, had := c.lastVM[core]
+		c.coreRunning[core] = r
+		c.runningVM[core] = vm
+		c.lastVM[core] = vm
+		c.coreState[core] = state
+		return had && prev != vm
+	}
+	if r := ownQM.dequeue(); r != nil {
+		cross := assign(r, ownVM, CoreRunningOwn)
+		return r, ownVM, cross, nil
+	}
+	goIdle := func() {
+		c.coreState[core] = CoreIdle
+		delete(c.coreRunning, core)
+		delete(c.runningVM, core)
+	}
+	if !allowLoan || !ownQM.isPrimary {
+		goIdle()
+		return nil, ownVM, false, nil
+	}
+	// Forward the core's request for work to a Harvest VM QM, round-robin
+	// over harvest VMs that have ready work.
+	harvest := c.harvestVMsWithWork()
+	if len(harvest) == 0 {
+		goIdle()
+		return nil, ownVM, false, nil
+	}
+	hvm := harvest[c.nextHarvest%len(harvest)]
+	c.nextHarvest++
+	hr := c.qms[hvm].dequeue()
+	if hr == nil {
+		goIdle()
+		return nil, ownVM, false, nil
+	}
+	cross := assign(hr, hvm, CoreLoaned)
+	c.loans++
+	return hr, hvm, cross, nil
+}
+
+// LastVM reports the VM whose microarchitectural state was most recently
+// resident in the core's private caches/TLBs.
+func (c *Controller) LastVM(core CoreID) (VMID, bool) {
+	vm, ok := c.lastVM[core]
+	return vm, ok
+}
+
+func (c *Controller) harvestVMsWithWork() []VMID {
+	var out []VMID
+	for _, vm := range c.vmOrder {
+		qm := c.qms[vm]
+		if !qm.isPrimary && qm.hasReady() {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// Complete informs the QM that the core finished its request; the slot is
+// freed and the core becomes idle (until its next Dequeue).
+func (c *Controller) Complete(core CoreID, r *Request) error {
+	vm, ok := c.runningVM[core]
+	if !ok || c.coreRunning[core] != r {
+		return fmt.Errorf("%w: complete of a request the core is not running", ErrBadTransition)
+	}
+	if !c.qms[vm].complete(r) {
+		return fmt.Errorf("%w: request not found in subqueue", ErrBadTransition)
+	}
+	delete(c.coreRunning, core)
+	delete(c.runningVM, core)
+	c.coreState[core] = CoreIdle
+	return nil
+}
+
+// Block informs the QM that the core's request stalled on I/O. The request's
+// pointer stays in the subqueue, marked Blocked; the core becomes idle.
+func (c *Controller) Block(core CoreID, r *Request) error {
+	vm, ok := c.runningVM[core]
+	if !ok || c.coreRunning[core] != r {
+		return fmt.Errorf("%w: block of a request the core is not running", ErrBadTransition)
+	}
+	if !c.qms[vm].block(r) {
+		return fmt.Errorf("%w: block of %v request", ErrBadTransition, r.Status)
+	}
+	delete(c.coreRunning, core)
+	delete(c.runningVM, core)
+	c.coreState[core] = CoreIdle
+	return nil
+}
+
+// LoanedCores reports how many of vm's bound cores are currently on loan.
+func (c *Controller) LoanedCores(vm VMID) int {
+	qm, ok := c.qms[vm]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for core := range qm.boundCores {
+		if c.coreState[core] == CoreLoaned {
+			n++
+		}
+	}
+	return n
+}

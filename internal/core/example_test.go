@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hardharvest/internal/core"
+)
+
+// Example walks the §4.1 protocol: a Primary VM core runs out of work, is
+// loaned to the Harvest VM, and is reclaimed by hardware interrupt when its
+// owner needs it back.
+func Example() {
+	ctrl := core.DefaultController()
+	mask := core.DefaultHarvestMask([core.NumMaskedStructs]int{12, 8, 8, 4, 8})
+	_ = ctrl.AddVM(1, true, mask)  // Primary VM
+	_ = ctrl.AddVM(2, false, mask) // Harvest VM
+	_ = ctrl.BindCore(0, 1)
+
+	// The Harvest VM always has batch work queued.
+	_, _, _ = ctrl.Enqueue(2, &core.Request{ID: 100, VM: 2})
+
+	// The idle Primary core dequeues — and is loaned across VMs.
+	job, vm, _, _ := ctrl.Dequeue(0, true)
+	fmt.Printf("core 0 runs request %d of VM %d (%v)\n", job.ID, vm, ctrl.State(0))
+
+	// A request for the Primary VM arrives: the QM reclaims the core.
+	_, wake, _ := ctrl.Enqueue(1, &core.Request{ID: 1, VM: 1})
+	fmt.Printf("wake core %d, preempt=%v\n", wake.Core, wake.Preempt)
+	pre, _ := ctrl.PreemptCore(wake.Core)
+	fmt.Printf("job %d back in the harvest queue (%v)\n", pre.ID, pre.Status)
+	own, _, cross, _ := ctrl.Dequeue(wake.Core, true)
+	fmt.Printf("core 0 now runs primary request %d (cross-VM=%v)\n", own.ID, cross)
+
+	// Output:
+	// core 0 runs request 100 of VM 2 (loaned)
+	// wake core 0, preempt=true
+	// job 100 back in the harvest queue (ready)
+	// core 0 now runs primary request 1 (cross-VM=true)
+}

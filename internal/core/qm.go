@@ -1,0 +1,255 @@
+package core
+
+// QueueManager is the hardware unit in charge of one VM's request subqueue
+// (Figure 9). It holds the RQ-Map, the VM State Register Set, the
+// HarvestMask, and per-VM loan bookkeeping for Primary VMs.
+
+// QueueManager manages one VM's logical subqueue.
+type QueueManager struct {
+	vm        VMID
+	isPrimary bool
+
+	rqMap    *RQMap
+	vmState  VMStateRegisterSet
+	mask     HarvestMask
+	capacity int // hardware slots = chunks * entries/chunk
+
+	// queue holds all requests resident in hardware slots, FIFO order.
+	// Entries may be Ready, Running, or Blocked; all occupy slots.
+	queue []*Request
+	// overflow is the software In-memory Overflow Subqueue (§4.1.7), FIFO.
+	overflow []*Request
+
+	boundCores map[CoreID]bool
+
+	// Stats.
+	enqueues         uint64
+	overflowEnqueues uint64
+	dequeues         uint64
+	maxOccupancy     int
+}
+
+func newQueueManager(vm VMID, isPrimary bool, maxChunks int) *QueueManager {
+	return &QueueManager{
+		vm:         vm,
+		isPrimary:  isPrimary,
+		rqMap:      NewRQMap(maxChunks),
+		boundCores: make(map[CoreID]bool),
+	}
+}
+
+// VM reports the VM this QM serves.
+func (q *QueueManager) VM() VMID { return q.vm }
+
+// IsPrimary reports whether the VM is a Primary VM.
+func (q *QueueManager) IsPrimary() bool { return q.isPrimary }
+
+// Capacity reports the hardware slot capacity of the subqueue.
+func (q *QueueManager) Capacity() int { return q.capacity }
+
+// Chunks reports the number of chunks currently mapped.
+func (q *QueueManager) Chunks() int { return q.rqMap.Len() }
+
+// BoundCores reports how many cores are bound to this QM.
+func (q *QueueManager) BoundCores() int { return len(q.boundCores) }
+
+// HardwareOccupancy reports requests resident in hardware slots.
+func (q *QueueManager) HardwareOccupancy() int { return len(q.queue) }
+
+// OverflowLen reports requests in the software overflow subqueue.
+func (q *QueueManager) OverflowLen() int { return len(q.overflow) }
+
+// Mask returns the VM's HarvestMask register.
+func (q *QueueManager) Mask() HarvestMask { return q.mask }
+
+// SetMask programs the HarvestMask register.
+func (q *QueueManager) SetMask(m HarvestMask) { q.mask = m }
+
+// VMState returns a pointer to the VM State Register Set.
+func (q *QueueManager) VMState() *VMStateRegisterSet { return &q.vmState }
+
+// setCapacityFromChunks recomputes hardware capacity and spills any excess
+// tail entries to the overflow subqueue; called after chunk donation.
+func (q *QueueManager) setCapacityFromChunks(chunkEntries int) (spilled int) {
+	q.capacity = q.rqMap.Len() * chunkEntries
+	for len(q.queue) > q.capacity {
+		// Donations come from the tail of the subqueue (§4.1.2), so the
+		// youngest entries spill.
+		last := q.queue[len(q.queue)-1]
+		q.queue = q.queue[:len(q.queue)-1]
+		last.InOverflow = true
+		// Keep overflow in FIFO order: the spilled entry is younger than
+		// anything already waiting there only if overflow was filled later.
+		// Spills go to the front of overflow because overflow entries were
+		// enqueued after the hardware filled.
+		q.overflow = append([]*Request{last}, q.overflow...)
+		spilled++
+	}
+	return spilled
+}
+
+// enqueue stores a request pointer in the subqueue: in a hardware slot if
+// one is free, otherwise in the overflow subqueue (§4.1.3). Reports whether
+// the request landed in overflow.
+func (q *QueueManager) enqueue(r *Request) (toOverflow bool) {
+	q.enqueues++
+	r.Status = StatusReady
+	if len(q.queue) < q.capacity {
+		r.InOverflow = false
+		q.queue = append(q.queue, r)
+		if len(q.queue) > q.maxOccupancy {
+			q.maxOccupancy = len(q.queue)
+		}
+		return false
+	}
+	r.InOverflow = true
+	q.overflow = append(q.overflow, r)
+	q.overflowEnqueues++
+	return true
+}
+
+// requeueFront puts a preempted request back at the head of the subqueue so
+// it is the next dequeued (§4.1.5: the preempted Harvest vCPU is returned to
+// the queue and taken by another core).
+func (q *QueueManager) requeueFront(r *Request) {
+	r.Status = StatusReady
+	r.InOverflow = false
+	q.queue = append([]*Request{r}, q.queue...)
+	// requeueFront is used for preempted work whose slot was just vacated,
+	// so it cannot exceed capacity unless chunks shrank concurrently; spill
+	// from the tail in that case.
+	if len(q.queue) > q.capacity && q.capacity > 0 {
+		last := q.queue[len(q.queue)-1]
+		q.queue = q.queue[:len(q.queue)-1]
+		last.InOverflow = true
+		q.overflow = append([]*Request{last}, q.overflow...)
+	}
+}
+
+// preempt moves a running request back to the head of the subqueue, Ready,
+// so another core can take it (§4.1.5, Figure 10).
+func (q *QueueManager) preempt(r *Request) bool {
+	for i, qr := range q.queue {
+		if qr != r {
+			continue
+		}
+		if r.Status != StatusRunning {
+			return false
+		}
+		q.queue = append(q.queue[:i], q.queue[i+1:]...)
+		q.requeueFront(r)
+		return true
+	}
+	return false
+}
+
+// dequeue hands the oldest Ready request to a core, marking it Running. The
+// slot remains occupied until completion or preemption. Returns nil if no
+// Ready request exists.
+func (q *QueueManager) dequeue() *Request {
+	for _, r := range q.queue {
+		if r.Status == StatusReady {
+			r.Status = StatusRunning
+			q.dequeues++
+			return r
+		}
+	}
+	return nil
+}
+
+// hasReady reports whether a Ready request is queued (hardware or overflow).
+func (q *QueueManager) hasReady() bool {
+	for _, r := range q.queue {
+		if r.Status == StatusReady {
+			return true
+		}
+	}
+	for _, r := range q.overflow {
+		if r.Status == StatusReady {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadyLen counts Ready requests in hardware and overflow.
+func (q *QueueManager) ReadyLen() int {
+	n := 0
+	for _, r := range q.queue {
+		if r.Status == StatusReady {
+			n++
+		}
+	}
+	for _, r := range q.overflow {
+		if r.Status == StatusReady {
+			n++
+		}
+	}
+	return n
+}
+
+// complete removes a finished request's slot and refills from overflow.
+func (q *QueueManager) complete(r *Request) bool {
+	for i, qr := range q.queue {
+		if qr == r {
+			q.queue = append(q.queue[:i], q.queue[i+1:]...)
+			r.Status = StatusEmpty
+			q.refillFromOverflow()
+			return true
+		}
+	}
+	return false
+}
+
+// block marks a running request as blocked on I/O; its pointer stays in the
+// subqueue (§4.1.5).
+func (q *QueueManager) block(r *Request) bool {
+	for _, qr := range q.queue {
+		if qr == r {
+			if r.Status != StatusRunning {
+				return false
+			}
+			r.Status = StatusBlocked
+			return true
+		}
+	}
+	return false
+}
+
+// unblock marks a blocked request Ready again when the NIC delivers its
+// response. Works for requests in hardware or overflow.
+func (q *QueueManager) unblock(r *Request) bool {
+	if r.Status != StatusBlocked {
+		return false
+	}
+	r.Status = StatusReady
+	return true
+}
+
+// refillFromOverflow promotes overflow entries into freed hardware slots.
+func (q *QueueManager) refillFromOverflow() {
+	for len(q.overflow) > 0 && len(q.queue) < q.capacity {
+		r := q.overflow[0]
+		q.overflow = q.overflow[1:]
+		r.InOverflow = false
+		q.queue = append(q.queue, r)
+	}
+}
+
+// QMStats is a snapshot of a QM's counters.
+type QMStats struct {
+	Enqueues         uint64
+	OverflowEnqueues uint64
+	Dequeues         uint64
+	MaxOccupancy     int
+}
+
+// Stats returns the QM's counters.
+func (q *QueueManager) Stats() QMStats {
+	return QMStats{
+		Enqueues:         q.enqueues,
+		OverflowEnqueues: q.overflowEnqueues,
+		Dequeues:         q.dequeues,
+		MaxOccupancy:     q.maxOccupancy,
+	}
+}

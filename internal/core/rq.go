@@ -1,0 +1,141 @@
+package core
+
+import "fmt"
+
+// Physical Request Queue organization (§4.1.2): the RQ is a single SRAM
+// structure broken into chunks; each VM's logical subqueue is composed of one
+// or more chunks, mapped through the Queue Manager's RQ-Map. Chunks have
+// independent access ports, so QMs never contend.
+
+// Default RQ geometry (Table 1).
+const (
+	// DefaultNumChunks is the number of physical chunks in the RQ.
+	DefaultNumChunks = 32
+	// DefaultChunkEntries is the number of entries per chunk.
+	DefaultChunkEntries = 64
+	// RQEntryBits is the width of one RQ entry: a 2-bit status plus a
+	// 64-bit payload pointer (§6.8).
+	RQEntryBits = 66
+)
+
+// ChunkID identifies one physical chunk of the RQ.
+type ChunkID int
+
+// RQ tracks ownership of the physical chunks. Entry contents live in the
+// owning QM's subqueue structure; the RQ only arbitrates chunk allocation.
+type RQ struct {
+	numChunks    int
+	chunkEntries int
+	owner        []VMID // indexed by ChunkID; -1 = free
+}
+
+// NewRQ builds a physical RQ with the given geometry.
+func NewRQ(numChunks, chunkEntries int) *RQ {
+	if numChunks <= 0 || chunkEntries <= 0 {
+		panic("core: invalid RQ geometry")
+	}
+	rq := &RQ{numChunks: numChunks, chunkEntries: chunkEntries, owner: make([]VMID, numChunks)}
+	for i := range rq.owner {
+		rq.owner[i] = -1
+	}
+	return rq
+}
+
+// NumChunks reports the total physical chunks.
+func (rq *RQ) NumChunks() int { return rq.numChunks }
+
+// ChunkEntries reports entries per chunk.
+func (rq *RQ) ChunkEntries() int { return rq.chunkEntries }
+
+// TotalEntries reports the RQ's total entry count (2K by default).
+func (rq *RQ) TotalEntries() int { return rq.numChunks * rq.chunkEntries }
+
+// FreeChunks reports how many chunks are unowned.
+func (rq *RQ) FreeChunks() int {
+	n := 0
+	for _, o := range rq.owner {
+		if o == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Owner reports the VM owning chunk c (-1 if free).
+func (rq *RQ) Owner(c ChunkID) VMID { return rq.owner[c] }
+
+// allocFree hands a free chunk to vm, returning the chunk or -1.
+func (rq *RQ) allocFree(vm VMID) ChunkID {
+	for i, o := range rq.owner {
+		if o == -1 {
+			rq.owner[i] = vm
+			return ChunkID(i)
+		}
+	}
+	return -1
+}
+
+// transfer moves chunk c from its current owner to vm.
+func (rq *RQ) transfer(c ChunkID, vm VMID) {
+	rq.owner[c] = vm
+}
+
+// release frees every chunk owned by vm, returning how many were released.
+func (rq *RQ) release(vm VMID) int {
+	n := 0
+	for i, o := range rq.owner {
+		if o == vm {
+			rq.owner[i] = -1
+			n++
+		}
+	}
+	return n
+}
+
+// RQMap is the per-QM table mapping the logical chunks of a VM's subqueue to
+// physical chunks (§4.1.2: up to 32 entries of 5-bit chunk ID + valid bit,
+// 24B total).
+type RQMap struct {
+	chunks []ChunkID
+	max    int
+}
+
+// NewRQMap builds a map that can hold up to max chunk entries.
+func NewRQMap(max int) *RQMap {
+	return &RQMap{max: max}
+}
+
+// Len reports the number of valid entries.
+func (m *RQMap) Len() int { return len(m.chunks) }
+
+// Chunks returns the mapped physical chunks in logical order.
+func (m *RQMap) Chunks() []ChunkID { return m.chunks }
+
+// AppendTail inserts a new chunk at the tail of the subqueue.
+func (m *RQMap) AppendTail(c ChunkID) {
+	if len(m.chunks) >= m.max {
+		panic(fmt.Sprintf("core: RQ-Map overflow (%d entries)", m.max))
+	}
+	m.chunks = append(m.chunks, c)
+}
+
+// DropTail invalidates the tail entry, returning the removed chunk.
+// Panics if the map is empty.
+func (m *RQMap) DropTail() ChunkID {
+	if len(m.chunks) == 0 {
+		panic("core: DropTail on empty RQ-Map")
+	}
+	c := m.chunks[len(m.chunks)-1]
+	m.chunks = m.chunks[:len(m.chunks)-1]
+	return c
+}
+
+// StorageBits reports the RQ-Map's hardware cost: per entry, a chunk ID wide
+// enough for the physical chunk count plus a valid bit.
+func (m *RQMap) StorageBits(numChunks int) int {
+	idBits := 0
+	for 1<<idBits < numChunks {
+		idBits++
+	}
+	return m.max * (idBits + 1)
+}

@@ -1,0 +1,74 @@
+package core
+
+// Storage-cost model (§6.8). The controller adds a 2K-entry RQ (66 bits per
+// entry) plus, per QM/VM-State pair, 16 x 8B state registers, a 24B RQ-Map,
+// and a 5B HarvestMask. On top of that, every entry of the TLBs, L1 D-cache,
+// and L2 cache carries one extra Shared bit.
+
+// StorageParams are the inputs of the §6.8 arithmetic.
+type StorageParams struct {
+	NumChunks    int
+	ChunkEntries int
+	EntryBits    int // RQ entry width (status + payload pointer)
+	NumQMs       int
+	VMStateRegs  int // registers per VM State Register Set
+	VMStateRegB  int // bytes per register
+	RQMapBytes   int // per-QM RQ-Map bytes
+	MaskBytes    int // per-QM HarvestMask bytes
+
+	CoresPerServer int
+	// Per-core entry counts that receive a Shared bit.
+	L1DLines     int
+	L2Lines      int
+	L1TLBEntries int
+	L2TLBEntries int
+}
+
+// DefaultStorageParams returns the Table 1 configuration.
+func DefaultStorageParams() StorageParams {
+	return StorageParams{
+		NumChunks:    DefaultNumChunks,
+		ChunkEntries: DefaultChunkEntries,
+		EntryBits:    RQEntryBits,
+		NumQMs:       16,
+		VMStateRegs:  NumVMStateRegs,
+		VMStateRegB:  8,
+		RQMapBytes:   24,
+		MaskBytes:    5,
+
+		CoresPerServer: 36,
+		L1DLines:       48 * 1024 / 64,  // 768
+		L2Lines:        512 * 1024 / 64, // 8192
+		L1TLBEntries:   128,
+		L2TLBEntries:   2048,
+	}
+}
+
+// StorageCost is the computed breakdown.
+type StorageCost struct {
+	RQBytes            int
+	PerQMPairBytes     int
+	QMPairsBytes       int
+	ControllerBytes    int // RQ + QM pairs
+	ControllerPerCoreB float64
+
+	SharedBitsPerCoreBits int
+	SharedBitsServerBytes float64
+	SharedBitsPerCoreB    float64
+}
+
+// ComputeStorageCost evaluates the §6.8 arithmetic for the given parameters.
+func ComputeStorageCost(p StorageParams) StorageCost {
+	var c StorageCost
+	totalEntries := p.NumChunks * p.ChunkEntries
+	c.RQBytes = totalEntries * p.EntryBits / 8
+	c.PerQMPairBytes = p.VMStateRegs*p.VMStateRegB + p.RQMapBytes + p.MaskBytes
+	c.QMPairsBytes = p.NumQMs * c.PerQMPairBytes
+	c.ControllerBytes = c.RQBytes + c.QMPairsBytes
+	c.ControllerPerCoreB = float64(c.ControllerBytes) / float64(p.CoresPerServer)
+
+	c.SharedBitsPerCoreBits = p.L1DLines + p.L2Lines + p.L1TLBEntries + p.L2TLBEntries
+	c.SharedBitsServerBytes = float64(c.SharedBitsPerCoreBits*p.CoresPerServer) / 8
+	c.SharedBitsPerCoreB = float64(c.SharedBitsPerCoreBits) / 8
+	return c
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStorageCostPaperNumbers(t *testing.T) {
+	c := ComputeStorageCost(DefaultStorageParams())
+	// RQ: 2048 entries x 66 bits = 16896 B.
+	if c.RQBytes != 16896 {
+		t.Fatalf("RQBytes = %d", c.RQBytes)
+	}
+	// Per pair: 16*8 + 24 + 5 = 157 B; 16 pairs = 2512 B.
+	if c.PerQMPairBytes != 157 {
+		t.Fatalf("PerQMPairBytes = %d", c.PerQMPairBytes)
+	}
+	if c.QMPairsBytes != 2512 {
+		t.Fatalf("QMPairsBytes = %d", c.QMPairsBytes)
+	}
+	// Controller total: 19408 B = 18.95 KiB; paper reports 18.9 KB.
+	if c.ControllerBytes != 19408 {
+		t.Fatalf("ControllerBytes = %d", c.ControllerBytes)
+	}
+	kb := float64(c.ControllerBytes) / 1024
+	if math.Abs(kb-18.9) > 0.1 {
+		t.Fatalf("controller = %.2f KB, paper says 18.9", kb)
+	}
+	// Per core: 0.53 KB.
+	perCoreKB := c.ControllerPerCoreB / 1024
+	if math.Abs(perCoreKB-0.53) > 0.01 {
+		t.Fatalf("per-core = %.3f KB, paper says 0.53", perCoreKB)
+	}
+	// Shared bits per core: 768 + 8192 + 128 + 2048 = 11136 bits = 1.36 KiB.
+	if c.SharedBitsPerCoreBits != 11136 {
+		t.Fatalf("SharedBitsPerCoreBits = %d", c.SharedBitsPerCoreBits)
+	}
+	if c.SharedBitsServerBytes != float64(11136*36)/8 {
+		t.Fatalf("SharedBitsServerBytes = %v", c.SharedBitsServerBytes)
+	}
+}
+
+func TestRQGeometry(t *testing.T) {
+	rq := NewRQ(DefaultNumChunks, DefaultChunkEntries)
+	if rq.TotalEntries() != 2048 {
+		t.Fatalf("total entries = %d", rq.TotalEntries())
+	}
+	if rq.FreeChunks() != 32 {
+		t.Fatalf("free chunks = %d", rq.FreeChunks())
+	}
+	ch := rq.allocFree(7)
+	if ch < 0 || rq.Owner(ch) != 7 {
+		t.Fatal("allocFree failed")
+	}
+	rq.transfer(ch, 9)
+	if rq.Owner(ch) != 9 {
+		t.Fatal("transfer failed")
+	}
+	if n := rq.release(9); n != 1 {
+		t.Fatalf("release = %d", n)
+	}
+	if rq.FreeChunks() != 32 {
+		t.Fatal("release did not free")
+	}
+}
+
+func TestRQMap(t *testing.T) {
+	m := NewRQMap(32)
+	m.AppendTail(3)
+	m.AppendTail(7)
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if got := m.Chunks(); got[0] != 3 || got[1] != 7 {
+		t.Fatalf("chunks = %v", got)
+	}
+	if c := m.DropTail(); c != 7 {
+		t.Fatalf("DropTail = %d", c)
+	}
+	// 32 entries x (5-bit chunk ID + valid) = 192 bits = 24 B (§6.8).
+	if bits := m.StorageBits(32); bits != 192 {
+		t.Fatalf("StorageBits = %d", bits)
+	}
+	m.DropTail()
+	defer func() {
+		if recover() == nil {
+			t.Error("DropTail on empty map should panic")
+		}
+	}()
+	m.DropTail()
+}
+
+func TestHarvestMask(t *testing.T) {
+	// Table 1 way counts: L1D 12, L1I 8, L2 8, L1TLB 4, L2TLB 8.
+	ways := [NumMaskedStructs]int{12, 8, 8, 4, 8}
+	m := DefaultHarvestMask(ways)
+	for s, w := range ways {
+		if got := m.HarvestWays(s); got != w/2 {
+			t.Errorf("struct %d harvest ways = %d, want %d", s, got, w/2)
+		}
+		// Lower half non-harvest, upper half harvest.
+		if m.IsHarvestWay(s, 0) {
+			t.Errorf("struct %d way 0 should be non-harvest", s)
+		}
+		if !m.IsHarvestWay(s, w-1) {
+			t.Errorf("struct %d way %d should be harvest", s, w-1)
+		}
+	}
+	if m.Bytes() != 5 {
+		t.Fatalf("mask bytes = %d", m.Bytes())
+	}
+	m.SetWay(MaskL1D, 0, true)
+	if !m.IsHarvestWay(MaskL1D, 0) {
+		t.Fatal("SetWay(true) failed")
+	}
+	m.SetWay(MaskL1D, 0, false)
+	if m.IsHarvestWay(MaskL1D, 0) {
+		t.Fatal("SetWay(false) failed")
+	}
+}
+
+func TestVMStateRegisterSet(t *testing.T) {
+	var v VMStateRegisterSet
+	v.Set(RegCR3, 0xDEADBEEF)
+	v.Set(RegVMCSPtr, 0x1000)
+	if v.Get(RegCR3) != 0xDEADBEEF || v.Get(RegVMCSPtr) != 0x1000 {
+		t.Fatal("register read/write failed")
+	}
+	if v.Bytes() != 128 {
+		t.Fatalf("bytes = %d", v.Bytes())
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+// VM State Register Sets and HarvestMask registers (Figure 9, §4.2.1).
+
+// NumVMStateRegs is the number of 8-byte registers in one VM State Register
+// Set (Table 1). The set holds state shared by all threads of a VM: VMCS
+// pointer, CR0, CR3, CR4, GDTR, LDTR, IDTR, and friends.
+const NumVMStateRegs = 16
+
+// Names of the architecturally meaningful registers within a set; the
+// remaining registers are reserved.
+const (
+	RegVMCSPtr = iota
+	RegCR0
+	RegCR3
+	RegCR4
+	RegGDTR
+	RegLDTR
+	RegIDTR
+	RegEFER
+)
+
+// VMStateRegisterSet stores the per-VM register state that a core loads when
+// it is (re-)assigned to the VM, so the context switch needs no hypervisor
+// entry.
+type VMStateRegisterSet struct {
+	regs [NumVMStateRegs]uint64
+}
+
+// Set writes register idx.
+func (v *VMStateRegisterSet) Set(idx int, val uint64) {
+	v.regs[idx] = val
+}
+
+// Get reads register idx.
+func (v *VMStateRegisterSet) Get(idx int) uint64 {
+	return v.regs[idx]
+}
+
+// Bytes reports the storage footprint of the set.
+func (v *VMStateRegisterSet) Bytes() int { return NumVMStateRegs * 8 }
+
+// Structures whose ways the HarvestMask covers: L1D, L1I, L2 caches and
+// L1, L2 TLBs (§4.2.1). The mask holds one bit per way of each structure,
+// 5 bytes total (§6.8: a 5B HarvestMask register).
+const (
+	MaskL1D = iota
+	MaskL1I
+	MaskL2
+	MaskL1TLB
+	MaskL2TLB
+	NumMaskedStructs
+)
+
+// HarvestMask records, for each private structure, which ways form the
+// harvest region. A set bit means the way is a harvest way.
+type HarvestMask struct {
+	ways [NumMaskedStructs]uint16
+}
+
+// DefaultHarvestMask builds a mask with the lower half of each structure's
+// ways non-harvest and the upper half harvest, matching Table 1's "50% of
+// all ways" default. ways lists the way count of each structure in the
+// Mask* order.
+func DefaultHarvestMask(ways [NumMaskedStructs]int) HarvestMask {
+	var m HarvestMask
+	for s, w := range ways {
+		h := w / 2
+		for i := w - h; i < w; i++ {
+			m.ways[s] |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// SetWay marks way w of structure s as harvest (on=true) or non-harvest.
+func (m *HarvestMask) SetWay(s, w int, on bool) {
+	if on {
+		m.ways[s] |= 1 << uint(w)
+	} else {
+		m.ways[s] &^= 1 << uint(w)
+	}
+}
+
+// IsHarvestWay reports whether way w of structure s is in the harvest
+// region.
+func (m *HarvestMask) IsHarvestWay(s, w int) bool {
+	return m.ways[s]&(1<<uint(w)) != 0
+}
+
+// HarvestWays counts the harvest ways of structure s.
+func (m *HarvestMask) HarvestWays(s int) int {
+	n := 0
+	for b := m.ways[s]; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Bytes reports the storage footprint of the mask register (§6.8: 5B).
+func (m *HarvestMask) Bytes() int { return NumMaskedStructs }

@@ -1,0 +1,56 @@
+package experiments
+
+// Runner is one experiment's entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Scale) *Table
+}
+
+// Runners lists every experiment in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"table1", "Architectural parameters", Table1},
+		{"fig2", "Alibaba utilization CDF", Fig2},
+		{"fig3", "Utilization time series", Fig3},
+		{"fig4", "Hypervisor re-assignment overhead", Fig4},
+		{"fig5", "Cache/TLB flush overhead", Fig5},
+		{"fig6", "Request time breakdown", Fig6},
+		{"fig7", "Cache/TLB size sensitivity", Fig7},
+		{"fig11", "Tail latency of 5 systems", Fig11},
+		{"fig12", "Cumulative optimization breakdown", Fig12},
+		{"fig13", "Sched vs CtxtSw ablation", Fig13},
+		{"fig14", "L2 replacement policies", Fig14},
+		{"fig15", "Optimizations without harvesting", Fig15},
+		{"fig16", "Median latency of 5 systems", Fig16},
+		{"fig17", "Harvest VM throughput", Fig17},
+		{"util", "Core utilization (§6.7)", UtilizationTable},
+		{"storage", "Storage cost (§6.8)", StorageTable},
+		{"fig18", "LLC size sensitivity", Fig18},
+		{"fig19", "Eviction candidate set sensitivity", Fig19},
+		{"ext", "Extension policies (§4.1.5 future work)", Extensions},
+		{"app", "End-to-end application latency (Figure 1 DAGs)", Application},
+		{"profiling", "Shared-before-serve validation sweep (§4.2.2)", Profiling},
+		{"loadsweep", "P99 vs offered load (extension)", LoadSweep},
+		{"summary", "Headline claims, paper vs measured", Summary},
+	}
+}
+
+// ByID returns the runner with the given id, or nil.
+func ByID(id string) *Runner {
+	for _, r := range Runners() {
+		if r.ID == id {
+			return &r
+		}
+	}
+	return nil
+}
+
+// All runs every experiment at the given scale.
+func All(sc Scale) []*Table {
+	out := make([]*Table, 0, len(Runners()))
+	for _, r := range Runners() {
+		out = append(out, r.Run(sc))
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/cluster"
+)
+
+// Fig11 reproduces the headline end-to-end result: P99 tail latency of
+// Primary VM microservices under the five architectures.
+func Fig11(sc Scale) *Table {
+	res := fiveSystems(sc)
+	t := &Table{
+		ID:      "fig11",
+		Title:   "P99 tail latency [ms] of Primary VM microservices (5 systems)",
+		Columns: append(append([]string{"System"}, serviceOrder...), "Avg"),
+	}
+	for _, k := range cluster.Systems() {
+		t.AddRow(k.String(), perServiceP99Row(res[k])...)
+	}
+	no := float64(res[cluster.NoHarvest].AvgP99())
+	ht := float64(res[cluster.HarvestTerm].AvgP99())
+	hhb := float64(res[cluster.HardHarvestBlock].AvgP99())
+	t.Note("Harvest-Term = %.2fx NoHarvest (paper 3.4x); Harvest-Block = %.2fx (paper 4.1x)",
+		ht/no, float64(res[cluster.HarvestBlock].AvgP99())/no)
+	t.Note("HardHarvest-Block reduces Harvest-Term tail by %.1f%% (paper 83.3%%) and sits %.1f%% below NoHarvest (paper 28.4%%)",
+		100*(1-hhb/ht), 100*(1-hhb/no))
+	return t
+}
+
+// Fig16 reports the median latency of the same five systems.
+func Fig16(sc Scale) *Table {
+	res := fiveSystems(sc)
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Median latency [ms] of Primary VM microservices (5 systems)",
+		Columns: append(append([]string{"System"}, serviceOrder...), "Avg"),
+	}
+	for _, k := range cluster.Systems() {
+		t.AddRow(k.String(), perServiceP50Row(res[k])...)
+	}
+	no := float64(res[cluster.NoHarvest].AvgP50())
+	t.Note("Harvest-Term median = %+.1f%% vs NoHarvest (paper +7.9%%); HardHarvest-Block = %+.1f%% (paper -26.1%%)",
+		100*(float64(res[cluster.HarvestTerm].AvgP50())/no-1),
+		100*(float64(res[cluster.HardHarvestBlock].AvgP50())/no-1))
+	return t
+}
+
+// Fig12 reproduces the cumulative optimization breakdown, starting from
+// software Harvest-Block and adding +Sched, +Queue, +CtxtSw, +Part, +Flush,
+// and the HardHarvest replacement policy.
+func Fig12(sc Scale) *Table {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Cumulative optimization impact on P99 tail latency",
+		Columns: []string{"Config", "Avg P99 [ms]", "Reduction vs Harvest-Block"},
+	}
+	var base float64
+	for i, o := range cluster.Fig12Steps() {
+		r := runOne(sc, o)
+		p99 := float64(r.AvgP99())
+		if i == 0 {
+			base = p99
+		}
+		t.AddRow(o.Name, ms(r.AvgP99()), pct(1-p99/base))
+	}
+	t.Note("paper cumulative reductions: 25.6/35.5/61.1/80.1/83.6/85.6%%")
+	return t
+}
+
+// Fig13 reproduces the Sched vs CtxtSw ablation on Harvest-Block.
+func Fig13(sc Scale) *Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Ablation: hardware context switching vs hardware scheduling",
+		Columns: []string{"Config", "Avg P99 [ms]", "Reduction vs Harvest-Block"},
+	}
+	var base float64
+	for i, o := range cluster.Fig13Variants() {
+		r := runOne(sc, o)
+		p99 := float64(r.AvgP99())
+		if i == 0 {
+			base = p99
+		}
+		t.AddRow(o.Name, ms(r.AvgP99()), pct(1-p99/base))
+	}
+	t.Note("paper: Sched and CtxtSw have similar impact; together they are partially additive")
+	return t
+}
+
+// Fig15 reproduces the no-harvesting optimization ladder on NoHarvest.
+func Fig15(sc Scale) *Table {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Optimizations without core harvesting (P99 tail latency)",
+		Columns: []string{"Config", "Avg P99 [ms]", "Reduction vs NoHarvest"},
+	}
+	var base float64
+	for i, o := range cluster.Fig15Steps() {
+		r := runOne(sc, o)
+		p99 := float64(r.AvgP99())
+		if i == 0 {
+			base = p99
+		}
+		t.AddRow(o.Name, ms(r.AvgP99()), pct(1-p99/base))
+	}
+	t.Note("paper cumulative reductions: 14.5/20.1/28.6/33.6%%")
+	return t
+}
+
+// Fig17 reproduces Harvest VM throughput across the batch workloads,
+// normalized to NoHarvest. sc.Servers workloads are swept (8 at full
+// scale, one server each, as in the paper's cluster).
+func Fig17(sc Scale) *Table {
+	works := batch.Workloads()
+	n := sc.Servers
+	if n <= 0 || n > len(works) {
+		n = len(works)
+	}
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Harvest VM throughput normalized to NoHarvest",
+		Columns: []string{"Workload", "NoHarvest", "Harvest-Term", "Harvest-Block", "HardHarvest-Term", "HardHarvest-Block"},
+	}
+	avg := make([]float64, 5)
+	for wi := 0; wi < n; wi++ {
+		w := works[wi]
+		cells := make([]string, 0, 5)
+		var base float64
+		for si, k := range cluster.Systems() {
+			cfg := baseConfig(sc)
+			cfg.Seed = sc.Seed + uint64(wi)*101
+			r := cluster.RunServer(cfg, cluster.SystemOptions(k), w)
+			jps := r.HarvestJobsPerSec
+			if si == 0 {
+				base = jps
+			}
+			norm := jps / base
+			avg[si] += norm
+			cells = append(cells, f2(norm))
+		}
+		t.AddRow(w.Name, cells...)
+	}
+	avgCells := make([]string, 0, 5)
+	for _, v := range avg {
+		avgCells = append(avgCells, f2(v/float64(n)))
+	}
+	t.AddRow("Average", avgCells...)
+	t.Note("paper averages: Harvest-Term 1.7x, HardHarvest-Block 3.1x; memory-intensive workloads (RndFTrain) gain less")
+	return t
+}
+
+// UtilizationTable reproduces §6.7: average busy cores out of 36 per
+// system.
+func UtilizationTable(sc Scale) *Table {
+	res := fiveSystems(sc)
+	t := &Table{
+		ID:      "util",
+		Title:   "Average core utilization (busy cores of 36, §6.7)",
+		Columns: []string{"System", "Busy cores", "vs NoHarvest"},
+	}
+	no := res[cluster.NoHarvest].BusyCores
+	for _, k := range cluster.Systems() {
+		t.AddRow(k.String(), fmt.Sprintf("%.1f", res[k].BusyCores),
+			ratio(res[k].BusyCores, no))
+	}
+	t.Note("paper: 10.3 / 23.8 / 26.5 / 28.7 / 34.8 busy cores")
+	t.Note("HardHarvest-Block = %.2fx Harvest-Term (paper 1.5x)",
+		res[cluster.HardHarvestBlock].BusyCores/res[cluster.HarvestTerm].BusyCores)
+	return t
+}

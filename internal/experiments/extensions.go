@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hardharvest/internal/cluster"
+)
+
+// Extensions evaluates the §4.1.5 future-work policies layered on
+// HardHarvest-Block: keeping a hardware burst buffer of idle cores per
+// Primary VM, and adaptively disabling block-harvesting for VMs whose I/O
+// blocks are short. The table shows the tail-latency / throughput /
+// utilization trade-off each policy buys.
+func Extensions(sc Scale) *Table {
+	t := &Table{
+		ID:      "ext",
+		Title:   "Extension policies on HardHarvest-Block (§4.1.5 future work)",
+		Columns: []string{"Policy", "Avg P99 [ms]", "Avg P50 [ms]", "Busy cores", "Jobs/s", "Loans"},
+	}
+	var base *cluster.ServerResult
+	for _, o := range cluster.ExtensionVariants() {
+		r := runOne(sc, o)
+		if base == nil {
+			base = r
+		}
+		t.AddRow(o.Name, ms(r.AvgP99()), ms(r.AvgP50()),
+			fmt.Sprintf("%.1f", r.BusyCores),
+			fmt.Sprintf("%.0f", r.HarvestJobsPerSec),
+			fmt.Sprintf("%d", r.Reassigns))
+	}
+	t.Note("the burst buffer trades Harvest VM throughput for reclaim-free burst absorption; adaptive block-harvesting avoids churn on short-block services")
+	return t
+}

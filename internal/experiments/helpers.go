@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"sync"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/mem"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/workload"
+)
+
+// serviceOrder fixes the row order of the per-service figures, matching the
+// paper's x-axes.
+var serviceOrder = []string{"Text", "SGraph", "User", "PstStr", "UsrMnt", "HomeT", "CPost", "UrlShort"}
+
+func baseConfig(sc Scale) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.MeasureDuration = sc.Measure
+	cfg.WarmupDuration = sc.Warmup
+	cfg.Seed = sc.Seed
+	return cfg
+}
+
+// defaultWork is the batch workload used by single-server latency figures
+// (any workload serves; BFS is the paper's first).
+func defaultWork() *batch.Workload {
+	w, err := batch.WorkloadByName("BFS")
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// runOne simulates a single server under the given options.
+func runOne(sc Scale, opts cluster.Options) *cluster.ServerResult {
+	return cluster.RunServer(baseConfig(sc), opts, defaultWork())
+}
+
+// runFlat simulates a single server with flat (burst-free) load, as the
+// Figure 4/5 motivation experiments do.
+func runFlat(sc Scale, opts cluster.Options) *cluster.ServerResult {
+	cfg := baseConfig(sc)
+	cfg.TraceSteps = 0
+	return cluster.RunServer(cfg, opts, defaultWork())
+}
+
+var (
+	fiveMu    sync.Mutex
+	fiveCache = map[Scale]map[cluster.SystemKind]*cluster.ServerResult{}
+)
+
+// fiveSystems runs the five evaluated architectures on one server. Several
+// figures (11, 16, util) share the same runs, so results are memoized per
+// scale (simulations are deterministic).
+func fiveSystems(sc Scale) map[cluster.SystemKind]*cluster.ServerResult {
+	fiveMu.Lock()
+	defer fiveMu.Unlock()
+	if cached, ok := fiveCache[sc]; ok {
+		return cached
+	}
+	out := make(map[cluster.SystemKind]*cluster.ServerResult, 5)
+	for _, k := range cluster.Systems() {
+		out[k] = runOne(sc, cluster.SystemOptions(k))
+	}
+	fiveCache[sc] = out
+	return out
+}
+
+// perServiceP99Row formats one variant's per-service P99s plus the average.
+func perServiceP99Row(r *cluster.ServerResult) []string {
+	cells := make([]string, 0, len(serviceOrder)+1)
+	for _, svc := range serviceOrder {
+		cells = append(cells, ms(r.P99(svc)))
+	}
+	cells = append(cells, ms(r.AvgP99()))
+	return cells
+}
+
+// perServiceP50Row formats medians.
+func perServiceP50Row(r *cluster.ServerResult) []string {
+	cells := make([]string, 0, len(serviceOrder)+1)
+	for _, svc := range serviceOrder {
+		if rec, ok := r.Service[svc]; ok {
+			cells = append(cells, ms(rec.P50()))
+		} else {
+			cells = append(cells, "-")
+		}
+	}
+	cells = append(cells, ms(r.AvgP50()))
+	return cells
+}
+
+// streamFor derives a service's synthetic address-stream parameters from
+// its workload profile: footprint split by the shared fraction, access
+// volume proportional to footprint. Working sets stay modest relative to
+// the hierarchy, per the paper's characterization (§3).
+func streamFor(p *workload.Profile) mem.StreamParams {
+	sp := mem.DefaultStreamParams()
+	lines := p.FootprintKB * 1024 / 64
+	sp.SharedFrac = p.SharedFrac
+	sp.SharedLines = maxI(384, int(float64(lines)*p.SharedFrac*0.45))
+	sp.PrivateLines = maxI(384, int(float64(lines)*(1-p.SharedFrac)*0.5))
+	sp.AccessesPerInvocation = clampI(lines*8, 8000, 40000)
+	// Allocators recycle freed pages, so consecutive invocations touch
+	// mostly the same private addresses.
+	sp.PrivatePool = 1
+	return sp
+}
+
+// pressureStreamFor derives the steady-state L2 stream of a service for
+// the replacement-policy studies (Figures 14, 19): it includes the
+// framework/kernel share of the footprint, which keeps the L2 under
+// realistic pressure (the invocation-level stream of streamFor is what the
+// size-sensitivity study of Figure 7 varies).
+func pressureStreamFor(p *workload.Profile) mem.StreamParams {
+	sp := streamFor(p)
+	sp.SharedLines = sp.SharedLines * 10 / 3
+	sp.PrivateLines = sp.PrivateLines * 4
+	sp.PrivatePool = 0 // steady state streams fresh private data
+	return sp
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// l2ExecFactor converts an L2 hit rate into an execution-time factor via a
+// simple per-access latency model: each memory access costs the L2 round
+// trip on a hit and the memory round trip on a miss, amortized against a
+// fixed compute component.
+func l2ExecFactor(hit float64) float64 {
+	const (
+		compute = 4.0   // cycles of compute per memory access
+		l2Hit   = 13.0  // Table 1 L2 round trip
+		l2Miss  = 200.0 // LLC + memory beyond the L2
+	)
+	amat := hit*l2Hit + (1-hit)*l2Miss
+	return (compute + amat) / (compute + l2Hit)
+}
+
+// cpuShare reports the fraction of a service's end-to-end time spent on
+// CPU (the part cache behaviour scales).
+func cpuShare(p *workload.Profile) float64 {
+	cpu := float64(p.MeanCPU)
+	io := p.MeanIOCalls * float64(p.IOMean)
+	return cpu / (cpu + io)
+}
+
+// scaleLatency applies an execution-factor to the CPU share of a measured
+// latency.
+func scaleLatency(base sim.Duration, p *workload.Profile, factor float64) sim.Duration {
+	share := cpuShare(p)
+	return sim.Duration(float64(base) * (1 + share*(factor-1)))
+}

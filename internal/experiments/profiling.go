@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hardharvest/internal/stats"
+	"hardharvest/internal/workload"
+)
+
+// Profiling reproduces the §4.2.2 validation sweep: across DeathStarBench,
+// TrainTicket, and uSuite services, pages allocated before the framework's
+// serve loop (code, libraries, read-only data) receive the cross-invocation
+// reuse, while post-serve allocations are private to invocations. For every
+// modeled service the experiment replays the allocation lifecycle against
+// the page-classification table and measures the access-level shared
+// fraction.
+func Profiling(sc Scale) *Table {
+	t := &Table{
+		ID:      "profiling",
+		Title:   "Shared-before-serve page classification across benchmark suites (§4.2.2)",
+		Columns: []string{"Service", "Suite", "Shared pages", "Private pages", "Shared access frac", "Profile SharedFrac"},
+	}
+	rng := stats.NewRNG(sc.Seed)
+	total, consistent := 0, 0
+	for _, suite := range workload.Suites() {
+		for _, p := range suite.Services {
+			r := workload.ProfileAllocations(p, rng.Split(uint64(p.FootprintKB)+uint64(len(p.Name))), 25)
+			t.AddRow(p.Name, suite.Name,
+				fmt.Sprintf("%d", r.SharedPages),
+				fmt.Sprintf("%d", r.PrivatePages),
+				f3(r.SharedAccessFrac),
+				f2(p.SharedFrac))
+			total++
+			if d := r.SharedAccessFrac - p.SharedFrac; d > -0.1 && d < 0.1 {
+				consistent++
+			}
+		}
+	}
+	t.Note("%d/%d services confirm the assumption (paper: all of 60+ profiled services)", consistent, total)
+	t.Note("shared pages (pre-serve allocations) receive the cross-invocation reuse; Algorithm 1 keeps them in the non-harvest region")
+	return t
+}

@@ -1,0 +1,127 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner builds the workload, executes the
+// simulation(s), and returns a Table whose rows match what the paper plots;
+// cmd/hhsim prints them, bench_test.go wraps them as benchmarks, and
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hardharvest/internal/sim"
+)
+
+// Scale bounds an experiment's cost. The paper measures 100K invocations
+// across 64 Primary VMs on 8 servers; tests run a single server with a
+// shorter window.
+type Scale struct {
+	// Measure is the per-server measurement window.
+	Measure sim.Duration
+	// Warmup precedes the window.
+	Warmup sim.Duration
+	// Servers is the cluster width for experiments that sweep batch
+	// workloads (Figure 17); other figures use one server.
+	Servers int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Quick returns a test-friendly scale (~seconds of wall clock per figure).
+func Quick() Scale {
+	return Scale{Measure: 400 * sim.Millisecond, Warmup: 40 * sim.Millisecond, Servers: 2, Seed: 1}
+}
+
+// Full returns the paper-scale configuration.
+func Full() Scale {
+	return Scale{Measure: 2 * sim.Second, Warmup: 200 * sim.Millisecond, Servers: 8, Seed: 1}
+}
+
+// Table is one figure's or table's regenerated data.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string // first column is the row label
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one line of a table.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Note appends an explanatory note (paper-expected shape, deviations).
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	writeRow := func(label string, cells []string) {
+		fmt.Fprintf(&b, "%-*s", widths[0]+2, label)
+		for i, c := range cells {
+			w := 12
+			if i+1 < len(widths) {
+				w = widths[i+1] + 2
+			}
+			fmt.Fprintf(&b, "%*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns[0], t.Columns[1:])
+	for _, r := range t.Rows {
+		writeRow(r.Label, r.Cells)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Cell finds a cell by row label and column name (for tests).
+func (t *Table) Cell(row, col string) (string, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i - 1
+		}
+	}
+	if ci < 0 {
+		return "", false
+	}
+	for _, r := range t.Rows {
+		if r.Label == row && ci < len(r.Cells) {
+			return r.Cells[ci], true
+		}
+	}
+	return "", false
+}
+
+func ms(d sim.Duration) string  { return fmt.Sprintf("%.3f", d.Milliseconds()) }
+func pct(f float64) string      { return fmt.Sprintf("%.1f%%", 100*f) }
+func ratio(a, b float64) string { return fmt.Sprintf("%.2fx", a/b) }
+func f2(f float64) string       { return fmt.Sprintf("%.2f", f) }
+func f3(f float64) string       { return fmt.Sprintf("%.3f", f) }

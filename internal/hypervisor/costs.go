@@ -1,0 +1,104 @@
+// Package hypervisor models the software substrate that HardHarvest replaces:
+// hypervisor-mediated core re-assignment (detach/attach calls, global lock,
+// IPI, cross-VM context load), wbinvd-style cache/TLB flushing, and the
+// SmartHarvest-style utilization predictor with an emergency core buffer.
+// The constants come from the paper's measurements (§3).
+package hypervisor
+
+import (
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// ReassignKind selects the software re-assignment implementation.
+type ReassignKind int
+
+const (
+	// ReassignKVM is stock KVM cgroup-based detach/attach: ~5 ms per move,
+	// half spent detaching/attaching and half loading the new VM context.
+	ReassignKVM ReassignKind = iota
+	// ReassignOpt is the SmartHarvest-optimized path: detach/attach cost
+	// reduced to hundreds of microseconds.
+	ReassignOpt
+)
+
+func (k ReassignKind) String() string {
+	if k == ReassignKVM {
+		return "kvm"
+	}
+	return "opt"
+}
+
+// Costs bundles every software-overhead constant the baselines charge.
+type Costs struct {
+	// KVMDetachAttach is the combined detach+attach hypercall cost under
+	// stock KVM (§3: moving a core across VMs takes ~5 ms, half of it on
+	// detach/attach).
+	KVMDetachAttach sim.Duration
+	// KVMContextLoad is the cross-VM context load under stock KVM (the
+	// other half of the ~5 ms).
+	KVMContextLoad sim.Duration
+	// OptDetachAttach is the SmartHarvest-optimized detach+attach
+	// (§3: 100s of microseconds).
+	OptDetachAttach sim.Duration
+	// OptContextLoad is the optimized context load.
+	OptContextLoad sim.Duration
+
+	// WbinvdMin/Max bound the wbinvd flush+invalidate latency
+	// (§3: 300-500 us for a core's hierarchy).
+	WbinvdMin sim.Duration
+	WbinvdMax sim.Duration
+	// FenceExtra is the additional wait for external caches to complete
+	// write-back; the raw instruction does not wait for them, so a safe
+	// implementation adds a fence (§3).
+	FenceExtra sim.Duration
+
+	// ColdExecutionFactor multiplies a request's CPU time when it starts on
+	// cold caches/TLBs (§3: execution takes ~1.2x longer after a flush).
+	ColdExecutionFactor float64
+	// ColdWarmupCPUTime is how much executed CPU time it takes to re-warm
+	// the structures, after which execution returns to the warm factor.
+	ColdWarmupCPUTime sim.Duration
+
+	// PollInterval is how often a software scheduler's polling core
+	// discovers newly ready work (no hardware notification, §4.1.6).
+	PollInterval sim.Duration
+}
+
+// DefaultCosts returns the paper's measured constants.
+func DefaultCosts() Costs {
+	return Costs{
+		KVMDetachAttach: 2500 * sim.Microsecond,
+		KVMContextLoad:  2500 * sim.Microsecond,
+		OptDetachAttach: 250 * sim.Microsecond,
+		OptContextLoad:  100 * sim.Microsecond,
+
+		WbinvdMin:  300 * sim.Microsecond,
+		WbinvdMax:  500 * sim.Microsecond,
+		FenceExtra: 100 * sim.Microsecond,
+
+		ColdExecutionFactor: 1.2,
+		ColdWarmupCPUTime:   100 * sim.Microsecond,
+
+		PollInterval: 5 * sim.Microsecond,
+	}
+}
+
+// ReassignCost reports the software cost of moving a core across VMs under
+// the given implementation, excluding flushes.
+func (c Costs) ReassignCost(k ReassignKind) sim.Duration {
+	if k == ReassignKVM {
+		return c.KVMDetachAttach + c.KVMContextLoad
+	}
+	return c.OptDetachAttach + c.OptContextLoad
+}
+
+// FlushCost samples one wbinvd flush+fence latency.
+func (c Costs) FlushCost(rng *stats.RNG) sim.Duration {
+	span := int64(c.WbinvdMax - c.WbinvdMin)
+	var jitter sim.Duration
+	if span > 0 {
+		jitter = sim.Duration(rng.Int63n(span))
+	}
+	return c.WbinvdMin + jitter + c.FenceExtra
+}

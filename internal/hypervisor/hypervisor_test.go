@@ -1,0 +1,159 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+func TestReassignCosts(t *testing.T) {
+	c := DefaultCosts()
+	// Stock KVM: ~5 ms per move (§3).
+	if got := c.ReassignCost(ReassignKVM); got != 5*sim.Millisecond {
+		t.Fatalf("KVM reassign = %v", got)
+	}
+	// Optimized: hundreds of microseconds.
+	opt := c.ReassignCost(ReassignOpt)
+	if opt < 100*sim.Microsecond || opt > sim.Millisecond {
+		t.Fatalf("Opt reassign = %v, want 100us-1ms", opt)
+	}
+	if opt >= c.ReassignCost(ReassignKVM) {
+		t.Fatal("optimized path should be cheaper than KVM")
+	}
+}
+
+func TestFlushCostRange(t *testing.T) {
+	c := DefaultCosts()
+	rng := stats.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		f := c.FlushCost(rng)
+		lo := c.WbinvdMin + c.FenceExtra
+		hi := c.WbinvdMax + c.FenceExtra
+		if f < lo || f > hi {
+			t.Fatalf("flush cost %v outside [%v,%v]", f, lo, hi)
+		}
+	}
+}
+
+func TestFlushCostZeroSpan(t *testing.T) {
+	c := DefaultCosts()
+	c.WbinvdMax = c.WbinvdMin
+	f := c.FlushCost(stats.NewRNG(2))
+	if f != c.WbinvdMin+c.FenceExtra {
+		t.Fatalf("flush = %v", f)
+	}
+}
+
+func TestReassignKindString(t *testing.T) {
+	if ReassignKVM.String() != "kvm" || ReassignOpt.String() != "opt" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestPredictorPrimesOnFirstWindow(t *testing.T) {
+	p := NewPredictor(0.3)
+	p.Observe(3)
+	p.Observe(1)
+	p.EndWindow()
+	if p.Predicted() != 2 {
+		t.Fatalf("primed usage prediction = %v, want window average 2", p.Predicted())
+	}
+	if p.PredictedPeak() != 3 {
+		t.Fatalf("primed peak prediction = %v, want window max 3", p.PredictedPeak())
+	}
+}
+
+func TestPredictorEWMAConverges(t *testing.T) {
+	p := NewPredictor(0.5)
+	for i := 0; i < 20; i++ {
+		p.Observe(4)
+		p.EndWindow()
+	}
+	if got := p.Predicted(); got < 3.99 || got > 4.01 {
+		t.Fatalf("steady prediction = %v", got)
+	}
+	// Demand drops to 1: prediction decays but stays conservative at first.
+	p.Observe(1)
+	p.EndWindow()
+	if got := p.Predicted(); got <= 1 || got >= 4 {
+		t.Fatalf("post-drop prediction = %v, want (1,4)", got)
+	}
+}
+
+func TestPredictorMissesMicroBursts(t *testing.T) {
+	p := NewPredictor(0.5)
+	// Bursty window: mostly 0 busy cores, one spike of 4. The usage-based
+	// prediction barely moves — the failure mode the paper exploits — while
+	// the peak signal sees the burst.
+	for i := 0; i < 99; i++ {
+		p.Observe(0)
+	}
+	p.Observe(4)
+	p.EndWindow()
+	if p.Predicted() > 0.5 {
+		t.Fatalf("usage prediction = %v, should miss the micro-burst", p.Predicted())
+	}
+	if p.PredictedPeak() != 4 {
+		t.Fatalf("peak prediction = %v, want 4", p.PredictedPeak())
+	}
+}
+
+func TestPredictorPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v should panic", a)
+				}
+			}()
+			NewPredictor(a)
+		}()
+	}
+}
+
+func TestHarvesterLendable(t *testing.T) {
+	h := NewHarvester(DefaultCosts())
+	// Prime VM 1 at demand 1 of 4 cores.
+	for i := 0; i < 10; i++ {
+		h.Observe(1, 1)
+		h.EndWindow()
+	}
+	// 4 bound - 1 predicted - 1 buffer = 2 lendable.
+	if got := h.Lendable(1, 4); got != 2 {
+		t.Fatalf("lendable = %d, want 2", got)
+	}
+	// High demand: nothing to lend, never negative.
+	for i := 0; i < 10; i++ {
+		h.Observe(1, 4)
+		h.EndWindow()
+	}
+	if got := h.Lendable(1, 4); got != 0 {
+		t.Fatalf("lendable at full demand = %d", got)
+	}
+}
+
+func TestHarvesterBufferReducesLending(t *testing.T) {
+	h := NewHarvester(DefaultCosts())
+	for i := 0; i < 10; i++ {
+		h.Observe(1, 0)
+		h.EndWindow()
+	}
+	withBuffer := h.Lendable(1, 4)
+	h.BufferCores = 0
+	noBuffer := h.Lendable(1, 4)
+	if noBuffer != withBuffer+1 {
+		t.Fatalf("buffer accounting: with=%d without=%d", withBuffer, noBuffer)
+	}
+	if noBuffer != 4 {
+		t.Fatalf("idle VM should lend all cores without buffer, got %d", noBuffer)
+	}
+}
+
+func TestHarvesterUnknownVMIsConservative(t *testing.T) {
+	h := NewHarvester(DefaultCosts())
+	// Never-observed VM: prediction 0, lend bound - buffer.
+	if got := h.Lendable(9, 4); got != 3 {
+		t.Fatalf("lendable for fresh VM = %d", got)
+	}
+}

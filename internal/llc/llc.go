@@ -1,0 +1,217 @@
+// Package llc models the shared last-level cache's CAT-style way
+// partitioning (§2.3, §4.2.1): the LLC is divided into one partition per VM
+// using Intel Cache Allocation Technology class-of-service bitmasks, so the
+// LLC never needs to be flushed on a core re-assignment — each VM only ever
+// sees its own ways. The partitioner allocates contiguous way ranges
+// proportional to VM core counts, mirroring how the RQ chunks are shared.
+package llc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes the shared LLC (Table 1: 2 MB x 16 ways per core slice;
+// the CAT masks span the ways).
+type Config struct {
+	// Ways is the associativity the CAT bitmask covers.
+	Ways int
+	// SliceKB is the capacity of one per-core LLC slice.
+	SliceKB int
+	// Slices is the number of LLC slices (one per core).
+	Slices int
+}
+
+// DefaultConfig returns the Table 1 LLC: 36 slices of 2 MB, 16 ways.
+func DefaultConfig() Config {
+	return Config{Ways: 16, SliceKB: 2048, Slices: 36}
+}
+
+// TotalKB reports the LLC capacity.
+func (c Config) TotalKB() int { return c.SliceKB * c.Slices }
+
+// Mask is a CAT class-of-service bitmask over the LLC ways. Intel CAT
+// requires masks to be contiguous runs of set bits.
+type Mask uint32
+
+// NewMask builds a contiguous mask of n ways starting at way lo.
+func NewMask(lo, n int) Mask {
+	var m Mask
+	for i := lo; i < lo+n; i++ {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// Ways counts set bits.
+func (m Mask) Ways() int {
+	n := 0
+	for b := m; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Contiguous reports whether the set bits form one run (a CAT requirement).
+func (m Mask) Contiguous() bool {
+	if m == 0 {
+		return false
+	}
+	// Strip trailing zeros, then the value must be 2^k - 1.
+	for m&1 == 0 {
+		m >>= 1
+	}
+	return m&(m+1) == 0
+}
+
+// Overlaps reports whether two masks share ways.
+func (m Mask) Overlaps(o Mask) bool { return m&o != 0 }
+
+func (m Mask) String() string { return fmt.Sprintf("%016b", uint32(m)) }
+
+// Partitioner assigns CAT masks to VMs in proportion to their core counts.
+type Partitioner struct {
+	cfg   Config
+	vms   map[int]int // vm -> cores
+	order []int
+	masks map[int]Mask
+}
+
+// NewPartitioner builds an empty partitioner.
+func NewPartitioner(cfg Config) *Partitioner {
+	if cfg.Ways <= 0 || cfg.Ways > 32 {
+		panic("llc: ways out of range")
+	}
+	return &Partitioner{cfg: cfg, vms: make(map[int]int), masks: make(map[int]Mask)}
+}
+
+// AddVM registers a VM with its core count and recomputes the masks.
+func (p *Partitioner) AddVM(vm, cores int) error {
+	if cores <= 0 {
+		return fmt.Errorf("llc: VM %d needs cores", vm)
+	}
+	if _, dup := p.vms[vm]; dup {
+		return fmt.Errorf("llc: VM %d already partitioned", vm)
+	}
+	if len(p.vms) >= p.cfg.Ways {
+		return fmt.Errorf("llc: more VMs than ways (%d)", p.cfg.Ways)
+	}
+	p.vms[vm] = cores
+	p.order = append(p.order, vm)
+	p.rebalance()
+	return nil
+}
+
+// RemoveVM deregisters a VM and redistributes its ways.
+func (p *Partitioner) RemoveVM(vm int) error {
+	if _, ok := p.vms[vm]; !ok {
+		return fmt.Errorf("llc: unknown VM %d", vm)
+	}
+	delete(p.vms, vm)
+	delete(p.masks, vm)
+	for i, v := range p.order {
+		if v == vm {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.rebalance()
+	return nil
+}
+
+// rebalance assigns contiguous, non-overlapping way ranges proportional to
+// core counts, every VM getting at least one way.
+func (p *Partitioner) rebalance() {
+	if len(p.order) == 0 {
+		return
+	}
+	total := 0
+	for _, c := range p.vms {
+		total += c
+	}
+	// Largest-remainder apportionment with a floor of 1 way.
+	type share struct {
+		vm    int
+		ways  int
+		fracM int64
+	}
+	shares := make([]share, 0, len(p.order))
+	assigned := 0
+	for _, vm := range p.order {
+		exact := float64(p.cfg.Ways) * float64(p.vms[vm]) / float64(total)
+		w := int(exact)
+		if w < 1 {
+			w = 1
+		}
+		shares = append(shares, share{vm: vm, ways: w, fracM: int64((exact - float64(int(exact))) * 1e6)})
+		assigned += w
+	}
+	// Distribute leftovers by largest remainder; trim overshoot from the
+	// smallest remainders (never below 1).
+	for assigned < p.cfg.Ways {
+		sort.SliceStable(shares, func(i, j int) bool { return shares[i].fracM > shares[j].fracM })
+		shares[0].ways++
+		shares[0].fracM = -1
+		assigned++
+	}
+	for assigned > p.cfg.Ways {
+		sort.SliceStable(shares, func(i, j int) bool { return shares[i].ways > shares[j].ways })
+		if shares[0].ways <= 1 {
+			break
+		}
+		shares[0].ways--
+		assigned--
+	}
+	// Restore registration order, then lay out contiguous ranges.
+	sort.SliceStable(shares, func(i, j int) bool {
+		return indexOf(p.order, shares[i].vm) < indexOf(p.order, shares[j].vm)
+	})
+	lo := 0
+	for _, s := range shares {
+		p.masks[s.vm] = NewMask(lo, s.ways)
+		lo += s.ways
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaskOf reports a VM's CAT mask.
+func (p *Partitioner) MaskOf(vm int) (Mask, bool) {
+	m, ok := p.masks[vm]
+	return m, ok
+}
+
+// PartitionKB reports a VM's LLC capacity share.
+func (p *Partitioner) PartitionKB(vm int) int {
+	m, ok := p.masks[vm]
+	if !ok {
+		return 0
+	}
+	return p.cfg.TotalKB() * m.Ways() / p.cfg.Ways
+}
+
+// Validate checks the CAT invariants: every mask contiguous, non-empty,
+// pairwise disjoint, and all ways covered or spare.
+func (p *Partitioner) Validate() error {
+	var union Mask
+	for vm, m := range p.masks {
+		if !m.Contiguous() {
+			return fmt.Errorf("llc: VM %d mask %v not contiguous", vm, m)
+		}
+		if m.Overlaps(union) {
+			return fmt.Errorf("llc: VM %d mask overlaps another partition", vm)
+		}
+		union |= m
+	}
+	if union.Ways() > p.cfg.Ways {
+		return fmt.Errorf("llc: partitions exceed %d ways", p.cfg.Ways)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package llc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(2, 4) // ways 2-5
+	if m.Ways() != 4 {
+		t.Fatalf("ways = %d", m.Ways())
+	}
+	if !m.Contiguous() {
+		t.Fatal("contiguous run reported non-contiguous")
+	}
+	if Mask(0).Contiguous() {
+		t.Fatal("empty mask reported contiguous")
+	}
+	if Mask(0b1011).Contiguous() {
+		t.Fatal("gapped mask reported contiguous")
+	}
+	if !m.Overlaps(NewMask(5, 1)) {
+		t.Fatal("overlap missed")
+	}
+	if m.Overlaps(NewMask(6, 2)) {
+		t.Fatal("false overlap")
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestPaperServerPartitioning(t *testing.T) {
+	// 8 Primary VMs x 4 cores + 1 Harvest VM x 4 cores over 16 ways:
+	// every VM gets at least 1 way and the ways are fully covered.
+	p := NewPartitioner(DefaultConfig())
+	for vm := 1; vm <= 9; vm++ {
+		if err := p.AddVM(vm, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	totalWays := 0
+	for vm := 1; vm <= 9; vm++ {
+		m, ok := p.MaskOf(vm)
+		if !ok || m.Ways() < 1 {
+			t.Fatalf("VM %d mask missing/empty", vm)
+		}
+		totalWays += m.Ways()
+	}
+	if totalWays != 16 {
+		t.Fatalf("ways covered = %d, want 16", totalWays)
+	}
+	// Equal cores -> shares differ by at most one way.
+	lo, hi := 99, 0
+	for vm := 1; vm <= 9; vm++ {
+		m, _ := p.MaskOf(vm)
+		if m.Ways() < lo {
+			lo = m.Ways()
+		}
+		if m.Ways() > hi {
+			hi = m.Ways()
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("imbalanced equal shares: %d..%d", lo, hi)
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	p := NewPartitioner(DefaultConfig())
+	p.AddVM(1, 12)
+	p.AddVM(2, 4)
+	m1, _ := p.MaskOf(1)
+	m2, _ := p.MaskOf(2)
+	if m1.Ways() <= m2.Ways() {
+		t.Fatalf("12-core VM got %d ways vs 4-core VM's %d", m1.Ways(), m2.Ways())
+	}
+	if p.PartitionKB(1) <= p.PartitionKB(2) {
+		t.Fatal("capacity shares not proportional")
+	}
+	if p.PartitionKB(99) != 0 {
+		t.Fatal("unknown VM capacity")
+	}
+}
+
+func TestAddRemoveErrors(t *testing.T) {
+	p := NewPartitioner(DefaultConfig())
+	if err := p.AddVM(1, 0); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+	if err := p.AddVM(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddVM(1, 4); err == nil {
+		t.Fatal("duplicate VM should fail")
+	}
+	if err := p.RemoveVM(9); err == nil {
+		t.Fatal("unknown VM removal should fail")
+	}
+	if err := p.RemoveVM(1); err != nil {
+		t.Fatal(err)
+	}
+	// After removal another VM takes the whole cache.
+	p.AddVM(2, 4)
+	m, _ := p.MaskOf(2)
+	if m.Ways() != 16 {
+		t.Fatalf("sole VM ways = %d", m.Ways())
+	}
+}
+
+func TestTooManyVMs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 2
+	p := NewPartitioner(cfg)
+	p.AddVM(1, 1)
+	p.AddVM(2, 1)
+	if err := p.AddVM(3, 1); err == nil {
+		t.Fatal("more VMs than ways should fail")
+	}
+}
+
+// Property: any sequence of adds/removes keeps the CAT invariants.
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(ops []struct {
+		Cores  uint8
+		Remove bool
+	}) bool {
+		p := NewPartitioner(DefaultConfig())
+		next := 1
+		active := []int{}
+		for _, op := range ops {
+			if op.Remove && len(active) > 0 {
+				vm := active[0]
+				active = active[1:]
+				if err := p.RemoveVM(vm); err != nil {
+					return false
+				}
+			} else if len(active) < 16 {
+				cores := int(op.Cores)%8 + 1
+				if err := p.AddVM(next, cores); err != nil {
+					return false
+				}
+				active = append(active, next)
+				next++
+			}
+			if err := p.Validate(); err != nil {
+				t.Log(err)
+				return false
+			}
+			// Every active VM holds at least one way.
+			for _, vm := range active {
+				m, ok := p.MaskOf(vm)
+				if !ok || m.Ways() < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,527 @@
+// Package mem models the private cache and TLB hierarchy of a HardHarvest
+// core: set-associative structures with way partitioning into a Harvest and a
+// Non-Harvest region, a per-entry Shared bit, selective flush/invalidate, and
+// the replacement policies evaluated in the paper (LRU, SRRIP, Belady's
+// optimal, and the HardHarvest policy of Algorithm 1).
+package mem
+
+import (
+	"fmt"
+
+	"hardharvest/internal/sim"
+)
+
+// Region selects which ways of a structure the running VM may allocate into.
+type Region int
+
+const (
+	// RegionAll is used while a Primary VM runs: the whole structure is
+	// accessible (§4.2.1).
+	RegionAll Region = iota
+	// RegionHarvest is used while a Harvest VM runs on a loaned core: only
+	// the harvest ways are accessible.
+	RegionHarvest
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionAll:
+		return "all"
+	case RegionHarvest:
+		return "harvest"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// PolicyKind selects the replacement policy of a structure.
+type PolicyKind int
+
+const (
+	// PolicyLRU is least-recently-used replacement.
+	PolicyLRU PolicyKind = iota
+	// PolicySRRIP is 2-bit static re-reference interval prediction [37].
+	PolicySRRIP
+	// PolicyHardHarvest is Algorithm 1: steer shared entries toward
+	// non-harvest ways and private entries toward harvest ways, restricted
+	// to the M least-recently-used eviction candidates.
+	PolicyHardHarvest
+	// PolicyBelady is the offline optimal; it requires future knowledge and
+	// is only usable through SimulateTrace.
+	PolicyBelady
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyLRU:
+		return "LRU"
+	case PolicySRRIP:
+		return "RRIP"
+	case PolicyHardHarvest:
+		return "HardHarvest"
+	case PolicyBelady:
+		return "Belady"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// Config describes one set-associative structure.
+type Config struct {
+	Name        string
+	Sets        int
+	Ways        int
+	LineBytes   int64 // line size for caches, page size for TLBs
+	HitLatency  sim.Duration
+	MissPenalty sim.Duration // added to HitLatency on a miss
+
+	Policy PolicyKind
+	// HarvestWays is the number of ways in the harvest region (Table 1:
+	// 50% of all ways by default). Harvest ways occupy the highest way
+	// indexes.
+	HarvestWays int
+	// EvictionCandidateFrac is M from §4.2.3 as a fraction of the ways
+	// considered when Algorithm 1 must evict a valid entry (Table 1: 75%).
+	// Values <= 0 or >= 1 mean "all ways".
+	EvictionCandidateFrac float64
+}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem: %s: sets/ways must be positive (%d/%d)", c.Name, c.Sets, c.Ways)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("mem: %s: sets must be a power of two (%d)", c.Name, c.Sets)
+	}
+	if c.LineBytes <= 0 {
+		return fmt.Errorf("mem: %s: line bytes must be positive", c.Name)
+	}
+	if c.HarvestWays < 0 || c.HarvestWays > c.Ways {
+		return fmt.Errorf("mem: %s: harvest ways %d out of range [0,%d]", c.Name, c.HarvestWays, c.Ways)
+	}
+	return nil
+}
+
+// SizeBytes reports the capacity of the structure.
+func (c Config) SizeBytes() int64 {
+	return int64(c.Sets) * int64(c.Ways) * c.LineBytes
+}
+
+// Entries reports the number of entries (used for TLBs).
+func (c Config) Entries() int { return c.Sets * c.Ways }
+
+// Stats accumulates access accounting for one structure.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	SharedHits    uint64
+	SharedMisses  uint64
+	PrivateHits   uint64
+	PrivateMisses uint64
+	Invalidations uint64 // entries dropped by flushes
+}
+
+// HitRate reports hits/accesses (0 with no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate reports 1 - HitRate for nonzero access counts.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.SharedHits += other.SharedHits
+	s.SharedMisses += other.SharedMisses
+	s.PrivateHits += other.PrivateHits
+	s.PrivateMisses += other.PrivateMisses
+	s.Invalidations += other.Invalidations
+}
+
+type entry struct {
+	tag     uint64
+	valid   bool
+	shared  bool
+	lastUse uint64
+	rrpv    uint8 // SRRIP re-reference prediction value (0..3)
+}
+
+// Cache is one set-associative structure (cache level or TLB).
+type Cache struct {
+	cfg    Config
+	sets   [][]entry
+	region Region
+	clock  uint64
+	stats  Stats
+
+	setsMask uint64
+	setShift uint
+}
+
+// New builds a structure from its configuration. It panics on invalid
+// configurations: these are programmer errors in experiment setup.
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, setsMask: uint64(cfg.Sets - 1)}
+	for s := int64(1); s < cfg.LineBytes; s <<= 1 {
+		c.setShift++
+	}
+	c.sets = make([][]entry, cfg.Sets)
+	backing := make([]entry, cfg.Sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c
+}
+
+// Config returns the structure's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Region reports the currently accessible region.
+func (c *Cache) Region() Region { return c.region }
+
+// SetRegion switches the accessible region, as done when a core transitions
+// between a Primary and a Harvest VM. Contents are not touched; flushing is a
+// separate, explicit operation.
+func (c *Cache) SetRegion(r Region) { c.region = r }
+
+// isHarvestWay reports whether way w belongs to the harvest region.
+func (c *Cache) isHarvestWay(w int) bool {
+	return w >= c.cfg.Ways-c.cfg.HarvestWays
+}
+
+// waysAccessible returns the range of way indexes the current region may
+// allocate into, as a (first, last] style pair [lo, hi).
+func (c *Cache) waysAccessible() (lo, hi int) {
+	if c.region == RegionHarvest {
+		return c.cfg.Ways - c.cfg.HarvestWays, c.cfg.Ways
+	}
+	return 0, c.cfg.Ways
+}
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.setShift
+	return int(line & c.setsMask), line >> uint(bitsFor(c.cfg.Sets))
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Access performs one access. shared marks the entry's page Shared bit
+// (§4.2.2). It returns whether the access hit and the access latency.
+func (c *Cache) Access(addr uint64, shared bool) (hit bool, lat sim.Duration) {
+	c.clock++
+	c.stats.Accesses++
+	setIdx, tag := c.index(addr)
+	set := c.sets[setIdx]
+	lo, hi := c.waysAccessible()
+	for w := lo; w < hi; w++ {
+		e := &set[w]
+		if e.valid && e.tag == tag {
+			e.lastUse = c.clock
+			e.rrpv = 0
+			// The Shared bit is refreshed from the page table on each fill;
+			// on a hit the bit is already correct by construction, but keep
+			// it in sync in case profiling reclassifies a page.
+			e.shared = shared
+			c.stats.Hits++
+			if shared {
+				c.stats.SharedHits++
+			} else {
+				c.stats.PrivateHits++
+			}
+			return true, c.cfg.HitLatency
+		}
+	}
+	c.stats.Misses++
+	if shared {
+		c.stats.SharedMisses++
+	} else {
+		c.stats.PrivateMisses++
+	}
+	c.insert(setIdx, tag, shared)
+	return false, c.cfg.HitLatency + c.cfg.MissPenalty
+}
+
+// Probe reports whether addr is present without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	setIdx, tag := c.index(addr)
+	lo, hi := c.waysAccessible()
+	for w := lo; w < hi; w++ {
+		e := &c.sets[setIdx][w]
+		if e.valid && e.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) insert(setIdx int, tag uint64, shared bool) {
+	set := c.sets[setIdx]
+	w := c.victim(set, shared)
+	e := &set[w]
+	if e.valid {
+		c.stats.Evictions++
+	}
+	e.valid = true
+	e.tag = tag
+	e.shared = shared
+	e.lastUse = c.clock
+	// SRRIP inserts at "long re-reference interval" (RRPV = 2 of 3).
+	e.rrpv = 2
+}
+
+// victim picks the way to fill according to the configured policy, within the
+// accessible region.
+func (c *Cache) victim(set []entry, shared bool) int {
+	lo, hi := c.waysAccessible()
+	switch c.cfg.Policy {
+	case PolicySRRIP:
+		return c.victimSRRIP(set, lo, hi)
+	case PolicyHardHarvest:
+		if c.region == RegionHarvest {
+			// A Harvest VM only sees harvest ways; within them the default
+			// policy applies.
+			return c.victimLRU(set, lo, hi)
+		}
+		return c.victimHardHarvest(set, shared, lo, hi)
+	case PolicyBelady:
+		panic("mem: Belady requires SimulateTrace (future knowledge)")
+	default:
+		return c.victimLRU(set, lo, hi)
+	}
+}
+
+func (c *Cache) victimLRU(set []entry, lo, hi int) int {
+	best, bestUse := -1, ^uint64(0)
+	for w := lo; w < hi; w++ {
+		e := &set[w]
+		if !e.valid {
+			return w
+		}
+		if e.lastUse < bestUse {
+			best, bestUse = w, e.lastUse
+		}
+	}
+	return best
+}
+
+func (c *Cache) victimSRRIP(set []entry, lo, hi int) int {
+	for w := lo; w < hi; w++ {
+		if !set[w].valid {
+			return w
+		}
+	}
+	for {
+		for w := lo; w < hi; w++ {
+			if set[w].rrpv >= 3 {
+				return w
+			}
+		}
+		for w := lo; w < hi; w++ {
+			if set[w].rrpv < 3 {
+				set[w].rrpv++
+			}
+		}
+	}
+}
+
+// victimHardHarvest implements Algorithm 1 with the hardware priority
+// multiplexers of §4.2.4 and the eviction-candidate window of §4.2.3.
+func (c *Cache) victimHardHarvest(set []entry, shared bool, lo, hi int) int {
+	// Case 1: empty slots exist.
+	emptyHarv, emptyNonHarv := -1, -1
+	for w := lo; w < hi; w++ {
+		if set[w].valid {
+			continue
+		}
+		if c.isHarvestWay(w) {
+			if emptyHarv < 0 {
+				emptyHarv = w
+			}
+		} else if emptyNonHarv < 0 {
+			emptyNonHarv = w
+		}
+	}
+	if emptyHarv >= 0 && emptyNonHarv >= 0 {
+		if shared {
+			return emptyNonHarv
+		}
+		return emptyHarv
+	}
+	if emptyHarv >= 0 {
+		return emptyHarv
+	}
+	if emptyNonHarv >= 0 {
+		return emptyNonHarv
+	}
+
+	// Case 2: no empty slot. Restrict victims to the M least-recently-used
+	// entries (eviction candidates).
+	cands := c.evictionCandidates(set, lo, hi)
+
+	pickLRU := func(match func(w int) bool) int {
+		best, bestUse := -1, ^uint64(0)
+		for _, w := range cands {
+			if !match(w) {
+				continue
+			}
+			if set[w].lastUse < bestUse {
+				best, bestUse = w, set[w].lastUse
+			}
+		}
+		return best
+	}
+	isPriv := func(w int) bool { return !set[w].shared }
+	if shared {
+		// Non-Harv private first, then Harv private, else any (LRU).
+		if w := pickLRU(func(w int) bool { return isPriv(w) && !c.isHarvestWay(w) }); w >= 0 {
+			return w
+		}
+		if w := pickLRU(func(w int) bool { return isPriv(w) && c.isHarvestWay(w) }); w >= 0 {
+			return w
+		}
+	} else {
+		// Harv private first, then Non-Harv private, else any (LRU).
+		if w := pickLRU(func(w int) bool { return isPriv(w) && c.isHarvestWay(w) }); w >= 0 {
+			return w
+		}
+		if w := pickLRU(func(w int) bool { return isPriv(w) && !c.isHarvestWay(w) }); w >= 0 {
+			return w
+		}
+	}
+	// All candidates hold shared entries: pick the default (LRU) victim.
+	return pickLRU(func(int) bool { return true })
+}
+
+// evictionCandidates returns the way indexes of the M least-recently-used
+// valid entries within [lo, hi).
+func (c *Cache) evictionCandidates(set []entry, lo, hi int) []int {
+	n := hi - lo
+	m := n
+	if f := c.cfg.EvictionCandidateFrac; f > 0 && f < 1 {
+		m = int(f*float64(n) + 0.5)
+		if m < 1 {
+			m = 1
+		}
+	}
+	// Selection by repeated minimum; n is at most 16, so O(n*m) is fine and
+	// allocation-free apart from the result slice.
+	cands := make([]int, 0, m)
+	taken := 0
+	var used [64]bool
+	for taken < m {
+		best, bestUse := -1, ^uint64(0)
+		for w := lo; w < hi; w++ {
+			if used[w-lo] || !set[w].valid {
+				continue
+			}
+			if set[w].lastUse < bestUse {
+				best, bestUse = w, set[w].lastUse
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best-lo] = true
+		cands = append(cands, best)
+		taken++
+	}
+	return cands
+}
+
+// FlushAll invalidates every entry, as the software baselines must do on any
+// cross-VM switch (wbinvd semantics, without timing — costs are injected by
+// the cluster model).
+func (c *Cache) FlushAll() (invalidated int) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				c.sets[s][w] = entry{}
+				invalidated++
+			}
+		}
+	}
+	c.stats.Invalidations += uint64(invalidated)
+	return invalidated
+}
+
+// FlushHarvestRegion invalidates only the harvest ways, as HardHarvest does
+// on every cross-VM transition (§4.2.1). The non-harvest region keeps the
+// Primary VM's state.
+func (c *Cache) FlushHarvestRegion() (invalidated int) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.isHarvestWay(w) && c.sets[s][w].valid {
+				c.sets[s][w] = entry{}
+				invalidated++
+			}
+		}
+	}
+	c.stats.Invalidations += uint64(invalidated)
+	return invalidated
+}
+
+// OccupiedEntries reports the number of valid entries, split by region.
+func (c *Cache) OccupiedEntries() (nonHarvest, harvest int) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if !c.sets[s][w].valid {
+				continue
+			}
+			if c.isHarvestWay(w) {
+				harvest++
+			} else {
+				nonHarvest++
+			}
+		}
+	}
+	return nonHarvest, harvest
+}
+
+// SharedEntries reports how many valid entries carry the Shared bit, split
+// by region. Used by tests asserting Algorithm 1 steers shared state into
+// the non-harvest region.
+func (c *Cache) SharedEntries() (nonHarvest, harvest int) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			e := &c.sets[s][w]
+			if !e.valid || !e.shared {
+				continue
+			}
+			if c.isHarvestWay(w) {
+				harvest++
+			} else {
+				nonHarvest++
+			}
+		}
+	}
+	return nonHarvest, harvest
+}

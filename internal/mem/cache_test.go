@@ -1,0 +1,355 @@
+package mem
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+func smallConfig(policy PolicyKind) Config {
+	return Config{
+		Name: "test", Sets: 4, Ways: 4, LineBytes: 64,
+		HitLatency: sim.Cycles(2), MissPenalty: sim.Cycles(10),
+		Policy: policy, HarvestWays: 2, EvictionCandidateFrac: 1.0,
+	}
+}
+
+// addrFor builds an address mapping to the given set with the given tag.
+func addrFor(cfg Config, set int, tag uint64) uint64 {
+	return (tag*uint64(cfg.Sets) + uint64(set)) * uint64(cfg.LineBytes)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "a", Sets: 0, Ways: 4, LineBytes: 64},
+		{Name: "b", Sets: 3, Ways: 4, LineBytes: 64},
+		{Name: "c", Sets: 4, Ways: 0, LineBytes: 64},
+		{Name: "d", Sets: 4, Ways: 4, LineBytes: 0},
+		{Name: "e", Sets: 4, Ways: 4, LineBytes: 64, HarvestWays: 5},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %q should panic", cfg.Name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestConfigSize(t *testing.T) {
+	cfg := Config{Name: "sz", Sets: 64, Ways: 12, LineBytes: 64}
+	if cfg.SizeBytes() != 48*1024 {
+		t.Fatalf("SizeBytes = %d", cfg.SizeBytes())
+	}
+	if cfg.Entries() != 768 {
+		t.Fatalf("Entries = %d", cfg.Entries())
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	a := addrFor(c.cfg, 0, 1)
+	hit, lat := c.Access(a, true)
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	if lat != sim.Cycles(2)+sim.Cycles(10) {
+		t.Fatalf("miss latency = %v", lat)
+	}
+	hit, lat = c.Access(a, true)
+	if !hit {
+		t.Fatal("second access should hit")
+	}
+	if lat != sim.Cycles(2) {
+		t.Fatalf("hit latency = %v", lat)
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.SharedHits != 1 || s.SharedMisses != 1 {
+		t.Fatalf("shared stats = %+v", s)
+	}
+}
+
+func TestSameSetDifferentTags(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(addrFor(c.cfg, 2, tag), false)
+	}
+	// All four should now be resident.
+	for tag := uint64(1); tag <= 4; tag++ {
+		if !c.Probe(addrFor(c.cfg, 2, tag)) {
+			t.Fatalf("tag %d not resident", tag)
+		}
+	}
+	// A fifth tag evicts the LRU (tag 1).
+	c.Access(addrFor(c.cfg, 2, 5), false)
+	if c.Probe(addrFor(c.cfg, 2, 1)) {
+		t.Fatal("tag 1 should have been evicted (LRU)")
+	}
+	if !c.Probe(addrFor(c.cfg, 2, 2)) {
+		t.Fatal("tag 2 should still be resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestLRUTouchPreventsEviction(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(addrFor(c.cfg, 0, tag), false)
+	}
+	c.Access(addrFor(c.cfg, 0, 1), false) // touch tag 1: now tag 2 is LRU
+	c.Access(addrFor(c.cfg, 0, 9), false)
+	if !c.Probe(addrFor(c.cfg, 0, 1)) {
+		t.Fatal("recently-touched tag 1 evicted")
+	}
+	if c.Probe(addrFor(c.cfg, 0, 2)) {
+		t.Fatal("tag 2 should have been evicted")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	for tag := uint64(1); tag <= 8; tag++ {
+		c.Access(addrFor(c.cfg, int(tag)%4, tag), tag%2 == 0)
+	}
+	n := c.FlushAll()
+	if n != 8 {
+		t.Fatalf("invalidated %d, want 8", n)
+	}
+	nh, h := c.OccupiedEntries()
+	if nh+h != 0 {
+		t.Fatalf("entries remain after flush: %d/%d", nh, h)
+	}
+	if c.Stats().Invalidations != 8 {
+		t.Fatalf("invalidation stat = %d", c.Stats().Invalidations)
+	}
+	// Double flush is a no-op.
+	if c.FlushAll() != 0 {
+		t.Fatal("second flush invalidated entries")
+	}
+}
+
+func TestFlushHarvestRegionOnly(t *testing.T) {
+	c := New(smallConfig(PolicyLRU)) // ways 0,1 non-harvest; 2,3 harvest
+	// Fill one set completely.
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(addrFor(c.cfg, 0, tag), false)
+	}
+	nh0, h0 := c.OccupiedEntries()
+	if nh0 != 2 || h0 != 2 {
+		t.Fatalf("occupancy before = %d/%d", nh0, h0)
+	}
+	n := c.FlushHarvestRegion()
+	if n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	nh, h := c.OccupiedEntries()
+	if nh != 2 || h != 0 {
+		t.Fatalf("occupancy after = %d/%d", nh, h)
+	}
+}
+
+func TestRegionRestrictsHarvestAllocation(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	c.SetRegion(RegionHarvest)
+	if c.Region() != RegionHarvest {
+		t.Fatal("region not set")
+	}
+	for tag := uint64(1); tag <= 6; tag++ {
+		c.Access(addrFor(c.cfg, 1, tag), false)
+	}
+	nh, h := c.OccupiedEntries()
+	if nh != 0 {
+		t.Fatalf("harvest VM allocated %d non-harvest entries", nh)
+	}
+	if h != 2 {
+		t.Fatalf("harvest occupancy = %d, want 2 (only 2 harvest ways)", h)
+	}
+}
+
+func TestHarvestCannotHitNonHarvestWays(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	// Primary fills the set; shared entries land anywhere under LRU.
+	a := addrFor(c.cfg, 0, 7)
+	c.Access(a, true)
+	if !c.Probe(a) {
+		t.Fatal("primary line missing")
+	}
+	c.SetRegion(RegionHarvest)
+	c.FlushHarvestRegion()
+	// With region restricted, a probe of a line in a non-harvest way fails.
+	if c.Probe(a) {
+		t.Fatal("harvest region probe hit a non-harvest way")
+	}
+}
+
+func TestSRRIPKeepsReusedLines(t *testing.T) {
+	cfg := smallConfig(PolicySRRIP)
+	cfg.HarvestWays = 0
+	c := New(cfg)
+	// Lines 1 and 2 are hot (RRPV 0); 3 and 4 are inserted but never reused.
+	for i := 0; i < 4; i++ {
+		c.Access(addrFor(cfg, 0, 1), true)
+		c.Access(addrFor(cfg, 0, 2), true)
+	}
+	c.Access(addrFor(cfg, 0, 3), false)
+	c.Access(addrFor(cfg, 0, 4), false)
+	// Streaming fills should evict the never-reused lines, not the hot ones.
+	c.Access(addrFor(cfg, 0, 5), false)
+	c.Access(addrFor(cfg, 0, 6), false)
+	if !c.Probe(addrFor(cfg, 0, 1)) || !c.Probe(addrFor(cfg, 0, 2)) {
+		t.Fatal("SRRIP evicted a hot line")
+	}
+	if c.Probe(addrFor(cfg, 0, 3)) || c.Probe(addrFor(cfg, 0, 4)) {
+		t.Fatal("SRRIP kept cold streaming lines over new fills")
+	}
+}
+
+func TestHardHarvestSteersSharedToNonHarvest(t *testing.T) {
+	c := New(smallConfig(PolicyHardHarvest))
+	// Insert 2 shared and 2 private entries into an empty set.
+	c.Access(addrFor(c.cfg, 0, 1), true)
+	c.Access(addrFor(c.cfg, 0, 2), true)
+	c.Access(addrFor(c.cfg, 0, 3), false)
+	c.Access(addrFor(c.cfg, 0, 4), false)
+	nhShared, hShared := c.SharedEntries()
+	if nhShared != 2 || hShared != 0 {
+		t.Fatalf("shared placement = %d non-harvest, %d harvest", nhShared, hShared)
+	}
+	// A harvest flush must not touch the shared entries.
+	c.FlushHarvestRegion()
+	if !c.Probe(addrFor(c.cfg, 0, 1)) || !c.Probe(addrFor(c.cfg, 0, 2)) {
+		t.Fatal("harvest flush removed shared entries in non-harvest ways")
+	}
+	if c.Probe(addrFor(c.cfg, 0, 3)) || c.Probe(addrFor(c.cfg, 0, 4)) {
+		t.Fatal("harvest flush kept private entries in harvest ways")
+	}
+}
+
+func TestHardHarvestSharedEvictsPrivateFirst(t *testing.T) {
+	c := New(smallConfig(PolicyHardHarvest))
+	// Fill: 2 shared in non-harvest, 2 private in harvest.
+	c.Access(addrFor(c.cfg, 0, 1), true)
+	c.Access(addrFor(c.cfg, 0, 2), true)
+	c.Access(addrFor(c.cfg, 0, 3), false)
+	c.Access(addrFor(c.cfg, 0, 4), false)
+	// Incoming shared entry: no empty slots, no private in non-harvest, so it
+	// must evict a private entry in the harvest region, not a shared one.
+	c.Access(addrFor(c.cfg, 0, 5), true)
+	if !c.Probe(addrFor(c.cfg, 0, 1)) || !c.Probe(addrFor(c.cfg, 0, 2)) {
+		t.Fatal("incoming shared evicted a shared entry while private existed")
+	}
+	if c.Probe(addrFor(c.cfg, 0, 3)) {
+		t.Fatal("LRU private entry (tag 3) survived")
+	}
+}
+
+func TestHardHarvestPrivateEvictsHarvestPrivateFirst(t *testing.T) {
+	c := New(smallConfig(PolicyHardHarvest))
+	c.Access(addrFor(c.cfg, 0, 1), true)  // non-harvest
+	c.Access(addrFor(c.cfg, 0, 2), false) // harvest
+	c.Access(addrFor(c.cfg, 0, 3), false) // harvest
+	c.Access(addrFor(c.cfg, 0, 4), false) // non-harvest (harvest full)
+	// Incoming private: should evict LRU private in the harvest region
+	// (tag 2), not the one in non-harvest (tag 4), and never the shared.
+	c.Access(addrFor(c.cfg, 0, 5), false)
+	if c.Probe(addrFor(c.cfg, 0, 2)) {
+		t.Fatal("tag 2 (harvest private, LRU) should be evicted")
+	}
+	if !c.Probe(addrFor(c.cfg, 0, 4)) || !c.Probe(addrFor(c.cfg, 0, 1)) {
+		t.Fatal("wrong victim for incoming private entry")
+	}
+}
+
+func TestHardHarvestAllSharedFallsBackToLRU(t *testing.T) {
+	c := New(smallConfig(PolicyHardHarvest))
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(addrFor(c.cfg, 0, tag), true)
+	}
+	// All shared; incoming private evicts the LRU shared entry (tag 1).
+	c.Access(addrFor(c.cfg, 0, 9), false)
+	if c.Probe(addrFor(c.cfg, 0, 1)) {
+		t.Fatal("LRU shared entry should be the fallback victim")
+	}
+}
+
+func TestEvictionCandidateWindowProtectsMRU(t *testing.T) {
+	cfg := smallConfig(PolicyHardHarvest)
+	cfg.EvictionCandidateFrac = 0.5 // only the 2 LRU entries are candidates
+	c := New(cfg)
+	// Insert private entries; tags 3,4 are most recently used.
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(addrFor(cfg, 0, tag), false)
+	}
+	// Incoming shared wants a non-harvest private victim, but tags in
+	// non-harvest ways may be outside the candidate window. The invariant we
+	// check: the victim must be one of the two LRU entries (tags 1 or 2).
+	c.Access(addrFor(cfg, 0, 9), true)
+	if !c.Probe(addrFor(cfg, 0, 3)) || !c.Probe(addrFor(cfg, 0, 4)) {
+		t.Fatal("candidate window failed to protect MRU entries")
+	}
+	if c.Probe(addrFor(cfg, 0, 1)) && c.Probe(addrFor(cfg, 0, 2)) {
+		t.Fatal("no LRU entry was evicted")
+	}
+}
+
+func TestBeladyPanicsOnline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("online Belady access should panic")
+		}
+	}()
+	c := New(smallConfig(PolicyBelady))
+	c.Access(0, false)
+	c.Access(4096*64, false)
+	c.Access(2*4096*64, false)
+	c.Access(3*4096*64, false)
+	c.Access(4*4096*64, false) // forces a victim decision
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(smallConfig(PolicyLRU))
+	c.Access(0, false)
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Probe(0) {
+		t.Fatal("reset stats must not flush contents")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Accesses: 10, Hits: 6, Misses: 4, Evictions: 1, SharedHits: 3, PrivateMisses: 2}
+	b := Stats{Accesses: 5, Hits: 5, Invalidations: 7}
+	a.Add(b)
+	if a.Accesses != 15 || a.Hits != 11 || a.Invalidations != 7 {
+		t.Fatalf("Add = %+v", a)
+	}
+	if r := a.HitRate(); r != 11.0/15.0 {
+		t.Fatalf("HitRate = %v", r)
+	}
+	if (Stats{}).HitRate() != 0 || (Stats{}).MissRate() != 0 {
+		t.Fatal("empty stats rates should be 0")
+	}
+}
+
+func TestPolicyAndRegionStrings(t *testing.T) {
+	if PolicyLRU.String() != "LRU" || PolicySRRIP.String() != "RRIP" ||
+		PolicyHardHarvest.String() != "HardHarvest" || PolicyBelady.String() != "Belady" {
+		t.Fatal("policy names wrong")
+	}
+	if RegionAll.String() != "all" || RegionHarvest.String() != "harvest" {
+		t.Fatal("region names wrong")
+	}
+	if PolicyKind(99).String() == "" || Region(99).String() == "" {
+		t.Fatal("unknown enum strings empty")
+	}
+}

@@ -1,0 +1,232 @@
+package mem
+
+import "hardharvest/internal/sim"
+
+// Table 1 structure configurations for the modeled Sunny Cove-like core.
+// Latencies are round trips in cycles at 3 GHz.
+
+// StructKind names a private structure of the core.
+type StructKind int
+
+const (
+	// L1D is the L1 data cache.
+	L1D StructKind = iota
+	// L1I is the L1 instruction cache.
+	L1I
+	// L2 is the unified private L2 cache.
+	L2
+	// L1TLB is the first-level TLB.
+	L1TLB
+	// L2TLB is the second-level unified TLB.
+	L2TLB
+	numStructs
+)
+
+func (k StructKind) String() string {
+	switch k {
+	case L1D:
+		return "L1D"
+	case L1I:
+		return "L1I"
+	case L2:
+		return "L2"
+	case L1TLB:
+		return "L1TLB"
+	case L2TLB:
+		return "L2TLB"
+	default:
+		return "?"
+	}
+}
+
+// HierarchyParams scale the default Table 1 configuration, for the paper's
+// sensitivity studies (Figure 7 shrinks the ways of every structure; Figure
+// 19 varies the eviction-candidate fraction).
+type HierarchyParams struct {
+	Policy PolicyKind
+	// WayFraction scales the number of ways of every structure (1.0, 0.75,
+	// 0.5, 0.25 in Figure 7). Values <= 0 default to 1.
+	WayFraction float64
+	// HarvestFraction is the fraction of (scaled) ways in the harvest
+	// region (Table 1: 0.5).
+	HarvestFraction float64
+	// EvictionCandidateFrac is M (Table 1: 0.75).
+	EvictionCandidateFrac float64
+	// L3MissLatency is the memory round trip beyond the LLC.
+	L3MissLatency sim.Duration
+	// UseWalker replaces the flat L2-TLB miss penalty with a modeled
+	// 4-level page walk through page-walk caches.
+	UseWalker bool
+}
+
+// DefaultHierarchyParams returns the Table 1 defaults with the HardHarvest
+// policy.
+func DefaultHierarchyParams() HierarchyParams {
+	return HierarchyParams{
+		Policy:                PolicyHardHarvest,
+		WayFraction:           1.0,
+		HarvestFraction:       0.5,
+		EvictionCandidateFrac: 0.75,
+		L3MissLatency:         sim.Cycles(220), // DDR4-3200 round trip
+	}
+}
+
+func scaleWays(ways int, frac float64) int {
+	if frac <= 0 {
+		frac = 1
+	}
+	w := int(float64(ways)*frac + 0.5)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func harvestWays(ways int, frac float64) int {
+	h := int(float64(ways)*frac + 0.5)
+	if h < 0 {
+		h = 0
+	}
+	if h > ways {
+		h = ways
+	}
+	return h
+}
+
+// StructConfig returns the Table 1 configuration for one structure under the
+// given parameters.
+func StructConfig(kind StructKind, p HierarchyParams) Config {
+	base := map[StructKind]Config{
+		// 48KB, 12-way, 5-cycle RT, 64B lines.
+		L1D: {Name: "L1D", Sets: 64, Ways: 12, LineBytes: 64, HitLatency: sim.Cycles(5), MissPenalty: sim.Cycles(8)},
+		// 32KB, 8-way, 5-cycle RT, 64B lines.
+		L1I: {Name: "L1I", Sets: 64, Ways: 8, LineBytes: 64, HitLatency: sim.Cycles(5), MissPenalty: sim.Cycles(8)},
+		// 512KB, 8-way, 13-cycle RT.
+		L2: {Name: "L2", Sets: 1024, Ways: 8, HitLatency: sim.Cycles(13), LineBytes: 64, MissPenalty: sim.Cycles(23)},
+		// 128 entries, 4-way, 2-cycle RT, 4KB pages.
+		L1TLB: {Name: "L1TLB", Sets: 32, Ways: 4, LineBytes: 4096, HitLatency: sim.Cycles(2), MissPenalty: sim.Cycles(10)},
+		// 2048 entries, 8-way, 12-cycle RT.
+		L2TLB: {Name: "L2TLB", Sets: 256, Ways: 8, LineBytes: 4096, HitLatency: sim.Cycles(12), MissPenalty: sim.Cycles(30)},
+	}[kind]
+	base.Ways = scaleWays(base.Ways, p.WayFraction)
+	base.Policy = p.Policy
+	base.HarvestWays = harvestWays(base.Ways, p.HarvestFraction)
+	base.EvictionCandidateFrac = p.EvictionCandidateFrac
+	return base
+}
+
+// Hierarchy bundles the five private structures of a core and computes a
+// simple average-memory-access-time model from their hit rates.
+type Hierarchy struct {
+	L1D, L1I, L2, L1TLB, L2TLB *Cache
+	Walker                     *PageWalker
+	params                     HierarchyParams
+}
+
+// NewHierarchy builds the five structures under the given parameters.
+func NewHierarchy(p HierarchyParams) *Hierarchy {
+	h := &Hierarchy{
+		L1D:    New(StructConfig(L1D, p)),
+		L1I:    New(StructConfig(L1I, p)),
+		L2:     New(StructConfig(L2, p)),
+		L1TLB:  New(StructConfig(L1TLB, p)),
+		L2TLB:  New(StructConfig(L2TLB, p)),
+		params: p,
+	}
+	if p.UseWalker {
+		h.Walker = NewPageWalker(DefaultWalkerConfig())
+	}
+	return h
+}
+
+// All returns the five structures in a fixed order.
+func (h *Hierarchy) All() []*Cache {
+	return []*Cache{h.L1D, h.L1I, h.L2, h.L1TLB, h.L2TLB}
+}
+
+// SetRegion switches the accessible region on every structure.
+func (h *Hierarchy) SetRegion(r Region) {
+	for _, c := range h.All() {
+		c.SetRegion(r)
+	}
+}
+
+// FlushAll invalidates every structure (and the page-walk caches, which
+// also hold translations); returns total entries invalidated.
+func (h *Hierarchy) FlushAll() int {
+	n := 0
+	for _, c := range h.All() {
+		n += c.FlushAll()
+	}
+	if h.Walker != nil {
+		h.Walker.Flush()
+	}
+	return n
+}
+
+// FlushHarvestRegion invalidates the harvest ways of every structure.
+func (h *Hierarchy) FlushHarvestRegion() int {
+	n := 0
+	for _, c := range h.All() {
+		n += c.FlushHarvestRegion()
+	}
+	return n
+}
+
+// AccessData performs a data access through L1TLB→L2TLB and L1D→L2,
+// returning the total latency. isInstr selects the instruction path
+// (L1I→L2). Addresses are physical in this model; the TLB is consulted on
+// the page of the address.
+func (h *Hierarchy) AccessData(addr uint64, shared, isInstr bool) sim.Duration {
+	var lat sim.Duration
+	page := addr &^ 4095
+	if hit, l := h.L1TLB.Access(page, shared); hit {
+		lat += l
+	} else {
+		lat += l // L1 TLB probe cost
+		if hit2, l2 := h.L2TLB.Access(page, shared); hit2 {
+			lat += l2
+		} else if h.Walker != nil {
+			lat += h.L2TLB.Config().HitLatency // probe before walking
+			lat += h.Walker.Walk(addr)
+		} else {
+			lat += l2 // page walk folded into L2 TLB miss penalty
+		}
+	}
+	l1 := h.L1D
+	if isInstr {
+		l1 = h.L1I
+	}
+	if hit, l := l1.Access(addr, shared); hit {
+		return lat + l
+	} else {
+		lat += l
+	}
+	if hit, l := h.L2.Access(addr, shared); hit {
+		return lat + l
+	} else {
+		lat += l
+	}
+	// LLC is modeled as a fixed extra latency plus memory beyond it; the LLC
+	// itself is CAT-partitioned per VM and essentially always warm for the
+	// small microservice footprints (§3), so we charge its round trip plus a
+	// probabilistic memory access folded into L3MissLatency by the caller's
+	// calibration.
+	return lat + h.params.L3MissLatency
+}
+
+// TotalStats sums the stats of all five structures.
+func (h *Hierarchy) TotalStats() Stats {
+	var s Stats
+	for _, c := range h.All() {
+		s.Add(c.Stats())
+	}
+	return s
+}
+
+// ResetStats clears stats on all structures.
+func (h *Hierarchy) ResetStats() {
+	for _, c := range h.All() {
+		c.ResetStats()
+	}
+}

@@ -1,0 +1,225 @@
+package mem
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+func TestTable1Shapes(t *testing.T) {
+	p := DefaultHierarchyParams()
+	cases := []struct {
+		kind    StructKind
+		bytes   int64
+		entries int
+		ways    int
+	}{
+		{L1D, 48 * 1024, 0, 12},
+		{L1I, 32 * 1024, 0, 8},
+		{L2, 512 * 1024, 0, 8},
+		{L1TLB, 0, 128, 4},
+		{L2TLB, 0, 2048, 8},
+	}
+	for _, c := range cases {
+		cfg := StructConfig(c.kind, p)
+		if c.bytes > 0 && cfg.SizeBytes() != c.bytes {
+			t.Errorf("%v size = %d, want %d", c.kind, cfg.SizeBytes(), c.bytes)
+		}
+		if c.entries > 0 && cfg.Entries() != c.entries {
+			t.Errorf("%v entries = %d, want %d", c.kind, cfg.Entries(), c.entries)
+		}
+		if cfg.Ways != c.ways {
+			t.Errorf("%v ways = %d, want %d", c.kind, cfg.Ways, c.ways)
+		}
+		if cfg.HarvestWays != c.ways/2 {
+			t.Errorf("%v harvest ways = %d, want %d", c.kind, cfg.HarvestWays, c.ways/2)
+		}
+	}
+}
+
+func TestWayScaling(t *testing.T) {
+	p := DefaultHierarchyParams()
+	p.WayFraction = 0.5
+	cfg := StructConfig(L1D, p)
+	if cfg.Ways != 6 {
+		t.Fatalf("scaled L1D ways = %d, want 6", cfg.Ways)
+	}
+	p.WayFraction = 0.25
+	cfg = StructConfig(L1TLB, p)
+	if cfg.Ways != 1 {
+		t.Fatalf("scaled L1TLB ways = %d, want 1", cfg.Ways)
+	}
+	if cfg.HarvestWays > cfg.Ways {
+		t.Fatal("harvest ways exceed ways after scaling")
+	}
+	// Zero/negative fraction defaults to full size.
+	p.WayFraction = 0
+	if StructConfig(L2, p).Ways != 8 {
+		t.Fatal("zero fraction should default to full ways")
+	}
+}
+
+func TestHierarchyAccessPath(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyParams())
+	// First access: TLB miss + L1D miss + L2 miss + memory.
+	lat1 := h.AccessData(0x1000, true, false)
+	// Second access to the same line: everything hits.
+	lat2 := h.AccessData(0x1000, true, false)
+	if lat2 >= lat1 {
+		t.Fatalf("warm access %v should be faster than cold %v", lat2, lat1)
+	}
+	wantWarm := sim.Cycles(2) + sim.Cycles(5) // L1TLB hit + L1D hit
+	if lat2 != wantWarm {
+		t.Fatalf("warm latency = %v, want %v", lat2, wantWarm)
+	}
+	if h.L1D.Stats().Hits != 1 || h.L1TLB.Stats().Hits != 1 {
+		t.Fatalf("hierarchy stats: L1D=%+v L1TLB=%+v", h.L1D.Stats(), h.L1TLB.Stats())
+	}
+}
+
+func TestHierarchyInstructionPath(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyParams())
+	h.AccessData(0x2000, true, true)
+	if h.L1I.Stats().Accesses != 1 {
+		t.Fatal("instruction access did not touch L1I")
+	}
+	if h.L1D.Stats().Accesses != 0 {
+		t.Fatal("instruction access touched L1D")
+	}
+}
+
+func TestHierarchyFlushAndRegion(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyParams())
+	for i := 0; i < 100; i++ {
+		h.AccessData(uint64(i)*64, i%2 == 0, false)
+	}
+	h.SetRegion(RegionHarvest)
+	for _, c := range h.All() {
+		if c.Region() != RegionHarvest {
+			t.Fatalf("%s region not switched", c.Config().Name)
+		}
+	}
+	n := h.FlushHarvestRegion()
+	if n == 0 {
+		t.Fatal("harvest flush invalidated nothing")
+	}
+	total := h.FlushAll()
+	if total == 0 {
+		t.Fatal("full flush invalidated nothing")
+	}
+	nh, hv := h.L1D.OccupiedEntries()
+	if nh+hv != 0 {
+		t.Fatal("entries remain after full flush")
+	}
+}
+
+func TestHierarchyTotalStatsAndReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyParams())
+	h.AccessData(0x42, false, false)
+	s := h.TotalStats()
+	if s.Accesses == 0 {
+		t.Fatal("TotalStats empty after access")
+	}
+	h.ResetStats()
+	if h.TotalStats().Accesses != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestStreamGenShapes(t *testing.T) {
+	p := DefaultStreamParams()
+	g := NewStreamGen(p, stats.NewRNG(5))
+	var tr Trace
+	g.AppendInvocation(&tr)
+	if tr.Accesses() != p.AccessesPerInvocation {
+		t.Fatalf("accesses = %d, want %d", tr.Accesses(), p.AccessesPerInvocation)
+	}
+	shared, private := 0, 0
+	for _, e := range tr {
+		if e.Kind != EvAccess {
+			continue
+		}
+		if e.Shared {
+			shared++
+			if e.Addr < sharedBase || e.Addr >= privateBase {
+				t.Fatalf("shared access outside shared space: %#x", e.Addr)
+			}
+		} else {
+			private++
+			if e.Addr < privateBase || e.Addr >= harvestBase {
+				t.Fatalf("private access outside private space: %#x", e.Addr)
+			}
+		}
+	}
+	frac := float64(shared) / float64(shared+private)
+	if frac < p.SharedFrac-0.05 || frac > p.SharedFrac+0.05 {
+		t.Fatalf("shared fraction = %.3f, want ~%.2f", frac, p.SharedFrac)
+	}
+}
+
+func TestStreamGenHarvestEpisode(t *testing.T) {
+	p := DefaultStreamParams()
+	g := NewStreamGen(p, stats.NewRNG(6))
+	var tr Trace
+	g.AppendHarvestEpisode(&tr)
+	if tr[0].Kind != EvFlushHarvest {
+		t.Fatal("episode must start with a harvest flush (side-channel rule)")
+	}
+	if tr[1].Kind != EvSetRegion || tr[1].Region != RegionHarvest {
+		t.Fatal("episode must switch to the harvest region")
+	}
+	last := tr[len(tr)-1]
+	if last.Kind != EvFlushHarvest {
+		t.Fatal("episode must end with the return-path harvest flush")
+	}
+	if tr[len(tr)-2].Kind != EvSetRegion || tr[len(tr)-2].Region != RegionAll {
+		t.Fatal("episode must restore the full region for the Primary VM")
+	}
+	for _, e := range tr {
+		if e.Kind == EvAccess && e.Addr < harvestBase {
+			t.Fatalf("harvest access in primary space: %#x", e.Addr)
+		}
+	}
+}
+
+func TestGenerateHarvestingTraceDeterminism(t *testing.T) {
+	p := DefaultStreamParams()
+	a := GenerateHarvestingTrace(p, 7, 5, 2)
+	b := GenerateHarvestingTrace(p, 7, 5, 2)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+	c := GenerateHarvestingTrace(p, 8, 5, 2)
+	same := true
+	if len(a) == len(c) {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestStructKindString(t *testing.T) {
+	names := map[StructKind]string{L1D: "L1D", L1I: "L1I", L2: "L2", L1TLB: "L1TLB", L2TLB: "L2TLB"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", k, k.String(), want)
+		}
+	}
+	if StructKind(42).String() != "?" {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,122 @@
+package mem
+
+import "hardharvest/internal/sim"
+
+// Page-table walker model: an L2 TLB miss triggers a 4-level radix walk
+// (PML4 -> PDPT -> PD -> PT on x86-64). Hardware page-walk caches (PWCs)
+// hold the upper-level entries, so most walks only fetch the leaf PTE. The
+// walker refines the flat L2-TLB miss penalty used by the simpler model.
+
+// WalkerConfig sizes the page-walk caches and memory latencies.
+type WalkerConfig struct {
+	// Levels is the radix-tree depth (4 for x86-64 4 KiB pages).
+	Levels int
+	// PWCEntries is the per-level page-walk-cache capacity (levels above
+	// the leaf; the leaf PTE is never PWC-cached).
+	PWCEntries int
+	// PWCLatency is a PWC hit.
+	PWCLatency sim.Duration
+	// StepLatency is one page-table fetch from the cache hierarchy when
+	// the PWC misses (PTEs usually hit in L2/LLC).
+	StepLatency sim.Duration
+}
+
+// DefaultWalkerConfig returns a Sunny Cove-like walker: 4 levels, 32-entry
+// PWCs, 2-cycle PWC hits, 40-cycle table fetches.
+func DefaultWalkerConfig() WalkerConfig {
+	return WalkerConfig{
+		Levels:      4,
+		PWCEntries:  32,
+		PWCLatency:  sim.Cycles(2),
+		StepLatency: sim.Cycles(40),
+	}
+}
+
+// PageWalker performs walks and tracks PWC contents per level.
+type PageWalker struct {
+	cfg  WalkerConfig
+	pwcs []*Cache // one per non-leaf level
+	// Stats.
+	walks   uint64
+	pwcHits uint64
+	fetches uint64
+}
+
+// NewPageWalker builds a walker with cold page-walk caches.
+func NewPageWalker(cfg WalkerConfig) *PageWalker {
+	if cfg.Levels < 2 || cfg.PWCEntries <= 0 {
+		panic("mem: invalid walker config")
+	}
+	w := &PageWalker{cfg: cfg}
+	for l := 0; l < cfg.Levels-1; l++ {
+		sets := 1
+		ways := cfg.PWCEntries
+		if cfg.PWCEntries >= 8 {
+			sets = cfg.PWCEntries / 8
+			ways = 8
+		}
+		// Round sets down to a power of two.
+		for sets&(sets-1) != 0 {
+			sets--
+		}
+		w.pwcs = append(w.pwcs, New(Config{
+			Name: "PWC", Sets: sets, Ways: ways, LineBytes: 1,
+			Policy: PolicyLRU,
+		}))
+	}
+	return w
+}
+
+// levelTag computes the page-table-entry identity covering addr at the
+// given level: level 0 (root) covers 512 GiB regions, the last PWC level
+// covers 2 MiB regions.
+func levelTag(addr uint64, level, levels int) uint64 {
+	// 4 KiB pages, 9 bits per level: leaf covers 12 bits, each level above
+	// adds 9.
+	shift := uint(12 + 9*(levels-1-level))
+	return addr >> shift
+}
+
+// Walk performs one page walk for addr and returns its latency. Upper
+// levels that hit in the PWC are skipped; every level below the deepest
+// PWC hit is fetched from the memory hierarchy.
+func (w *PageWalker) Walk(addr uint64) sim.Duration {
+	w.walks++
+	var lat sim.Duration
+	// Find the deepest PWC level that hits; all levels above are skipped
+	// too (the PWC caches the translation prefix).
+	start := 0
+	for l := len(w.pwcs) - 1; l >= 0; l-- {
+		tag := levelTag(addr, l, w.cfg.Levels)
+		if w.pwcs[l].Probe(tag) {
+			start = l + 1
+			break
+		}
+	}
+	lat += w.cfg.PWCLatency // PWC lookup happens regardless
+	if start > 0 {
+		w.pwcHits++
+	}
+	// Fetch the remaining levels and fill the PWCs.
+	for l := start; l < w.cfg.Levels; l++ {
+		lat += w.cfg.StepLatency
+		w.fetches++
+		if l < len(w.pwcs) {
+			w.pwcs[l].Access(levelTag(addr, l, w.cfg.Levels), false)
+		}
+	}
+	return lat
+}
+
+// Stats reports walk counts, PWC hits, and total table fetches.
+func (w *PageWalker) Stats() (walks, pwcHits, fetches uint64) {
+	return w.walks, w.pwcHits, w.fetches
+}
+
+// Flush empties the page-walk caches (they hold translations, so cross-VM
+// switches must clear them like the TLBs).
+func (w *PageWalker) Flush() {
+	for _, c := range w.pwcs {
+		c.FlushAll()
+	}
+}

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+func TestWalkerColdWalk(t *testing.T) {
+	w := NewPageWalker(DefaultWalkerConfig())
+	lat := w.Walk(0x7f00_1234_5000)
+	// Cold: PWC lookup + 4 table fetches.
+	want := sim.Cycles(2) + 4*sim.Cycles(40)
+	if lat != want {
+		t.Fatalf("cold walk = %v, want %v", lat, want)
+	}
+	walks, hits, fetches := w.Stats()
+	if walks != 1 || hits != 0 || fetches != 4 {
+		t.Fatalf("stats = %d/%d/%d", walks, hits, fetches)
+	}
+}
+
+func TestWalkerPWCSkipsLevels(t *testing.T) {
+	w := NewPageWalker(DefaultWalkerConfig())
+	w.Walk(0x7f00_1234_5000)
+	// Second walk in the same 2 MiB region: only the leaf PTE is fetched.
+	lat := w.Walk(0x7f00_1234_6000)
+	want := sim.Cycles(2) + sim.Cycles(40)
+	if lat != want {
+		t.Fatalf("warm walk = %v, want %v", lat, want)
+	}
+	_, hits, _ := w.Stats()
+	if hits != 1 {
+		t.Fatalf("pwc hits = %d", hits)
+	}
+	// A walk in a different 512 GiB region is cold again.
+	lat = w.Walk(0xff00_0000_0000)
+	if lat != sim.Cycles(2)+4*sim.Cycles(40) {
+		t.Fatalf("far walk = %v", lat)
+	}
+}
+
+func TestWalkerPartialHit(t *testing.T) {
+	w := NewPageWalker(DefaultWalkerConfig())
+	w.Walk(0x7f00_0000_0000)
+	// Same PDPT (1 GiB region shares levels 0-1) but different 2 MiB
+	// region: the PD-level PWC misses, PDPT hits, so two fetches remain
+	// (PD + PT).
+	lat := w.Walk(0x7f00_4000_0000 - 0x20_0000) // same 1 GiB, other 2 MiB
+	want := sim.Cycles(2) + 2*sim.Cycles(40)
+	if lat != want {
+		t.Fatalf("partial walk = %v, want %v", lat, want)
+	}
+}
+
+func TestWalkerFlush(t *testing.T) {
+	w := NewPageWalker(DefaultWalkerConfig())
+	w.Walk(0x1000)
+	w.Flush()
+	lat := w.Walk(0x2000)
+	if lat != sim.Cycles(2)+4*sim.Cycles(40) {
+		t.Fatalf("post-flush walk = %v, want cold", lat)
+	}
+}
+
+func TestWalkerAmortization(t *testing.T) {
+	// Sequential pages in one region: the average walk converges to ~1
+	// fetch, far below the cold 4 — the reason flat TLB-miss penalties are
+	// a reasonable simplification for small working sets.
+	w := NewPageWalker(DefaultWalkerConfig())
+	var total sim.Duration
+	const n = 256
+	for i := 0; i < n; i++ {
+		total += w.Walk(0x4000_0000 + uint64(i)*4096)
+	}
+	avg := total / n
+	if avg > sim.Cycles(2)+2*sim.Cycles(40) {
+		t.Fatalf("amortized walk = %v, want under 2 fetches", avg)
+	}
+}
+
+func TestWalkerInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid walker config should panic")
+		}
+	}()
+	NewPageWalker(WalkerConfig{Levels: 1, PWCEntries: 8})
+}
+
+func TestHierarchyWithWalker(t *testing.T) {
+	p := DefaultHierarchyParams()
+	p.UseWalker = true
+	h := NewHierarchy(p)
+	if h.Walker == nil {
+		t.Fatal("walker not attached")
+	}
+	// First access: full cold path including a real 4-level walk.
+	cold := h.AccessData(0x7000_0000, true, false)
+	flat := NewHierarchy(DefaultHierarchyParams()).AccessData(0x7000_0000, true, false)
+	if cold <= flat {
+		t.Fatalf("cold walk %v should exceed the flat penalty %v", cold, flat)
+	}
+	walks, _, _ := h.Walker.Stats()
+	if walks != 1 {
+		t.Fatalf("walks = %d", walks)
+	}
+	// Flushing the hierarchy also clears the PWCs.
+	h.FlushAll()
+	h.AccessData(0x7000_0000, true, false)
+	if w, hits, _ := h.Walker.Stats(); w != 2 || hits != 0 {
+		t.Fatalf("post-flush walker stats = %d/%d", w, hits)
+	}
+}

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hardharvest/internal/stats"
+)
+
+// randomTrace builds an arbitrary event stream over a small address space.
+func randomTrace(rng *stats.RNG, n int) Trace {
+	var tr Trace
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Bool(0.03):
+			tr.AddFlushHarvest()
+		case rng.Bool(0.015):
+			tr.AddFlushAll()
+		case rng.Bool(0.03):
+			if rng.Bool(0.5) {
+				tr.AddSetRegion(RegionHarvest)
+			} else {
+				tr.AddSetRegion(RegionAll)
+			}
+		default:
+			tr.AddAccess(uint64(rng.Intn(64))*64, rng.Bool(0.5))
+		}
+	}
+	return tr
+}
+
+// TestOccupancyBoundsProperty: a structure never holds more entries than
+// sets x ways, and stats stay internally consistent, for every policy under
+// random traces.
+func TestOccupancyBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tr := randomTrace(rng, 500)
+		for _, pol := range []PolicyKind{PolicyLRU, PolicySRRIP, PolicyHardHarvest} {
+			cfg := Config{
+				Name: "q", Sets: 4, Ways: 4, LineBytes: 64,
+				Policy: pol, HarvestWays: 2, EvictionCandidateFrac: 0.75,
+			}
+			c := New(cfg)
+			for _, e := range tr {
+				switch e.Kind {
+				case EvAccess:
+					c.Access(e.Addr, e.Shared)
+				case EvFlushHarvest:
+					c.FlushHarvestRegion()
+				case EvFlushAll:
+					c.FlushAll()
+				case EvSetRegion:
+					c.SetRegion(e.Region)
+				}
+				nh, h := c.OccupiedEntries()
+				if nh+h > cfg.Sets*cfg.Ways {
+					t.Logf("%v over-occupied: %d+%d", pol, nh, h)
+					return false
+				}
+				if h > cfg.Sets*cfg.HarvestWays || nh > cfg.Sets*(cfg.Ways-cfg.HarvestWays) {
+					t.Logf("%v region overflow: nh=%d h=%d", pol, nh, h)
+					return false
+				}
+			}
+			s := c.Stats()
+			if s.Hits+s.Misses != s.Accesses {
+				t.Logf("%v stats inconsistent: %+v", pol, s)
+				return false
+			}
+			if s.SharedHits+s.PrivateHits != s.Hits ||
+				s.SharedMisses+s.PrivateMisses != s.Misses {
+				t.Logf("%v class stats inconsistent: %+v", pol, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHarvestRegionIsolationProperty: while the harvest region is active,
+// no allocation ever lands in a non-harvest way — the Primary VM's
+// preserved state cannot be disturbed by the Harvest VM (§4.2.1).
+func TestHarvestRegionIsolationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		for _, pol := range []PolicyKind{PolicyLRU, PolicySRRIP, PolicyHardHarvest} {
+			cfg := Config{
+				Name: "iso", Sets: 4, Ways: 4, LineBytes: 64,
+				Policy: pol, HarvestWays: 2, EvictionCandidateFrac: 0.75,
+			}
+			c := New(cfg)
+			// Warm the non-harvest region as a Primary VM.
+			for i := 0; i < 50; i++ {
+				c.Access(uint64(rng.Intn(32))*64, true)
+			}
+			nhBefore, _ := c.OccupiedEntries()
+			sharedNH, _ := c.SharedEntries()
+			// Switch to the Harvest VM: flush harvest region, restrict.
+			c.SetRegion(RegionHarvest)
+			c.FlushHarvestRegion()
+			for i := 0; i < 200; i++ {
+				c.Access(0x8000_0000+uint64(rng.Intn(64))*64, false)
+			}
+			nhAfter, _ := c.OccupiedEntries()
+			sharedNHAfter, _ := c.SharedEntries()
+			if nhAfter != nhBefore || sharedNHAfter != sharedNH {
+				t.Logf("%v: harvest run disturbed non-harvest region (%d->%d entries)", pol, nhBefore, nhAfter)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushIsCompleteProperty: after FlushAll nothing is resident; after
+// FlushHarvestRegion nothing in the harvest ways is resident.
+func TestFlushIsCompleteProperty(t *testing.T) {
+	f := func(seed uint64, full bool) bool {
+		rng := stats.NewRNG(seed)
+		cfg := Config{
+			Name: "fl", Sets: 8, Ways: 4, LineBytes: 64,
+			Policy: PolicyHardHarvest, HarvestWays: 2, EvictionCandidateFrac: 0.75,
+		}
+		c := New(cfg)
+		for i := 0; i < 300; i++ {
+			c.Access(uint64(rng.Intn(128))*64, rng.Bool(0.6))
+		}
+		if full {
+			c.FlushAll()
+			nh, h := c.OccupiedEntries()
+			return nh == 0 && h == 0
+		}
+		c.FlushHarvestRegion()
+		_, h := c.OccupiedEntries()
+		return h == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulateTraceDeterministicProperty: identical traces produce
+// identical stats for every policy, including Belady.
+func TestSimulateTraceDeterministicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tr := randomTrace(rng, 300)
+		for _, pol := range []PolicyKind{PolicyLRU, PolicySRRIP, PolicyHardHarvest, PolicyBelady} {
+			cfg := Config{
+				Name: "d", Sets: 4, Ways: 4, LineBytes: 64,
+				Policy: pol, HarvestWays: 2, EvictionCandidateFrac: 0.75,
+			}
+			a := SimulateTrace(cfg, tr)
+			b := SimulateTrace(cfg, tr)
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package mem
+
+import "hardharvest/internal/stats"
+
+// Address-stream generation. The paper characterizes microservice memory
+// behaviour as a modest shared working set (code, libraries, read-only data —
+// pages allocated before server.serve()) that is reused across invocations of
+// the same service, plus per-invocation private pages that are mostly
+// streamed (§4.2.2). Harvest VM episodes interleave between invocations when
+// the core is loaned out, touching a large, streaming working set of their
+// own.
+
+// Address-space bases keep the three classes of lines disjoint; the harvest
+// space is additionally disjoint per episode to model batch jobs streaming
+// through fresh data.
+const (
+	sharedBase  = 0x1000_0000
+	privateBase = 0x4000_0000
+	harvestBase = 0x8000_0000
+	lineSize    = 64
+)
+
+// StreamParams describe one service's synthetic access pattern.
+type StreamParams struct {
+	// SharedLines is the number of distinct shared-class cache lines
+	// (reused across invocations; Shared bit set).
+	SharedLines int
+	// PrivateLines is the number of fresh private-class lines allocated per
+	// invocation.
+	PrivateLines int
+	// AccessesPerInvocation is the total accesses issued by one invocation.
+	AccessesPerInvocation int
+	// SharedFrac is the fraction of accesses that target shared lines.
+	SharedFrac float64
+	// ZipfS is the skew of reuse within the shared set (typical code/data
+	// reuse is highly skewed).
+	ZipfS float64
+	// PrivateReuse is the probability that a private access re-touches an
+	// already-streamed private line instead of the next fresh one.
+	PrivateReuse float64
+	// PrivateHotLines is a small per-invocation set of hot private lines
+	// (stack frames, hot heap objects) reused throughout the invocation;
+	// PrivateHotFrac is the fraction of private accesses they receive.
+	// These are the "popular private data" of §4.2.3 that the eviction
+	// candidate window protects from shared-entry pressure.
+	PrivateHotLines int
+	PrivateHotFrac  float64
+	// PrivatePool recycles private allocations across invocations (the
+	// allocator hands back recently freed pages): invocation i uses the
+	// private region i mod PrivatePool. 0 means every invocation touches
+	// fresh addresses.
+	PrivatePool int
+	// HarvestAccessesPerEpisode is the number of accesses a Harvest VM
+	// episode issues while the core is loaned.
+	HarvestAccessesPerEpisode int
+	// HarvestLines bounds the harvest episode's streaming window.
+	HarvestLines int
+}
+
+// DefaultStreamParams returns a pattern representative of a DeathStarBench
+// service on a 512 KB L2: a shared footprint of ~220 KB reused across
+// invocations (Zipf-skewed), a streamed private per-invocation footprint of
+// ~375 KB with short-range reuse, and harvest episodes whose streaming window
+// slightly exceeds the harvest region's capacity (batch workloads are larger
+// than the region, §4.2.1). Calibrated so the L2 policy comparison of Figure
+// 14 reproduces the paper's ordering and rough magnitudes.
+func DefaultStreamParams() StreamParams {
+	return StreamParams{
+		SharedLines:               3500, // ~219 KB
+		PrivateLines:              6000, // ~375 KB streamed per invocation
+		AccessesPerInvocation:     20000,
+		SharedFrac:                0.60,
+		ZipfS:                     0.70,
+		PrivateReuse:              0.30,
+		PrivateHotLines:           64,
+		PrivateHotFrac:            0.35,
+		HarvestAccessesPerEpisode: 10000,
+		HarvestLines:              4300, // ~269 KB streaming window
+	}
+}
+
+// StreamGen produces trace events for a sequence of invocations with
+// optional interleaved harvest episodes.
+type StreamGen struct {
+	p          StreamParams
+	rng        *stats.RNG
+	zipf       *stats.Zipf
+	sharedPerm []int // randomized mapping rank -> shared line
+	invocation int
+	harvestPos int
+	episode    int
+}
+
+// NewStreamGen builds a generator with its own RNG stream.
+func NewStreamGen(p StreamParams, rng *stats.RNG) *StreamGen {
+	g := &StreamGen{p: p, rng: rng}
+	if p.SharedLines > 0 {
+		g.zipf = stats.NewZipf(rng.Split(1), p.SharedLines, p.ZipfS)
+		g.sharedPerm = rng.Split(2).Perm(p.SharedLines)
+	}
+	return g
+}
+
+func (g *StreamGen) sharedAddr(rank int) uint64 {
+	return sharedBase + uint64(g.sharedPerm[rank])*lineSize
+}
+
+func (g *StreamGen) privateAddr(line int) uint64 {
+	inv := g.invocation
+	if g.p.PrivatePool > 0 {
+		inv %= g.p.PrivatePool
+	}
+	return privateBase + uint64(inv)*uint64(g.p.PrivateLines+g.p.PrivateHotLines)*lineSize + uint64(line)*lineSize
+}
+
+// AppendInvocation appends one Primary VM invocation's accesses to the
+// trace.
+func (g *StreamGen) AppendInvocation(t *Trace) {
+	streamed := 0
+	for i := 0; i < g.p.AccessesPerInvocation; i++ {
+		if g.rng.Float64() < g.p.SharedFrac && g.p.SharedLines > 0 {
+			t.AddAccess(g.sharedAddr(g.zipf.Next()), true)
+			continue
+		}
+		if g.p.PrivateLines == 0 {
+			t.AddAccess(g.sharedAddr(g.zipf.Next()), true)
+			continue
+		}
+		if g.p.PrivateHotLines > 0 && g.rng.Float64() < g.p.PrivateHotFrac {
+			// Hot private data: few lines, reused across the invocation.
+			t.AddAccess(g.privateAddr(g.rng.Intn(g.p.PrivateHotLines)), false)
+		} else if streamed > 0 && g.rng.Float64() < g.p.PrivateReuse {
+			// Re-touch a recently streamed private line.
+			back := 1 + g.rng.Intn(minInt(streamed, 32))
+			t.AddAccess(g.privateAddr(g.p.PrivateHotLines+streamed-back), false)
+		} else {
+			t.AddAccess(g.privateAddr(g.p.PrivateHotLines+streamed%g.p.PrivateLines), false)
+			streamed++
+		}
+	}
+	g.invocation++
+}
+
+// AppendHarvestEpisode appends a loan of the core to a Harvest VM: flush of
+// the harvest region, region switch, the batch workload's streaming
+// accesses, switch back, and the return-path harvest-region flush (performed
+// in the background in the real design; the trace only carries the
+// invalidation semantics).
+func (g *StreamGen) AppendHarvestEpisode(t *Trace) {
+	t.AddFlushHarvest()
+	t.AddSetRegion(RegionHarvest)
+	base := uint64(harvestBase) + uint64(g.episode)*uint64(g.p.HarvestLines)*lineSize
+	for i := 0; i < g.p.HarvestAccessesPerEpisode; i++ {
+		line := uint64(i % maxInt(g.p.HarvestLines, 1))
+		t.AddAccess(base+line*lineSize, false)
+	}
+	g.episode++
+	t.AddSetRegion(RegionAll)
+	t.AddFlushHarvest()
+}
+
+// AppendFullFlush appends the software-baseline full flush (wbinvd
+// semantics) used when comparing against unpartitioned designs.
+func (g *StreamGen) AppendFullFlush(t *Trace) { t.AddFlushAll() }
+
+// GenerateHarvestingTrace builds a trace of n invocations with a harvest
+// episode after every harvestEvery invocations (0 disables harvesting).
+func GenerateHarvestingTrace(p StreamParams, seed uint64, invocations, harvestEvery int) Trace {
+	g := NewStreamGen(p, stats.NewRNG(seed))
+	var t Trace
+	for i := 0; i < invocations; i++ {
+		g.AppendInvocation(&t)
+		if harvestEvery > 0 && (i+1)%harvestEvery == 0 && i != invocations-1 {
+			g.AppendHarvestEpisode(&t)
+		}
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

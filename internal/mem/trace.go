@@ -1,0 +1,259 @@
+package mem
+
+// Trace-based simulation: a common event stream that every replacement
+// policy (including the offline-optimal Belady) can be run against, so that
+// Figure 14's policy comparison is apples-to-apples.
+
+// EventKind discriminates trace events.
+type EventKind int
+
+const (
+	// EvAccess is a memory access.
+	EvAccess EventKind = iota
+	// EvFlushHarvest invalidates the harvest region (HardHarvest cross-VM
+	// transition).
+	EvFlushHarvest
+	// EvFlushAll invalidates the whole structure (software-baseline cross-VM
+	// transition).
+	EvFlushAll
+	// EvSetRegion switches the accessible region.
+	EvSetRegion
+)
+
+// TraceEvent is one step of a trace.
+type TraceEvent struct {
+	Kind   EventKind
+	Addr   uint64
+	Shared bool
+	Region Region // for EvSetRegion
+}
+
+// Trace is an ordered event stream.
+type Trace []TraceEvent
+
+// Append helpers keep generator code readable.
+
+// AddAccess appends an access event.
+func (t *Trace) AddAccess(addr uint64, shared bool) {
+	*t = append(*t, TraceEvent{Kind: EvAccess, Addr: addr, Shared: shared})
+}
+
+// AddFlushHarvest appends a harvest-region flush.
+func (t *Trace) AddFlushHarvest() { *t = append(*t, TraceEvent{Kind: EvFlushHarvest}) }
+
+// AddFlushAll appends a full flush.
+func (t *Trace) AddFlushAll() { *t = append(*t, TraceEvent{Kind: EvFlushAll}) }
+
+// AddSetRegion appends a region switch.
+func (t *Trace) AddSetRegion(r Region) { *t = append(*t, TraceEvent{Kind: EvSetRegion, Region: r}) }
+
+// Accesses counts access events in the trace.
+func (t Trace) Accesses() int {
+	n := 0
+	for _, e := range t {
+		if e.Kind == EvAccess {
+			n++
+		}
+	}
+	return n
+}
+
+// SimulateTrace runs a trace against a fresh structure with the given config
+// and returns the final stats. PolicyBelady is dispatched to the offline
+// simulator; online policies run through Cache.
+func SimulateTrace(cfg Config, trace Trace) Stats {
+	if cfg.Policy == PolicyBelady {
+		return simulateBelady(cfg, trace)
+	}
+	c := New(cfg)
+	for _, e := range trace {
+		switch e.Kind {
+		case EvAccess:
+			c.Access(e.Addr, e.Shared)
+		case EvFlushHarvest:
+			c.FlushHarvestRegion()
+		case EvFlushAll:
+			c.FlushAll()
+		case EvSetRegion:
+			c.SetRegion(e.Region)
+		}
+	}
+	return c.Stats()
+}
+
+// simulateBelady implements offline optimal-style replacement (evict the
+// line whose next use is farthest in the future) over the same event
+// semantics as Cache, restricted like the online policies to the accessible
+// region. It is flush-aware: an entry sitting in a harvest way whose next
+// use falls after the next harvest-region flush is dead (it will be
+// invalidated before it can hit), and likewise for any entry across a full
+// flush. Placement of fills follows the same region steering available to
+// the hardware (shared entries prefer non-harvest ways) so that the bound
+// reflects what an ideal policy could do on this hardware.
+func simulateBelady(cfg Config, trace Trace) Stats {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	setShift := uint(0)
+	for s := int64(1); s < cfg.LineBytes; s <<= 1 {
+		setShift++
+	}
+	setBits := bitsFor(cfg.Sets)
+	lineOf := func(addr uint64) uint64 { return addr >> setShift }
+	setOf := func(addr uint64) int { return int(lineOf(addr) & uint64(cfg.Sets-1)) }
+	tagOf := func(addr uint64) uint64 { return lineOf(addr) >> uint(setBits) }
+
+	// Precompute, for each access index, the index of the next access to the
+	// same line (or "infinity"), and for each position the index of the next
+	// harvest-region flush and full flush.
+	const never = int(^uint(0) >> 1)
+	next := make([]int, len(trace))
+	last := make(map[uint64]int, 1024)
+	nextHarvFlush := make([]int, len(trace)+1)
+	nextFullFlush := make([]int, len(trace)+1)
+	nextHarvFlush[len(trace)] = never
+	nextFullFlush[len(trace)] = never
+	for i := len(trace) - 1; i >= 0; i-- {
+		nextHarvFlush[i] = nextHarvFlush[i+1]
+		nextFullFlush[i] = nextFullFlush[i+1]
+		switch trace[i].Kind {
+		case EvFlushHarvest:
+			nextHarvFlush[i] = i
+		case EvFlushAll:
+			nextFullFlush[i] = i
+			nextHarvFlush[i] = i // a full flush also wipes the harvest ways
+		case EvAccess:
+			l := lineOf(trace[i].Addr)
+			if j, ok := last[l]; ok {
+				next[i] = j
+			} else {
+				next[i] = never
+			}
+			last[l] = i
+			continue
+		}
+		next[i] = never
+	}
+
+	type bentry struct {
+		tag     uint64
+		valid   bool
+		nextUse int
+	}
+	sets := make([][]bentry, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]bentry, cfg.Ways)
+	}
+	isHarvestWay := func(w int) bool { return w >= cfg.Ways-cfg.HarvestWays }
+	region := RegionAll
+	var stats Stats
+
+	for i, e := range trace {
+		switch e.Kind {
+		case EvSetRegion:
+			region = e.Region
+		case EvFlushAll:
+			for s := range sets {
+				for w := range sets[s] {
+					if sets[s][w].valid {
+						sets[s][w] = bentry{}
+						stats.Invalidations++
+					}
+				}
+			}
+		case EvFlushHarvest:
+			for s := range sets {
+				for w := range sets[s] {
+					if isHarvestWay(w) && sets[s][w].valid {
+						sets[s][w] = bentry{}
+						stats.Invalidations++
+					}
+				}
+			}
+		case EvAccess:
+			stats.Accesses++
+			set := sets[setOf(e.Addr)]
+			tag := tagOf(e.Addr)
+			lo, hi := 0, cfg.Ways
+			if region == RegionHarvest {
+				lo = cfg.Ways - cfg.HarvestWays
+			}
+			hitWay := -1
+			for w := lo; w < hi; w++ {
+				if set[w].valid && set[w].tag == tag {
+					hitWay = w
+					break
+				}
+			}
+			if hitWay >= 0 {
+				stats.Hits++
+				if e.Shared {
+					stats.SharedHits++
+				} else {
+					stats.PrivateHits++
+				}
+				set[hitWay].nextUse = next[i]
+				continue
+			}
+			stats.Misses++
+			if e.Shared {
+				stats.SharedMisses++
+			} else {
+				stats.PrivateMisses++
+			}
+			// Effective utility of a resident entry: its next use, unless a
+			// flush of its way's region comes first, in which case it is
+			// dead (never).
+			effAt := func(nu int, w int) int {
+				if isHarvestWay(w) {
+					if nu > nextHarvFlush[i] {
+						return never
+					}
+				} else if nu > nextFullFlush[i] {
+					return never
+				}
+				return nu
+			}
+			// Fill an empty way if possible, preferring a way where the
+			// incoming line survives until its next use, then steering by
+			// class like the hardware can (shared→non-harvest,
+			// private→harvest).
+			victim := -1
+			bestScore := -1
+			for w := lo; w < hi; w++ {
+				if set[w].valid {
+					continue
+				}
+				score := 1 // any empty way
+				if effAt(next[i], w) != never {
+					score += 2 // line survives here
+				}
+				if e.Shared != isHarvestWay(w) {
+					score++ // preferred region for the class
+				}
+				if score > bestScore {
+					victim, bestScore = w, score
+				}
+			}
+			if victim >= 0 {
+				set[victim] = bentry{tag: tag, valid: true, nextUse: next[i]}
+				continue
+			}
+			// Eviction: the resident with the farthest effective next use,
+			// bypassing the fill when the incoming line would be no more
+			// useful in that way than its current occupant.
+			worst := -1
+			for w := lo; w < hi; w++ {
+				if eff := effAt(set[w].nextUse, w); eff > worst {
+					victim, worst = w, eff
+				}
+			}
+			if victim < 0 || effAt(next[i], victim) >= worst {
+				continue
+			}
+			stats.Evictions++
+			set[victim] = bentry{tag: tag, valid: true, nextUse: next[i]}
+		}
+	}
+	return stats
+}

@@ -1,0 +1,203 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hardharvest/internal/stats"
+)
+
+func TestTraceBuilders(t *testing.T) {
+	var tr Trace
+	tr.AddAccess(64, true)
+	tr.AddFlushHarvest()
+	tr.AddFlushAll()
+	tr.AddSetRegion(RegionHarvest)
+	tr.AddAccess(128, false)
+	if len(tr) != 5 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if tr.Accesses() != 2 {
+		t.Fatalf("accesses = %d", tr.Accesses())
+	}
+	if tr[3].Kind != EvSetRegion || tr[3].Region != RegionHarvest {
+		t.Fatalf("event 3 = %+v", tr[3])
+	}
+}
+
+func TestSimulateTraceMatchesDirectUse(t *testing.T) {
+	cfg := smallConfig(PolicyLRU)
+	var tr Trace
+	for tag := uint64(1); tag <= 10; tag++ {
+		tr.AddAccess(addrFor(cfg, int(tag)%4, tag), tag%2 == 0)
+	}
+	tr.AddFlushHarvest()
+	for tag := uint64(1); tag <= 10; tag++ {
+		tr.AddAccess(addrFor(cfg, int(tag)%4, tag), tag%2 == 0)
+	}
+	got := SimulateTrace(cfg, tr)
+
+	c := New(cfg)
+	for _, e := range tr {
+		switch e.Kind {
+		case EvAccess:
+			c.Access(e.Addr, e.Shared)
+		case EvFlushHarvest:
+			c.FlushHarvestRegion()
+		}
+	}
+	want := c.Stats()
+	if got != want {
+		t.Fatalf("SimulateTrace = %+v, direct = %+v", got, want)
+	}
+}
+
+func TestBeladySimpleOptimality(t *testing.T) {
+	// 2-way set; access pattern where LRU thrashes but OPT keeps the line
+	// reused soonest: A B C A B C ... with 2 ways. OPT hit rate > LRU's.
+	cfg := Config{Name: "b", Sets: 1, Ways: 2, LineBytes: 64, Policy: PolicyLRU}
+	var tr Trace
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	for i := 0; i < 30; i++ {
+		tr.AddAccess(a, false)
+		tr.AddAccess(b, false)
+		tr.AddAccess(c, false)
+	}
+	lru := SimulateTrace(cfg, tr)
+	cfg.Policy = PolicyBelady
+	opt := SimulateTrace(cfg, tr)
+	if lru.Hits != 0 {
+		t.Fatalf("LRU should thrash on cyclic pattern, hits = %d", lru.Hits)
+	}
+	if opt.Hits == 0 {
+		t.Fatalf("Belady should hit on cyclic pattern")
+	}
+	if opt.HitRate() <= lru.HitRate() {
+		t.Fatalf("Belady %.3f <= LRU %.3f", opt.HitRate(), lru.HitRate())
+	}
+}
+
+func TestBeladyRespectsFlushes(t *testing.T) {
+	cfg := Config{Name: "b", Sets: 1, Ways: 4, LineBytes: 64, Policy: PolicyBelady, HarvestWays: 2}
+	var tr Trace
+	for tag := uint64(0); tag < 4; tag++ {
+		tr.AddAccess(tag*64, false)
+	}
+	tr.AddFlushAll()
+	for tag := uint64(0); tag < 4; tag++ {
+		tr.AddAccess(tag*64, false)
+	}
+	s := SimulateTrace(cfg, tr)
+	if s.Hits != 0 {
+		t.Fatalf("hits across a full flush: %d", s.Hits)
+	}
+	if s.Invalidations != 4 {
+		t.Fatalf("invalidations = %d", s.Invalidations)
+	}
+}
+
+func TestBeladyHarvestRegionSemantics(t *testing.T) {
+	cfg := Config{Name: "b", Sets: 1, Ways: 4, LineBytes: 64, Policy: PolicyBelady, HarvestWays: 2}
+	var tr Trace
+	// Harvest episode can only use 2 ways.
+	tr.AddSetRegion(RegionHarvest)
+	for i := 0; i < 3; i++ {
+		tr.AddAccess(uint64(i)*64, false)
+		tr.AddAccess(uint64(i)*64, false) // immediate reuse: should hit
+	}
+	s := SimulateTrace(cfg, tr)
+	if s.Hits != 3 {
+		t.Fatalf("hits = %d, want 3 immediate-reuse hits", s.Hits)
+	}
+}
+
+// TestBeladyUpperBound is the core property: on arbitrary traces, Belady's
+// hit count is >= every online policy's.
+func TestBeladyUpperBound(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := 200 + int(nRaw)
+		cfg := Config{
+			Name: "q", Sets: 2, Ways: 4, LineBytes: 64,
+			HarvestWays: 2, EvictionCandidateFrac: 0.75,
+		}
+		var tr Trace
+		for i := 0; i < n; i++ {
+			switch {
+			case rng.Bool(0.02):
+				tr.AddFlushHarvest()
+			case rng.Bool(0.01):
+				tr.AddFlushAll()
+			default:
+				tr.AddAccess(uint64(rng.Intn(24))*64, rng.Bool(0.5))
+			}
+		}
+		cfg.Policy = PolicyBelady
+		opt := SimulateTrace(cfg, tr)
+		for _, p := range []PolicyKind{PolicyLRU, PolicySRRIP, PolicyHardHarvest} {
+			cfg.Policy = p
+			online := SimulateTrace(cfg, tr)
+			if online.Hits > opt.Hits {
+				t.Logf("policy %v: %d hits > Belady %d", p, online.Hits, opt.Hits)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig14PolicyOrdering reproduces Figure 14's qualitative result on a
+// harvesting trace: HardHarvest > RRIP > LRU in L2 hit rate, with Belady as
+// the upper bound and HardHarvest close to it.
+func TestFig14PolicyOrdering(t *testing.T) {
+	p := DefaultStreamParams()
+	tr := GenerateHarvestingTrace(p, 1234, 40, 2)
+
+	base := StructConfig(L2, DefaultHierarchyParams())
+	rates := map[PolicyKind]float64{}
+	for _, pol := range []PolicyKind{PolicyLRU, PolicySRRIP, PolicyHardHarvest, PolicyBelady} {
+		cfg := base
+		cfg.Policy = pol
+		rates[pol] = SimulateTrace(cfg, tr).HitRate()
+	}
+	t.Logf("L2 hit rates: LRU=%.4f RRIP=%.4f HH=%.4f Belady=%.4f",
+		rates[PolicyLRU], rates[PolicySRRIP], rates[PolicyHardHarvest], rates[PolicyBelady])
+	if !(rates[PolicyHardHarvest] > rates[PolicyLRU]) {
+		t.Errorf("HardHarvest %.4f should beat LRU %.4f", rates[PolicyHardHarvest], rates[PolicyLRU])
+	}
+	if !(rates[PolicyHardHarvest] > rates[PolicySRRIP]) {
+		t.Errorf("HardHarvest %.4f should beat RRIP %.4f", rates[PolicyHardHarvest], rates[PolicySRRIP])
+	}
+	if !(rates[PolicyBelady] >= rates[PolicyHardHarvest]) {
+		t.Errorf("Belady %.4f should bound HardHarvest %.4f", rates[PolicyBelady], rates[PolicyHardHarvest])
+	}
+	if gap := rates[PolicyBelady] - rates[PolicyHardHarvest]; gap > 0.10 {
+		t.Errorf("HardHarvest should be near Belady; gap = %.4f", gap)
+	}
+}
+
+func TestHarvestingHurtsLRUMoreThanHardHarvest(t *testing.T) {
+	p := DefaultStreamParams()
+	noHarv := GenerateHarvestingTrace(p, 99, 30, 0)
+	harv := GenerateHarvestingTrace(p, 99, 30, 2)
+
+	base := StructConfig(L2, DefaultHierarchyParams())
+	drop := func(pol PolicyKind) float64 {
+		cfg := base
+		cfg.Policy = pol
+		a := SimulateTrace(cfg, noHarv)
+		b := SimulateTrace(cfg, harv)
+		// Compare only primary-side behaviour via shared hit rates.
+		ha := float64(a.SharedHits) / float64(a.SharedHits+a.SharedMisses)
+		hb := float64(b.SharedHits) / float64(b.SharedHits+b.SharedMisses)
+		return ha - hb
+	}
+	lruDrop, hhDrop := drop(PolicyLRU), drop(PolicyHardHarvest)
+	t.Logf("shared-hit-rate drop due to harvesting: LRU=%.4f HH=%.4f", lruDrop, hhDrop)
+	if hhDrop >= lruDrop {
+		t.Errorf("HardHarvest drop %.4f should be below LRU drop %.4f", hhDrop, lruDrop)
+	}
+}

@@ -1,0 +1,164 @@
+// Package metrics provides the measurement machinery of the evaluation:
+// latency recorders (median/P99 per service), core-utilization integration
+// over simulated time, Harvest VM throughput counters, and per-request
+// overhead breakdowns (core re-assignment vs flush vs execution, Figure 6).
+package metrics
+
+import (
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// LatencyRecorder collects end-to-end request latencies.
+type LatencyRecorder struct {
+	rec *stats.Recorder
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{rec: stats.NewRecorder()}
+}
+
+// Add records one latency.
+func (l *LatencyRecorder) Add(d sim.Duration) { l.rec.Add(float64(d)) }
+
+// Merge folds all of other's samples into l.
+func (l *LatencyRecorder) Merge(other *LatencyRecorder) { l.rec.Merge(other.rec) }
+
+// SampleLatency draws from the measured distribution by inverse-CDF: u in
+// [0,1) selects the u-quantile.
+func (l *LatencyRecorder) SampleLatency(u float64) sim.Duration {
+	return sim.Duration(l.rec.Quantile(u))
+}
+
+// Count reports recorded samples.
+func (l *LatencyRecorder) Count() int { return l.rec.Count() }
+
+// P50 reports the median latency.
+func (l *LatencyRecorder) P50() sim.Duration { return sim.Duration(l.rec.P50()) }
+
+// P99 reports the 99th-percentile latency.
+func (l *LatencyRecorder) P99() sim.Duration { return sim.Duration(l.rec.P99()) }
+
+// Mean reports the mean latency.
+func (l *LatencyRecorder) Mean() sim.Duration { return sim.Duration(l.rec.Mean()) }
+
+// Max reports the maximum latency.
+func (l *LatencyRecorder) Max() sim.Duration { return sim.Duration(l.rec.Max()) }
+
+// Utilization integrates per-core busy time to report average busy cores,
+// the §6.7 metric.
+type Utilization struct {
+	cores     int
+	busySince []sim.Time
+	busy      []bool
+	busyTotal []sim.Duration
+}
+
+// NewUtilization tracks n cores.
+func NewUtilization(n int) *Utilization {
+	return &Utilization{
+		cores:     n,
+		busySince: make([]sim.Time, n),
+		busy:      make([]bool, n),
+		busyTotal: make([]sim.Duration, n),
+	}
+}
+
+// SetBusy transitions a core's busy state at time now. Redundant transitions
+// are ignored.
+func (u *Utilization) SetBusy(core int, now sim.Time, busy bool) {
+	if u.busy[core] == busy {
+		return
+	}
+	if busy {
+		u.busySince[core] = now
+	} else {
+		u.busyTotal[core] += now.Sub(u.busySince[core])
+	}
+	u.busy[core] = busy
+}
+
+// Finish closes any open busy intervals at the end of the run.
+func (u *Utilization) Finish(now sim.Time) {
+	for c := range u.busy {
+		if u.busy[c] {
+			u.busyTotal[c] += now.Sub(u.busySince[c])
+			u.busySince[c] = now
+		}
+	}
+}
+
+// BusyCores reports the time-averaged number of busy cores over a run of
+// the given length.
+func (u *Utilization) BusyCores(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, b := range u.busyTotal {
+		total += b
+	}
+	return float64(total) / float64(elapsed)
+}
+
+// CoreBusyFraction reports one core's busy fraction.
+func (u *Utilization) CoreBusyFraction(core int, elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(u.busyTotal[core]) / float64(elapsed)
+}
+
+// Throughput counts completed batch jobs.
+type Throughput struct {
+	jobs uint64
+}
+
+// AddJob records one completed job.
+func (t *Throughput) AddJob() { t.jobs++ }
+
+// Jobs reports completed jobs.
+func (t *Throughput) Jobs() uint64 { return t.jobs }
+
+// PerSecond reports jobs per simulated second.
+func (t *Throughput) PerSecond(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.jobs) / elapsed.Seconds()
+}
+
+// Breakdown accumulates the components of request time (Figure 6):
+// hypervisor/controller core re-assignment, cache/TLB flush and
+// invalidation, and execution (including queueing and cold-start
+// stretching).
+type Breakdown struct {
+	Reassign  sim.Duration
+	Flush     sim.Duration
+	Execution sim.Duration
+	Requests  uint64
+}
+
+// AddRequest folds one request's components into the accumulator.
+func (b *Breakdown) AddRequest(reassign, flush, execution sim.Duration) {
+	b.Reassign += reassign
+	b.Flush += flush
+	b.Execution += execution
+	b.Requests++
+}
+
+// Mean reports the per-request mean of each component.
+func (b *Breakdown) Mean() (reassign, flush, execution sim.Duration) {
+	if b.Requests == 0 {
+		return 0, 0, 0
+	}
+	n := sim.Duration(b.Requests)
+	return b.Reassign / n, b.Flush / n, b.Execution / n
+}
+
+// MeanTotal reports the mean total request time.
+func (b *Breakdown) MeanTotal() sim.Duration {
+	r, f, e := b.Mean()
+	return r + f + e
+}

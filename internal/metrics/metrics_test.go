@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+func TestLatencyRecorder(t *testing.T) {
+	l := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		l.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if p := l.P50(); p < 50*sim.Microsecond || p > 51*sim.Microsecond {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := l.P99(); p < 99*sim.Microsecond || p > 100*sim.Microsecond {
+		t.Fatalf("P99 = %v", p)
+	}
+	if l.Max() != 100*sim.Microsecond {
+		t.Fatalf("Max = %v", l.Max())
+	}
+	if m := l.Mean(); m < 50*sim.Microsecond || m > 51*sim.Microsecond {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestUtilizationIntegration(t *testing.T) {
+	u := NewUtilization(2)
+	// Core 0 busy for 60 of 100 us; core 1 busy for 100.
+	u.SetBusy(0, 0, true)
+	u.SetBusy(1, 0, true)
+	u.SetBusy(0, sim.Time(60*sim.Microsecond), false)
+	u.Finish(sim.Time(100 * sim.Microsecond))
+	got := u.BusyCores(100 * sim.Microsecond)
+	if got < 1.59 || got > 1.61 {
+		t.Fatalf("busy cores = %v, want 1.6", got)
+	}
+	if f := u.CoreBusyFraction(0, 100*sim.Microsecond); f < 0.59 || f > 0.61 {
+		t.Fatalf("core 0 fraction = %v", f)
+	}
+}
+
+func TestUtilizationRedundantTransitions(t *testing.T) {
+	u := NewUtilization(1)
+	u.SetBusy(0, 0, true)
+	u.SetBusy(0, sim.Time(10*sim.Microsecond), true) // redundant
+	u.SetBusy(0, sim.Time(50*sim.Microsecond), false)
+	u.SetBusy(0, sim.Time(60*sim.Microsecond), false) // redundant
+	u.Finish(sim.Time(100 * sim.Microsecond))
+	if f := u.CoreBusyFraction(0, 100*sim.Microsecond); f < 0.49 || f > 0.51 {
+		t.Fatalf("fraction = %v, want 0.5", f)
+	}
+}
+
+func TestUtilizationZeroElapsed(t *testing.T) {
+	u := NewUtilization(1)
+	if u.BusyCores(0) != 0 || u.CoreBusyFraction(0, 0) != 0 {
+		t.Fatal("zero elapsed should report zero")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var th Throughput
+	for i := 0; i < 50; i++ {
+		th.AddJob()
+	}
+	if th.Jobs() != 50 {
+		t.Fatalf("jobs = %d", th.Jobs())
+	}
+	if got := th.PerSecond(500 * sim.Millisecond); got != 100 {
+		t.Fatalf("per second = %v", got)
+	}
+	if th.PerSecond(0) != 0 {
+		t.Fatal("zero elapsed throughput")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.AddRequest(100*sim.Microsecond, 200*sim.Microsecond, 700*sim.Microsecond)
+	b.AddRequest(300*sim.Microsecond, 0, 500*sim.Microsecond)
+	r, f, e := b.Mean()
+	if r != 200*sim.Microsecond || f != 100*sim.Microsecond || e != 600*sim.Microsecond {
+		t.Fatalf("means = %v %v %v", r, f, e)
+	}
+	if b.MeanTotal() != 900*sim.Microsecond {
+		t.Fatalf("mean total = %v", b.MeanTotal())
+	}
+	var empty Breakdown
+	if empty.MeanTotal() != 0 {
+		t.Fatal("empty breakdown should be zero")
+	}
+}

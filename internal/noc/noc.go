@@ -1,0 +1,136 @@
+// Package noc models the dedicated control network of §4.1.8: the
+// HardHarvest controller is a centralized module reached over its own
+// network, separate from the regular data NoC, because control messages are
+// latency- (not bandwidth-) sensitive. The paper uses a tree topology with
+// thin links; this package computes message latencies over such a tree and
+// provides the regular-mesh latency for comparison (Table 1: 2D mesh,
+// 5 cycles/hop).
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"hardharvest/internal/sim"
+)
+
+// TreeConfig describes the dedicated control tree.
+type TreeConfig struct {
+	// Cores is the number of leaf endpoints (cores).
+	Cores int
+	// Radix is the tree fan-out (4 gives a shallow tree at 36 cores).
+	Radix int
+	// HopCycles is the per-hop link traversal in cycles; thin control
+	// links are narrow but fast.
+	HopCycles int64
+	// RouterCycles is the per-router arbitration cost.
+	RouterCycles int64
+}
+
+// DefaultTree returns the configuration used by the evaluation: 36 cores,
+// radix-4 tree, 2 cycles per hop, 1 cycle per router.
+func DefaultTree() TreeConfig {
+	return TreeConfig{Cores: 36, Radix: 4, HopCycles: 2, RouterCycles: 1}
+}
+
+func (c TreeConfig) validate() error {
+	if c.Cores <= 0 || c.Radix < 2 || c.HopCycles <= 0 || c.RouterCycles < 0 {
+		return fmt.Errorf("noc: invalid tree config %+v", c)
+	}
+	return nil
+}
+
+// Depth reports the number of tree levels between a leaf and the root
+// (where the controller sits).
+func (c TreeConfig) Depth() int {
+	if c.Cores <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(c.Cores)) / math.Log(float64(c.Radix))))
+}
+
+// CoreToController reports the one-way latency of a control message from a
+// core to the controller at the tree root.
+func (c TreeConfig) CoreToController() sim.Duration {
+	if err := c.validate(); err != nil {
+		panic(err)
+	}
+	d := int64(c.Depth())
+	return sim.Cycles(d*c.HopCycles + d*c.RouterCycles)
+}
+
+// ControllerToCore is symmetric to CoreToController.
+func (c TreeConfig) ControllerToCore() sim.Duration { return c.CoreToController() }
+
+// RoundTrip reports a request/response pair over the control tree (e.g., a
+// dequeue instruction reaching the QM and the request pointer coming back).
+func (c TreeConfig) RoundTrip() sim.Duration {
+	return c.CoreToController() + c.ControllerToCore()
+}
+
+// CoreToCore reports the latency between two leaf cores through their
+// lowest common ancestor; the worst case traverses the root.
+func (c TreeConfig) CoreToCore(a, b int) sim.Duration {
+	if err := c.validate(); err != nil {
+		panic(err)
+	}
+	if a == b {
+		return 0
+	}
+	lvl := 0
+	for a != b {
+		a /= c.Radix
+		b /= c.Radix
+		lvl++
+	}
+	hops := int64(2 * lvl)
+	return sim.Cycles(hops*c.HopCycles + hops*c.RouterCycles)
+}
+
+// MeshConfig is the regular data NoC of Table 1 (2D mesh, 5 cycles/hop),
+// used to compare against the dedicated tree.
+type MeshConfig struct {
+	Width, Height int
+	HopCycles     int64
+}
+
+// DefaultMesh returns the 6x6 mesh of the 36-core server.
+func DefaultMesh() MeshConfig {
+	return MeshConfig{Width: 6, Height: 6, HopCycles: 5}
+}
+
+// Latency reports the XY-routed mesh latency between two cores (ids are
+// row-major positions).
+func (m MeshConfig) Latency(a, b int) sim.Duration {
+	ax, ay := a%m.Width, a/m.Width
+	bx, by := b%m.Width, b/m.Width
+	hops := int64(abs(ax-bx) + abs(ay-by))
+	return sim.Cycles(hops * m.HopCycles)
+}
+
+// WorstCase reports the corner-to-corner mesh latency.
+func (m MeshConfig) WorstCase() sim.Duration {
+	return sim.Cycles(int64(m.Width-1+m.Height-1) * m.HopCycles)
+}
+
+// MeanLatencyToCenter approximates the mean latency from all cores to a
+// centrally placed module (where a memory-mapped queue would live).
+func (m MeshConfig) MeanLatencyToCenter() sim.Duration {
+	cx, cy := (m.Width-1)/2, (m.Height-1)/2
+	var total int64
+	n := 0
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			total += int64(abs(x-cx) + abs(y-cy))
+			n++
+		}
+	}
+	return sim.Cycles(total * m.HopCycles / int64(n))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

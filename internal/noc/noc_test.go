@@ -1,0 +1,87 @@
+package noc
+
+import (
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+func TestTreeDepth(t *testing.T) {
+	c := DefaultTree()
+	// 36 cores at radix 4: ceil(log4(36)) = 3 levels.
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	one := TreeConfig{Cores: 1, Radix: 4, HopCycles: 2, RouterCycles: 1}
+	if one.Depth() != 1 {
+		t.Fatal("single-core depth")
+	}
+}
+
+func TestTreeLatencies(t *testing.T) {
+	c := DefaultTree()
+	up := c.CoreToController()
+	if up != sim.Cycles(3*2+3*1) {
+		t.Fatalf("core->controller = %v", up)
+	}
+	if c.ControllerToCore() != up {
+		t.Fatal("asymmetric tree")
+	}
+	if c.RoundTrip() != 2*up {
+		t.Fatal("round trip != 2x one way")
+	}
+	// The dedicated tree beats the data mesh's mean path — the reason the
+	// controller gets its own network (§4.1.8).
+	if up >= DefaultMesh().MeanLatencyToCenter() {
+		t.Fatalf("control tree %v not faster than mesh mean %v", up, DefaultMesh().MeanLatencyToCenter())
+	}
+}
+
+func TestCoreToCore(t *testing.T) {
+	c := DefaultTree()
+	if c.CoreToCore(5, 5) != 0 {
+		t.Fatal("self distance")
+	}
+	// Cores 0 and 1 share the first-level router: 2 hops.
+	if got := c.CoreToCore(0, 1); got != sim.Cycles(2*2+2*1) {
+		t.Fatalf("siblings = %v", got)
+	}
+	// Cores 0 and 35 meet at the root: 6 hops.
+	if got := c.CoreToCore(0, 35); got != sim.Cycles(6*2+6*1) {
+		t.Fatalf("far pair = %v", got)
+	}
+	if c.CoreToCore(0, 35) <= c.CoreToCore(0, 1) {
+		t.Fatal("distance ordering")
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	bad := TreeConfig{Cores: 0, Radix: 4, HopCycles: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config should panic")
+		}
+	}()
+	bad.CoreToController()
+}
+
+func TestMesh(t *testing.T) {
+	m := DefaultMesh()
+	if m.Latency(0, 0) != 0 {
+		t.Fatal("self latency")
+	}
+	// Corner to corner: 10 hops x 5 cycles.
+	if got := m.WorstCase(); got != sim.Cycles(50) {
+		t.Fatalf("worst case = %v", got)
+	}
+	if m.Latency(0, 35) != m.WorstCase() {
+		t.Fatal("corner pair should be worst case")
+	}
+	if m.Latency(0, 1) != sim.Cycles(5) {
+		t.Fatalf("adjacent = %v", m.Latency(0, 1))
+	}
+	mean := m.MeanLatencyToCenter()
+	if mean <= 0 || mean >= m.WorstCase() {
+		t.Fatalf("mean-to-center = %v", mean)
+	}
+}

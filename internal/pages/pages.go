@@ -1,0 +1,192 @@
+// Package pages implements the Shared-bit page classification of §4.2.2:
+// pages allocated while a microservice initializes (before the framework
+// enters its serve loop — server.serve() in Thrift/gRPC terms) hold code,
+// libraries, and read-only data shared across invocations; pages allocated
+// afterwards by invocation-handling threads are private to an invocation.
+// The bit is stored in the page table entry, copied into TLB entries, and
+// steers cache/TLB placement (Algorithm 1).
+package pages
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the classification granularity (4 KiB pages).
+const PageSize = 4096
+
+// Class is a page's sharing classification.
+type Class uint8
+
+const (
+	// Unmapped pages have no classification.
+	Unmapped Class = iota
+	// Shared pages were allocated before the serve loop started (code,
+	// libraries, read-only inputs) or extend such an allocation.
+	Shared
+	// Private pages were allocated by invocation-handling threads.
+	Private
+)
+
+func (c Class) String() string {
+	switch c {
+	case Unmapped:
+		return "unmapped"
+	case Shared:
+		return "shared"
+	case Private:
+		return "private"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// entry is one page-table record.
+type entry struct {
+	class Class
+	// allocSeq orders allocations (for statistics and debugging).
+	allocSeq uint64
+}
+
+// Table tracks page classifications for one microservice process.
+type Table struct {
+	serving  bool
+	seq      uint64
+	pages    map[uint64]*entry // keyed by page number
+	regions  []region          // shared regions that may be extended
+	sharedN  int
+	privateN int
+}
+
+type region struct {
+	startPage uint64
+	pages     int
+}
+
+// NewTable returns an empty page table in the initialization phase: every
+// allocation is classified Shared until MarkServeStart.
+func NewTable() *Table {
+	return &Table{pages: make(map[uint64]*entry)}
+}
+
+// MarkServeStart records that the framework entered its serve loop
+// (server.serve() in Thrift, CompletionQueue::Next in gRPC): allocations
+// from now on are private to invocations, unless they extend a shared
+// allocation.
+func (t *Table) MarkServeStart() { t.serving = true }
+
+// Serving reports whether the serve loop has started.
+func (t *Table) Serving() bool { return t.serving }
+
+// Allocate maps n bytes starting at addr and classifies the pages. It
+// returns the classification applied.
+func (t *Table) Allocate(addr uint64, n int) Class {
+	if n <= 0 {
+		return Unmapped
+	}
+	class := Shared
+	if t.serving && !t.extendsShared(addr) {
+		class = Private
+	}
+	first := addr / PageSize
+	last := (addr + uint64(n) - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if e, ok := t.pages[p]; ok {
+			// Re-allocation keeps the stronger (shared) classification:
+			// shared data reallocated to grow stays shared (§4.2.2).
+			if e.class == Shared {
+				continue
+			}
+			if class == Shared {
+				e.class = Shared
+				t.privateN--
+				t.sharedN++
+			}
+			continue
+		}
+		t.seq++
+		t.pages[p] = &entry{class: class, allocSeq: t.seq}
+		if class == Shared {
+			t.sharedN++
+		} else {
+			t.privateN++
+		}
+	}
+	if class == Shared {
+		t.regions = append(t.regions, region{startPage: first, pages: int(last - first + 1)})
+	}
+	return class
+}
+
+// extendsShared reports whether addr is adjacent to (or inside) an existing
+// shared region: growing shared data keeps the new pages shared.
+func (t *Table) extendsShared(addr uint64) bool {
+	p := addr / PageSize
+	for _, r := range t.regions {
+		if p >= r.startPage && p <= r.startPage+uint64(r.pages) {
+			return true
+		}
+	}
+	return false
+}
+
+// Free unmaps n bytes starting at addr.
+func (t *Table) Free(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	first := addr / PageSize
+	last := (addr + uint64(n) - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if e, ok := t.pages[p]; ok {
+			if e.class == Shared {
+				t.sharedN--
+			} else {
+				t.privateN--
+			}
+			delete(t.pages, p)
+		}
+	}
+}
+
+// Classify reports the classification of the page containing addr. This is
+// the lookup the hardware performs on a TLB fill to set the entry's Shared
+// bit.
+func (t *Table) Classify(addr uint64) Class {
+	if e, ok := t.pages[addr/PageSize]; ok {
+		return e.class
+	}
+	return Unmapped
+}
+
+// IsShared reports whether addr sits on a shared page (the Shared bit the
+// TLB entry carries).
+func (t *Table) IsShared(addr uint64) bool { return t.Classify(addr) == Shared }
+
+// Counts reports mapped shared and private page counts.
+func (t *Table) Counts() (shared, private int) { return t.sharedN, t.privateN }
+
+// SharedFraction reports the fraction of mapped pages that are shared.
+func (t *Table) SharedFraction() float64 {
+	total := t.sharedN + t.privateN
+	if total == 0 {
+		return 0
+	}
+	return float64(t.sharedN) / float64(total)
+}
+
+// Footprint reports the mapped bytes.
+func (t *Table) Footprint() int64 {
+	return int64(t.sharedN+t.privateN) * PageSize
+}
+
+// Pages returns the mapped page numbers in ascending order (for tests and
+// inspection tools).
+func (t *Table) Pages() []uint64 {
+	out := make([]uint64, 0, len(t.pages))
+	for p := range t.pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,176 @@
+package pages
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInitAllocationsAreShared(t *testing.T) {
+	pt := NewTable()
+	if c := pt.Allocate(0x1000, 8192); c != Shared {
+		t.Fatalf("init allocation class = %v", c)
+	}
+	if !pt.IsShared(0x1000) || !pt.IsShared(0x2000) {
+		t.Fatal("init pages not shared")
+	}
+	s, p := pt.Counts()
+	if s != 2 || p != 0 {
+		t.Fatalf("counts = %d/%d", s, p)
+	}
+}
+
+func TestServeLoopSwitchesToPrivate(t *testing.T) {
+	pt := NewTable()
+	pt.Allocate(0x1000, 4096) // code/ro data
+	if pt.Serving() {
+		t.Fatal("serving before MarkServeStart")
+	}
+	pt.MarkServeStart()
+	if c := pt.Allocate(0x100000, 4096); c != Private {
+		t.Fatalf("post-serve allocation class = %v", c)
+	}
+	if pt.IsShared(0x100000) {
+		t.Fatal("invocation page classified shared")
+	}
+	// The pre-serve page stays shared.
+	if !pt.IsShared(0x1000) {
+		t.Fatal("init page lost shared class")
+	}
+}
+
+func TestSharedGrowthStaysShared(t *testing.T) {
+	pt := NewTable()
+	pt.Allocate(0x10000, 2*PageSize) // shared region: pages 16,17
+	pt.MarkServeStart()
+	// Reallocating/growing the shared buffer touches the next page.
+	if c := pt.Allocate(0x10000+2*PageSize, PageSize); c != Shared {
+		t.Fatalf("shared growth class = %v", c)
+	}
+	// An unrelated allocation far away is private.
+	if c := pt.Allocate(0x900000, PageSize); c != Private {
+		t.Fatalf("unrelated allocation class = %v", c)
+	}
+}
+
+func TestReallocationKeepsStrongerClass(t *testing.T) {
+	pt := NewTable()
+	pt.MarkServeStart()
+	pt.Allocate(0x5000, PageSize) // private
+	if pt.Classify(0x5000) != Private {
+		t.Fatal("setup failed")
+	}
+	// The same page later covered by a shared-region growth flips to
+	// shared and the counters follow.
+	pt2 := NewTable()
+	pt2.Allocate(0x4000, PageSize) // shared page 4
+	pt2.MarkServeStart()
+	pt2.Allocate(0x5000, PageSize) // adjacent: extends shared
+	if pt2.Classify(0x5000) != Shared {
+		t.Fatalf("adjacent growth = %v", pt2.Classify(0x5000))
+	}
+}
+
+func TestFreeUnmaps(t *testing.T) {
+	pt := NewTable()
+	pt.Allocate(0x1000, 4*PageSize)
+	pt.Free(0x2000, PageSize)
+	if pt.Classify(0x2000) != Unmapped {
+		t.Fatal("freed page still mapped")
+	}
+	s, _ := pt.Counts()
+	if s != 3 {
+		t.Fatalf("shared count after free = %d", s)
+	}
+	pt.Free(0x2000, PageSize) // double free is a no-op
+	pt.Free(0, 0)
+}
+
+func TestFootprintAndPages(t *testing.T) {
+	pt := NewTable()
+	pt.Allocate(0, 3*PageSize)
+	pt.MarkServeStart()
+	pt.Allocate(0x100000, PageSize)
+	if pt.Footprint() != 4*PageSize {
+		t.Fatalf("footprint = %d", pt.Footprint())
+	}
+	if f := pt.SharedFraction(); f != 0.75 {
+		t.Fatalf("shared fraction = %v", f)
+	}
+	ps := pt.Pages()
+	if len(ps) != 4 || ps[0] != 0 || ps[3] != 0x100000/PageSize {
+		t.Fatalf("pages = %v", ps)
+	}
+	empty := NewTable()
+	if empty.SharedFraction() != 0 {
+		t.Fatal("empty table shared fraction")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Unmapped.String() != "unmapped" || Shared.String() != "shared" || Private.String() != "private" {
+		t.Fatal("class strings")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class string")
+	}
+}
+
+// Property: counts always match a full scan, and classifications are stable
+// under arbitrary interleavings of allocate/free before and after the serve
+// point.
+func TestCountsMatchScanProperty(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint32
+		Pages uint8
+		Free  bool
+		Serve bool
+	}) bool {
+		pt := NewTable()
+		for _, op := range ops {
+			if op.Serve {
+				pt.MarkServeStart()
+			}
+			n := (int(op.Pages)%8 + 1) * PageSize
+			if op.Free {
+				pt.Free(uint64(op.Addr)*PageSize, n)
+			} else {
+				pt.Allocate(uint64(op.Addr)*PageSize, n)
+			}
+		}
+		shared, private := 0, 0
+		for _, p := range pt.Pages() {
+			switch pt.Classify(p * PageSize) {
+			case Shared:
+				shared++
+			case Private:
+				private++
+			default:
+				return false
+			}
+		}
+		s, p := pt.Counts()
+		return s == shared && p == private
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nothing allocated before the serve point is ever private.
+func TestPreServeAlwaysSharedProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		pt := NewTable()
+		for _, a := range addrs {
+			pt.Allocate(uint64(a)*PageSize, PageSize)
+		}
+		for _, a := range addrs {
+			if pt.Classify(uint64(a)*PageSize) != Shared {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package queueing provides analytic queueing approximations (M/M/c,
+// M/G/1, and the Allen-Cunneen M/G/c approximation) used to cross-validate
+// the discrete-event simulator: at low load with no harvesting, the
+// simulated Primary VM latencies must agree with queueing theory, which
+// gives the repository an independent check on the simulation machinery.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc describes an M/M/c queue: Poisson arrivals at rate lambda, c servers
+// with exponential service at rate mu each.
+type MMc struct {
+	Lambda float64 // arrivals per second
+	Mu     float64 // service completions per second per server
+	C      int     // servers
+}
+
+// Rho reports the per-server utilization.
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// Stable reports whether the queue has a steady state.
+func (q MMc) Stable() bool { return q.Lambda > 0 && q.Mu > 0 && q.C > 0 && q.Rho() < 1 }
+
+// ErlangC reports the probability an arrival must wait (all servers busy).
+func (q MMc) ErlangC() (float64, error) {
+	if !q.Stable() {
+		return 0, fmt.Errorf("queueing: unstable M/M/%d at rho=%.3f", q.C, q.Rho())
+	}
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	c := float64(q.C)
+	// Sum_{k=0}^{c-1} a^k/k! computed iteratively.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < q.C; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	top := term * a / c / (1 - q.Rho()) // a^c/c! * 1/(1-rho)
+	return top / (sum + top), nil
+}
+
+// MeanWait reports the mean time in queue (excluding service).
+func (q MMc) MeanWait() (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(q.C)*q.Mu - q.Lambda), nil
+}
+
+// MeanResponse reports the mean time in system (queue + service).
+func (q MMc) MeanResponse() (float64, error) {
+	w, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w + 1/q.Mu, nil
+}
+
+// MG1 describes an M/G/1 queue with general service times.
+type MG1 struct {
+	Lambda float64 // arrivals per second
+	MeanS  float64 // mean service time (seconds)
+	SCVS   float64 // squared coefficient of variation of service time
+}
+
+// Rho reports utilization.
+func (q MG1) Rho() float64 { return q.Lambda * q.MeanS }
+
+// MeanWait reports the Pollaczek-Khinchine mean waiting time.
+func (q MG1) MeanWait() (float64, error) {
+	rho := q.Rho()
+	if rho >= 1 || q.Lambda <= 0 || q.MeanS <= 0 {
+		return 0, fmt.Errorf("queueing: unstable M/G/1 at rho=%.3f", rho)
+	}
+	return rho * q.MeanS * (1 + q.SCVS) / (2 * (1 - rho)), nil
+}
+
+// MeanResponse reports the mean time in system.
+func (q MG1) MeanResponse() (float64, error) {
+	w, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w + q.MeanS, nil
+}
+
+// MGc approximates an M/G/c queue via Allen-Cunneen: the M/M/c wait scaled
+// by (1 + SCV)/2.
+type MGc struct {
+	Lambda float64
+	MeanS  float64
+	SCVS   float64
+	C      int
+}
+
+// Rho reports per-server utilization.
+func (q MGc) Rho() float64 { return q.Lambda * q.MeanS / float64(q.C) }
+
+// MeanWait reports the approximate mean waiting time.
+func (q MGc) MeanWait() (float64, error) {
+	mmc := MMc{Lambda: q.Lambda, Mu: 1 / q.MeanS, C: q.C}
+	w, err := mmc.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w * (1 + q.SCVS) / 2, nil
+}
+
+// MeanResponse reports the approximate time in system.
+func (q MGc) MeanResponse() (float64, error) {
+	w, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w + q.MeanS, nil
+}
+
+// MM1TailQuantile reports the p-quantile of the M/M/1 response time
+// (exponential with rate mu-lambda).
+func MM1TailQuantile(lambda, mu, p float64) (float64, error) {
+	if lambda >= mu || p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queueing: invalid M/M/1 quantile request")
+	}
+	return -math.Log(1-p) / (mu - lambda), nil
+}

@@ -1,0 +1,175 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+func TestMMcKnownValues(t *testing.T) {
+	// M/M/1 at rho = 0.5: ErlangC = rho = 0.5, W = rho/(mu-lambda) = 0.5/1 s...
+	q := MMc{Lambda: 0.5, Mu: 1, C: 1}
+	pw, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw-0.5) > 1e-9 {
+		t.Fatalf("M/M/1 ErlangC = %v, want 0.5", pw)
+	}
+	w, _ := q.MeanWait()
+	if math.Abs(w-1.0) > 1e-9 { // rho/(mu - lambda) = 0.5/0.5
+		t.Fatalf("M/M/1 wait = %v, want 1", w)
+	}
+	r, _ := q.MeanResponse()
+	if math.Abs(r-2.0) > 1e-9 { // 1/(mu-lambda)
+		t.Fatalf("M/M/1 response = %v, want 2", r)
+	}
+}
+
+func TestMMcMultiServer(t *testing.T) {
+	// M/M/2 with a = 1 (rho = 0.5): ErlangC = 1/3 (standard result).
+	q := MMc{Lambda: 1, Mu: 1, C: 2}
+	pw, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw-1.0/3.0) > 1e-9 {
+		t.Fatalf("M/M/2 ErlangC = %v, want 1/3", pw)
+	}
+	// More servers at the same per-server load wait less.
+	q4 := MMc{Lambda: 2, Mu: 1, C: 4}
+	pw4, _ := q4.ErlangC()
+	if pw4 >= pw {
+		t.Fatalf("M/M/4 wait prob %v should be below M/M/2's %v", pw4, pw)
+	}
+}
+
+func TestUnstableQueues(t *testing.T) {
+	if _, err := (MMc{Lambda: 2, Mu: 1, C: 1}).ErlangC(); err == nil {
+		t.Fatal("unstable M/M/1 should error")
+	}
+	if _, err := (MG1{Lambda: 2, MeanS: 1}).MeanWait(); err == nil {
+		t.Fatal("unstable M/G/1 should error")
+	}
+	if _, err := MM1TailQuantile(2, 1, 0.99); err == nil {
+		t.Fatal("unstable quantile should error")
+	}
+	if _, err := MM1TailQuantile(0.5, 1, 1.5); err == nil {
+		t.Fatal("bad p should error")
+	}
+}
+
+func TestPollaczekKhinchine(t *testing.T) {
+	// Deterministic service (SCV 0) waits half as long as exponential
+	// (SCV 1) at the same load.
+	det := MG1{Lambda: 0.5, MeanS: 1, SCVS: 0}
+	exp := MG1{Lambda: 0.5, MeanS: 1, SCVS: 1}
+	wd, _ := det.MeanWait()
+	we, _ := exp.MeanWait()
+	if math.Abs(wd*2-we) > 1e-9 {
+		t.Fatalf("PK ratio wrong: det %v exp %v", wd, we)
+	}
+	// M/G/1 with SCV 1 must equal M/M/1.
+	mm1 := MMc{Lambda: 0.5, Mu: 1, C: 1}
+	wm, _ := mm1.MeanWait()
+	if math.Abs(we-wm) > 1e-9 {
+		t.Fatalf("M/G/1(SCV=1) %v != M/M/1 %v", we, wm)
+	}
+}
+
+func TestMGcReducesToMMc(t *testing.T) {
+	mgc := MGc{Lambda: 1, MeanS: 1, SCVS: 1, C: 2}
+	mmc := MMc{Lambda: 1, Mu: 1, C: 2}
+	wa, _ := mgc.MeanWait()
+	wb, _ := mmc.MeanWait()
+	if math.Abs(wa-wb) > 1e-9 {
+		t.Fatalf("Allen-Cunneen at SCV=1 %v != M/M/c %v", wa, wb)
+	}
+	if mgc.Rho() != 0.5 {
+		t.Fatalf("rho = %v", mgc.Rho())
+	}
+	r, _ := mgc.MeanResponse()
+	if r <= wa {
+		t.Fatal("response must include service")
+	}
+}
+
+func TestMM1TailQuantile(t *testing.T) {
+	// Response time is Exp(mu-lambda): P99 = ln(100)/(mu-lambda).
+	got, err := MM1TailQuantile(0.5, 1.0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(100) / 0.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P99 = %v, want %v", got, want)
+	}
+}
+
+// TestSimulatorAgreesWithTheory cross-validates the discrete-event engine:
+// a hand-built M/M/c simulation on the sim engine must match the analytic
+// mean response within a few percent.
+func TestSimulatorAgreesWithTheory(t *testing.T) {
+	const (
+		lambda = 4000.0 // req/s
+		mu     = 2000.0 // per server
+		c      = 4
+	)
+	eng := sim.NewEngine()
+	rng := stats.NewRNG(42)
+	type srv struct{ busy int }
+	s := &srv{}
+	var queue []sim.Time
+	var totalResp float64
+	var done int
+
+	var depart func()
+	depart = func() {
+		if len(queue) > 0 {
+			arr := queue[0]
+			queue = queue[1:]
+			svc := sim.Duration(rng.Exp(1/mu) * float64(sim.Second))
+			eng.Schedule(svc, func() {
+				totalResp += float64(eng.Now().Sub(arr))
+				done++
+				depart()
+			})
+		} else {
+			s.busy--
+		}
+	}
+	var arrive func()
+	arrive = func() {
+		gap := sim.Duration(rng.Exp(1/lambda) * float64(sim.Second))
+		eng.Schedule(gap, func() {
+			now := eng.Now()
+			if s.busy < c {
+				s.busy++
+				svc := sim.Duration(rng.Exp(1/mu) * float64(sim.Second))
+				eng.Schedule(svc, func() {
+					totalResp += float64(eng.Now().Sub(now))
+					done++
+					depart()
+				})
+			} else {
+				queue = append(queue, now)
+			}
+			arrive()
+		})
+	}
+	arrive()
+	eng.Run(sim.Time(30 * sim.Second))
+
+	simMean := totalResp / float64(done) / float64(sim.Second)
+	want, err := (MMc{Lambda: lambda, Mu: mu, C: c}).MeanResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(simMean-want) / want
+	t.Logf("simulated %.6fs vs analytic %.6fs (%.1f%% off, %d requests)", simMean, want, 100*rel, done)
+	if rel > 0.05 {
+		t.Fatalf("simulator disagrees with M/M/c theory by %.1f%%", 100*rel)
+	}
+}

@@ -1,0 +1,80 @@
+// Package report renders experiment tables into Markdown documents (the
+// EXPERIMENTS.md format): one section per artifact with the regenerated
+// rows in a code block plus generation timings.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hardharvest/internal/experiments"
+)
+
+// Options configure a report run.
+type Options struct {
+	// Title heads the document.
+	Title string
+	// ScaleName labels the scale used.
+	ScaleName string
+	// Only restricts the report to the listed experiment ids (nil = all).
+	Only []string
+	// Clock supplies wall-clock timing; nil uses time.Now (tests inject a
+	// fake for deterministic output).
+	Clock func() time.Time
+}
+
+// Generate runs the selected experiments at the given scale and writes the
+// Markdown report to w. It returns the number of sections written.
+func Generate(w io.Writer, sc experiments.Scale, opts Options) (int, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	title := opts.Title
+	if title == "" {
+		title = "HardHarvest reproduction report"
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n\n", title); err != nil {
+		return 0, err
+	}
+	if _, err := fmt.Fprintf(w,
+		"Scale: %s (measure %v per server, %d servers for throughput sweeps, seed %d).\n\n",
+		opts.ScaleName, sc.Measure, sc.Servers, sc.Seed); err != nil {
+		return 0, err
+	}
+	want := map[string]bool{}
+	for _, id := range opts.Only {
+		want[id] = true
+	}
+	n := 0
+	for _, r := range experiments.Runners() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := clock()
+		tbl := r.Run(sc)
+		elapsed := clock().Sub(start)
+		if _, err := fmt.Fprintf(w, "## %s — %s\n\n```\n%s```\n\n_(generated in %.1fs)_\n\n",
+			tbl.ID, tbl.Title, tbl.String(), elapsed.Seconds()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Validate sanity-checks a rendered report: every requested section is
+// present and fenced blocks are balanced.
+func Validate(doc string, ids []string) error {
+	for _, id := range ids {
+		if !strings.Contains(doc, "## "+id+" — ") {
+			return fmt.Errorf("report: missing section %q", id)
+		}
+	}
+	if strings.Count(doc, "```")%2 != 0 {
+		return fmt.Errorf("report: unbalanced code fences")
+	}
+	return nil
+}

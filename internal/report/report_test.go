@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hardharvest/internal/experiments"
+	"hardharvest/internal/sim"
+)
+
+func fastScale() experiments.Scale {
+	return experiments.Scale{
+		Measure: 100 * sim.Millisecond,
+		Warmup:  20 * sim.Millisecond,
+		Servers: 1,
+		Seed:    1,
+	}
+}
+
+func TestGenerateSubset(t *testing.T) {
+	var b strings.Builder
+	fake := time.Unix(0, 0)
+	clock := func() time.Time {
+		fake = fake.Add(time.Second)
+		return fake
+	}
+	ids := []string{"storage", "table1", "fig2"}
+	n, err := Generate(&b, fastScale(), Options{
+		Title: "test report", ScaleName: "tiny", Only: ids, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("sections = %d", n)
+	}
+	doc := b.String()
+	if !strings.HasPrefix(doc, "# test report\n") {
+		t.Fatalf("missing title: %q", doc[:40])
+	}
+	if err := Validate(doc, ids); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "Scale: tiny") {
+		t.Fatal("missing scale line")
+	}
+	if !strings.Contains(doc, "_(generated in 1.0s)_") {
+		t.Fatal("missing deterministic timing from fake clock")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	if err := Validate("# x\n", []string{"storage"}); err == nil {
+		t.Fatal("missing section should fail")
+	}
+	if err := Validate("## storage — s\n```\nunclosed", []string{"storage"}); err == nil {
+		t.Fatal("unbalanced fences should fail")
+	}
+	if err := Validate("## storage — s\n```\nok\n```\n", []string{"storage"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in timestamp order; ties break
+// by scheduling order (FIFO), which keeps the simulation deterministic.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	// index in the heap, or -1 once fired/cancelled.
+	index int
+}
+
+// When reports the timestamp the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 && e.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is intentionally
+// not safe for concurrent use: determinism is a core requirement of the
+// experiment harness, so all model code runs on the engine's goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far (useful for progress
+// accounting and tests).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay. A negative delay is an error in model code
+// and panics; a zero delay runs fn after all events already scheduled for the
+// current instant.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at %v", delay, e.now))
+	}
+	return e.At(e.now.Add(delay), fn)
+}
+
+// At schedules fn at an absolute time, which must not be in the past.
+func (e *Engine) At(when Time, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Stop makes Run return after the currently-executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// would pass horizon (inclusive). It returns the time of the last event
+// executed (or the current time if none ran).
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.when > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.when
+		fn := next.fn
+		next.fn = nil
+		e.fired++
+		fn()
+	}
+	if e.now < horizon && len(e.queue) == 0 {
+		// Clock does not jump to the horizon: experiments measure occupancy
+		// against the time actually simulated.
+		return e.now
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time {
+	const forever = Time(1<<62 - 1)
+	return e.Run(forever)
+}
+
+// AdvanceTo moves the clock forward with no event execution. It is used by
+// trace replay tools; model code should schedule events instead. Panics if
+// events are pending before the target time.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic("sim: AdvanceTo into the past")
+	}
+	if len(e.queue) > 0 && e.queue[0].when < t {
+		panic("sim: AdvanceTo would skip pending events")
+	}
+	e.now = t
+}

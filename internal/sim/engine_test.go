@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCyclesConversion(t *testing.T) {
+	// 3 cycles at 3 GHz = 1 ns.
+	if got := Cycles(3); got != Nanosecond {
+		t.Fatalf("Cycles(3) = %v, want 1ns", got)
+	}
+	if got := Cycles(1); got != 333*Picosecond {
+		t.Fatalf("Cycles(1) = %v, want 333ps", got)
+	}
+	if got := (2 * Nanosecond).ToCycles(); got != 6 {
+		t.Fatalf("2ns.ToCycles() = %d, want 6", got)
+	}
+	if got := CyclesAt(5, 1_000_000_000); got != 5*Nanosecond {
+		t.Fatalf("CyclesAt(5, 1GHz) = %v, want 5ns", got)
+	}
+}
+
+func TestDurationUnits(t *testing.T) {
+	if Second != 1_000_000_000_000*Picosecond {
+		t.Fatalf("Second = %d ps", int64(Second))
+	}
+	d := 1500 * Microsecond
+	if d.Milliseconds() != 1.5 {
+		t.Fatalf("Milliseconds = %v", d.Milliseconds())
+	}
+	if d.Std() != 1500*time.Microsecond {
+		t.Fatalf("Std = %v", d.Std())
+	}
+	if FromStd(2*time.Microsecond) != 2*Microsecond {
+		t.Fatalf("FromStd mismatch")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2.000ns"},
+		{3 * Microsecond, "3.000us"},
+		{4 * Millisecond, "4.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d ps -> %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10*Nanosecond, func() { order = append(order, 2) })
+	e.Schedule(5*Nanosecond, func() { order = append(order, 1) })
+	e.Schedule(10*Nanosecond, func() { order = append(order, 3) }) // FIFO tie-break
+	e.Schedule(20*Nanosecond, func() { order = append(order, 4) })
+	e.RunAll()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Fired() != 4 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.Schedule(Nanosecond, func() {
+		at = append(at, e.Now())
+		e.Schedule(Nanosecond, func() {
+			at = append(at, e.Now())
+		})
+	})
+	e.RunAll()
+	if len(at) != 2 || at[0] != Time(Nanosecond) || at[1] != Time(2*Nanosecond) {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestEngineZeroDelaySameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(0, func() {
+		order = append(order, 1)
+		e.Schedule(0, func() { order = append(order, 3) })
+	})
+	e.Schedule(0, func() { order = append(order, 2) })
+	e.RunAll()
+	if e.Now() != 0 {
+		t.Fatalf("clock moved: %v", e.Now())
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(Microsecond, func() { ran++ })
+	e.Schedule(2*Microsecond, func() { ran++ })
+	e.Schedule(5*Microsecond, func() { ran++ })
+	e.Run(Time(3 * Microsecond))
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.RunAll()
+	if ran != 3 {
+		t.Fatalf("ran = %d after RunAll", ran)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(Nanosecond, func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	evs := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Duration(i+1)*Nanosecond, func() { order = append(order, i) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunAll()
+	if len(order) != 8 {
+		t.Fatalf("order = %v", order)
+	}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(Nanosecond, func() { ran++; e.Stop() })
+	e.Schedule(2*Nanosecond, func() { ran++ })
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (stopped)", ran)
+	}
+	// Run can resume afterwards.
+	e.RunAll()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 after resume", ran)
+	}
+}
+
+func TestEnginePanicsOnPastScheduling(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic scheduling into the past")
+			}
+		}()
+		e.At(Time(Nanosecond), func() {})
+	})
+	e.RunAll()
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(Time(5 * Microsecond))
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic advancing into the past")
+		}
+	}()
+	e.AdvanceTo(Time(Microsecond))
+}
+
+func TestEngineManyEventsDeterministic(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		var ts []Time
+		// A fixed pseudo-random pattern of delays without package deps.
+		x := uint64(12345)
+		for i := 0; i < 1000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			d := Duration(x%1000) * Nanosecond
+			e.Schedule(d, func() { ts = append(ts, e.Now()) })
+		}
+		e.RunAll()
+		return ts
+	}
+	a, b := run(), run()
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package stats provides the deterministic random-number generation,
+// probability distributions, and summary statistics (percentiles, histograms,
+// CDFs) used across the simulator. Everything is seeded explicitly so that
+// experiments are reproducible bit-for-bit.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (xoshiro256** seeded via
+// SplitMix64). It is not safe for concurrent use; each model component owns
+// its own stream.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from a single 64-bit seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+// Split derives an independent child stream. Children with distinct labels
+// are statistically independent of each other and of the parent.
+func (r *RNG) Split(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0xBF58476D1CE4E5B9))
+}
+
+func splitmix64(state uint64) (next, out uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). Panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Normal returns a normally distributed sample (Box–Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed sample parameterized by the
+// desired mean and sigma of the underlying normal in log space.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Pareto returns a bounded Pareto-like heavy-tailed sample with the given
+// minimum and shape alpha (> 0). Smaller alpha means heavier tail.
+func (r *RNG) Pareto(xmin, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xmin / math.Pow(u, 1/alpha)
+}
+
+// Shuffle permutes the integers [0,n) via Fisher-Yates and calls swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF once; construct via NewZipf.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// N reports the number of items the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next Zipf-distributed rank in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder collects samples and answers exact quantile queries. The paper's
+// headline metric is P99 tail latency over ~100K invocations, which fits
+// comfortably in memory, so we keep exact samples rather than a sketch.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+	max     float64
+	min     float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+	r.sum += v
+	if v > r.max {
+		r.max = v
+	}
+	if v < r.min {
+		r.min = v
+	}
+}
+
+// Count reports the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.samples))
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (r *Recorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.min
+}
+
+func (r *Recorder) ensureSorted() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank with
+// linear interpolation. Returns 0 with no samples.
+func (r *Recorder) Quantile(q float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		r.ensureSorted()
+		return r.samples[0]
+	}
+	if q >= 1 {
+		r.ensureSorted()
+		return r.samples[n-1]
+	}
+	r.ensureSorted()
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return r.samples[lo]*(1-frac) + r.samples[hi]*frac
+}
+
+// P50 reports the median.
+func (r *Recorder) P50() float64 { return r.Quantile(0.50) }
+
+// P99 reports the 99th percentile.
+func (r *Recorder) P99() float64 { return r.Quantile(0.99) }
+
+// P999 reports the 99.9th percentile.
+func (r *Recorder) P999() float64 { return r.Quantile(0.999) }
+
+// Merge folds all of other's samples into r.
+func (r *Recorder) Merge(other *Recorder) {
+	for _, v := range other.samples {
+		r.Add(v)
+	}
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+	r.sum = 0
+	r.min = math.Inf(1)
+	r.max = math.Inf(-1)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF returns the empirical CDF evaluated at k evenly spaced fractions
+// (1/k, 2/k, ..., 1).
+func (r *Recorder) CDF(k int) []CDFPoint {
+	if k <= 0 || len(r.samples) == 0 {
+		return nil
+	}
+	r.ensureSorted()
+	pts := make([]CDFPoint, 0, k)
+	for i := 1; i <= k; i++ {
+		f := float64(i) / float64(k)
+		pts = append(pts, CDFPoint{Value: r.Quantile(f), Fraction: f})
+	}
+	return pts
+}
+
+// FractionBelow reports the fraction of samples strictly below v.
+func (r *Recorder) FractionBelow(v float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	idx := sort.SearchFloat64s(r.samples, v)
+	return float64(idx) / float64(len(r.samples))
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); samples outside
+// the range land in saturating edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []uint64
+	count   uint64
+}
+
+// NewHistogram builds a histogram with n buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	n := len(h.buckets)
+	idx := int(float64(n) * (v - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.buckets[idx]++
+	h.count++
+}
+
+// Count reports total samples recorded.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Bucket reports the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// NumBuckets reports the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketBounds reports the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// String renders a compact textual histogram, for debugging and reports.
+func (h *Histogram) String() string {
+	out := ""
+	for i := range h.buckets {
+		lo, hi := h.BucketBounds(i)
+		out += fmt.Sprintf("[%8.3g,%8.3g) %d\n", lo, hi, h.buckets[i])
+	}
+	return out
+}
+
+// MeanStddev computes the mean and (population) standard deviation of vs.
+func MeanStddev(vs []float64) (mean, stddev float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	for _, v := range vs {
+		d := v - mean
+		stddev += d * d
+	}
+	stddev = math.Sqrt(stddev / float64(len(vs)))
+	return mean, stddev
+}
+
+// GeoMean computes the geometric mean of strictly positive values; zero or
+// negative values are skipped.
+func GeoMean(vs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// KSStatistic computes the two-sided Kolmogorov-Smirnov statistic between
+// the recorder's empirical distribution and a reference CDF. Used by tests
+// validating generated distributions against their analytic forms.
+func (r *Recorder) KSStatistic(cdf func(float64) float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	maxDev := 0.0
+	for i, v := range r.samples {
+		f := cdf(v)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if d := f - lo; d > maxDev {
+			maxDev = d
+		}
+		if d := hi - f; d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev
+}

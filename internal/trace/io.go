@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export so generated traces can be saved, inspected, and
+// replayed across runs (and exchanged with external plotting tools).
+
+// WriteInstancesCSV writes instances as "avg_util,max_util" rows with a
+// header.
+func WriteInstancesCSV(w io.Writer, insts []Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"avg_util", "max_util"}); err != nil {
+		return err
+	}
+	for _, in := range insts {
+		rec := []string{
+			strconv.FormatFloat(in.AvgUtil, 'f', 6, 64),
+			strconv.FormatFloat(in.MaxUtil, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadInstancesCSV parses instances written by WriteInstancesCSV.
+func ReadInstancesCSV(r io.Reader) ([]Instance, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != 2 || rows[0][0] != "avg_util" {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	out := make([]Instance, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+1, len(row))
+		}
+		avg, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d avg: %w", i+1, err)
+		}
+		max, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d max: %w", i+1, err)
+		}
+		if avg < 0 || avg > 1 || max < avg || max > 1 {
+			return nil, fmt.Errorf("trace: row %d out of range (avg=%v max=%v)", i+1, avg, max)
+		}
+		out = append(out, Instance{AvgUtil: avg, MaxUtil: max})
+	}
+	return out, nil
+}
+
+// WriteSeriesCSV writes a utilization series as "step,utilization" rows.
+func WriteSeriesCSV(w io.Writer, series []float64, stepSeconds int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "utilization"}); err != nil {
+		return err
+	}
+	for i, u := range series {
+		rec := []string{
+			strconv.Itoa(i * stepSeconds),
+			strconv.FormatFloat(u, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV parses a series written by WriteSeriesCSV.
+func ReadSeriesCSV(r io.Reader) ([]float64, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || len(rows[0]) != 2 || rows[0][1] != "utilization" {
+		return nil, fmt.Errorf("trace: unexpected series header")
+	}
+	out := make([]float64, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		u, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}

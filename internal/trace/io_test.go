@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hardharvest/internal/stats"
+)
+
+func TestInstancesCSVRoundTrip(t *testing.T) {
+	insts := GenerateInstances(stats.NewRNG(1), 200)
+	var buf bytes.Buffer
+	if err := WriteInstancesCSV(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstancesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(got), len(insts))
+	}
+	for i := range got {
+		if d := got[i].AvgUtil - insts[i].AvgUtil; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("row %d avg drifted: %v vs %v", i, got[i].AvgUtil, insts[i].AvgUtil)
+		}
+	}
+}
+
+func TestReadInstancesCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "x,y\n0.1,0.2\n",
+		"bad number":   "avg_util,max_util\nfoo,0.2\n",
+		"out of range": "avg_util,max_util\n0.9,0.2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadInstancesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	inst := Instance{AvgUtil: 0.2, MaxUtil: 0.8}
+	series := inst.Series(stats.NewRNG(2), DefaultSeriesParams())
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time_s,utilization\n0,") {
+		t.Fatalf("unexpected CSV start: %q", buf.String()[:30])
+	}
+	got, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(series) {
+		t.Fatalf("lost steps: %d vs %d", len(got), len(series))
+	}
+	for i := range got {
+		if d := got[i] - series[i]; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("step %d drifted", i)
+		}
+	}
+	if _, err := ReadSeriesCSV(strings.NewReader("nope\n")); err == nil {
+		t.Fatal("bad series header should error")
+	}
+}

@@ -1,0 +1,104 @@
+// Package vm models the virtual machines of a HardHarvest server: Primary
+// VMs with a fixed core allocation running one latency-critical microservice
+// each, and Harvest VMs that are configured with as many vCPUs as the server
+// has pCPUs and multiplex those vCPUs onto however many physical cores they
+// currently hold (their own plus harvested ones), as SmartHarvest-style
+// deployments do (§4.1.5).
+package vm
+
+import "fmt"
+
+// Kind discriminates Primary and Harvest VMs.
+type Kind int
+
+const (
+	// Primary VMs run latency-critical microservices with fixed cores.
+	Primary Kind = iota
+	// Harvest VMs run batch applications and grow by harvesting cores.
+	Harvest
+)
+
+func (k Kind) String() string {
+	if k == Primary {
+		return "primary"
+	}
+	return "harvest"
+}
+
+// VM describes one virtual machine.
+type VM struct {
+	ID    int
+	Kind  Kind
+	Cores int // allocated (owned) cores
+
+	// vCPUs is the Harvest VM's virtual CPU count (== server pCPUs so no
+	// guest changes are needed when cores come and go); 0 for Primary VMs.
+	vCPUs int
+	// currentPCPUs is the number of physical cores the Harvest VM holds
+	// right now (owned + harvested).
+	currentPCPUs int
+}
+
+// NewPrimary builds a Primary VM with the given cores.
+func NewPrimary(id, cores int) *VM {
+	if cores <= 0 {
+		panic("vm: primary VM needs cores")
+	}
+	return &VM{ID: id, Kind: Primary, Cores: cores}
+}
+
+// NewHarvest builds a Harvest VM with its initial cores and a vCPU count
+// equal to the server's pCPUs.
+func NewHarvest(id, cores, serverPCPUs int) *VM {
+	if cores < 0 || serverPCPUs <= 0 {
+		panic("vm: invalid harvest VM shape")
+	}
+	return &VM{ID: id, Kind: Harvest, Cores: cores, vCPUs: serverPCPUs, currentPCPUs: cores}
+}
+
+// VCPUs reports the Harvest VM's virtual CPU count.
+func (v *VM) VCPUs() int { return v.vCPUs }
+
+// PCPUs reports the physical cores the VM currently holds.
+func (v *VM) PCPUs() int {
+	if v.Kind == Primary {
+		return v.Cores
+	}
+	return v.currentPCPUs
+}
+
+// Grow records a harvested core joining the Harvest VM. The guest needs no
+// reconfiguration: a vCPU simply starts running.
+func (v *VM) Grow() error {
+	if v.Kind != Harvest {
+		return fmt.Errorf("vm: %d is not a harvest VM", v.ID)
+	}
+	if v.currentPCPUs >= v.vCPUs {
+		return fmt.Errorf("vm: %d already holds all %d vCPUs worth of cores", v.ID, v.vCPUs)
+	}
+	v.currentPCPUs++
+	return nil
+}
+
+// Shrink records a core being reclaimed from the Harvest VM; its vCPUs are
+// multiplexed onto the remaining cores, so forward progress is preserved
+// (preempted threads holding locks eventually run again, §4.1.5).
+func (v *VM) Shrink() error {
+	if v.Kind != Harvest {
+		return fmt.Errorf("vm: %d is not a harvest VM", v.ID)
+	}
+	if v.currentPCPUs <= v.Cores {
+		return fmt.Errorf("vm: %d already at its owned core count", v.ID)
+	}
+	v.currentPCPUs--
+	return nil
+}
+
+// Oversubscription reports the vCPU:pCPU ratio of a Harvest VM; 1.0 means no
+// multiplexing pressure.
+func (v *VM) Oversubscription() float64 {
+	if v.Kind == Primary || v.currentPCPUs == 0 {
+		return 1
+	}
+	return float64(v.vCPUs) / float64(v.currentPCPUs)
+}

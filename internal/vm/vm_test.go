@@ -1,0 +1,89 @@
+package vm
+
+import "testing"
+
+func TestPrimaryVM(t *testing.T) {
+	p := NewPrimary(1, 4)
+	if p.Kind != Primary || p.PCPUs() != 4 {
+		t.Fatalf("primary = %+v", p)
+	}
+	if p.Oversubscription() != 1 {
+		t.Fatal("primary oversubscription should be 1")
+	}
+	if err := p.Grow(); err == nil {
+		t.Fatal("primary VM must not grow")
+	}
+	if err := p.Shrink(); err == nil {
+		t.Fatal("primary VM must not shrink")
+	}
+}
+
+func TestHarvestGrowShrink(t *testing.T) {
+	h := NewHarvest(9, 4, 36)
+	if h.VCPUs() != 36 {
+		t.Fatalf("vCPUs = %d, want server pCPUs", h.VCPUs())
+	}
+	if h.PCPUs() != 4 {
+		t.Fatalf("initial pCPUs = %d", h.PCPUs())
+	}
+	for i := 0; i < 8; i++ {
+		if err := h.Grow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.PCPUs() != 12 {
+		t.Fatalf("pCPUs after growth = %d", h.PCPUs())
+	}
+	if o := h.Oversubscription(); o != 3 {
+		t.Fatalf("oversubscription = %v, want 36/12", o)
+	}
+	for i := 0; i < 8; i++ {
+		if err := h.Shrink(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.PCPUs() != 4 {
+		t.Fatalf("pCPUs after shrink = %d", h.PCPUs())
+	}
+	// Cannot shrink below owned cores.
+	if err := h.Shrink(); err == nil {
+		t.Fatal("shrink below owned cores should fail")
+	}
+}
+
+func TestHarvestGrowthCap(t *testing.T) {
+	h := NewHarvest(9, 34, 36)
+	if err := h.Grow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Grow(); err != nil {
+		t.Fatal(err)
+	}
+	// 36 pCPUs == 36 vCPUs: full.
+	if err := h.Grow(); err == nil {
+		t.Fatal("growth past vCPU count should fail")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"primary-no-cores": func() { NewPrimary(1, 0) },
+		"harvest-bad":      func() { NewHarvest(1, -1, 36) },
+		"harvest-no-pcpus": func() { NewHarvest(1, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Primary.String() != "primary" || Harvest.String() != "harvest" {
+		t.Fatal("kind strings")
+	}
+}

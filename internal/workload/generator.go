@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math"
+
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+func mathLog(x float64) float64 { return math.Log(x) }
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// Arrival is one generated request arrival.
+type Arrival struct {
+	At  sim.Time
+	Inv Invocation
+}
+
+// Generator produces an open-loop Poisson arrival stream for one Primary VM,
+// optionally modulated by a utilization time series (the client is
+// independent of the server: the offered load never adapts to latency, as in
+// the paper's load generator [73]).
+type Generator struct {
+	profile *Profile
+	rng     *stats.RNG
+	cursor  sim.Time
+
+	baseRate float64 // requests per second at series mean
+	series   []float64
+	seriesMu float64 // mean of series
+	stepDur  sim.Duration
+}
+
+// NewGenerator builds a generator for one VM with the given core count. The
+// series (from the trace package) modulates the instantaneous rate around
+// the profile's base RPS; pass nil for a constant rate. stepDur maps one
+// series step to simulated time.
+func NewGenerator(p *Profile, cores int, series []float64, stepDur sim.Duration, rng *stats.RNG) *Generator {
+	g := &Generator{
+		profile:  p,
+		rng:      rng,
+		baseRate: p.BaseRPSPerCore * float64(cores),
+		stepDur:  stepDur,
+	}
+	if len(series) > 0 && stepDur > 0 {
+		g.series = series
+		sum := 0.0
+		for _, v := range series {
+			sum += v
+		}
+		g.seriesMu = sum / float64(len(series))
+		if g.seriesMu <= 0 {
+			g.series = nil
+		}
+	}
+	return g
+}
+
+// Profile reports the generator's service profile.
+func (g *Generator) Profile() *Profile { return g.profile }
+
+// rateAt reports the instantaneous arrival rate (req/s) at time t.
+func (g *Generator) rateAt(t sim.Time) float64 {
+	if g.series == nil {
+		return g.baseRate
+	}
+	step := int(int64(t)/int64(g.stepDur)) % len(g.series)
+	r := g.baseRate * g.series[step] / g.seriesMu
+	if r < g.baseRate*0.02 {
+		r = g.baseRate * 0.02 // traces never go fully silent
+	}
+	return r
+}
+
+// Next returns the next arrival. The exponential gap is sampled at the
+// current cursor's rate (a standard non-homogeneous approximation that is
+// exact within a series step for our step sizes).
+func (g *Generator) Next() Arrival {
+	rate := g.rateAt(g.cursor)
+	gapSec := g.rng.Exp(1 / rate)
+	gap := sim.Duration(gapSec * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	g.cursor = g.cursor.Add(gap)
+	return Arrival{At: g.cursor, Inv: g.profile.Sample(g.rng)}
+}
+
+// Reset rewinds the generator's clock without reseeding.
+func (g *Generator) Reset() { g.cursor = 0 }

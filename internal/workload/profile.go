@@ -1,0 +1,184 @@
+// Package workload models the latency-critical microservices that run in
+// Primary VMs: per-service execution profiles (CPU bursts separated by
+// blocking I/O to backend services), and an open-loop load generator whose
+// arrival rate follows Alibaba-like utilization traces. The eight services
+// mirror the SocialNetwork microservices the paper evaluates (Text, SGraph,
+// User, PstStr, UsrMnt, HomeT, CPost, UrlShort), with execution-time scale
+// (100s of microseconds), blocking frequency, and working-set character
+// taken from the paper's descriptions.
+package workload
+
+import (
+	"fmt"
+
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// Profile describes one microservice's request behaviour.
+type Profile struct {
+	// Name is the service's short name as used in the paper's figures.
+	Name string
+	// MeanCPU is the mean total CPU time of a request across all bursts.
+	MeanCPU sim.Duration
+	// CPUSigma is the log-normal sigma of the total CPU time.
+	CPUSigma float64
+	// MeanIOCalls is the mean number of blocking I/O calls per request
+	// (synchronous RPCs to caches, key-value stores, databases).
+	MeanIOCalls float64
+	// IOMean is the mean duration of one blocking I/O call, including the
+	// 1 us inter-server round trip and the profiled backend time.
+	IOMean sim.Duration
+	// IOSigma is the log-normal sigma of each I/O duration.
+	IOSigma float64
+	// SharedFrac is the fraction of the service's memory accesses that
+	// touch pages shared across invocations (code, libraries, read-only
+	// data); services like HomeT operate mostly on shared pages.
+	SharedFrac float64
+	// FootprintKB is the approximate per-invocation working set.
+	FootprintKB int
+	// BaseRPSPerCore is the average request rate per allocated core
+	// (the paper's load range is 65-250 RPS per Primary VM core).
+	BaseRPSPerCore float64
+}
+
+// Profiles returns the eight evaluated services. The relative shapes follow
+// the paper: User blocks on I/O most frequently; HomeT is shared-page-heavy;
+// CPost is the orchestrating service with the longest path; UrlShort is the
+// smallest.
+func Profiles() []*Profile {
+	return []*Profile{
+		{Name: "Text", MeanCPU: 720 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 1.0, IOMean: 360 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.60, FootprintKB: 260, BaseRPSPerCore: 160},
+		{Name: "SGraph", MeanCPU: 450 * sim.Microsecond, CPUSigma: 0.40,
+			MeanIOCalls: 2.2, IOMean: 480 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.55, FootprintKB: 300, BaseRPSPerCore: 140},
+		{Name: "User", MeanCPU: 360 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 3.4, IOMean: 440 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.55, FootprintKB: 220, BaseRPSPerCore: 180},
+		{Name: "PstStr", MeanCPU: 540 * sim.Microsecond, CPUSigma: 0.40,
+			MeanIOCalls: 1.8, IOMean: 600 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.50, FootprintKB: 340, BaseRPSPerCore: 120},
+		{Name: "UsrMnt", MeanCPU: 420 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 1.2, IOMean: 320 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.58, FootprintKB: 200, BaseRPSPerCore: 200},
+		{Name: "HomeT", MeanCPU: 900 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 2.0, IOMean: 400 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.78, FootprintKB: 420, BaseRPSPerCore: 90},
+		{Name: "CPost", MeanCPU: 1140 * sim.Microsecond, CPUSigma: 0.40,
+			MeanIOCalls: 3.0, IOMean: 480 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.62, FootprintKB: 480, BaseRPSPerCore: 65},
+		{Name: "UrlShort", MeanCPU: 240 * sim.Microsecond, CPUSigma: 0.30,
+			MeanIOCalls: 0.6, IOMean: 280 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.65, FootprintKB: 120, BaseRPSPerCore: 250},
+	}
+}
+
+// ProfileByName returns the named profile or an error.
+func ProfileByName(name string) (*Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown service %q", name)
+}
+
+// Phase is one CPU burst optionally followed by a blocking I/O call
+// (IO == 0 for the final burst).
+type Phase struct {
+	CPU sim.Duration
+	IO  sim.Duration
+}
+
+// Invocation is one sampled request: a sequence of phases.
+type Invocation struct {
+	Service *Profile
+	Phases  []Phase
+}
+
+// TotalCPU sums the CPU time across phases.
+func (inv Invocation) TotalCPU() sim.Duration {
+	var d sim.Duration
+	for _, ph := range inv.Phases {
+		d += ph.CPU
+	}
+	return d
+}
+
+// TotalIO sums the blocking time across phases.
+func (inv Invocation) TotalIO() sim.Duration {
+	var d sim.Duration
+	for _, ph := range inv.Phases {
+		d += ph.IO
+	}
+	return d
+}
+
+// IOCalls counts the blocking calls.
+func (inv Invocation) IOCalls() int {
+	n := 0
+	for _, ph := range inv.Phases {
+		if ph.IO > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sample draws one invocation: the total CPU time is log-normal around
+// MeanCPU, split across bursts separated by a Poisson-ish number of I/O
+// calls with log-normal durations.
+func (p *Profile) Sample(rng *stats.RNG) Invocation {
+	totalCPU := lognormalWithMean(rng, float64(p.MeanCPU), p.CPUSigma)
+	nIO := samplePoisson(rng, p.MeanIOCalls)
+	phases := make([]Phase, nIO+1)
+	// Split CPU across bursts with a light imbalance so bursts differ.
+	weights := make([]float64, nIO+1)
+	wsum := 0.0
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+		wsum += weights[i]
+	}
+	for i := range phases {
+		phases[i].CPU = sim.Duration(totalCPU * weights[i] / wsum)
+		if phases[i].CPU < sim.Microsecond {
+			phases[i].CPU = sim.Microsecond
+		}
+		if i < nIO {
+			phases[i].IO = sim.Duration(lognormalWithMean(rng, float64(p.IOMean), p.IOSigma))
+			if phases[i].IO < sim.Microsecond {
+				phases[i].IO = sim.Microsecond
+			}
+		}
+	}
+	return Invocation{Service: p, Phases: phases}
+}
+
+// lognormalWithMean samples a log-normal with the requested arithmetic mean
+// (not median) and sigma.
+func lognormalWithMean(rng *stats.RNG, mean, sigma float64) float64 {
+	mu := mathLog(mean) - sigma*sigma/2
+	return rng.LogNormal(mu, sigma)
+}
+
+// samplePoisson draws a small Poisson count via inversion; means here are
+// tiny (< 5), so the loop is short.
+func samplePoisson(rng *stats.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := mathExp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 64 {
+			return 64
+		}
+	}
+}

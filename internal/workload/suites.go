@@ -1,0 +1,75 @@
+package workload
+
+import "hardharvest/internal/sim"
+
+// Benchmark suites beyond SocialNetwork. §4.2.2 validates the
+// shared-before-serve page assumption by profiling more than 60
+// microservices across DeathStarBench, TrainTicket, and uSuite; these
+// profiles model representative services of each suite so the profiling
+// experiment can reproduce that sweep.
+
+// Suite groups a benchmark suite's service profiles.
+type Suite struct {
+	Name     string
+	Services []*Profile
+}
+
+// Suites returns the three profiled benchmark suites.
+func Suites() []Suite {
+	return []Suite{
+		{Name: "DeathStarBench", Services: Profiles()},
+		{Name: "TrainTicket", Services: TrainTicketProfiles()},
+		{Name: "uSuite", Services: MicroSuiteProfiles()},
+	}
+}
+
+// TrainTicketProfiles models representative services of the TrainTicket
+// train-booking application [97]: Java/Spring services with larger
+// footprints and heavier backend traffic than SocialNetwork.
+func TrainTicketProfiles() []*Profile {
+	return []*Profile{
+		{Name: "TTAuth", MeanCPU: 520 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 1.6, IOMean: 420 * sim.Microsecond, IOSigma: 0.45,
+			SharedFrac: 0.66, FootprintKB: 380, BaseRPSPerCore: 140},
+		{Name: "TTOrder", MeanCPU: 880 * sim.Microsecond, CPUSigma: 0.40,
+			MeanIOCalls: 2.8, IOMean: 520 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.58, FootprintKB: 520, BaseRPSPerCore: 90},
+		{Name: "TTRoute", MeanCPU: 640 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 1.2, IOMean: 380 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.72, FootprintKB: 440, BaseRPSPerCore: 120},
+		{Name: "TTSeat", MeanCPU: 460 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 2.2, IOMean: 440 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.55, FootprintKB: 360, BaseRPSPerCore: 150},
+		{Name: "TTPrice", MeanCPU: 320 * sim.Microsecond, CPUSigma: 0.30,
+			MeanIOCalls: 0.9, IOMean: 300 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.70, FootprintKB: 240, BaseRPSPerCore: 200},
+		{Name: "TTStation", MeanCPU: 300 * sim.Microsecond, CPUSigma: 0.30,
+			MeanIOCalls: 0.8, IOMean: 280 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.74, FootprintKB: 220, BaseRPSPerCore: 220},
+		{Name: "TTTicket", MeanCPU: 760 * sim.Microsecond, CPUSigma: 0.40,
+			MeanIOCalls: 2.6, IOMean: 480 * sim.Microsecond, IOSigma: 0.5,
+			SharedFrac: 0.57, FootprintKB: 480, BaseRPSPerCore: 100},
+		{Name: "TTNotify", MeanCPU: 280 * sim.Microsecond, CPUSigma: 0.30,
+			MeanIOCalls: 1.0, IOMean: 340 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.63, FootprintKB: 200, BaseRPSPerCore: 230},
+	}
+}
+
+// MicroSuiteProfiles models the four uSuite services [73]: mid-tier
+// services fronting leaf data services, with very tight latency targets.
+func MicroSuiteProfiles() []*Profile {
+	return []*Profile{
+		{Name: "HDSearch", MeanCPU: 420 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 2.4, IOMean: 260 * sim.Microsecond, IOSigma: 0.45,
+			SharedFrac: 0.61, FootprintKB: 420, BaseRPSPerCore: 160},
+		{Name: "Router", MeanCPU: 180 * sim.Microsecond, CPUSigma: 0.30,
+			MeanIOCalls: 1.4, IOMean: 200 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.69, FootprintKB: 160, BaseRPSPerCore: 240},
+		{Name: "SetAlgebra", MeanCPU: 360 * sim.Microsecond, CPUSigma: 0.35,
+			MeanIOCalls: 1.8, IOMean: 240 * sim.Microsecond, IOSigma: 0.4,
+			SharedFrac: 0.64, FootprintKB: 300, BaseRPSPerCore: 180},
+		{Name: "Recommend", MeanCPU: 520 * sim.Microsecond, CPUSigma: 0.40,
+			MeanIOCalls: 2.0, IOMean: 300 * sim.Microsecond, IOSigma: 0.45,
+			SharedFrac: 0.59, FootprintKB: 360, BaseRPSPerCore: 140},
+	}
+}
