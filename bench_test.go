@@ -121,6 +121,48 @@ func BenchmarkServerSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkServerNilObserver is BenchmarkServerSimulation with the observer
+// field explicitly nil; compare the two to confirm the hook sites cost
+// nothing when observability is off (the contract is <2% and 0 allocs
+// attributable to the hooks).
+func BenchmarkServerNilObserver(b *testing.B) {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 50 * hardharvest.Millisecond
+	cfg.WarmupDuration = 10 * hardharvest.Millisecond
+	work, _ := hardharvest.WorkloadByName("BFS")
+	opts := hardharvest.SystemOptions(hardharvest.HardHarvestBlock)
+	opts.Observer = nil
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		r := hardharvest.RunServer(cfg, opts, work)
+		if r.Requests == 0 {
+			b.Fatal("no requests simulated")
+		}
+	}
+}
+
+// BenchmarkServerWithTracer measures the enabled-path cost: full span
+// recording plus counters and histogram.
+func BenchmarkServerWithTracer(b *testing.B) {
+	cfg := hardharvest.DefaultConfig()
+	cfg.MeasureDuration = 50 * hardharvest.Millisecond
+	cfg.WarmupDuration = 10 * hardharvest.Millisecond
+	work, _ := hardharvest.WorkloadByName("BFS")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		opts := hardharvest.SystemOptions(hardharvest.HardHarvestBlock)
+		opts.Observer = hardharvest.NewSpanTracer(opts.Name, 0)
+		r := hardharvest.RunServer(cfg, opts, work)
+		if r.Requests == 0 {
+			b.Fatal("no requests simulated")
+		}
+	}
+}
+
 func mustB(b *testing.B, err error) {
 	b.Helper()
 	if err != nil {

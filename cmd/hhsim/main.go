@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	hhsim -exp fig11            # one experiment
-//	hhsim -all                  # every experiment
-//	hhsim -all -scale full      # paper-scale runs
-//	hhsim -list                 # list experiment ids
+//	hhsim -exp fig11                  # one experiment
+//	hhsim -all                        # every experiment
+//	hhsim -all -scale full            # paper-scale runs
+//	hhsim -list                       # list experiment ids
+//	hhsim -exp fig6 -trace t.json     # Perfetto/chrome://tracing span trace
+//	hhsim -exp fig6 -timeseries o.csv # occupancy time series
+//	hhsim -exp fig6 -counters         # harvest-event counters + latency hist
 package main
 
 import (
@@ -14,11 +17,79 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
+	"hardharvest/internal/cluster"
 	"hardharvest/internal/experiments"
+	"hardharvest/internal/obs"
 	"hardharvest/internal/sim"
 )
+
+// collector hands out per-run observers and keeps them for export after the
+// experiment finishes. It implements experiments.ObserverProvider; one fresh
+// collector is used per experiment so -all writes one output set per id.
+type collector struct {
+	mu       sync.Mutex
+	trace    bool
+	sample   sim.Duration
+	tracers  []*obs.SpanTracer
+	samplers []*obs.Sampler
+}
+
+func (c *collector) ObserverFor(run string) cluster.Observer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := make([]obs.Observer, 0, 2)
+	if c.trace {
+		// 64 pid slots per run keeps every (run, VM) pair on its own
+		// Perfetto process track.
+		t := obs.NewSpanTracer(run, len(c.tracers)*64)
+		c.tracers = append(c.tracers, t)
+		parts = append(parts, t)
+	}
+	if c.sample > 0 {
+		s := obs.NewSampler(run, c.sample)
+		c.samplers = append(c.samplers, s)
+		parts = append(parts, s)
+	}
+	return obs.Multi(parts...)
+}
+
+func (c *collector) active() bool { return c.trace || c.sample > 0 }
+
+// outPath derives the output file for one experiment: with -all the
+// experiment id is spliced in before the extension so runs don't clobber
+// each other (t.json -> t.fig6.json).
+func outPath(base, id string, all bool) string {
+	if !all {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + id + ext
+}
+
+func writeFile(path string, write func(f *os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+		if err == nil {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+	} else {
+		fmt.Fprintln(os.Stderr, err)
+		f.Close()
+	}
+	os.Exit(1)
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (see -list)")
@@ -28,6 +99,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	measureMS := flag.Int("measure-ms", 0, "override measurement window [ms]")
 	asJSON := flag.Bool("json", false, "emit tables as JSON")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON span trace (open in Perfetto)")
+	tsPath := flag.String("timeseries", "", "write per-VM occupancy samples (.csv or .json)")
+	counters := flag.Bool("counters", false, "print per-run harvest-event counters and latency histogram")
+	sampleUS := flag.Int("sample-us", 100, "timeseries sampling cadence in simulated microseconds")
 	flag.Parse()
 
 	if *list {
@@ -45,25 +120,62 @@ func main() {
 		sc.Measure = sim.Duration(*measureMS) * sim.Millisecond
 	}
 
+	var jsonTables []*experiments.Table
 	run := func(r experiments.Runner) {
-		start := time.Now()
-		tbl := r.Run(sc)
-		if *asJSON {
-			out, err := json.MarshalIndent(tbl, "", "  ")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Println(string(out))
-			return
+		col := &collector{trace: *tracePath != "" || *counters}
+		if *tsPath != "" {
+			col.sample = sim.Duration(*sampleUS) * sim.Microsecond
 		}
-		fmt.Println(tbl.String())
-		fmt.Printf("  (%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		scr := sc
+		if col.active() {
+			scr.Obs = col
+		}
+		start := time.Now()
+		tbl := r.Run(scr)
+		if *tracePath != "" {
+			writeFile(outPath(*tracePath, r.ID, *all), func(f *os.File) error {
+				return obs.WriteTraces(f, col.tracers...)
+			})
+		}
+		if *tsPath != "" {
+			writeFile(outPath(*tsPath, r.ID, *all), func(f *os.File) error {
+				if filepath.Ext(*tsPath) == ".json" {
+					return obs.WriteSamplesJSON(f, col.samplers...)
+				}
+				return obs.WriteSamplesCSV(f, col.samplers...)
+			})
+		}
+		if *asJSON {
+			if *all {
+				jsonTables = append(jsonTables, tbl)
+			} else {
+				out, err := json.MarshalIndent(tbl, "", "  ")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println(string(out))
+			}
+		} else {
+			fmt.Println(tbl.String())
+			fmt.Printf("  (%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		}
+		if *counters {
+			printCounters(r.ID, col.tracers)
+		}
 	}
 	switch {
 	case *all:
 		for _, r := range experiments.Runners() {
 			run(r)
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(jsonTables, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
 		}
 	case *exp != "":
 		r := experiments.ByID(*exp)
@@ -76,4 +188,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// printCounters reports the harvest-event counters and the end-to-end
+// latency histogram of every instrumented run, in run-name order.
+func printCounters(id string, tracers []*obs.SpanTracer) {
+	sorted := append([]*obs.SpanTracer(nil), tracers...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Run() < sorted[j].Run() })
+	fmt.Printf("== %s: harvest-event counters ==\n", id)
+	for _, t := range sorted {
+		fmt.Printf("%s\n  %s\n  latency %s\n", t.Run(), t.Counters(), t.Hist())
+	}
+	fmt.Println()
 }

@@ -30,6 +30,7 @@ import (
 	"hardharvest/internal/core"
 	"hardharvest/internal/experiments"
 	"hardharvest/internal/mem"
+	"hardharvest/internal/obs"
 	"hardharvest/internal/sim"
 	"hardharvest/internal/workload"
 )
@@ -61,6 +62,13 @@ type (
 	Controller = core.Controller
 	// CachePolicy selects a replacement policy for the cache models.
 	CachePolicy = mem.PolicyKind
+	// Observer receives the simulator's event stream (Options.Observer).
+	Observer = obs.Observer
+	// SpanTracer records spans, harvest-event counters, and a latency
+	// histogram; it exports Chrome trace-event JSON for Perfetto.
+	SpanTracer = obs.SpanTracer
+	// Sampler snapshots per-VM occupancy on a simulated-time cadence.
+	Sampler = obs.Sampler
 )
 
 // The five evaluated systems (Figure 11, §5).
@@ -140,6 +148,19 @@ func RunExperiment(id string, sc Scale) (*Table, bool) {
 	}
 	return r.Run(sc), true
 }
+
+// NewSpanTracer builds a span tracer for one run label; pidBase offsets the
+// exported process ids when several runs share one trace file (use
+// multiples of 64).
+func NewSpanTracer(run string, pidBase int) *SpanTracer { return obs.NewSpanTracer(run, pidBase) }
+
+// NewSampler builds an occupancy sampler with the given simulated-time
+// cadence.
+func NewSampler(run string, interval Duration) *Sampler { return obs.NewSampler(run, interval) }
+
+// MultiObserver composes observers (e.g. a tracer plus a sampler) into one;
+// nil members are dropped.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
 
 // ExperimentIDs lists every reproducible table/figure id in paper order.
 func ExperimentIDs() []string {

@@ -39,6 +39,17 @@ func RunCluster(cfg Config, opts Options, servers int) *ClusterResult {
 		servers = len(works)
 	}
 	results := make([]*ServerResult, servers)
+	if opts.Observer != nil {
+		// Observers are single-goroutine: an instrumented cluster runs its
+		// servers sequentially so the one observer sees a coherent stream
+		// (server runs stay individually deterministic either way).
+		for i := 0; i < servers; i++ {
+			scfg := cfg
+			scfg.Seed = cfg.Seed + uint64(i)*7919
+			results[i] = RunServer(scfg, opts, works[i])
+		}
+		return aggregate(opts.Name, results)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < servers; i++ {
 		i := i

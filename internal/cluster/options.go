@@ -11,7 +11,13 @@ import (
 	"fmt"
 
 	"hardharvest/internal/hypervisor"
+	"hardharvest/internal/obs"
 )
+
+// Observer receives request-lifecycle and core-state events from a server
+// run; see internal/obs. It is re-exported so callers wiring observers into
+// Options need not import the obs package for the type alone.
+type Observer = obs.Observer
 
 // SystemKind names the five evaluated architectures.
 type SystemKind int
@@ -114,6 +120,14 @@ type Options struct {
 	// harvest-on-termination for VMs whose requests spend only short times
 	// blocked on I/O (frequent short blocks make block-harvesting churn).
 	AdaptiveBlock bool
+
+	// Observer, when non-nil, receives every request-lifecycle and
+	// core-state transition of the run (see internal/obs for ready-made
+	// tracers and samplers). The presets leave it nil: with no observer the
+	// simulator pays a single nil check per hook site and allocates
+	// nothing. An Observer instance must not be shared between concurrently
+	// running servers.
+	Observer Observer
 }
 
 // SystemOptions returns the preset for one of the five architectures.

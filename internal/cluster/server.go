@@ -8,6 +8,7 @@ import (
 	"hardharvest/internal/hypervisor"
 	"hardharvest/internal/metrics"
 	"hardharvest/internal/nic"
+	"hardharvest/internal/obs"
 	"hardharvest/internal/sim"
 	"hardharvest/internal/stats"
 	"hardharvest/internal/trace"
@@ -96,6 +97,10 @@ type Server struct {
 	nicDev *nic.NIC
 	agent  *hypervisor.Harvester
 
+	// obs receives lifecycle events; nil disables instrumentation and every
+	// hook site reduces to one nil check (see internal/obs).
+	obs obs.Observer
+
 	flushRNG *stats.RNG
 	pollRNG  *stats.RNG
 	jobRNG   *stats.RNG
@@ -107,7 +112,6 @@ type Server struct {
 	cores      []*coreRT
 
 	util       *metrics.Utilization
-	utilFrozen bool
 	activeJobs int
 	pins       uint64
 	pinWaitSum sim.Duration
@@ -142,6 +146,7 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 		nicDev:     nic.New(cfg.NICLat),
 		harvestIdx: cfg.PrimaryVMs,
 		hwork:      work,
+		obs:        opts.Observer,
 	}
 	root := stats.NewRNG(cfg.Seed)
 	s.flushRNG = root.Split(1)
@@ -253,6 +258,26 @@ func (s *Server) Run() *ServerResult {
 	s.stopArrivals = s.measureEnd.Add(graceWindow / 2)
 	horizon := s.measureEnd.Add(graceWindow)
 
+	// Observability: hand the topology to interested observers and drive
+	// snapshot sinks at their requested simulated-time cadence.
+	if s.obs != nil {
+		if to, ok := s.obs.(obs.TopologyObserver); ok {
+			to.SetTopology(s.topology())
+		}
+		if sink, ok := s.obs.(obs.SnapshotSink); ok {
+			if iv := sink.SampleInterval(); iv > 0 {
+				var tick func()
+				tick = func() {
+					sink.OnSnapshot(s.snapshot())
+					if s.now().Add(iv) <= horizon {
+						s.eng.Schedule(iv, tick)
+					}
+				}
+				s.eng.Schedule(iv, tick)
+			}
+		}
+	}
+
 	// Initial work: stock the Harvest VM's job queue and kick its cores.
 	if s.opts.HarvestVMActive {
 		s.refillJobs()
@@ -280,8 +305,9 @@ func (s *Server) Run() *ServerResult {
 		}
 	})
 	s.eng.At(s.measureEnd, func() {
+		// Finish freezes the accumulator: post-window SetBusy calls are
+		// ignored inside metrics.Utilization.
 		s.util.Finish(s.measureEnd)
-		s.utilFrozen = true
 	})
 
 	s.eng.Run(horizon)
@@ -289,10 +315,97 @@ func (s *Server) Run() *ServerResult {
 }
 
 func (s *Server) setBusy(c *coreRT, busy bool) {
-	if s.utilFrozen {
+	s.util.SetBusy(c.id, s.now(), busy)
+}
+
+// ---- Observability hooks ----
+
+// ev delivers one observer event carrying a request context. Call sites on
+// hot paths guard with `if s.obs != nil` so the disabled path is a single
+// nil check with no argument evaluation beyond locals.
+func (s *Server) ev(kind obs.Kind, r *request, core int, dur sim.Duration) {
+	if s.obs == nil {
 		return
 	}
-	s.util.SetBusy(c.id, s.now(), busy)
+	e := obs.Event{Kind: kind, Time: s.now(), VM: -1, Core: core, Dur: dur}
+	if r != nil {
+		e.Req = r.id
+		e.VM = r.vmIdx
+		e.IsJob = r.isJob
+		e.Measured = r.measured
+	}
+	s.obs.Observe(e)
+}
+
+// evCore delivers a core-state event attributed to the core's owner VM.
+func (s *Server) evCore(kind obs.Kind, c *coreRT, dur sim.Duration) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Observe(obs.Event{Kind: kind, Time: s.now(), VM: c.owner, Core: c.id, Dur: dur})
+}
+
+// emitDispatch reports a dispatch with its overhead spans: the whole
+// dispatch-path occupation, the cross-VM re-assignment portion, and any
+// critical-path flush wait (which follows the re-assignment in time).
+func (s *Server) emitDispatch(c *coreRT, r *request, reassign, flushWait sim.Duration, crossVM bool) {
+	now := s.now()
+	e := obs.Event{Kind: obs.KindDispatch, Time: now, Req: r.id, VM: r.vmIdx,
+		Core: c.id, Dur: reassign + flushWait, IsJob: r.isJob, Measured: r.measured,
+		CrossVM: crossVM}
+	s.obs.Observe(e)
+	s.obs.Observe(obs.Event{Kind: obs.KindCoreBusy, Time: now, VM: c.owner, Core: c.id})
+	if crossVM {
+		e.Kind, e.Dur = obs.KindReassignStart, reassign
+		s.obs.Observe(e)
+		e.Kind, e.Time, e.Dur = obs.KindReassignEnd, now.Add(reassign), 0
+		s.obs.Observe(e)
+	}
+	if flushWait > 0 {
+		e.Kind, e.Time, e.Dur = obs.KindFlushStart, now.Add(reassign), flushWait
+		s.obs.Observe(e)
+		e.Kind, e.Time, e.Dur = obs.KindFlushEnd, now.Add(reassign+flushWait), 0
+		s.obs.Observe(e)
+	}
+}
+
+// topology describes the server's VM/core shape for observers.
+func (s *Server) topology() obs.Topology {
+	t := obs.Topology{Run: s.opts.Name, VMs: make([]obs.VMInfo, 0, len(s.vms))}
+	for _, v := range s.vms {
+		vi := obs.VMInfo{Idx: v.idx, Primary: v.isPrimary}
+		if v.isPrimary {
+			vi.Name = v.profile.Name
+		} else {
+			vi.Name = "Harvest:" + s.hwork.Name
+		}
+		for _, c := range s.cores {
+			if c.owner == v.idx {
+				vi.Cores = append(vi.Cores, c.id)
+			}
+		}
+		t.VMs = append(t.VMs, vi)
+	}
+	return t
+}
+
+// snapshot captures current per-VM occupancy for snapshot sinks.
+func (s *Server) snapshot() obs.Snapshot {
+	sn := obs.Snapshot{Time: s.now(), VMs: make([]obs.VMSample, 0, len(s.vms))}
+	busy := make([]int, len(s.vms))
+	for _, c := range s.cores {
+		if c.kind != cIdle {
+			busy[c.owner]++
+		}
+	}
+	for _, v := range s.vms {
+		sn.VMs = append(sn.VMs, obs.VMSample{
+			VM: v.idx, Running: v.running, Blocked: v.blocked,
+			Queued: s.be.readyLen(v.idx), LentOut: v.lentOut,
+			Pinned: len(v.pinned), BusyCores: busy[v.idx],
+		})
+	}
+	return sn
 }
 
 func (s *Server) measuring() bool {
@@ -343,6 +456,9 @@ func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
 		arrival:  s.now(),
 		measured: s.measuring(),
 	}
+	if s.obs != nil {
+		s.ev(obs.KindArrival, r, -1, nicLat)
+	}
 	s.eng.Schedule(nicLat, func() {
 		// Software harvesting: an arrival lands on one of the VM's vCPUs;
 		// with lent cores, some vCPUs have no physical core behind them and
@@ -362,8 +478,14 @@ func (s *Server) enqueueReady(r *request, isNew bool) {
 	v := s.vms[r.vmIdx]
 	var wake *wakeInfo
 	if isNew {
+		if s.obs != nil {
+			s.ev(obs.KindEnqueue, r, -1, 0)
+		}
 		wake = s.be.enqueue(r)
 	} else {
+		if s.obs != nil {
+			s.ev(obs.KindUnblock, r, -1, 0)
+		}
 		v.blocked--
 		wake = s.be.unblock(r)
 	}
@@ -517,6 +639,9 @@ func (s *Server) goIdle(c *coreRT, eligible bool) {
 	c.kind = cIdle
 	c.cur = nil
 	c.idleEligible = eligible
+	if s.obs != nil {
+		s.evCore(obs.KindCoreIdle, c, 0)
+	}
 	// Event-driven software lending (Figures 4-5): an idle-eligible core
 	// with no ready work migrates to the Harvest VM. At most one core per
 	// VM is moved this way, per the paper's methodology.
@@ -599,6 +724,9 @@ func (s *Server) startRequest(c *coreRT, r *request, crossVM bool) {
 	r.flush += c.pendingFlush
 	c.pendingReassign = 0
 	c.pendingFlush = 0
+	if s.obs != nil {
+		s.emitDispatch(c, r, queueOp+ctx, wait, crossVM)
+	}
 	s.setBusy(c, true) // dispatch overheads occupy the core
 	s.eng.Schedule(queueOp+ctx+wait, func() { s.runBurst(c, r) })
 }
@@ -664,6 +792,9 @@ func (s *Server) runBurst(c *coreRT, r *request) {
 	c.burstEnd = s.now().Add(scaled)
 	c.burstScaled = scaled
 	c.burstRaw = raw
+	if s.obs != nil {
+		s.ev(obs.KindBurstStart, r, c.id, scaled)
+	}
 	s.setBusy(c, true)
 	c.burstEv = s.eng.Schedule(scaled, func() { s.onBurstEnd(c, r) })
 }
@@ -677,6 +808,11 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 	v := s.vms[r.vmIdx]
 	ph := r.currentPhase()
 	c.burstEv = nil
+	if s.obs != nil {
+		// Dur is the executed time attributed to the request: stall
+		// extensions count as re-assignment, not execution.
+		s.ev(obs.KindBurstEnd, r, c.id, c.burstScaled)
+	}
 
 	if ph.IO > 0 {
 		// Block on I/O: the request's pointer stays queued (Blocked); the
@@ -687,6 +823,9 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 			v.blockEWMA = ph.IO
 		} else {
 			v.blockEWMA = (ph.IO + 4*v.blockEWMA) / 5
+		}
+		if s.obs != nil {
+			s.ev(obs.KindBlock, r, c.id, ph.IO)
 		}
 		s.be.block(c.id, r)
 		r.phase++
@@ -701,6 +840,9 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 		return
 	}
 	// Completion.
+	if s.obs != nil {
+		s.ev(obs.KindComplete, r, c.id, s.now().Sub(r.arrival))
+	}
 	s.be.complete(c.id, r)
 	v.running--
 	if r.isJob {
@@ -766,6 +908,9 @@ func (s *Server) refillJobs() {
 			arrival: s.now(),
 			phases:  []workload.Phase{{CPU: s.hwork.SampleJob(s.jobRNG)}},
 		}
+		if s.obs != nil {
+			s.ev(obs.KindEnqueue, job, -1, 0)
+		}
 		wake := s.be.enqueue(job)
 		s.notify(s.harvestVM(), wake)
 	}
@@ -782,6 +927,9 @@ func (s *Server) abortJob(c *coreRT, job *request, elapsedScaled sim.Duration) {
 			rem = 10 * sim.Microsecond
 		}
 		job.phases[job.phase].CPU = rem
+	}
+	if s.obs != nil {
+		s.ev(obs.KindAbort, job, c.id, elapsedScaled)
 	}
 	s.be.preempt(c.id, job)
 	s.vms[s.harvestIdx].running--
@@ -801,6 +949,9 @@ func (s *Server) schedulePreempt(c *coreRT) {
 			s.activeJobs--
 			job := c.cur
 			job.exec += elapsed
+			if s.obs != nil {
+				s.ev(obs.KindPreempt, job, c.id, elapsed)
+			}
 			s.abortJob(c, job, elapsed)
 			s.reassigns++
 			s.dispatch(c, false)
@@ -911,6 +1062,9 @@ func (s *Server) stallVM(v *vmRT, stall sim.Duration) {
 // migrates the handling thread to a backed vCPU.
 func (s *Server) pinRequest(v *vmRT, r *request) {
 	s.pins++
+	if s.obs != nil {
+		s.ev(obs.KindPin, r, -1, 0)
+	}
 	v.pinned = append(v.pinned, r)
 	if s.opts.EventDriven() && v.lentOut-v.pendingReclaims > 0 {
 		s.startReclaim(v)
@@ -931,6 +1085,9 @@ func (s *Server) releasePin(v *vmRT, r *request) {
 		w := s.now().Sub(r.arrival)
 		if r.resuming {
 			w = 0 // resume waits are visible in latency, not attributed
+		}
+		if s.obs != nil {
+			s.ev(obs.KindUnpin, r, -1, w)
 		}
 		s.pinWaitSum += w
 		r.reassign += w
@@ -972,13 +1129,13 @@ func (s *Server) startLend(c *coreRT) {
 	c.cur = nil
 	c.lentTo = s.harvestIdx
 	s.reassigns++
-	var cost sim.Duration
+	var cost, flushCost sim.Duration
 	if !s.opts.ReassignFree {
 		cost = s.cfg.Costs.ReassignCost(s.opts.Reassign)
 	}
 	if s.opts.FlushOnSwitch {
-		f := s.cfg.Costs.FlushCost(s.flushRNG)
-		cost += f
+		flushCost = s.cfg.Costs.FlushCost(s.flushRNG)
+		cost += flushCost
 		c.coldFactor = s.cfg.Costs.ColdExecutionFactor
 		c.warmLeft = s.cfg.Costs.ColdWarmupCPUTime
 	}
@@ -986,9 +1143,19 @@ func (s *Server) startLend(c *coreRT) {
 	// vCPU unplug synchronization all disrupt the VM's other vCPUs.
 	s.stallVM(v, sim.Duration(float64(cost)*s.cfg.MoveStallFrac)+s.cfg.GuestUnplugStall)
 	delay := s.serializeMove(cost)
+	if s.obs != nil {
+		s.evCore(obs.KindLendStart, c, delay)
+		if flushCost > 0 {
+			s.evCore(obs.KindFlushStart, c, flushCost)
+			s.evCore(obs.KindFlushEnd, c, 0)
+		}
+	}
 	s.setBusy(c, true) // the core is occupied by the move, not idle
 	s.eng.Schedule(delay, func() {
 		s.setBusy(c, false)
+		if s.obs != nil {
+			s.evCore(obs.KindLendEnd, c, 0)
+		}
 		s.dispatch(c, false)
 	})
 }
@@ -1033,6 +1200,13 @@ func (s *Server) startReclaim(v *vmRT) {
 	}
 	s.stallVM(v, sim.Duration(float64(cost)*s.cfg.MoveStallFrac)+s.cfg.GuestUnplugStall)
 	delay := s.serializeMove(cost)
+	if s.obs != nil {
+		s.evCore(obs.KindReclaimStart, victim, delay)
+		if flushPart > 0 {
+			s.evCore(obs.KindFlushStart, victim, flushPart)
+			s.evCore(obs.KindFlushEnd, victim, 0)
+		}
+	}
 	// Lock-queueing plus the move itself are re-assignment overhead on the
 	// reclaimed core's next request; the flush part is attributed above.
 	victim.pendingReassign += delay - flushPart
@@ -1042,11 +1216,17 @@ func (s *Server) startReclaim(v *vmRT) {
 		victim.lentTo = -1
 		v.lentOut--
 		v.pendingReclaims--
+		if s.obs != nil {
+			s.evCore(obs.KindReclaimEnd, victim, 0)
+		}
 		// The reclaimed vCPU is schedulable again: release every pinned
 		// arrival; the wait counts as re-assignment overhead (Figure 6).
 		pinned := v.pinned
 		v.pinned = nil
 		for _, pr := range pinned {
+			if s.obs != nil {
+				s.ev(obs.KindUnpin, pr, -1, s.now().Sub(pr.arrival))
+			}
 			pr.reassign += s.now().Sub(pr.arrival)
 			s.enqueueReady(pr, true)
 		}

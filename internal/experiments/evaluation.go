@@ -131,7 +131,9 @@ func Fig17(sc Scale) *Table {
 		for si, k := range cluster.Systems() {
 			cfg := baseConfig(sc)
 			cfg.Seed = sc.Seed + uint64(wi)*101
-			r := cluster.RunServer(cfg, cluster.SystemOptions(k), w)
+			o := cluster.SystemOptions(k)
+			o.Observer = sc.observerFor(w.Name + "/" + o.Name)
+			r := cluster.RunServer(cfg, o, w)
 			jps := r.HarvestJobsPerSec
 			if si == 0 {
 				base = jps

@@ -34,6 +34,7 @@ func defaultWork() *batch.Workload {
 
 // runOne simulates a single server under the given options.
 func runOne(sc Scale, opts cluster.Options) *cluster.ServerResult {
+	opts.Observer = sc.observerFor(opts.Name)
 	return cluster.RunServer(baseConfig(sc), opts, defaultWork())
 }
 
@@ -42,6 +43,7 @@ func runOne(sc Scale, opts cluster.Options) *cluster.ServerResult {
 func runFlat(sc Scale, opts cluster.Options) *cluster.ServerResult {
 	cfg := baseConfig(sc)
 	cfg.TraceSteps = 0
+	opts.Observer = sc.observerFor(opts.Name)
 	return cluster.RunServer(cfg, opts, defaultWork())
 }
 

@@ -28,7 +28,9 @@ func LoadSweep(sc Scale) *Table {
 		for _, k := range systems {
 			cfg := baseConfig(sc)
 			cfg.LoadScale *= ls
-			r := cluster.RunServer(cfg, cluster.SystemOptions(k), defaultWork())
+			o := cluster.SystemOptions(k)
+			o.Observer = sc.observerFor(fmt.Sprintf("%.1fx/%s", ls, o.Name))
+			r := cluster.RunServer(cfg, o, defaultWork())
 			cells = append(cells, fmt.Sprintf("%.3f", r.AvgP99().Milliseconds()))
 		}
 		t.AddRow(fmt.Sprintf("%.1fx", ls), cells...)

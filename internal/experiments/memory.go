@@ -85,7 +85,9 @@ func Fig18(sc Scale) *Table {
 		if cfg.LLCFactor < 0.9 {
 			cfg.LLCFactor = 0.9
 		}
-		r := cluster.RunServer(cfg, cluster.SystemOptions(cluster.HardHarvestBlock), defaultWork())
+		o := cluster.SystemOptions(cluster.HardHarvestBlock)
+		o.Observer = sc.observerFor(sz.label + "/" + o.Name)
+		r := cluster.RunServer(cfg, o, defaultWork())
 		t.AddRow(sz.label, perServiceP99Row(r)...)
 	}
 	t.Note("paper: latency changes are small because microservice footprints are modest; larger LLC helps slightly")

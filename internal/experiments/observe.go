@@ -1,0 +1,21 @@
+package experiments
+
+import "hardharvest/internal/cluster"
+
+// ObserverProvider hands out per-run observers for instrumented experiment
+// runs. ObserverFor is called once per simulated server with the run's
+// label (system/variant name, possibly workload-qualified) and returns the
+// observer to attach, or nil to leave that run uninstrumented. Providers
+// must be pointer-shaped: Scale is used as a map key by the run cache, so
+// its fields must stay comparable.
+type ObserverProvider interface {
+	ObserverFor(run string) cluster.Observer
+}
+
+// observerFor resolves the observer for one run under this scale.
+func (sc Scale) observerFor(run string) cluster.Observer {
+	if sc.Obs == nil {
+		return nil
+	}
+	return sc.Obs.ObserverFor(run)
+}

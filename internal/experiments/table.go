@@ -25,6 +25,12 @@ type Scale struct {
 	Servers int
 	// Seed drives all randomness.
 	Seed uint64
+	// Obs, when non-nil, provides per-run observers (tracing, sampling;
+	// see internal/obs). Instrumented scales hash differently, so they
+	// bypass cached runs of the plain scale — and note that the run cache
+	// also means a provider sees each distinct run once per Scale value,
+	// not once per figure.
+	Obs ObserverProvider
 }
 
 // Quick returns a test-friendly scale (~seconds of wall clock per figure).

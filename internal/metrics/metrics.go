@@ -53,6 +53,7 @@ type Utilization struct {
 	busySince []sim.Time
 	busy      []bool
 	busyTotal []sim.Duration
+	finished  bool
 }
 
 // NewUtilization tracks n cores.
@@ -66,9 +67,10 @@ func NewUtilization(n int) *Utilization {
 }
 
 // SetBusy transitions a core's busy state at time now. Redundant transitions
-// are ignored.
+// are ignored, as is any transition after Finish: the accumulator is frozen
+// at the end of the measurement window.
 func (u *Utilization) SetBusy(core int, now sim.Time, busy bool) {
-	if u.busy[core] == busy {
+	if u.finished || u.busy[core] == busy {
 		return
 	}
 	if busy {
@@ -79,7 +81,9 @@ func (u *Utilization) SetBusy(core int, now sim.Time, busy bool) {
 	u.busy[core] = busy
 }
 
-// Finish closes any open busy intervals at the end of the run.
+// Finish closes any open busy intervals at the end of the run and freezes
+// the accumulator: later SetBusy calls are ignored so post-window activity
+// (the engine's grace window) cannot leak into the totals.
 func (u *Utilization) Finish(now sim.Time) {
 	for c := range u.busy {
 		if u.busy[c] {
@@ -87,6 +91,7 @@ func (u *Utilization) Finish(now sim.Time) {
 			u.busySince[c] = now
 		}
 	}
+	u.finished = true
 }
 
 // BusyCores reports the time-averaged number of busy cores over a run of

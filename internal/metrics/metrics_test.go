@@ -56,6 +56,22 @@ func TestUtilizationRedundantTransitions(t *testing.T) {
 	}
 }
 
+func TestUtilizationFinishFreezes(t *testing.T) {
+	u := NewUtilization(1)
+	u.SetBusy(0, 0, true)
+	u.Finish(sim.Time(100 * sim.Microsecond))
+	// Post-window activity (the engine's grace period) must not leak in.
+	u.SetBusy(0, sim.Time(100*sim.Microsecond), false)
+	u.SetBusy(0, sim.Time(150*sim.Microsecond), true)
+	u.SetBusy(0, sim.Time(200*sim.Microsecond), false)
+	if f := u.CoreBusyFraction(0, 100*sim.Microsecond); f != 1.0 {
+		t.Fatalf("fraction = %v, want exactly 1.0 after freeze", f)
+	}
+	if got := u.BusyCores(100 * sim.Microsecond); got != 1.0 {
+		t.Fatalf("busy cores = %v, want 1.0", got)
+	}
+}
+
 func TestUtilizationZeroElapsed(t *testing.T) {
 	u := NewUtilization(1)
 	if u.BusyCores(0) != 0 || u.CoreBusyFraction(0, 0) != 0 {
@@ -93,5 +109,31 @@ func TestBreakdown(t *testing.T) {
 	var empty Breakdown
 	if empty.MeanTotal() != 0 {
 		t.Fatal("empty breakdown should be zero")
+	}
+}
+
+func TestBreakdownMeanZeroRequests(t *testing.T) {
+	var b Breakdown
+	r, f, e := b.Mean()
+	if r != 0 || f != 0 || e != 0 {
+		t.Fatalf("zero-request means = %v %v %v", r, f, e)
+	}
+	// Accumulated components without completions must not divide by zero.
+	b.Reassign = 100 * sim.Microsecond
+	if r, f, e = b.Mean(); r != 0 || f != 0 || e != 0 {
+		t.Fatal("Mean must stay zero while Requests == 0")
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Count() != 0 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if l.SampleLatency(0.5) != 0 {
+		t.Fatal("sampling an empty recorder must report 0")
+	}
+	if l.P50() != 0 || l.P99() != 0 || l.Mean() != 0 || l.Max() != 0 {
+		t.Fatal("empty recorder statistics must be zero")
 	}
 }

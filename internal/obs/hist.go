@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"hardharvest/internal/sim"
+)
+
+// histSubBits is the log-linear sub-bucket precision: 2^histSubBits
+// sub-buckets per power of two, bounding the quantile error at ~3%.
+const histSubBits = 5
+
+// LatencyHist is an HDR-style log-bucketed latency histogram over simulated
+// durations (integer picoseconds): values below 2^histSubBits are exact;
+// above that, each power of two is split into 2^histSubBits sub-buckets.
+// Recording is O(1) and allocation-free after the bucket array stops
+// growing.
+type LatencyHist struct {
+	buckets []uint64
+	count   uint64
+	sum     sim.Duration
+	min     sim.Duration
+	max     sim.Duration
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{min: -1}
+}
+
+// bucketOf maps a non-negative value to its bucket index; the mapping is
+// monotone so quantiles come from a prefix walk.
+func bucketOf(v int64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - histSubBits
+	return exp<<histSubBits + int(v>>uint(exp))
+}
+
+// bucketUpper reports the largest value mapping into bucket i (the
+// conservative quantile estimate).
+func bucketUpper(i int) sim.Duration {
+	if i < 1<<histSubBits {
+		return sim.Duration(i)
+	}
+	exp := uint(i>>histSubBits) - 1
+	sub := int64(i & (1<<histSubBits - 1))
+	base := (int64(1)<<histSubBits + sub) << exp
+	return sim.Duration(base + (1 << exp) - 1)
+}
+
+// Record adds one latency (negative values clamp to zero).
+func (h *LatencyHist) Record(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := bucketOf(int64(d))
+	if i >= len(h.buckets) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += d
+	if h.min < 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Min reports the smallest recorded latency (0 when empty).
+func (h *LatencyHist) Min() sim.Duration {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded latency.
+func (h *LatencyHist) Max() sim.Duration { return h.max }
+
+// Mean reports the exact mean (sums are kept outside the buckets).
+func (h *LatencyHist) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.count)
+}
+
+// Quantile reports the q-quantile (q in [0,1]) as the upper edge of the
+// bucket holding the target rank; an empty histogram reports 0.
+func (h *LatencyHist) Quantile(q float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		return h.max
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Quantiles evaluates several quantiles in one call.
+func (h *LatencyHist) Quantiles(qs ...float64) []sim.Duration {
+	out := make([]sim.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// String renders the standard export (count, mean, P50/P90/P99/P99.9, max).
+func (h *LatencyHist) String() string {
+	qs := h.Quantiles(0.50, 0.90, 0.99, 0.999)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v",
+		h.count, h.Mean(), qs[0], qs[1], qs[2], qs[3], h.max)
+}
+
+// Nonzero returns the populated (bucket upper edge, count) pairs in
+// ascending order, for exporting the full distribution.
+func (h *LatencyHist) Nonzero() ([]sim.Duration, []uint64) {
+	var edges []sim.Duration
+	var counts []uint64
+	for i, c := range h.buckets {
+		if c > 0 {
+			edges = append(edges, bucketUpper(i))
+			counts = append(counts, c)
+		}
+	}
+	return edges, counts
+}
+
+// Ascii renders a coarse textual histogram (one row per populated decade),
+// for quick terminal inspection via hhsim -counters.
+func (h *LatencyHist) Ascii() string {
+	edges, counts := h.Nonzero()
+	if len(edges) == 0 {
+		return "(empty)\n"
+	}
+	// Collapse to decades of microseconds.
+	decade := map[int]uint64{}
+	for i, e := range edges {
+		d := 0
+		for v := int64(e) / int64(sim.Microsecond); v >= 10; v /= 10 {
+			d++
+		}
+		decade[d] += counts[i]
+	}
+	keys := make([]int, 0, len(decade))
+	for k := range decade {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var peak uint64
+	for _, c := range decade {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		lo := int64(1)
+		for i := 0; i < k; i++ {
+			lo *= 10
+		}
+		bar := int(40 * decade[k] / peak)
+		fmt.Fprintf(&b, "%8dus..%-8dus %8d %s\n", lo, lo*10, decade[k], strings.Repeat("#", bar))
+	}
+	return b.String()
+}

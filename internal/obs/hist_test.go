@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+func TestBucketMappingMonotone(t *testing.T) {
+	// Every bucket boundary must be monotone and bucketUpper must be the
+	// largest value that still maps into its bucket.
+	prev := -1
+	for v := int64(0); v < 1<<14; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < bucketOf(%d) = %d", v, b, v-1, prev)
+		}
+		prev = b
+		u := int64(bucketUpper(b))
+		if u < v {
+			t.Fatalf("bucketUpper(%d) = %d < member value %d", b, u, v)
+		}
+		if bucketOf(u) != b {
+			t.Fatalf("bucketUpper(%d) = %d maps to bucket %d", b, u, bucketOf(u))
+		}
+		if bucketOf(u+1) == b {
+			t.Fatalf("bucketUpper(%d) = %d is not the bucket's top: %d also maps there", b, u, u+1)
+		}
+	}
+}
+
+func TestHistSmallValuesExact(t *testing.T) {
+	h := NewLatencyHist()
+	for v := sim.Duration(0); v < 1<<histSubBits; v++ {
+		h.Record(v)
+	}
+	edges, counts := h.Nonzero()
+	if len(edges) != 1<<histSubBits {
+		t.Fatalf("edges = %d, want %d", len(edges), 1<<histSubBits)
+	}
+	for i, e := range edges {
+		if e != sim.Duration(i) || counts[i] != 1 {
+			t.Fatalf("bucket %d: edge %v count %d", i, e, counts[i])
+		}
+	}
+}
+
+func TestHistQuantileError(t *testing.T) {
+	// Against a sorted sample, each quantile must land within one bucket
+	// (<= 1/2^histSubBits relative error above the exact order statistic).
+	rng := rand.New(rand.NewSource(7))
+	h := NewLatencyHist()
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 2e9) // ~2ms mean in ps
+		vals = append(vals, v)
+		h.Record(sim.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("q=%v: estimate %d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)/float64(int64(1)<<histSubBits)+1 {
+			t.Fatalf("q=%v: estimate %d too far above exact %d", q, got, exact)
+		}
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if h.Mean() != sim.Duration(sum/int64(len(vals))) {
+		t.Fatalf("mean = %v, want exact %v", h.Mean(), sim.Duration(sum/int64(len(vals))))
+	}
+	if h.Min() != sim.Duration(vals[0]) || h.Max() != sim.Duration(vals[len(vals)-1]) {
+		t.Fatalf("min/max = %v/%v, want %d/%d", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+	}
+}
+
+func TestHistEmptyAndClamping(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram must report zeros: %s", h)
+	}
+	if h.Ascii() != "(empty)\n" {
+		t.Fatalf("empty ascii = %q", h.Ascii())
+	}
+	h.Record(-5) // clamps to zero
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatalf("negative record: count=%d min=%v", h.Count(), h.Min())
+	}
+	// Quantile upper edges clamp to the recorded max.
+	h2 := NewLatencyHist()
+	h2.Record(1000003)
+	if q := h2.Quantile(0.99); q != 1000003 {
+		t.Fatalf("single-sample p99 = %v, want the sample itself", q)
+	}
+}
+
+func TestHistAsciiShape(t *testing.T) {
+	h := NewLatencyHist()
+	for i := 0; i < 100; i++ {
+		h.Record(3 * sim.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(500 * sim.Microsecond)
+	}
+	a := h.Ascii()
+	if strings.Count(a, "\n") != 2 {
+		t.Fatalf("want two decade rows, got:\n%s", a)
+	}
+	if !strings.Contains(a, "#") {
+		t.Fatalf("no bars rendered:\n%s", a)
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hardharvest/internal/sim"
+)
+
+type countingObserver struct {
+	events int
+	topo   *Topology
+	snaps  int
+	iv     sim.Duration
+}
+
+func (c *countingObserver) Observe(Event)                { c.events++ }
+func (c *countingObserver) SetTopology(t Topology)       { c.topo = &t }
+func (c *countingObserver) SampleInterval() sim.Duration { return c.iv }
+func (c *countingObserver) OnSnapshot(Snapshot)          { c.snaps++ }
+
+func TestMultiComposition(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty composition must be nil")
+	}
+	single := &countingObserver{}
+	if got := Multi(nil, single); got != Observer(single) {
+		t.Fatalf("single composition must pass through, got %T", got)
+	}
+	a := &countingObserver{iv: 5 * sim.Microsecond}
+	b := &countingObserver{} // iv 0: no snapshots wanted
+	m := Multi(a, b)
+	m.Observe(Event{Kind: KindArrival})
+	m.Observe(Event{Kind: KindComplete})
+	if a.events != 2 || b.events != 2 {
+		t.Fatalf("fan-out: a=%d b=%d", a.events, b.events)
+	}
+	to, ok := m.(TopologyObserver)
+	if !ok {
+		t.Fatal("multi must forward topology")
+	}
+	to.SetTopology(Topology{Run: "x"})
+	if a.topo == nil || b.topo == nil || a.topo.Run != "x" {
+		t.Fatal("topology not forwarded")
+	}
+	sink, ok := m.(SnapshotSink)
+	if !ok {
+		t.Fatal("multi must forward snapshots")
+	}
+	if sink.SampleInterval() != 5*sim.Microsecond {
+		t.Fatalf("interval = %v", sink.SampleInterval())
+	}
+	sink.OnSnapshot(Snapshot{})
+	if a.snaps != 1 || b.snaps != 0 {
+		t.Fatalf("snapshot routing: a=%d b=%d (zero-interval member must not receive)", a.snaps, b.snaps)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if s := Kind(200).String(); !strings.HasPrefix(s, "Kind(") {
+		t.Fatalf("out-of-range kind string = %q", s)
+	}
+}
+
+// syntheticTopo is a 2-VM server: VM0 primary with core 0, VM1 harvest with
+// core 1.
+func syntheticTopo() Topology {
+	return Topology{Run: "test", VMs: []VMInfo{
+		{Idx: 0, Name: "Svc", Primary: true, Cores: []int{0}},
+		{Idx: 1, Name: "Harvest:BFS", Primary: false, Cores: []int{1}},
+	}}
+}
+
+func TestSpanTracerSyntheticTrace(t *testing.T) {
+	tr := NewSpanTracer("test", 0)
+	tr.SetTopology(syntheticTopo())
+	us := sim.Microsecond
+	evs := []Event{
+		{Kind: KindArrival, Time: sim.Time(1 * us), Req: 1, VM: 0, Core: -1, Measured: true},
+		{Kind: KindEnqueue, Time: sim.Time(1 * us), Req: 1, VM: 0, Core: -1},
+		{Kind: KindDispatch, Time: sim.Time(2 * us), Req: 1, VM: 0, Core: 0, Dur: us},
+		{Kind: KindBurstStart, Time: sim.Time(3 * us), Req: 1, VM: 0, Core: 0, Dur: 4 * us},
+		{Kind: KindBlock, Time: sim.Time(7 * us), Req: 1, VM: 0, Core: 0, Dur: 2 * us},
+		{Kind: KindBurstEnd, Time: sim.Time(7 * us), Req: 1, VM: 0, Core: 0, Dur: 4 * us},
+		{Kind: KindUnblock, Time: sim.Time(9 * us), Req: 1, VM: 0, Core: -1},
+		{Kind: KindDispatch, Time: sim.Time(9 * us), Req: 1, VM: 0, Core: 1, CrossVM: true, Dur: us},
+		{Kind: KindBurstStart, Time: sim.Time(10 * us), Req: 1, VM: 0, Core: 1, Dur: 3 * us},
+		{Kind: KindBurstEnd, Time: sim.Time(13 * us), Req: 1, VM: 0, Core: 1, Dur: 3 * us},
+		{Kind: KindComplete, Time: sim.Time(13 * us), Req: 1, VM: 0, Core: 1, Dur: 12 * us, Measured: true},
+		// A burst the horizon truncates: must still emit a balancing E.
+		{Kind: KindBurstStart, Time: sim.Time(14 * us), Req: 9, VM: 1, Core: 1, IsJob: true},
+	}
+	for _, ev := range evs {
+		tr.Observe(ev)
+	}
+
+	c := tr.Counters()
+	if c.Arrivals != 1 || c.Completions != 1 || c.Dispatches != 2 || c.Loans != 1 ||
+		c.Blocks != 1 || c.Unblocks != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if tr.ExecMeasured() != 7*us {
+		t.Fatalf("exec measured = %v, want 7us", tr.ExecMeasured())
+	}
+	if tr.Hist().Count() != 1 || tr.Hist().Max() != 12*us {
+		t.Fatalf("hist: %s", tr.Hist())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	// B/E balance per (pid, tid).
+	depth := map[[2]int]int{}
+	procs := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		key := [2]int{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "B":
+			depth[key]++
+		case "E":
+			depth[key]--
+			if depth[key] < 0 {
+				t.Fatalf("E without B on pid=%d tid=%d", ev.Pid, ev.Tid)
+			}
+		case "M":
+			if ev.Name == "process_name" {
+				procs[ev.Name] = true
+			}
+		}
+	}
+	for key, d := range depth {
+		if d != 0 {
+			t.Fatalf("unbalanced B/E on pid=%d tid=%d: depth %d", key[0], key[1], d)
+		}
+	}
+	// The async request span must open and close exactly once.
+	var b, e int
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "request" {
+			switch ev.Ph {
+			case "b":
+				b++
+			case "e":
+				e++
+			}
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Fatalf("request async span: b=%d e=%d", b, e)
+	}
+}
+
+func TestWriteTracesMergesAndIsDeterministic(t *testing.T) {
+	mk := func() (*SpanTracer, *SpanTracer) {
+		a := NewSpanTracer("A", 0)
+		a.SetTopology(syntheticTopo())
+		b := NewSpanTracer("B", 64)
+		b.SetTopology(syntheticTopo())
+		for _, tr := range []*SpanTracer{a, b} {
+			tr.Observe(Event{Kind: KindArrival, Time: 1000, Req: 1, VM: 0, Core: -1})
+			tr.Observe(Event{Kind: KindComplete, Time: 9000, Req: 1, VM: 0, Core: 0, Dur: 8000})
+		}
+		return a, b
+	}
+	var buf1, buf2 bytes.Buffer
+	a1, b1 := mk()
+	a2, b2 := mk()
+	if err := WriteTraces(&buf1, a1, b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraces(&buf2, a2, b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("merged trace output is not deterministic")
+	}
+	var f struct {
+		TraceEvents []struct {
+			Pid int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf1.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := false, false
+	for _, ev := range f.TraceEvents {
+		if ev.Pid < 64 {
+			lo = true
+		} else {
+			hi = true
+		}
+	}
+	if !lo || !hi {
+		t.Fatal("merged trace must contain both pid ranges")
+	}
+}
+
+func TestSamplerExports(t *testing.T) {
+	s := NewSampler("run1", 10*sim.Microsecond)
+	s.SetTopology(syntheticTopo())
+	s.OnSnapshot(Snapshot{Time: sim.Time(10 * sim.Microsecond), VMs: []VMSample{
+		{VM: 0, Running: 1, Queued: 2, BusyCores: 1},
+		{VM: 1, Running: 0, LentOut: 1},
+	}})
+	s.OnSnapshot(Snapshot{Time: sim.Time(20 * sim.Microsecond), VMs: []VMSample{
+		{VM: 0, Blocked: 3},
+		{VM: 1, Pinned: 1},
+	}})
+	if len(s.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows()))
+	}
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "time_us,run,vm,vm_name") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "run1") || !strings.Contains(lines[1], "Svc") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+	// Unknown VM name falls back to vmN.
+	if got := s.vmName(7); got != "vm7" {
+		t.Fatalf("vmName(7) = %q", got)
+	}
+	var js bytes.Buffer
+	if err := WriteSamplesJSON(&js, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(js.Bytes(), &rows); err != nil {
+		t.Fatalf("samples JSON invalid: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("json rows = %d", len(rows))
+	}
+	if rows[0]["vm_name"] != "Svc" || rows[1]["vm_name"] != "Harvest:BFS" {
+		t.Fatalf("vm names: %v %v", rows[0]["vm_name"], rows[1]["vm_name"])
+	}
+}

@@ -23,6 +23,10 @@ type Options struct {
 	// Clock supplies wall-clock timing; nil uses time.Now (tests inject a
 	// fake for deterministic output).
 	Clock func() time.Time
+	// Appendix, when non-nil, is called after each section with the
+	// experiment id; a non-empty return is appended verbatim (callers use
+	// it to attach observability summaries such as harvest-event counters).
+	Appendix func(expID string) string
 }
 
 // Generate runs the selected experiments at the given scale and writes the
@@ -59,6 +63,13 @@ func Generate(w io.Writer, sc experiments.Scale, opts Options) (int, error) {
 		if _, err := fmt.Fprintf(w, "## %s — %s\n\n```\n%s```\n\n_(generated in %.1fs)_\n\n",
 			tbl.ID, tbl.Title, tbl.String(), elapsed.Seconds()); err != nil {
 			return n, err
+		}
+		if opts.Appendix != nil {
+			if extra := opts.Appendix(r.ID); extra != "" {
+				if _, err := fmt.Fprintf(w, "%s\n\n", strings.TrimRight(extra, "\n")); err != nil {
+					return n, err
+				}
+			}
 		}
 		n++
 	}

@@ -50,6 +50,41 @@ func TestGenerateSubset(t *testing.T) {
 	}
 }
 
+func TestGenerateAppendix(t *testing.T) {
+	var b strings.Builder
+	ids := []string{"storage", "table1"}
+	var seen []string
+	n, err := Generate(&b, fastScale(), Options{
+		Only: ids,
+		Appendix: func(expID string) string {
+			seen = append(seen, expID)
+			if expID == "table1" {
+				return "" // empty appendix adds nothing
+			}
+			return "counters for " + expID + "\n"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("sections = %d", n)
+	}
+	if len(seen) != 2 || (seen[0] != "storage" && seen[1] != "storage") {
+		t.Fatalf("appendix calls = %v", seen)
+	}
+	doc := b.String()
+	if !strings.Contains(doc, "counters for storage\n\n") {
+		t.Fatal("appendix text missing")
+	}
+	if strings.Contains(doc, "counters for table1") {
+		t.Fatal("empty appendix must add nothing")
+	}
+	if err := Validate(doc, ids); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestValidateCatchesProblems(t *testing.T) {
 	if err := Validate("# x\n", []string{"storage"}); err == nil {
 		t.Fatal("missing section should fail")
