@@ -82,6 +82,28 @@ func BenchmarkProfilingSweep(b *testing.B) { benchExperiment(b, "profiling") }
 // Latency-load curve extension.
 func BenchmarkLoadSweep(b *testing.B) { benchExperiment(b, "loadsweep") }
 
+// Whole-suite regeneration on the parallel scheduler vs a pool of one:
+// the pair measures the -all speedup on the host (identical tables either
+// way; simulations are deterministic and seed-isolated). A fresh seed per
+// iteration defeats the figure-sharing result cache.
+
+func benchAll(b *testing.B, parallelism int) {
+	b.Helper()
+	hardharvest.SetParallelism(parallelism)
+	defer hardharvest.SetParallelism(0)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = 900000 + uint64(i)
+		tables := hardharvest.RunAllExperiments(sc)
+		if len(tables) != len(hardharvest.ExperimentIDs()) {
+			b.Fatalf("suite returned %d tables", len(tables))
+		}
+	}
+}
+
+func BenchmarkAllExperimentsParallel(b *testing.B)   { benchAll(b, 0) }
+func BenchmarkAllExperimentsSequential(b *testing.B) { benchAll(b, 1) }
+
 // Micro-benchmarks of the core primitives, for engineering regressions.
 
 func BenchmarkControllerEnqueueDequeue(b *testing.B) {

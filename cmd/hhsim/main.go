@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,7 +104,9 @@ func main() {
 	tsPath := flag.String("timeseries", "", "write per-VM occupancy samples (.csv or .json)")
 	counters := flag.Bool("counters", false, "print per-run harvest-event counters and latency histogram")
 	sampleUS := flag.Int("sample-us", 100, "timeseries sampling cadence in simulated microseconds")
+	parallel := flag.Int("parallel", 0, "max concurrent simulated server runs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	if *list {
 		for _, r := range experiments.Runners() {
@@ -120,8 +123,14 @@ func main() {
 		sc.Measure = sim.Duration(*measureMS) * sim.Millisecond
 	}
 
-	var jsonTables []*experiments.Table
-	run := func(r experiments.Runner) {
+	// runExp executes one experiment: the rendered table goes to w, the
+	// timing line and counters go to ew (stderr in the end — keeping them
+	// off stdout means -json emits a single valid JSON document), and file
+	// outputs (trace/timeseries) are written directly; with -all the id is
+	// spliced into each filename so concurrent experiments never share a
+	// path. Each experiment gets its own collector, so instrumented -all
+	// runs stay per-experiment deterministic even when they overlap.
+	runExp := func(r experiments.Runner, w, ew io.Writer) *experiments.Table {
 		col := &collector{trace: *tracePath != "" || *counters}
 		if *tsPath != "" {
 			col.sample = sim.Duration(*sampleUS) * sim.Microsecond
@@ -145,37 +154,57 @@ func main() {
 				return obs.WriteSamplesCSV(f, col.samplers...)
 			})
 		}
-		if *asJSON {
-			if *all {
-				jsonTables = append(jsonTables, tbl)
-			} else {
-				out, err := json.MarshalIndent(tbl, "", "  ")
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				fmt.Println(string(out))
-			}
-		} else {
-			fmt.Println(tbl.String())
-			fmt.Printf("  (%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		if !*asJSON {
+			fmt.Fprintln(w, tbl.String())
 		}
+		fmt.Fprintf(ew, "  (%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
 		if *counters {
-			printCounters(r.ID, col.tracers)
+			printCounters(ew, r.ID, col.tracers)
 		}
+		return tbl
+	}
+	marshal := func(v any) {
+		out, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 	switch {
 	case *all:
-		for _, r := range experiments.Runners() {
-			run(r)
+		// Experiments run concurrently (the scheduler's worker pool bounds
+		// the actual simulation parallelism); each buffers its output, and
+		// the printer drains the buffers in paper order as soon as every
+		// earlier experiment has finished, so stdout is byte-identical to a
+		// sequential run.
+		runners := experiments.Runners()
+		type expOutput struct {
+			tbl      *experiments.Table
+			out, err strings.Builder
+		}
+		outs := make([]*expOutput, len(runners))
+		done := make([]chan struct{}, len(runners))
+		for i := range runners {
+			outs[i] = &expOutput{}
+			done[i] = make(chan struct{})
+		}
+		for i, r := range runners {
+			i, r := i, r
+			go func() {
+				defer close(done[i])
+				outs[i].tbl = runExp(r, &outs[i].out, &outs[i].err)
+			}()
+		}
+		var jsonTables []*experiments.Table
+		for i := range runners {
+			<-done[i]
+			io.WriteString(os.Stdout, outs[i].out.String())
+			io.WriteString(os.Stderr, outs[i].err.String())
+			jsonTables = append(jsonTables, outs[i].tbl)
 		}
 		if *asJSON {
-			out, err := json.MarshalIndent(jsonTables, "", "  ")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Println(string(out))
+			marshal(jsonTables)
 		}
 	case *exp != "":
 		r := experiments.ByID(*exp)
@@ -183,7 +212,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
 			os.Exit(1)
 		}
-		run(*r)
+		tbl := runExp(*r, os.Stdout, os.Stderr)
+		if *asJSON {
+			marshal(tbl)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -191,13 +223,14 @@ func main() {
 }
 
 // printCounters reports the harvest-event counters and the end-to-end
-// latency histogram of every instrumented run, in run-name order.
-func printCounters(id string, tracers []*obs.SpanTracer) {
+// latency histogram of every instrumented run, in run-name order. It writes
+// to w — cmd wiring points that at stderr so table/JSON stdout stays clean.
+func printCounters(w io.Writer, id string, tracers []*obs.SpanTracer) {
 	sorted := append([]*obs.SpanTracer(nil), tracers...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Run() < sorted[j].Run() })
-	fmt.Printf("== %s: harvest-event counters ==\n", id)
+	fmt.Fprintf(w, "== %s: harvest-event counters ==\n", id)
 	for _, t := range sorted {
-		fmt.Printf("%s\n  %s\n  latency %s\n", t.Run(), t.Counters(), t.Hist())
+		fmt.Fprintf(w, "%s\n  %s\n  latency %s\n", t.Run(), t.Counters(), t.Hist())
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

@@ -149,6 +149,20 @@ func RunExperiment(id string, sc Scale) (*Table, bool) {
 	return r.Run(sc), true
 }
 
+// RunAllExperiments regenerates every table and figure at the given scale,
+// in paper order. Experiments run concurrently on the scheduler's worker
+// pool; the tables are byte-identical to running each experiment alone.
+func RunAllExperiments(sc Scale) []*Table { return experiments.All(sc) }
+
+// SetParallelism bounds how many simulated server runs execute at once
+// across the experiment suite; n <= 0 resets the bound to GOMAXPROCS.
+// Simulations are deterministic and seed-isolated, so the bound changes
+// wall clock only, never a table cell.
+func SetParallelism(n int) { experiments.SetParallelism(n) }
+
+// Parallelism reports the current bound on concurrent simulation runs.
+func Parallelism() int { return experiments.Parallelism() }
+
 // NewSpanTracer builds a span tracer for one run label; pidBase offsets the
 // exported process ids when several runs share one trace file (use
 // multiples of 64).

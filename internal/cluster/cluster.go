@@ -39,10 +39,37 @@ func RunCluster(cfg Config, opts Options, servers int) *ClusterResult {
 		servers = len(works)
 	}
 	results := make([]*ServerResult, servers)
+	if opts.ServerObserver != nil {
+		// Per-server observers: resolve them here, in server order, on the
+		// calling goroutine — providers may rely on call order (e.g. stable
+		// trace process IDs) — then run the servers in parallel, each owning
+		// its private observer.
+		resolved := make([]Observer, servers)
+		for i := 0; i < servers; i++ {
+			resolved[i] = opts.ServerObserver(i, works[i].Name)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < servers; i++ {
+			i := i
+			scfg := cfg
+			scfg.Seed = cfg.Seed + uint64(i)*7919
+			sopts := opts
+			sopts.Observer = resolved[i]
+			sopts.ServerObserver = nil
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i] = RunServer(scfg, sopts, works[i])
+			}()
+		}
+		wg.Wait()
+		return aggregate(opts.Name, results)
+	}
 	if opts.Observer != nil {
-		// Observers are single-goroutine: an instrumented cluster runs its
-		// servers sequentially so the one observer sees a coherent stream
-		// (server runs stay individually deterministic either way).
+		// A single shared observer is single-goroutine: the instrumented
+		// cluster runs its servers sequentially so the one observer sees a
+		// coherent stream (server runs stay individually deterministic
+		// either way).
 		for i := 0; i < servers; i++ {
 			scfg := cfg
 			scfg.Seed = cfg.Seed + uint64(i)*7919
@@ -83,6 +110,9 @@ func aggregate(system string, results []*ServerResult) *ClusterResult {
 		}
 		cr.WorkloadJobsPerSec[r.Workload] = r.HarvestJobsPerSec
 		cr.BusyCores += r.BusyCores
+	}
+	for _, agg := range cr.Service {
+		agg.Freeze()
 	}
 	if len(results) > 0 {
 		cr.BusyCores /= float64(len(results))

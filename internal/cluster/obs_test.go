@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"hardharvest/internal/obs"
@@ -216,6 +217,53 @@ func TestMultiObserverOnServer(t *testing.T) {
 	}
 	if len(sp.Rows()) == 0 {
 		t.Fatal("sampler under multi got no snapshots")
+	}
+}
+
+// TestServerObserverParallelTraceDeterminism exercises the instrumented
+// parallel-cluster path: each server gets its own tracer through
+// ServerObserver, the servers run concurrently, and the merged trace export
+// must stay byte-identical across same-seed runs. ServerObserver is called
+// on the RunCluster goroutine in server order, so appending to the tracer
+// slice needs no locking and pid slots are stable.
+func TestServerObserverParallelTraceDeterminism(t *testing.T) {
+	const servers = 3
+	run := func() ([]byte, *ClusterResult) {
+		t.Helper()
+		opts := SystemOptions(HardHarvestBlock)
+		var tracers []*obs.SpanTracer
+		opts.ServerObserver = func(server int, workload string) Observer {
+			tr := obs.NewSpanTracer(fmt.Sprintf("srv%d/%s", server, workload), server*64)
+			tracers = append(tracers, tr)
+			return tr
+		}
+		cr := RunCluster(obsConfig(), opts, servers)
+		if len(tracers) != servers {
+			t.Fatalf("ServerObserver called %d times, want %d", len(tracers), servers)
+		}
+		for i, tr := range tracers {
+			if tr.Events() == 0 {
+				t.Fatalf("server %d tracer saw no events", i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTraces(&buf, tracers...); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), cr
+	}
+	b1, cr1 := run()
+	b2, _ := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same-seed parallel clusters produced different trace bytes (%d vs %d)",
+			len(b1), len(b2))
+	}
+	// Observers must not perturb the simulation: the instrumented cluster
+	// matches an uninstrumented run exactly.
+	plain := RunCluster(obsConfig(), SystemOptions(HardHarvestBlock), servers)
+	if cr1.AvgP99() != plain.AvgP99() || cr1.BusyCores != plain.BusyCores {
+		t.Fatalf("instrumented cluster diverged: P99 %v vs %v, busy %v vs %v",
+			cr1.AvgP99(), plain.AvgP99(), cr1.BusyCores, plain.BusyCores)
 	}
 }
 

@@ -1254,6 +1254,10 @@ func (s *Server) result() *ServerResult {
 	res.ServiceBreakdown = make(map[string]metrics.Breakdown, s.cfg.PrimaryVMs)
 	for _, v := range s.vms {
 		if v.isPrimary {
+			// Freeze pre-sorts the samples: a published ServerResult is read
+			// concurrently by experiments sharing memoized runs, and lazy
+			// quantile sorting would race.
+			v.lat.Freeze()
 			res.Service[v.profile.Name] = v.lat
 			res.ServiceBreakdown[v.profile.Name] = v.breakdown
 		}

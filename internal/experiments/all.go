@@ -1,5 +1,7 @@
 package experiments
 
+import "sync"
+
 // Runner is one experiment's entry point.
 type Runner struct {
 	ID   string
@@ -46,11 +48,33 @@ func ByID(id string) *Runner {
 	return nil
 }
 
-// All runs every experiment at the given scale.
+// All runs every experiment at the given scale and returns the tables in
+// paper order. Plain scales run their experiments concurrently (each
+// experiment is a coordinator goroutine fanning its simulations out on the
+// shared pool; results are collected in registry order, so the tables are
+// byte-identical to a sequential run). Instrumented scales (sc.Obs != nil)
+// run sequentially: a single shared provider must see its runs in a
+// deterministic order across experiments, which concurrent coordinators
+// cannot guarantee — callers that want instrumented experiments in
+// parallel give each experiment its own provider, as cmd/hhsim does.
 func All(sc Scale) []*Table {
-	out := make([]*Table, 0, len(Runners()))
-	for _, r := range Runners() {
-		out = append(out, r.Run(sc))
+	rs := Runners()
+	out := make([]*Table, len(rs))
+	if sc.Obs != nil {
+		for i, r := range rs {
+			out[i] = r.Run(sc)
+		}
+		return out
 	}
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = r.Run(sc)
+		}()
+	}
+	wg.Wait()
 	return out
 }

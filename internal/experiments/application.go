@@ -25,17 +25,24 @@ func Application(sc Scale) *Table {
 		Columns: cols,
 	}
 	const trials = 20000
+	// Each (application, system) Monte-Carlo composition seeds its own RNG,
+	// so the 15 pairs fan out on the pool like any other sweep.
+	systems := cluster.Systems()
+	vals := collect(len(apps)*len(systems), func(i int) float64 {
+		a, k := apps[i/len(systems)], systems[i%len(systems)]
+		src := app.RecorderSource(res[k].Service)
+		rec, err := a.SimulateE2E(src, stats.NewRNG(sc.Seed+uint64(len(a.Name))), trials)
+		if err != nil {
+			panic(err)
+		}
+		return rec.P99().Milliseconds()
+	})
 	p99 := map[string]map[cluster.SystemKind]float64{}
-	for _, a := range apps {
-		cells := make([]string, 0, len(cluster.Systems()))
+	for ai, a := range apps {
+		cells := make([]string, 0, len(systems))
 		p99[a.Name] = map[cluster.SystemKind]float64{}
-		for _, k := range cluster.Systems() {
-			src := app.RecorderSource(res[k].Service)
-			rec, err := a.SimulateE2E(src, stats.NewRNG(sc.Seed+uint64(len(a.Name))), trials)
-			if err != nil {
-				panic(err)
-			}
-			v := rec.P99().Milliseconds()
+		for si, k := range systems {
+			v := vals[ai*len(systems)+si]
 			p99[a.Name][k] = v
 			cells = append(cells, f3(v))
 		}

@@ -56,14 +56,18 @@ func Fig12(sc Scale) *Table {
 		Title:   "Cumulative optimization impact on P99 tail latency",
 		Columns: []string{"Config", "Avg P99 [ms]", "Reduction vs Harvest-Block"},
 	}
+	steps := cluster.Fig12Steps()
+	runs := make([]preparedRun, 0, len(steps))
+	for _, o := range steps {
+		runs = append(runs, prepareOne(sc, o, ""))
+	}
 	var base float64
-	for i, o := range cluster.Fig12Steps() {
-		r := runOne(sc, o)
+	for i, r := range runPrepared(runs) {
 		p99 := float64(r.AvgP99())
 		if i == 0 {
 			base = p99
 		}
-		t.AddRow(o.Name, ms(r.AvgP99()), pct(1-p99/base))
+		t.AddRow(steps[i].Name, ms(r.AvgP99()), pct(1-p99/base))
 	}
 	t.Note("paper cumulative reductions: 25.6/35.5/61.1/80.1/83.6/85.6%%")
 	return t
@@ -76,14 +80,18 @@ func Fig13(sc Scale) *Table {
 		Title:   "Ablation: hardware context switching vs hardware scheduling",
 		Columns: []string{"Config", "Avg P99 [ms]", "Reduction vs Harvest-Block"},
 	}
+	variants := cluster.Fig13Variants()
+	runs := make([]preparedRun, 0, len(variants))
+	for _, o := range variants {
+		runs = append(runs, prepareOne(sc, o, ""))
+	}
 	var base float64
-	for i, o := range cluster.Fig13Variants() {
-		r := runOne(sc, o)
+	for i, r := range runPrepared(runs) {
 		p99 := float64(r.AvgP99())
 		if i == 0 {
 			base = p99
 		}
-		t.AddRow(o.Name, ms(r.AvgP99()), pct(1-p99/base))
+		t.AddRow(variants[i].Name, ms(r.AvgP99()), pct(1-p99/base))
 	}
 	t.Note("paper: Sched and CtxtSw have similar impact; together they are partially additive")
 	return t
@@ -96,14 +104,18 @@ func Fig15(sc Scale) *Table {
 		Title:   "Optimizations without core harvesting (P99 tail latency)",
 		Columns: []string{"Config", "Avg P99 [ms]", "Reduction vs NoHarvest"},
 	}
+	steps := cluster.Fig15Steps()
+	runs := make([]preparedRun, 0, len(steps))
+	for _, o := range steps {
+		runs = append(runs, prepareOne(sc, o, ""))
+	}
 	var base float64
-	for i, o := range cluster.Fig15Steps() {
-		r := runOne(sc, o)
+	for i, r := range runPrepared(runs) {
 		p99 := float64(r.AvgP99())
 		if i == 0 {
 			base = p99
 		}
-		t.AddRow(o.Name, ms(r.AvgP99()), pct(1-p99/base))
+		t.AddRow(steps[i].Name, ms(r.AvgP99()), pct(1-p99/base))
 	}
 	t.Note("paper cumulative reductions: 14.5/20.1/28.6/33.6%%")
 	return t
@@ -123,18 +135,28 @@ func Fig17(sc Scale) *Table {
 		Title:   "Harvest VM throughput normalized to NoHarvest",
 		Columns: []string{"Workload", "NoHarvest", "Harvest-Term", "Harvest-Block", "HardHarvest-Term", "HardHarvest-Block"},
 	}
-	avg := make([]float64, 5)
+	// All n*5 (workload, system) runs are independent: prepare them in row
+	// order (observer resolution stays deterministic), simulate concurrently,
+	// then normalize each row against its NoHarvest run.
+	systems := cluster.Systems()
+	runs := make([]preparedRun, 0, n*len(systems))
 	for wi := 0; wi < n; wi++ {
 		w := works[wi]
-		cells := make([]string, 0, 5)
-		var base float64
-		for si, k := range cluster.Systems() {
+		for _, k := range systems {
 			cfg := baseConfig(sc)
 			cfg.Seed = sc.Seed + uint64(wi)*101
 			o := cluster.SystemOptions(k)
 			o.Observer = sc.observerFor(w.Name + "/" + o.Name)
-			r := cluster.RunServer(cfg, o, w)
-			jps := r.HarvestJobsPerSec
+			runs = append(runs, preparedRun{cfg: cfg, opts: o, work: w})
+		}
+	}
+	results := runPrepared(runs)
+	avg := make([]float64, len(systems))
+	for wi := 0; wi < n; wi++ {
+		cells := make([]string, 0, len(systems))
+		var base float64
+		for si := range systems {
+			jps := results[wi*len(systems)+si].HarvestJobsPerSec
 			if si == 0 {
 				base = jps
 			}
@@ -142,7 +164,7 @@ func Fig17(sc Scale) *Table {
 			avg[si] += norm
 			cells = append(cells, f2(norm))
 		}
-		t.AddRow(w.Name, cells...)
+		t.AddRow(works[wi].Name, cells...)
 	}
 	avgCells := make([]string, 0, 5)
 	for _, v := range avg {

@@ -17,13 +17,13 @@ func Extensions(sc Scale) *Table {
 		Title:   "Extension policies on HardHarvest-Block (§4.1.5 future work)",
 		Columns: []string{"Policy", "Avg P99 [ms]", "Avg P50 [ms]", "Busy cores", "Jobs/s", "Loans"},
 	}
-	var base *cluster.ServerResult
-	for _, o := range cluster.ExtensionVariants() {
-		r := runOne(sc, o)
-		if base == nil {
-			base = r
-		}
-		t.AddRow(o.Name, ms(r.AvgP99()), ms(r.AvgP50()),
+	variants := cluster.ExtensionVariants()
+	runs := make([]preparedRun, 0, len(variants))
+	for _, o := range variants {
+		runs = append(runs, prepareOne(sc, o, ""))
+	}
+	for i, r := range runPrepared(runs) {
+		t.AddRow(variants[i].Name, ms(r.AvgP99()), ms(r.AvgP50()),
 			fmt.Sprintf("%.1f", r.BusyCores),
 			fmt.Sprintf("%.0f", r.HarvestJobsPerSec),
 			fmt.Sprintf("%d", r.Reassigns))

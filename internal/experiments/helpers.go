@@ -47,25 +47,104 @@ func runFlat(sc Scale, opts cluster.Options) *cluster.ServerResult {
 	return cluster.RunServer(cfg, opts, defaultWork())
 }
 
+// preparedRun is one server simulation with its observer already resolved:
+// sweeps build these sequentially (so the Scale's ObserverProvider is
+// consulted in deterministic order) and then simulate them concurrently.
+type preparedRun struct {
+	cfg  cluster.Config
+	opts cluster.Options
+	work *batch.Workload
+}
+
+// prepareOne readies a default-workload run of baseConfig(sc); label
+// qualifies the run for the observer provider ("" uses the options name).
+func prepareOne(sc Scale, opts cluster.Options, label string) preparedRun {
+	if label == "" {
+		label = opts.Name
+	}
+	opts.Observer = sc.observerFor(label)
+	return preparedRun{cfg: baseConfig(sc), opts: opts, work: defaultWork()}
+}
+
+// prepareFlat is prepareOne with flat (burst-free) load, as Figures 4/5 use.
+func prepareFlat(sc Scale, opts cluster.Options) preparedRun {
+	r := prepareOne(sc, opts, "")
+	r.cfg.TraceSteps = 0
+	return r
+}
+
+// runPrepared simulates prepared runs concurrently on the shared pool and
+// returns results in submission order.
+func runPrepared(runs []preparedRun) []*cluster.ServerResult {
+	return collect(len(runs), func(i int) *cluster.ServerResult {
+		return cluster.RunServer(runs[i].cfg, runs[i].opts, runs[i].work)
+	})
+}
+
+// fiveKey memoizes the five-systems runs by the Scale's value fields only:
+// keying by the full Scale (with its ObserverProvider pointer) would add a
+// fresh entry — pinning all five ServerResults plus their observers — for
+// every instrumented run.
+type fiveKey struct {
+	measure sim.Duration
+	warmup  sim.Duration
+	servers int
+	seed    uint64
+	system  cluster.SystemKind
+}
+
+// fiveEntry is one system's memoized run; the Once gives per-key
+// singleflight, so concurrent first callers of distinct systems simulate
+// concurrently while duplicate callers share the one run.
+type fiveEntry struct {
+	once sync.Once
+	res  *cluster.ServerResult
+}
+
 var (
 	fiveMu    sync.Mutex
-	fiveCache = map[Scale]map[cluster.SystemKind]*cluster.ServerResult{}
+	fiveCache = map[fiveKey]*fiveEntry{}
 )
 
 // fiveSystems runs the five evaluated architectures on one server. Several
-// figures (11, 16, util) share the same runs, so results are memoized per
-// scale (simulations are deterministic).
+// figures (11, 16, util, app, summary) share the same runs, so results are
+// memoized per scale (simulations are deterministic) with per-key
+// singleflight: the five systems simulate concurrently on first access, and
+// figures running in parallel block only on the runs they actually need.
+// Instrumented scales (sc.Obs != nil) bypass the memo entirely — each
+// provider must see its own runs, and caching them would leak observers.
 func fiveSystems(sc Scale) map[cluster.SystemKind]*cluster.ServerResult {
-	fiveMu.Lock()
-	defer fiveMu.Unlock()
-	if cached, ok := fiveCache[sc]; ok {
-		return cached
+	systems := cluster.Systems()
+	var results []*cluster.ServerResult
+	if sc.Obs != nil {
+		runs := make([]preparedRun, 0, len(systems))
+		for _, k := range systems {
+			runs = append(runs, prepareOne(sc, cluster.SystemOptions(k), ""))
+		}
+		results = runPrepared(runs)
+	} else {
+		entries := make([]*fiveEntry, len(systems))
+		fiveMu.Lock()
+		for i, k := range systems {
+			key := fiveKey{sc.Measure, sc.Warmup, sc.Servers, sc.Seed, k}
+			e, ok := fiveCache[key]
+			if !ok {
+				e = &fiveEntry{}
+				fiveCache[key] = e
+			}
+			entries[i] = e
+		}
+		fiveMu.Unlock()
+		results = collect(len(systems), func(i int) *cluster.ServerResult {
+			e := entries[i]
+			e.once.Do(func() { e.res = runOne(sc, cluster.SystemOptions(systems[i])) })
+			return e.res
+		})
 	}
-	out := make(map[cluster.SystemKind]*cluster.ServerResult, 5)
-	for _, k := range cluster.Systems() {
-		out[k] = runOne(sc, cluster.SystemOptions(k))
+	out := make(map[cluster.SystemKind]*cluster.ServerResult, len(systems))
+	for i, k := range systems {
+		out[k] = results[i]
 	}
-	fiveCache[sc] = out
 	return out
 }
 

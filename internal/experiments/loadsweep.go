@@ -23,14 +23,21 @@ func LoadSweep(sc Scale) *Table {
 		Title:   "P99 tail latency vs offered load (extension)",
 		Columns: cols,
 	}
+	runs := make([]preparedRun, 0, len(scales)*len(systems))
 	for _, ls := range scales {
-		cells := make([]string, 0, len(systems))
 		for _, k := range systems {
 			cfg := baseConfig(sc)
 			cfg.LoadScale *= ls
 			o := cluster.SystemOptions(k)
 			o.Observer = sc.observerFor(fmt.Sprintf("%.1fx/%s", ls, o.Name))
-			r := cluster.RunServer(cfg, o, defaultWork())
+			runs = append(runs, preparedRun{cfg: cfg, opts: o, work: defaultWork()})
+		}
+	}
+	results := runPrepared(runs)
+	for li, ls := range scales {
+		cells := make([]string, 0, len(systems))
+		for si := range systems {
+			r := results[li*len(systems)+si]
 			cells = append(cells, fmt.Sprintf("%.3f", r.AvgP99().Milliseconds()))
 		}
 		t.AddRow(fmt.Sprintf("%.1fx", ls), cells...)

@@ -21,16 +21,26 @@ func Fig14(sc Scale) *Table {
 	}
 	sums := make([]float64, len(policies))
 	profiles := workload.Profiles()
-	for _, p := range profiles {
+	// One pool job per service: generate its harvesting trace and run all
+	// four policies against it (the trace dominates the job's footprint, so
+	// sharing it within the job beats splitting per policy).
+	hits := collect(len(profiles), func(i int) []float64 {
+		p := profiles[i]
 		sp := pressureStreamFor(p)
 		tr := mem.GenerateHarvestingTrace(sp, sc.Seed^uint64(p.FootprintKB), 25, 2)
-		cells := make([]string, 0, len(policies))
+		out := make([]float64, len(policies))
 		for pi, pol := range policies {
 			cfg := mem.StructConfig(mem.L2, mem.DefaultHierarchyParams())
 			cfg.Policy = pol
-			hit := mem.SimulateTrace(cfg, tr).HitRate()
-			sums[pi] += hit
-			cells = append(cells, pct(hit))
+			out[pi] = mem.SimulateTrace(cfg, tr).HitRate()
+		}
+		return out
+	})
+	for i, p := range profiles {
+		cells := make([]string, 0, len(policies))
+		for pi := range policies {
+			sums[pi] += hits[i][pi]
+			cells = append(cells, pct(hits[i][pi]))
 		}
 		t.AddRow(p.Name, cells...)
 	}
@@ -56,18 +66,23 @@ func Fig18(sc Scale) *Table {
 		{"2.5MB/core", 20}, {"2MB/core", 16}, {"1MB/core", 8}, {"0.5MB/core", 4},
 	}
 	profiles := workload.Profiles()
-	// Per-size mean miss rate over the service streams.
+	// Per-size mean miss rate over the service streams: every (size,
+	// profile) cache simulation is independent, so fan them all out.
+	rates := collect(len(sizes)*len(profiles), func(i int) float64 {
+		sz, p := sizes[i/len(profiles)], profiles[i%len(profiles)]
+		cfg := mem.Config{
+			Name: "LLC", Sets: 2048, Ways: sz.ways, LineBytes: 64,
+			Policy: mem.PolicyLRU,
+		}
+		sp := streamFor(p)
+		tr := mem.GenerateHarvestingTrace(sp, sc.Seed^uint64(p.FootprintKB), 10, 0)
+		return mem.SimulateTrace(cfg, tr).MissRate()
+	})
 	miss := make([]float64, len(sizes))
-	for si, sz := range sizes {
+	for si := range sizes {
 		var sum float64
-		for _, p := range profiles {
-			cfg := mem.Config{
-				Name: "LLC", Sets: 2048, Ways: sz.ways, LineBytes: 64,
-				Policy: mem.PolicyLRU,
-			}
-			sp := streamFor(p)
-			tr := mem.GenerateHarvestingTrace(sp, sc.Seed^uint64(p.FootprintKB), 10, 0)
-			sum += mem.SimulateTrace(cfg, tr).MissRate()
+		for pi := range profiles {
+			sum += rates[si*len(profiles)+pi]
 		}
 		miss[si] = sum / float64(len(profiles))
 	}
@@ -77,6 +92,7 @@ func Fig18(sc Scale) *Table {
 		Columns: append(append([]string{"LLC size"}, serviceOrder...), "Avg"),
 	}
 	baseMiss := miss[1] // 2 MB/core is the default
+	runs := make([]preparedRun, 0, len(sizes))
 	for si, sz := range sizes {
 		cfg := baseConfig(sc)
 		// Each additional point of LLC miss rate costs memory latency on
@@ -87,8 +103,10 @@ func Fig18(sc Scale) *Table {
 		}
 		o := cluster.SystemOptions(cluster.HardHarvestBlock)
 		o.Observer = sc.observerFor(sz.label + "/" + o.Name)
-		r := cluster.RunServer(cfg, o, defaultWork())
-		t.AddRow(sz.label, perServiceP99Row(r)...)
+		runs = append(runs, preparedRun{cfg: cfg, opts: o, work: defaultWork()})
+	}
+	for si, r := range runPrepared(runs) {
+		t.AddRow(sizes[si].label, perServiceP99Row(r)...)
 	}
 	t.Note("paper: latency changes are small because microservice footprints are modest; larger LLC helps slightly")
 	return t
@@ -99,7 +117,14 @@ func Fig18(sc Scale) *Table {
 // per-service execution factor comes from L2 simulations at each window
 // size.
 func Fig19(sc Scale) *Table {
-	base := runOne(sc, cluster.SystemOptions(cluster.HardHarvestBlock))
+	// The baseline server run and every L2 window simulation are mutually
+	// independent: kick the server run off first, overlap the cache sims
+	// with it, and join at table-assembly time.
+	var baseG Group[*cluster.ServerResult]
+	baseRun := prepareOne(sc, cluster.SystemOptions(cluster.HardHarvestBlock), "")
+	baseG.Submit(func() *cluster.ServerResult {
+		return cluster.RunServer(baseRun.cfg, baseRun.opts, baseRun.work)
+	})
 	fracs := []float64{0.25, 0.50, 0.75, 1.00}
 	profiles := workload.Profiles()
 	t := &Table{
@@ -107,8 +132,6 @@ func Fig19(sc Scale) *Table {
 		Title:   "P99 tail [ms] of HardHarvest with different eviction candidate sets",
 		Columns: append(append([]string{"Candidates"}, serviceOrder...), "Avg"),
 	}
-	// Reference hit rates at the default 75% window.
-	ref := make(map[string]float64)
 	hitAt := func(p *workload.Profile, frac float64) float64 {
 		cfg := mem.StructConfig(mem.L2, mem.DefaultHierarchyParams())
 		cfg.Policy = mem.PolicyHardHarvest
@@ -117,14 +140,24 @@ func Fig19(sc Scale) *Table {
 		tr := mem.GenerateHarvestingTrace(sp, sc.Seed^uint64(p.FootprintKB), 25, 2)
 		return mem.SimulateTrace(cfg, tr).HitRate()
 	}
-	for _, p := range profiles {
-		ref[p.Name] = hitAt(p, 0.75)
+	// Reference hit rates at the default 75% window, then every (window,
+	// service) point.
+	refHits := collect(len(profiles), func(i int) float64 {
+		return hitAt(profiles[i], 0.75)
+	})
+	ref := make(map[string]float64, len(profiles))
+	for i, p := range profiles {
+		ref[p.Name] = refHits[i]
 	}
-	for _, frac := range fracs {
+	hits := collect(len(fracs)*len(profiles), func(i int) float64 {
+		return hitAt(profiles[i%len(profiles)], fracs[i/len(profiles)])
+	})
+	base := baseG.Wait()[0]
+	for fi, frac := range fracs {
 		cells := make([]string, 0, len(serviceOrder)+1)
 		var sum float64
-		for _, p := range profiles {
-			factor := l2ExecFactor(hitAt(p, frac)) / l2ExecFactor(ref[p.Name])
+		for pi, p := range profiles {
+			factor := l2ExecFactor(hits[fi*len(profiles)+pi]) / l2ExecFactor(ref[p.Name])
 			est := scaleLatency(base.P99(p.Name), p, factor)
 			cells = append(cells, ms(est))
 			sum += est.Milliseconds()

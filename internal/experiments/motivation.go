@@ -60,16 +60,18 @@ func Fig4(sc Scale) *Table {
 		Title:   "P99 tail latency [ms] with hypervisor core re-assignment",
 		Columns: append(append([]string{"Variant"}, serviceOrder...), "Avg"),
 	}
-	var noMove *cluster.ServerResult
-	for _, o := range cluster.Fig4Variants() {
-		r := runFlat(sc, o)
-		if noMove == nil {
-			noMove = r
-		}
-		t.AddRow(o.Name, perServiceP99Row(r)...)
-		if o.Name != "No-Move" {
+	variants := cluster.Fig4Variants()
+	runs := make([]preparedRun, 0, len(variants))
+	for _, o := range variants {
+		runs = append(runs, prepareFlat(sc, o))
+	}
+	results := runPrepared(runs)
+	noMove := results[0]
+	for i, r := range results {
+		t.AddRow(variants[i].Name, perServiceP99Row(r)...)
+		if variants[i].Name != "No-Move" {
 			t.Note("%s: %.2fx No-Move (paper: KVM-Term 3.2x, KVM-Block 3.8x, Opt-Term 2.7x, Opt-Block 3.1x)",
-				o.Name, float64(r.AvgP99())/float64(noMove.AvgP99()))
+				variants[i].Name, float64(r.AvgP99())/float64(noMove.AvgP99()))
 		}
 	}
 	return t
@@ -83,16 +85,18 @@ func Fig5(sc Scale) *Table {
 		Title:   "P99 tail latency [ms] with cache/TLB flushing on re-assignment",
 		Columns: append(append([]string{"Variant"}, serviceOrder...), "Avg"),
 	}
-	var noFlush *cluster.ServerResult
-	for _, o := range cluster.Fig5Variants() {
-		r := runFlat(sc, o)
-		if noFlush == nil {
-			noFlush = r
-		}
-		t.AddRow(o.Name, perServiceP99Row(r)...)
-		if o.Name != "No-Flush" {
+	variants := cluster.Fig5Variants()
+	runs := make([]preparedRun, 0, len(variants))
+	for _, o := range variants {
+		runs = append(runs, prepareFlat(sc, o))
+	}
+	results := runPrepared(runs)
+	noFlush := results[0]
+	for i, r := range results {
+		t.AddRow(variants[i].Name, perServiceP99Row(r)...)
+		if variants[i].Name != "No-Flush" {
 			t.Note("%s: %.2fx No-Flush (paper: Flush-Term 2.7x, Flush-Block 3.3x, Harvest-Term 3.6x, Harvest-Block 4.2x)",
-				o.Name, float64(r.AvgP99())/float64(noFlush.AvgP99()))
+				variants[i].Name, float64(r.AvgP99())/float64(noFlush.AvgP99()))
 		}
 	}
 	return t
@@ -102,8 +106,11 @@ func Fig5(sc Scale) *Table {
 // harvesting (execution only) vs with software harvesting (re-assignment +
 // flush/invalidate + execution), per service.
 func Fig6(sc Scale) *Table {
-	no := runOne(sc, cluster.SystemOptions(cluster.NoHarvest))
-	hv := runOne(sc, cluster.SystemOptions(cluster.HarvestBlock))
+	pair := runPrepared([]preparedRun{
+		prepareOne(sc, cluster.SystemOptions(cluster.NoHarvest), ""),
+		prepareOne(sc, cluster.SystemOptions(cluster.HarvestBlock), ""),
+	})
+	no, hv := pair[0], pair[1]
 	t := &Table{
 		ID:      "fig6",
 		Title:   "Mean request time breakdown [ms]: NoHarvest vs software harvesting",
@@ -135,7 +142,12 @@ func Fig6(sc Scale) *Table {
 // private structure keeps 100/75/50/25%% of its ways (plus an infinite
 // hierarchy), driven by the set-associative models of internal/mem.
 func Fig7(sc Scale) *Table {
-	base := runOne(sc, cluster.SystemOptions(cluster.NoHarvest))
+	// The baseline run and the 8x5 hierarchy simulations all overlap.
+	var baseG Group[*cluster.ServerResult]
+	baseRun := prepareOne(sc, cluster.SystemOptions(cluster.NoHarvest), "")
+	baseG.Submit(func() *cluster.ServerResult {
+		return cluster.RunServer(baseRun.cfg, baseRun.opts, baseRun.work)
+	})
 	fractions := []struct {
 		label string
 		frac  float64 // <= 0 means infinite (all accesses hit at L1 cost)
@@ -149,13 +161,17 @@ func Fig7(sc Scale) *Table {
 	}
 	// Per-service per-fraction AMAT from real hierarchy simulation.
 	profiles := workload.Profiles()
+	amats := collect(len(profiles)*len(fractions), func(i int) float64 {
+		return hierarchyAMAT(profiles[i/len(fractions)], fractions[i%len(fractions)].frac, sc.Seed)
+	})
 	amat := make(map[string]map[string]float64)
-	for _, p := range profiles {
+	for pi, p := range profiles {
 		amat[p.Name] = make(map[string]float64)
-		for _, fr := range fractions {
-			amat[p.Name][fr.label] = hierarchyAMAT(p, fr.frac, sc.Seed)
+		for fi, fr := range fractions {
+			amat[p.Name][fr.label] = amats[pi*len(fractions)+fi]
 		}
 	}
+	base := baseG.Wait()[0]
 	for _, fr := range fractions {
 		cells := make([]string, 0, len(serviceOrder)+1)
 		var sum, cnt float64

@@ -5,9 +5,12 @@ import "hardharvest/internal/cluster"
 // ObserverProvider hands out per-run observers for instrumented experiment
 // runs. ObserverFor is called once per simulated server with the run's
 // label (system/variant name, possibly workload-qualified) and returns the
-// observer to attach, or nil to leave that run uninstrumented. Providers
-// must be pointer-shaped: Scale is used as a map key by the run cache, so
-// its fields must stay comparable.
+// observer to attach, or nil to leave that run uninstrumented. Even when
+// runs execute on the parallel scheduler, ObserverFor is always called on
+// the submitting goroutine, in the same deterministic order as a sequential
+// run — providers need no locking of their own and can rely on call order
+// (e.g. to assign stable trace process IDs). Instrumented scales bypass the
+// shared run memo entirely, so a provider sees every one of its runs.
 type ObserverProvider interface {
 	ObserverFor(run string) cluster.Observer
 }

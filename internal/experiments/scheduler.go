@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// The experiment suite is embarrassingly parallel: every server run and
+// memory-trace simulation is deterministic and seed-isolated, so sweeps can
+// fan their runs out across cores without changing a single table cell. The
+// shared pool below bounds how many simulation jobs execute at once;
+// coordinator goroutines (the experiment runners themselves) submit jobs
+// and collect results in submission order, which keeps output deterministic
+// regardless of completion order.
+//
+// Invariant: jobs submitted to the pool never submit jobs themselves — only
+// coordinator goroutines do — so the pool cannot deadlock on nested waits.
+
+var (
+	poolMu  sync.Mutex
+	poolCap = runtime.GOMAXPROCS(0)
+	poolSem chan struct{}
+)
+
+// Parallelism reports the current bound on concurrent simulation jobs.
+func Parallelism() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return poolCap
+}
+
+// SetParallelism bounds the number of simulation jobs running at once
+// across the whole suite (hhsim's -parallel flag); n <= 0 resets to
+// GOMAXPROCS. Call it before submitting work: jobs already in flight keep
+// the semaphore they started on.
+func SetParallelism(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	poolCap = n
+	poolSem = make(chan struct{}, n)
+}
+
+func acquireSem() chan struct{} {
+	poolMu.Lock()
+	if poolSem == nil {
+		poolSem = make(chan struct{}, poolCap)
+	}
+	sem := poolSem
+	poolMu.Unlock()
+	sem <- struct{}{}
+	return sem
+}
+
+// jobResult carries either a job's value or the panic it died with.
+type jobResult[T any] struct {
+	val   T
+	panic any
+	stack []byte
+}
+
+// Group schedules independent simulation jobs on the shared pool and hands
+// their results back in submission order, so a sweep's table rows come out
+// identical to a sequential run. Anything order-sensitive that must happen
+// before the job runs — resolving a run's observer through the Scale's
+// provider, deriving a seed — belongs on the submitting goroutine, not
+// inside the job. A Group is not safe for concurrent Submit calls; use one
+// per coordinator goroutine.
+type Group[T any] struct {
+	chans []chan jobResult[T]
+}
+
+// Submit schedules f; it returns immediately, f runs when a pool slot
+// frees up.
+func (g *Group[T]) Submit(f func() T) {
+	ch := make(chan jobResult[T], 1)
+	g.chans = append(g.chans, ch)
+	go func() {
+		sem := acquireSem()
+		defer func() { <-sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- jobResult[T]{panic: r, stack: debug.Stack()}
+			}
+		}()
+		ch <- jobResult[T]{val: f()}
+	}()
+}
+
+// Wait blocks until every submitted job finished and returns their results
+// in submission order. A job that panicked re-panics here, on the
+// coordinator goroutine.
+func (g *Group[T]) Wait() []T {
+	out := make([]T, len(g.chans))
+	for i, ch := range g.chans {
+		r := <-ch
+		if r.panic != nil {
+			panic(fmt.Sprintf("experiments: pool job panicked: %v\n%s", r.panic, r.stack))
+		}
+		out[i] = r.val
+	}
+	g.chans = g.chans[:0]
+	return out
+}
+
+// collect is the common sweep shape: n independent jobs indexed 0..n-1,
+// results in index order. The closure is called concurrently — resolve
+// observers and seeds before calling collect if f needs them.
+func collect[T any](n int, f func(i int) T) []T {
+	var g Group[T]
+	for i := 0; i < n; i++ {
+		i := i
+		g.Submit(func() T { return f(i) })
+	}
+	return g.Wait()
+}

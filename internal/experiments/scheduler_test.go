@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/sim"
+)
+
+// micro is the cheapest scale that still simulates real work; the
+// determinism tests only need identical bytes, not stable orderings.
+func micro() Scale {
+	return Scale{Measure: 80 * sim.Millisecond, Warmup: 10 * sim.Millisecond, Servers: 2, Seed: 7}
+}
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after reset", got)
+	}
+}
+
+func TestGroupOrderAndPanic(t *testing.T) {
+	// Results come back in submission order regardless of completion order.
+	got := collect(64, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("collect[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	// A job panic surfaces on the coordinator, not in a bare goroutine.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("job panic did not propagate to Wait")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost its cause: %v", r)
+		}
+	}()
+	var g Group[int]
+	g.Submit(func() int { panic("boom") })
+	g.Wait()
+}
+
+// TestAllParallelByteIdentical is the tentpole regression test: the full
+// suite run with the pool wide open must render byte-identical tables to a
+// pool of one, same seed. Under -race this doubles as the scheduler stress
+// test — every experiment's coordinator fans out on the shared pool at once.
+func TestAllParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	defer SetParallelism(0)
+	render := func(tables []*Table) string {
+		var b strings.Builder
+		for _, tbl := range tables {
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+	SetParallelism(8)
+	par := render(All(micro()))
+	SetParallelism(1)
+	seq := render(All(micro()))
+	if par != seq {
+		t.Fatalf("parallel suite diverged from sequential run:\n--- parallel ---\n%s\n--- sequential ---\n%s", par, seq)
+	}
+	if !strings.Contains(par, "== fig11:") || !strings.Contains(par, "== summary:") {
+		t.Fatalf("suite output incomplete:\n%s", par)
+	}
+}
+
+// recordingProvider counts ObserverFor calls and records their order.
+type recordingProvider struct {
+	runs []string
+}
+
+func (p *recordingProvider) ObserverFor(run string) cluster.Observer {
+	p.runs = append(p.runs, run)
+	return nil
+}
+
+// TestObserverOrderDeterministic pins the scheduler's observer contract:
+// providers are consulted on the coordinator goroutine in the same order as
+// a sequential run, even though the simulations themselves run on the pool.
+func TestObserverOrderDeterministic(t *testing.T) {
+	defer SetParallelism(0)
+	order := func(par int) []string {
+		SetParallelism(par)
+		sc := micro()
+		p := &recordingProvider{}
+		sc.Obs = p
+		Fig4(sc)
+		fiveSystems(sc)
+		return p.runs
+	}
+	a, b := order(8), order(1)
+	if len(a) == 0 {
+		t.Fatal("provider never consulted")
+	}
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("observer resolution order depends on parallelism:\npar=8: %v\npar=1: %v", a, b)
+	}
+}
+
+// TestFiveCacheSkipsInstrumented pins the leak fix: instrumented scales
+// bypass the memo (each provider must see its own runs), while plain scales
+// add exactly one entry per (scale, system).
+func TestFiveCacheSkipsInstrumented(t *testing.T) {
+	size := func() int {
+		fiveMu.Lock()
+		defer fiveMu.Unlock()
+		return len(fiveCache)
+	}
+	sc := micro()
+	sc.Seed = 424242 // private seed: no other test shares these entries
+	sc.Obs = &recordingProvider{}
+	before := size()
+	fiveSystems(sc)
+	fiveSystems(sc)
+	if got := size(); got != before {
+		t.Fatalf("instrumented fiveSystems grew the cache: %d -> %d", before, got)
+	}
+	sc.Obs = nil
+	fiveSystems(sc)
+	if got := size(); got != before+len(cluster.Systems()) {
+		t.Fatalf("plain fiveSystems cached %d entries, want %d", got-before, len(cluster.Systems()))
+	}
+	fiveSystems(sc)
+	if got := size(); got != before+len(cluster.Systems()) {
+		t.Fatalf("repeat fiveSystems grew the cache to %d", got-before)
+	}
+}
+
+func TestTableStringEmptyColumns(t *testing.T) {
+	tbl := &Table{ID: "empty", Title: "no columns"}
+	tbl.AddRow("orphan", "x")
+	tbl.Note("still renders")
+	s := tbl.String() // must not panic
+	for _, want := range []string{"== empty: no columns ==", "still renders"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("empty-column render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableCellFirstMatch(t *testing.T) {
+	tbl := &Table{ID: "dup", Title: "d", Columns: []string{"Service", "P99", "P99"}}
+	tbl.AddRow("Text", "1.5", "2.5")
+	if v, ok := tbl.Cell("Text", "P99"); !ok || v != "1.5" {
+		t.Errorf("duplicate column resolved to %q, want first match 1.5", v)
+	}
+	if v, ok := tbl.Cell("Text", "Service"); !ok || v != "Text" {
+		t.Errorf("label column resolved to %q, want row label", v)
+	}
+	if _, ok := tbl.Cell("Nope", "P99"); ok {
+		t.Error("unknown row resolved")
+	}
+}

@@ -26,10 +26,10 @@ type Scale struct {
 	// Seed drives all randomness.
 	Seed uint64
 	// Obs, when non-nil, provides per-run observers (tracing, sampling;
-	// see internal/obs). Instrumented scales hash differently, so they
-	// bypass cached runs of the plain scale — and note that the run cache
-	// also means a provider sees each distinct run once per Scale value,
-	// not once per figure.
+	// see internal/obs). Instrumented scales skip the shared run memo, so
+	// the provider sees every run it instruments rather than sharing
+	// cached results with plain scales; observers are resolved in
+	// deterministic submission order even under the parallel scheduler.
 	Obs ObserverProvider
 }
 
@@ -68,10 +68,18 @@ func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// String renders the table as aligned text.
+// String renders the table as aligned text. A table with no columns
+// renders its header and notes only — rows have no layout without a
+// column set, so they are skipped rather than panicking.
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if len(t.Columns) == 0 {
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "  note: %s\n", n)
+		}
+		return b.String()
+	}
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -107,20 +115,29 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Cell finds a cell by row label and column name (for tests).
+// Cell finds a cell by row label and column name (for tests). With
+// duplicate column names the first match wins; naming the label column
+// (index 0) returns the row label itself.
 func (t *Table) Cell(row, col string) (string, bool) {
 	ci := -1
 	for i, c := range t.Columns {
 		if c == col {
-			ci = i - 1
+			ci = i
+			break
 		}
 	}
 	if ci < 0 {
 		return "", false
 	}
 	for _, r := range t.Rows {
-		if r.Label == row && ci < len(r.Cells) {
-			return r.Cells[ci], true
+		if r.Label != row {
+			continue
+		}
+		if ci == 0 {
+			return r.Label, true
+		}
+		if ci-1 < len(r.Cells) {
+			return r.Cells[ci-1], true
 		}
 	}
 	return "", false

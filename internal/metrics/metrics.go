@@ -25,6 +25,11 @@ func (l *LatencyRecorder) Add(d sim.Duration) { l.rec.Add(float64(d)) }
 // Merge folds all of other's samples into l.
 func (l *LatencyRecorder) Merge(other *LatencyRecorder) { l.rec.Merge(other.rec) }
 
+// Freeze pre-sorts the recorder so later percentile queries are pure reads
+// and therefore safe from concurrent readers. Call after the last Add/Merge,
+// before sharing the recorder across goroutines.
+func (l *LatencyRecorder) Freeze() { l.rec.Sort() }
+
 // SampleLatency draws from the measured distribution by inverse-CDF: u in
 // [0,1) selects the u-quantile.
 func (l *LatencyRecorder) SampleLatency(u float64) sim.Duration {

@@ -69,6 +69,14 @@ func (r *Recorder) ensureSorted() {
 	}
 }
 
+// Sort pre-sorts the sample buffer so that later quantile queries are pure
+// reads. Quantile sorts lazily on first use, which mutates the recorder;
+// producers that hand a recorder to concurrent readers (the parallel
+// experiment scheduler reads shared ServerResults from several goroutines)
+// call Sort once before publishing. Adding more samples re-arms the lazy
+// sort as usual.
+func (r *Recorder) Sort() { r.ensureSorted() }
+
 // Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank with
 // linear interpolation. Returns 0 with no samples.
 func (r *Recorder) Quantile(q float64) float64 {
