@@ -133,6 +133,7 @@ func BenchmarkServerSimulation(b *testing.B) {
 	cfg.WarmupDuration = 10 * hardharvest.Millisecond
 	work, _ := hardharvest.WorkloadByName("BFS")
 	opts := hardharvest.SystemOptions(hardharvest.HardHarvestBlock)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)

@@ -10,6 +10,8 @@
 //	hhsim -exp fig6 -trace t.json     # Perfetto/chrome://tracing span trace
 //	hhsim -exp fig6 -timeseries o.csv # occupancy time series
 //	hhsim -exp fig6 -counters         # harvest-event counters + latency hist
+//	hhsim -all -cpuprofile cpu.pprof  # pprof CPU profile of the whole run
+//	hhsim -all -memprofile mem.pprof  # pprof allocation profile
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -105,8 +109,43 @@ func main() {
 	counters := flag.Bool("counters", false, "print per-run harvest-event counters and latency histogram")
 	sampleUS := flag.Int("sample-us", 100, "timeseries sampling cadence in simulated microseconds")
 	parallel := flag.Int("parallel", 0, "max concurrent simulated server runs (0 = GOMAXPROCS, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// An explicit GC makes the heap profile reflect live data and
+			// complete allocation counts, not a mid-cycle snapshot.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {

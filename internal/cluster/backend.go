@@ -32,11 +32,19 @@ type request struct {
 
 	// hw is the controller-side request object (hardware backend only).
 	hw *core.Request
+
+	// gen counts how many times this object has been recycled through the
+	// server's request pool. Event payloads that may outlive the request
+	// (pin releases) capture the generation and no-op on a mismatch, so a
+	// stale event can never act on the slot's next occupant.
+	gen uint32
 }
 
 func (r *request) currentPhase() workload.Phase { return r.phases[r.phase] }
 
-// wakeInfo is a backend's notification decision after new work arrived.
+// wakeInfo is a backend's notification decision after new work arrived. It
+// is passed by value (with an ok flag) so the per-enqueue hot path does not
+// allocate.
 type wakeInfo struct {
 	core    int
 	preempt bool
@@ -46,8 +54,9 @@ type wakeInfo struct {
 // hardware systems (including NoHarvest-with-optimizations), or plain
 // software queues for the SmartHarvest-style baselines.
 type backend interface {
-	// enqueue stores a ready request and returns the wake decision, if any.
-	enqueue(r *request) *wakeInfo
+	// enqueue stores a ready request and returns the wake decision; ok is
+	// false when the backend decided nothing.
+	enqueue(r *request) (wake wakeInfo, ok bool)
 	// dequeue hands the core its next request; allowLoan permits cross-VM
 	// harvesting on the hardware path. Returns nil when no work exists.
 	dequeue(coreID int, allowLoan bool) (r *request, crossVM bool)
@@ -59,7 +68,7 @@ type backend interface {
 	// block parks a running request on I/O.
 	block(coreID int, r *request)
 	// unblock readies a blocked request and returns the wake decision.
-	unblock(r *request) *wakeInfo
+	unblock(r *request) (wake wakeInfo, ok bool)
 	// preempt aborts the harvest request a core is running and requeues it
 	// at the head of its VM's queue (hardware reclamation path).
 	preempt(coreID int, r *request)
@@ -72,6 +81,9 @@ type hwBackend struct {
 	ctrl *core.Controller
 	reqs map[core.ReqID]*request
 	next core.ReqID
+	// hwFree recycles controller-side request objects: one is live per
+	// in-flight request, so completions feed enqueues without allocating.
+	hwFree []*core.Request
 }
 
 func newHWBackend(cfg Config) *hwBackend {
@@ -92,9 +104,11 @@ func (b *hwBackend) bindCore(coreID, vmIdx int) {
 	}
 }
 
-func (b *hwBackend) enqueue(r *request) *wakeInfo {
+func (b *hwBackend) enqueue(r *request) (wakeInfo, bool) {
 	b.next++
-	r.hw = &core.Request{ID: b.next, VM: core.VMID(r.vmIdx), PayloadAddr: uint64(r.id) << 6}
+	hw := b.allocHW()
+	*hw = core.Request{ID: b.next, VM: core.VMID(r.vmIdx), PayloadAddr: uint64(r.id) << 6}
+	r.hw = hw
 	b.reqs[r.hw.ID] = r
 	_, wake, err := b.ctrl.Enqueue(core.VMID(r.vmIdx), r.hw)
 	if err != nil {
@@ -103,11 +117,20 @@ func (b *hwBackend) enqueue(r *request) *wakeInfo {
 	return toWake(wake)
 }
 
-func toWake(w *core.WakeDecision) *wakeInfo {
-	if w == nil {
-		return nil
+func (b *hwBackend) allocHW() *core.Request {
+	if n := len(b.hwFree); n > 0 {
+		hw := b.hwFree[n-1]
+		b.hwFree = b.hwFree[:n-1]
+		return hw
 	}
-	return &wakeInfo{core: int(w.Core), preempt: w.Preempt}
+	return new(core.Request)
+}
+
+func toWake(w *core.WakeDecision) (wakeInfo, bool) {
+	if w == nil {
+		return wakeInfo{}, false
+	}
+	return wakeInfo{core: int(w.Core), preempt: w.Preempt}, true
 }
 
 func (b *hwBackend) dequeue(coreID int, allowLoan bool) (*request, bool) {
@@ -130,6 +153,7 @@ func (b *hwBackend) complete(coreID int, r *request) {
 		panic(err)
 	}
 	delete(b.reqs, r.hw.ID)
+	b.hwFree = append(b.hwFree, r.hw)
 	r.hw = nil
 }
 
@@ -139,7 +163,7 @@ func (b *hwBackend) block(coreID int, r *request) {
 	}
 }
 
-func (b *hwBackend) unblock(r *request) *wakeInfo {
+func (b *hwBackend) unblock(r *request) (wakeInfo, bool) {
 	wake, err := b.ctrl.Unblock(core.VMID(r.vmIdx), r.hw)
 	if err != nil {
 		panic(err)
@@ -183,11 +207,11 @@ func newSWBackend(numVMs, numCores int) *swBackend {
 
 func (b *swBackend) bindCore(coreID, vmIdx int) { b.binding[coreID] = vmIdx }
 
-func (b *swBackend) enqueue(r *request) *wakeInfo {
+func (b *swBackend) enqueue(r *request) (wakeInfo, bool) {
 	b.queues[r.vmIdx] = append(b.queues[r.vmIdx], r)
 	// Software systems have no hardware notification: the server layer
 	// implements polling discovery.
-	return nil
+	return wakeInfo{}, false
 }
 
 func (b *swBackend) dequeue(coreID int, allowLoan bool) (*request, bool) {
@@ -216,10 +240,10 @@ func (b *swBackend) complete(coreID int, r *request) {}
 
 func (b *swBackend) block(coreID int, r *request) {}
 
-func (b *swBackend) unblock(r *request) *wakeInfo {
+func (b *swBackend) unblock(r *request) (wakeInfo, bool) {
 	// Rejoin at the head: the request is older than queued work.
 	b.queues[r.vmIdx] = append([]*request{r}, b.queues[r.vmIdx]...)
-	return nil
+	return wakeInfo{}, false
 }
 
 func (b *swBackend) preempt(coreID int, r *request) {

@@ -38,7 +38,7 @@ type coreRT struct {
 
 	kind        corePhaseKind
 	cur         *request
-	burstEv     *sim.Event
+	burstEv     sim.Event
 	burstStart  sim.Time
 	burstEnd    sim.Time
 	burstScaled sim.Duration
@@ -81,8 +81,79 @@ type vmRT struct {
 	// only; HardHarvest multiplexes vCPUs in hardware, §4.1.5).
 	pinned []*request
 
+	// nextInv carries the VM's next generated invocation between
+	// scheduleNextArrival and the opArrival event that delivers it; at most
+	// one arrival is in flight per VM, so one slot suffices and the event
+	// needs no closure.
+	nextInv workload.Invocation
+
 	lat       *metrics.LatencyRecorder
 	breakdown metrics.Breakdown
+}
+
+// Typed event opcodes: the server schedules its hot-path events through
+// Engine.ScheduleCall with itself as the sim.Callback, binding the op code
+// plus *coreRT / *vmRT / *request payloads in the event record instead of
+// allocating a closure per event.
+const (
+	opDispatch      int32 = iota // a: *coreRT — dispatch(c, false)
+	opWake                       // a: *coreRT — pending wake delivered
+	opStallRetry                 // a: *coreRT — retry dispatch after a VM stall (no loan)
+	opStallRetryLoan             // a: *coreRT — retry dispatch after a VM stall (loan ok)
+	opArrival                    // a: *vmRT — deliver the VM's next generated arrival
+	opArrivalReady               // b: *request — NIC deposit done, request lands on a vCPU
+	opRunBurst                   // a: *coreRT, b: *request — dispatch overheads paid
+	opBurstEnd                   // a: *coreRT, b: *request — CPU burst finished
+	opIOComplete                 // b: *request — network response arrived at the NIC
+	opIOReady                    // b: *request — queue/notify delay after I/O completion
+	opPreempt                    // a: *coreRT — hardware reclamation interrupt delivered
+	opAgentSample                // software harvesting agent usage sample
+	opAgentTick                  // software harvesting agent prediction window
+	opLendEnd                    // a: *coreRT — hypervisor lend move finished
+	opReclaimEnd                 // a: *coreRT — hypervisor reclaim move finished
+)
+
+// OnEvent dispatches typed engine events (sim.Callback).
+func (s *Server) OnEvent(op int32, a, b any) {
+	switch op {
+	case opDispatch:
+		s.dispatch(a.(*coreRT), false)
+	case opWake:
+		c := a.(*coreRT)
+		c.pendingWake = false
+		if c.kind == cIdle {
+			s.dispatch(c, c.idleEligible)
+		}
+	case opStallRetry, opStallRetryLoan:
+		c := a.(*coreRT)
+		if c.kind == cIdle || c.kind == cOverhead {
+			s.dispatch(c, op == opStallRetryLoan)
+		}
+	case opArrival:
+		s.arrivalFired(a.(*vmRT))
+	case opArrivalReady:
+		s.arrivalReady(b.(*request))
+	case opRunBurst:
+		s.runBurst(a.(*coreRT), b.(*request))
+	case opBurstEnd:
+		s.onBurstEnd(a.(*coreRT), b.(*request))
+	case opIOComplete:
+		s.onIOComplete(b.(*request))
+	case opIOReady:
+		s.ioReady(b.(*request))
+	case opPreempt:
+		s.preemptFired(a.(*coreRT))
+	case opAgentSample:
+		s.agentSample()
+	case opAgentTick:
+		s.agentTick()
+	case opLendEnd:
+		s.lendEnd(a.(*coreRT))
+	case opReclaimEnd:
+		s.reclaimEnd(a.(*coreRT))
+	default:
+		panic(fmt.Sprintf("cluster: unknown event op %d", op))
+	}
 }
 
 // Server simulates one 36-core server under a given system configuration.
@@ -125,6 +196,11 @@ type Server struct {
 	measureEnd   sim.Time
 	stopArrivals sim.Time
 	reqSeq       uint64
+
+	// reqFree recycles request objects (and their phase slices): a server
+	// simulates hundreds of thousands of requests but only a few hundred
+	// are ever in flight, so the pool caps steady-state allocation.
+	reqFree []*request
 
 	// moveBusyUntil serializes software core moves: hypervisor detach and
 	// attach operations take a global lock (§4.1.1), so moves queue behind
@@ -239,6 +315,28 @@ func (o Options) EventDriven() bool { return o.EventDrivenLend }
 
 func (s *Server) now() sim.Time { return s.eng.Now() }
 
+// newRequest takes a request object from the pool (or allocates one). The
+// caller fills every field it needs; pooled objects arrive zeroed except for
+// gen and the reusable phases capacity.
+func (s *Server) newRequest() *request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return &request{}
+}
+
+// freeRequest recycles a completed request. Only call it when no queue, core,
+// or pin list references the request; events that may still hold the pointer
+// (pin releases) are generation-guarded, and the bump here expires them.
+func (s *Server) freeRequest(r *request) {
+	phases := r.phases[:0]
+	gen := r.gen + 1
+	*r = request{phases: phases, gen: gen}
+	s.reqFree = append(s.reqFree, r)
+}
+
 func (s *Server) harvestVM() *vmRT { return s.vms[s.harvestIdx] }
 
 func (s *Server) coresOf(vmIdx int) []*coreRT {
@@ -282,8 +380,7 @@ func (s *Server) Run() *ServerResult {
 	if s.opts.HarvestVMActive {
 		s.refillJobs()
 		for _, c := range s.coresOf(s.harvestIdx) {
-			c := c
-			s.eng.Schedule(0, func() { s.dispatch(c, false) })
+			s.eng.ScheduleCall(0, s, opDispatch, c, nil)
 		}
 	}
 	for _, v := range s.vms {
@@ -292,8 +389,8 @@ func (s *Server) Run() *ServerResult {
 		}
 	}
 	if s.agent != nil {
-		s.eng.Schedule(s.cfg.AgentSample, s.agentSample)
-		s.eng.Schedule(s.cfg.AgentInterval, s.agentTick)
+		s.eng.ScheduleCall(s.cfg.AgentSample, s, opAgentSample, nil, nil)
+		s.eng.ScheduleCall(s.cfg.AgentInterval, s, opAgentTick, nil, nil)
 	}
 	// Reset utilization accounting at the start of the measurement window.
 	s.eng.At(s.measureStart, func() {
@@ -420,21 +517,28 @@ func (s *Server) scheduleNextArrival(v *vmRT) {
 	if a.At >= s.stopArrivals {
 		return
 	}
-	s.eng.At(a.At, func() {
-		s.onArrival(v, a.Inv)
-		// Flash batches: microservice fan-outs deliver correlated groups
-		// of requests in near-lockstep.
-		if s.cfg.BurstBatchProb > 0 && s.batchRNG.Float64() < s.cfg.BurstBatchProb {
-			extra := 0
-			for s.batchRNG.Float64() < 1-1/s.cfg.BurstBatchMean && extra < 16 {
-				extra++
-			}
-			for i := 0; i < extra; i++ {
-				s.onArrival(v, v.gen.Profile().Sample(s.batchRNG))
-			}
+	v.nextInv = a.Inv
+	s.eng.CallAt(a.At, s, opArrival, v, nil)
+}
+
+// arrivalFired delivers the VM's generated arrival (plus any correlated
+// flash batch) and schedules the next one.
+func (s *Server) arrivalFired(v *vmRT) {
+	inv := v.nextInv
+	v.nextInv = workload.Invocation{}
+	s.onArrival(v, inv)
+	// Flash batches: microservice fan-outs deliver correlated groups
+	// of requests in near-lockstep.
+	if s.cfg.BurstBatchProb > 0 && s.batchRNG.Float64() < s.cfg.BurstBatchProb {
+		extra := 0
+		for s.batchRNG.Float64() < 1-1/s.cfg.BurstBatchMean && extra < 16 {
+			extra++
 		}
-		s.scheduleNextArrival(v)
-	})
+		for i := 0; i < extra; i++ {
+			s.onArrival(v, v.gen.Profile().Sample(s.batchRNG))
+		}
+	}
+	s.scheduleNextArrival(v)
 }
 
 func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
@@ -449,53 +553,57 @@ func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
 	}
 	s.reqSeq++
 	s.arrivals++
-	r := &request{
-		id:       s.reqSeq,
-		vmIdx:    v.idx,
-		phases:   inv.Phases,
-		arrival:  s.now(),
-		measured: s.measuring(),
-	}
+	r := s.newRequest()
+	r.id = s.reqSeq
+	r.vmIdx = v.idx
+	r.phases = inv.Phases
+	r.arrival = s.now()
+	r.measured = s.measuring()
 	if s.obs != nil {
 		s.ev(obs.KindArrival, r, -1, nicLat)
 	}
-	s.eng.Schedule(nicLat, func() {
-		// Software harvesting: an arrival lands on one of the VM's vCPUs;
-		// with lent cores, some vCPUs have no physical core behind them and
-		// the request stalls until the hypervisor completes a reclaim.
-		if s.sw != nil && s.opts.Harvesting && v.lentOut > 0 {
-			pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
-			if s.pollRNG.Float64() < pinProb {
-				s.pinRequest(v, r)
-				return
-			}
+	s.eng.ScheduleCall(nicLat, s, opArrivalReady, nil, r)
+}
+
+// arrivalReady runs after the NIC deposit delay. Software harvesting: an
+// arrival lands on one of the VM's vCPUs; with lent cores, some vCPUs have
+// no physical core behind them and the request stalls until the hypervisor
+// completes a reclaim.
+func (s *Server) arrivalReady(r *request) {
+	v := s.vms[r.vmIdx]
+	if s.sw != nil && s.opts.Harvesting && v.lentOut > 0 {
+		pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
+		if s.pollRNG.Float64() < pinProb {
+			s.pinRequest(v, r)
+			return
 		}
-		s.enqueueReady(r, true)
-	})
+	}
+	s.enqueueReady(r, true)
 }
 
 func (s *Server) enqueueReady(r *request, isNew bool) {
 	v := s.vms[r.vmIdx]
-	var wake *wakeInfo
+	var wake wakeInfo
+	var woken bool
 	if isNew {
 		if s.obs != nil {
 			s.ev(obs.KindEnqueue, r, -1, 0)
 		}
-		wake = s.be.enqueue(r)
+		wake, woken = s.be.enqueue(r)
 	} else {
 		if s.obs != nil {
 			s.ev(obs.KindUnblock, r, -1, 0)
 		}
 		v.blocked--
-		wake = s.be.unblock(r)
+		wake, woken = s.be.unblock(r)
 	}
-	s.notify(v, wake)
+	s.notify(v, wake, woken)
 }
 
 // notify delivers the backend's wake decision (hardware) or performs the
 // software discovery/reclaim logic.
-func (s *Server) notify(v *vmRT, wake *wakeInfo) {
-	if wake != nil {
+func (s *Server) notify(v *vmRT, wake wakeInfo, woken bool) {
+	if woken {
 		c := s.cores[wake.core]
 		if wake.preempt {
 			s.schedulePreempt(c)
@@ -563,12 +671,7 @@ func (s *Server) scheduleWake(c *coreRT, delay sim.Duration) {
 		return
 	}
 	c.pendingWake = true
-	s.eng.Schedule(delay, func() {
-		c.pendingWake = false
-		if c.kind == cIdle {
-			s.dispatch(c, c.idleEligible)
-		}
-	})
+	s.eng.ScheduleCall(delay, s, opWake, c, nil)
 }
 
 // ---- Dispatch and execution ----
@@ -580,11 +683,11 @@ func (s *Server) dispatch(c *coreRT, allowLoan bool) {
 	if s.sw != nil && c.lentTo < 0 {
 		if v := s.vms[c.owner]; v.isPrimary && s.now() < v.stallUntil {
 			wait := v.stallUntil.Sub(s.now())
-			s.eng.Schedule(wait, func() {
-				if c.kind == cIdle || c.kind == cOverhead {
-					s.dispatch(c, allowLoan)
-				}
-			})
+			op := opStallRetry
+			if allowLoan {
+				op = opStallRetryLoan
+			}
+			s.eng.ScheduleCall(wait, s, op, c, nil)
 			c.kind = cOverhead
 			return
 		}
@@ -609,8 +712,7 @@ func (s *Server) dispatch(c *coreRT, allowLoan bool) {
 		// request over to it.
 		if s.sw != nil {
 			if v := s.vms[c.owner]; v.isPrimary && len(v.pinned) > 0 {
-				pr := v.pinned[0]
-				s.eng.Schedule(s.cfg.SWCtxSw, func() { s.releasePin(v, pr) })
+				s.schedulePinRelease(v, v.pinned[0], s.cfg.SWCtxSw)
 			}
 		}
 		s.goIdle(c, allowLoan)
@@ -728,7 +830,7 @@ func (s *Server) startRequest(c *coreRT, r *request, crossVM bool) {
 		s.emitDispatch(c, r, queueOp+ctx, wait, crossVM)
 	}
 	s.setBusy(c, true) // dispatch overheads occupy the core
-	s.eng.Schedule(queueOp+ctx+wait, func() { s.runBurst(c, r) })
+	s.eng.ScheduleCall(queueOp+ctx+wait, s, opRunBurst, c, r)
 }
 
 // scaledBurst converts raw CPU demand into simulated time under the core's
@@ -796,7 +898,7 @@ func (s *Server) runBurst(c *coreRT, r *request) {
 		s.ev(obs.KindBurstStart, r, c.id, scaled)
 	}
 	s.setBusy(c, true)
-	c.burstEv = s.eng.Schedule(scaled, func() { s.onBurstEnd(c, r) })
+	c.burstEv = s.eng.ScheduleCall(scaled, s, opBurstEnd, c, r)
 }
 
 func (s *Server) onBurstEnd(c *coreRT, r *request) {
@@ -807,7 +909,7 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 	r.exec += c.burstScaled
 	v := s.vms[r.vmIdx]
 	ph := r.currentPhase()
-	c.burstEv = nil
+	c.burstEv = sim.Event{}
 	if s.obs != nil {
 		// Dur is the executed time attributed to the request: stall
 		// extensions count as re-assignment, not execution.
@@ -829,7 +931,7 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 		}
 		s.be.block(c.id, r)
 		r.phase++
-		s.eng.Schedule(ph.IO, func() { s.onIOComplete(r) })
+		s.eng.ScheduleCall(ph.IO, s, opIOComplete, nil, r)
 		harvestOK := s.opts.HarvestOnBlock
 		if harvestOK && s.opts.AdaptiveBlock && v.blockEWMA < s.cfg.AdaptiveBlockMin {
 			// Adaptive fallback: short blocks make block-harvesting churn,
@@ -859,6 +961,9 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 		}
 	}
 	s.afterRelease(c, true)
+	// The request left every queue and metric above; recycle it last so the
+	// dispatch chain in afterRelease cannot observe a half-reset object.
+	s.freeRequest(r)
 }
 
 // afterRelease has a core that just finished or blocked a request pick its
@@ -875,21 +980,24 @@ func (s *Server) onIOComplete(r *request) {
 	if !s.opts.HWQueue {
 		delay = s.cfg.SWQueueAccess
 	}
-	s.eng.Schedule(delay, func() {
-		// Aggressive software harvesting takes cores mid-request: the
-		// resuming request's state lives on a vCPU that may now be
-		// unbacked, so the resume can pin just like an arrival.
-		v := s.vms[r.vmIdx]
-		if s.sw != nil && s.opts.Harvesting && s.opts.HarvestOnBlock && v.lentOut > 0 {
-			pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
-			if s.pollRNG.Float64() < pinProb {
-				r.resuming = true
-				s.pinRequest(v, r)
-				return
-			}
+	s.eng.ScheduleCall(delay, s, opIOReady, nil, r)
+}
+
+// ioReady resumes a request whose I/O response has passed the queue/notify
+// delay. Aggressive software harvesting takes cores mid-request: the
+// resuming request's state lives on a vCPU that may now be unbacked, so the
+// resume can pin just like an arrival.
+func (s *Server) ioReady(r *request) {
+	v := s.vms[r.vmIdx]
+	if s.sw != nil && s.opts.Harvesting && s.opts.HarvestOnBlock && v.lentOut > 0 {
+		pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
+		if s.pollRNG.Float64() < pinProb {
+			r.resuming = true
+			s.pinRequest(v, r)
+			return
 		}
-		s.enqueueReady(r, false)
-	})
+	}
+	s.enqueueReady(r, false)
 }
 
 // ---- Harvest VM jobs ----
@@ -901,18 +1009,17 @@ func (s *Server) refillJobs() {
 	target := jobStock * s.cfg.CoresPerServer
 	for s.be.readyLen(s.harvestIdx) < target {
 		s.reqSeq++
-		job := &request{
-			id:      s.reqSeq,
-			vmIdx:   s.harvestIdx,
-			isJob:   true,
-			arrival: s.now(),
-			phases:  []workload.Phase{{CPU: s.hwork.SampleJob(s.jobRNG)}},
-		}
+		job := s.newRequest()
+		job.id = s.reqSeq
+		job.vmIdx = s.harvestIdx
+		job.isJob = true
+		job.arrival = s.now()
+		job.phases = append(job.phases[:0], workload.Phase{CPU: s.hwork.SampleJob(s.jobRNG)})
 		if s.obs != nil {
 			s.ev(obs.KindEnqueue, job, -1, 0)
 		}
-		wake := s.be.enqueue(job)
-		s.notify(s.harvestVM(), wake)
+		wake, woken := s.be.enqueue(job)
+		s.notify(s.harvestVM(), wake, woken)
 	}
 }
 
@@ -939,32 +1046,35 @@ func (s *Server) abortJob(c *coreRT, job *request, elapsedScaled sim.Duration) {
 // ---- Hardware reclamation (§4.1.5) ----
 
 func (s *Server) schedulePreempt(c *coreRT) {
-	s.eng.Schedule(s.cfg.HWInterrupt, func() {
-		switch c.kind {
-		case cRunLoaned:
-			elapsed := s.now().Sub(c.burstStart)
-			s.eng.Cancel(c.burstEv)
-			c.burstEv = nil
-			s.setBusy(c, false)
-			s.activeJobs--
-			job := c.cur
-			job.exec += elapsed
-			if s.obs != nil {
-				s.ev(obs.KindPreempt, job, c.id, elapsed)
-			}
-			s.abortJob(c, job, elapsed)
-			s.reassigns++
-			s.dispatch(c, false)
-		case cIdle:
-			s.dispatch(c, c.idleEligible)
-		case cOverhead:
-			if c.cur != nil && c.cur.isJob {
-				c.preemptPend = true
-			}
-		default:
-			// Already running its own work; nothing to reclaim.
+	s.eng.ScheduleCall(s.cfg.HWInterrupt, s, opPreempt, c, nil)
+}
+
+// preemptFired services the reclamation interrupt once it reaches the core.
+func (s *Server) preemptFired(c *coreRT) {
+	switch c.kind {
+	case cRunLoaned:
+		elapsed := s.now().Sub(c.burstStart)
+		s.eng.Cancel(c.burstEv)
+		c.burstEv = sim.Event{}
+		s.setBusy(c, false)
+		s.activeJobs--
+		job := c.cur
+		job.exec += elapsed
+		if s.obs != nil {
+			s.ev(obs.KindPreempt, job, c.id, elapsed)
 		}
-	})
+		s.abortJob(c, job, elapsed)
+		s.reassigns++
+		s.dispatch(c, false)
+	case cIdle:
+		s.dispatch(c, c.idleEligible)
+	case cOverhead:
+		if c.cur != nil && c.cur.isJob {
+			c.preemptPend = true
+		}
+	default:
+		// Already running its own work; nothing to reclaim.
+	}
 }
 
 // ---- Software harvesting agent (SmartHarvest-style) ----
@@ -986,7 +1096,7 @@ func (s *Server) agentSample() {
 		s.agent.Observe(v.idx, busy)
 	}
 	if s.now() < s.measureEnd.Add(graceWindow) {
-		s.eng.Schedule(s.cfg.AgentSample, s.agentSample)
+		s.eng.ScheduleCall(s.cfg.AgentSample, s, opAgentSample, nil, nil)
 	}
 }
 
@@ -1026,7 +1136,7 @@ func (s *Server) agentTick() {
 		}
 	}
 	if s.now() < s.measureEnd.Add(graceWindow) {
-		s.eng.Schedule(s.cfg.AgentInterval, s.agentTick)
+		s.eng.ScheduleCall(s.cfg.AgentInterval, s, opAgentTick, nil, nil)
 	}
 }
 
@@ -1044,7 +1154,7 @@ func (s *Server) stallVM(v *vmRT, stall sim.Duration) {
 		v.stallUntil = until
 	}
 	for _, c := range s.cores {
-		if c.owner != v.idx || c.kind != cRunOwn || c.burstEv == nil {
+		if c.owner != v.idx || c.kind != cRunOwn || !c.burstEv.Valid() {
 			continue
 		}
 		s.eng.Cancel(c.burstEv)
@@ -1052,8 +1162,7 @@ func (s *Server) stallVM(v *vmRT, stall sim.Duration) {
 		if c.cur != nil {
 			c.cur.reassign += stall
 		}
-		cc, rr := c, c.cur
-		c.burstEv = s.eng.At(c.burstEnd, func() { s.onBurstEnd(cc, rr) })
+		c.burstEv = s.eng.CallAt(c.burstEnd, s, opBurstEnd, c, c.cur)
 	}
 }
 
@@ -1073,9 +1182,23 @@ func (s *Server) pinRequest(v *vmRT, r *request) {
 	// handling thread quickly (one poll plus a context switch); the long
 	// waits only occur when every backed vCPU is busy.
 	if s.idleCoreOf(v) != nil {
-		s.eng.Schedule(s.pollDelay()+s.cfg.SWCtxSw, func() { s.releasePin(v, r) })
+		s.schedulePinRelease(v, r, s.pollDelay()+s.cfg.SWCtxSw)
 	}
-	s.eng.Schedule(s.cfg.GuestMigrateDelay, func() { s.releasePin(v, r) })
+	s.schedulePinRelease(v, r, s.cfg.GuestMigrateDelay)
+}
+
+// schedulePinRelease schedules releasePin behind a request-generation guard:
+// redundant release events can outlive the request (it may complete and be
+// recycled through the pool first), and the guard keeps a stale event from
+// acting on the slot's next occupant. Pins are software-path-only and rare,
+// so the closure stays off the hot path.
+func (s *Server) schedulePinRelease(v *vmRT, r *request, d sim.Duration) {
+	gen := r.gen
+	s.eng.Schedule(d, func() {
+		if r.gen == gen {
+			s.releasePin(v, r)
+		}
+	})
 }
 
 // releasePin moves a pinned request into the runnable queue if it is still
@@ -1151,13 +1274,17 @@ func (s *Server) startLend(c *coreRT) {
 		}
 	}
 	s.setBusy(c, true) // the core is occupied by the move, not idle
-	s.eng.Schedule(delay, func() {
-		s.setBusy(c, false)
-		if s.obs != nil {
-			s.evCore(obs.KindLendEnd, c, 0)
-		}
-		s.dispatch(c, false)
-	})
+	s.eng.ScheduleCall(delay, s, opLendEnd, c, nil)
+}
+
+// lendEnd finishes a hypervisor lend move: the core starts serving the
+// Harvest VM.
+func (s *Server) lendEnd(c *coreRT) {
+	s.setBusy(c, false)
+	if s.obs != nil {
+		s.evCore(obs.KindLendEnd, c, 0)
+	}
+	s.dispatch(c, false)
 }
 
 // startReclaim takes a lent core back for a Primary VM that has queued work
@@ -1178,7 +1305,7 @@ func (s *Server) startReclaim(v *vmRT) {
 	if victim.kind == cRunLoaned {
 		elapsed := s.now().Sub(victim.burstStart)
 		s.eng.Cancel(victim.burstEv)
-		victim.burstEv = nil
+		victim.burstEv = sim.Event{}
 		s.setBusy(victim, false)
 		s.activeJobs--
 		job := victim.cur
@@ -1211,27 +1338,32 @@ func (s *Server) startReclaim(v *vmRT) {
 	// reclaimed core's next request; the flush part is attributed above.
 	victim.pendingReassign += delay - flushPart
 	s.setBusy(victim, true)
-	s.eng.Schedule(delay, func() {
-		s.setBusy(victim, false)
-		victim.lentTo = -1
-		v.lentOut--
-		v.pendingReclaims--
+	s.eng.ScheduleCall(delay, s, opReclaimEnd, victim, nil)
+}
+
+// reclaimEnd finishes a hypervisor reclaim move: the core returns to its
+// owner VM and every pinned arrival becomes schedulable.
+func (s *Server) reclaimEnd(victim *coreRT) {
+	v := s.vms[victim.owner]
+	s.setBusy(victim, false)
+	victim.lentTo = -1
+	v.lentOut--
+	v.pendingReclaims--
+	if s.obs != nil {
+		s.evCore(obs.KindReclaimEnd, victim, 0)
+	}
+	// The reclaimed vCPU is schedulable again: release every pinned
+	// arrival; the wait counts as re-assignment overhead (Figure 6).
+	pinned := v.pinned
+	v.pinned = nil
+	for _, pr := range pinned {
 		if s.obs != nil {
-			s.evCore(obs.KindReclaimEnd, victim, 0)
+			s.ev(obs.KindUnpin, pr, -1, s.now().Sub(pr.arrival))
 		}
-		// The reclaimed vCPU is schedulable again: release every pinned
-		// arrival; the wait counts as re-assignment overhead (Figure 6).
-		pinned := v.pinned
-		v.pinned = nil
-		for _, pr := range pinned {
-			if s.obs != nil {
-				s.ev(obs.KindUnpin, pr, -1, s.now().Sub(pr.arrival))
-			}
-			pr.reassign += s.now().Sub(pr.arrival)
-			s.enqueueReady(pr, true)
-		}
-		s.dispatch(victim, false)
-	})
+		pr.reassign += s.now().Sub(pr.arrival)
+		s.enqueueReady(pr, true)
+	}
+	s.dispatch(victim, false)
 }
 
 // ---- Results ----

@@ -8,6 +8,7 @@ package llc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -36,21 +37,15 @@ type Mask uint32
 
 // NewMask builds a contiguous mask of n ways starting at way lo.
 func NewMask(lo, n int) Mask {
-	var m Mask
-	for i := lo; i < lo+n; i++ {
-		m |= 1 << uint(i)
+	if n <= 0 {
+		return 0
 	}
-	return m
+	run := uint32(1)<<uint(n) - 1
+	return Mask(run << uint(lo))
 }
 
 // Ways counts set bits.
-func (m Mask) Ways() int {
-	n := 0
-	for b := m; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
-}
+func (m Mask) Ways() int { return bits.OnesCount32(uint32(m)) }
 
 // Contiguous reports whether the set bits form one run (a CAT requirement).
 func (m Mask) Contiguous() bool {

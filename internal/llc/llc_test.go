@@ -164,3 +164,47 @@ func TestPartitionInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSteadyStateQueriesAllocFree pins the hot-path audit: once the
+// partition layout is settled, mask queries (the operations a simulation
+// could issue per event) allocate nothing. Rebalancing itself allocates, but
+// it only runs on AddVM/RemoveVM — reconfiguration, not event processing.
+func TestSteadyStateQueriesAllocFree(t *testing.T) {
+	p := NewPartitioner(DefaultConfig())
+	for vm := 0; vm < 9; vm++ {
+		if err := p.AddVM(vm, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for vm := 0; vm < 9; vm++ {
+			m, ok := p.MaskOf(vm)
+			if !ok || m.Ways() < 1 || !m.Contiguous() {
+				t.Fatal("bad mask")
+			}
+			if p.PartitionKB(vm) <= 0 {
+				t.Fatal("bad partition size")
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state queries allocate %.1f per sweep, want 0", avg)
+	}
+}
+
+func TestNewMaskMatchesBitLoop(t *testing.T) {
+	for lo := 0; lo < 32; lo++ {
+		for n := 0; lo+n <= 32; n++ {
+			var want Mask
+			for i := lo; i < lo+n; i++ {
+				want |= 1 << uint(i)
+			}
+			if got := NewMask(lo, n); got != want {
+				t.Fatalf("NewMask(%d,%d) = %v, want %v", lo, n, got, want)
+			}
+		}
+	}
+}

@@ -173,3 +173,29 @@ func TestSimulatorAgreesWithTheory(t *testing.T) {
 		t.Fatalf("simulator disagrees with M/M/c theory by %.1f%%", 100*rel)
 	}
 }
+
+// TestFormulasAllocFree pins the hot-path audit: the analytic formulas are
+// pure float arithmetic and must not allocate on the success path (errors
+// allocate, but only on invalid/unstable inputs).
+func TestFormulasAllocFree(t *testing.T) {
+	mmc := MMc{Lambda: 800, Mu: 100, C: 12}
+	mg1 := MG1{Lambda: 50, MeanS: 0.01, SCVS: 1.5}
+	mgc := MGc{Lambda: 800, MeanS: 0.01, SCVS: 1.5, C: 12}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := mmc.MeanResponse(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg1.MeanResponse(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgc.MeanResponse(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MM1TailQuantile(90, 100, 0.99); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("analytic formulas allocate %.1f per sweep, want 0", avg)
+	}
+}

@@ -132,22 +132,218 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	ran := false
 	ev := e.Schedule(Nanosecond, func() { ran = true })
-	e.Cancel(ev)
-	e.Cancel(ev) // double-cancel is a no-op
-	e.Cancel(nil)
+	if e.State(ev) != StatePending {
+		t.Fatalf("state = %v, want pending", e.State(ev))
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel reported false for a pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double-cancel reported true")
+	}
+	if e.Cancel(Event{}) {
+		t.Fatal("cancelling the zero handle reported true")
+	}
 	e.RunAll()
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if e.State(ev) != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", e.State(ev))
+	}
+}
+
+func TestEngineEventStates(t *testing.T) {
+	e := NewEngine()
+	var inside Event
+	ev := e.Schedule(Nanosecond, func() {})
+	inside = e.Schedule(2*Nanosecond, func() {
+		if got := e.State(inside); got != StateFiring {
+			t.Errorf("state during fire = %v, want firing", got)
+		}
+		if e.Cancel(inside) {
+			t.Error("an event cancelled itself mid-fire")
+		}
+	})
+	if !ev.Valid() || !inside.Valid() {
+		t.Fatal("handles not valid")
+	}
+	if (Event{}).Valid() {
+		t.Fatal("zero handle reports valid")
+	}
+	if when, ok := e.EventTime(ev); !ok || when != Time(Nanosecond) {
+		t.Fatalf("EventTime = %v, %v", when, ok)
+	}
+	e.RunAll()
+	if got := e.State(ev); got != StateFired {
+		t.Fatalf("state after fire = %v, want fired", got)
+	}
+	if _, ok := e.EventTime(ev); ok {
+		t.Fatal("EventTime answered for a settled event")
+	}
+}
+
+// TestEngineStaleHandleAfterReuse pins the pooling safety contract: once a
+// settled event's slot is recycled, the old handle expires — its state reads
+// StateNone and Cancel cannot touch (resurrect or kill) the new occupant.
+func TestEngineStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	old := e.Schedule(Nanosecond, func() {})
+	e.Cancel(old)
+	// The freed slot is the only one, so this reuses it.
+	ran := false
+	fresh := e.Schedule(Nanosecond, func() { ran = true })
+	if e.State(old) != StateNone {
+		t.Fatalf("stale state = %v, want none", e.State(old))
+	}
+	if e.Cancel(old) {
+		t.Fatal("stale handle cancelled the recycled slot")
+	}
+	e.RunAll()
+	if !ran {
+		t.Fatal("fresh event did not run (stale handle disturbed it)")
+	}
+	if e.State(fresh) != StateFired {
+		t.Fatalf("fresh state = %v, want fired", e.State(fresh))
+	}
+}
+
+// TestEngineScheduleCall covers the typed-callback path: op and payloads
+// arrive intact, in (when, seq) order, interleaved with closure events.
+type callRecorder struct {
+	t    *testing.T
+	e    *Engine
+	ops  []int32
+	args []any
+}
+
+func (c *callRecorder) OnEvent(op int32, a, b any) {
+	c.ops = append(c.ops, op)
+	c.args = append(c.args, a, b)
+	if op == 7 {
+		// Nested typed scheduling from inside a typed callback.
+		c.e.ScheduleCall(Nanosecond, c, 8, nil, nil)
+	}
+}
+
+func TestEngineScheduleCall(t *testing.T) {
+	e := NewEngine()
+	rec := &callRecorder{t: t, e: e}
+	payload := &struct{ x int }{42}
+	order := []int32{}
+	e.ScheduleCall(2*Nanosecond, rec, 7, payload, nil)
+	e.Schedule(Nanosecond, func() { order = append(order, -1) })
+	e.CallAt(Time(3*Nanosecond), rec, 9, nil, payload)
+	e.RunAll()
+	if len(rec.ops) != 3 || rec.ops[0] != 7 || rec.ops[1] != 9 || rec.ops[2] != 8 {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+	if rec.args[0] != payload || rec.args[3] != payload {
+		t.Fatalf("payloads lost: %v", rec.args)
+	}
+	if len(order) != 1 {
+		t.Fatalf("closure event fired %d times", len(order))
+	}
+}
+
+// TestEngineCancelDuringFire cancels a pending event from inside another
+// event firing at the same instant.
+func TestEngineCancelDuringFire(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	var victim Event
+	e.Schedule(0, func() { e.Cancel(victim) })
+	victim = e.Schedule(0, func() { ran = true })
+	e.RunAll()
+	if ran {
+		t.Fatal("event cancelled during a same-instant fire still ran")
+	}
+	if e.State(victim) != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", e.State(victim))
+	}
+}
+
+// TestEngineAtPast verifies At with a timestamp in the past panics, and that
+// At exactly at the current instant is allowed.
+func TestEngineAtPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Microsecond, func() {
+		// Exactly "now" is legal (fires later this instant)...
+		e.At(e.Now(), func() {})
+		// ...one tick earlier is not.
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic for At in the past")
+			}
+		}()
+		e.At(e.Now()-1, func() {})
+	})
+	e.RunAll()
+}
+
+// TestEngineRandomizedHeapInvariants drives a long random Schedule/Cancel/
+// fire sequence and checks the pop order stays sorted by (when, seq), no
+// cancelled event fires, and every surviving event fires exactly once.
+func TestEngineRandomizedHeapInvariants(t *testing.T) {
+	e := NewEngine()
+	x := uint64(99)
+	next := func(n uint64) uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 17) % n
+	}
+	type tracked struct {
+		ev        Event
+		cancelled bool
+		fired     int
+	}
+	var evs []*tracked
+	var lastWhen Time
+	for i := 0; i < 5000; i++ {
+		switch next(3) {
+		case 0, 1: // schedule
+			tr := &tracked{}
+			d := Duration(next(500)) * Nanosecond
+			seq := i
+			tr.ev = e.Schedule(d, func() {
+				tr.fired++
+				if e.Now() < lastWhen {
+					t.Fatalf("time went backwards at fire %d", seq)
+				}
+				lastWhen = e.Now()
+			})
+			evs = append(evs, tr)
+		case 2: // cancel a random live event
+			if len(evs) == 0 {
+				continue
+			}
+			tr := evs[next(uint64(len(evs)))]
+			if e.Cancel(tr.ev) {
+				tr.cancelled = true
+			}
+		}
+		if next(10) == 0 {
+			// Partial drain keeps schedule/fire interleaved.
+			e.Run(e.Now().Add(Duration(next(200)) * Nanosecond))
+		}
+	}
+	e.RunAll()
+	for i, tr := range evs {
+		if tr.cancelled && tr.fired > 0 {
+			t.Fatalf("event %d fired after cancel", i)
+		}
+		if !tr.cancelled && tr.fired != 1 {
+			t.Fatalf("event %d fired %d times", i, tr.fired)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after RunAll", e.Pending())
 	}
 }
 
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var order []int
-	evs := make([]*Event, 0, 10)
+	evs := make([]Event, 0, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Duration(i+1)*Nanosecond, func() { order = append(order, i) }))

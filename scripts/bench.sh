@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance-pinning benchmarks and write
+# BENCH_baseline.json (ns/op + allocs/op per benchmark).
+#
+# Usage:
+#   scripts/bench.sh              # run + rewrite BENCH_baseline.json
+#   scripts/bench.sh -check      # run + diff allocs/op against the baseline
+#                                 (fails if any benchmark allocates more than
+#                                 the committed numbers + 10% slack; ns/op is
+#                                 machine-dependent and only reported)
+#
+# The baseline is committed so reviewers can see the pinned numbers and CI
+# can gate on allocation regressions without depending on wall-clock speed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=0
+[[ "${1:-}" == "-check" ]] && CHECK=1
+
+BENCHES='BenchmarkServerSimulation|BenchmarkServerNilObserver|BenchmarkEngineScheduleCall$|BenchmarkEngineScheduleClosure|BenchmarkEngineHeapChurn'
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+# -benchtime 5x keeps the suite fast while still amortising setup; the engine
+# micro-benches are deterministic in allocs/op from the first iteration.
+go test -run '^$' -bench "$BENCHES" -benchtime 5x -benchmem ./... 2>&1 | tee "$OUT"
+
+python3 - "$OUT" "$CHECK" <<'EOF'
+import json, re, sys
+
+out_path, check = sys.argv[1], sys.argv[2] == "1"
+rows = {}
+pat = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+[\d.]+ B/op\s+(\d+) allocs/op"
+)
+for line in open(out_path):
+    m = pat.match(line.strip())
+    if m:
+        rows[m.group(1)] = {"ns_per_op": float(m.group(2)), "allocs_per_op": int(m.group(3))}
+
+if not rows:
+    sys.exit("bench.sh: no benchmark results parsed")
+
+if check:
+    base = json.load(open("BENCH_baseline.json"))["benchmarks"]
+    failed = False
+    for name, got in sorted(rows.items()):
+        want = base.get(name)
+        if want is None:
+            print(f"  new benchmark (not in baseline): {name}")
+            continue
+        budget = int(want["allocs_per_op"] * 1.10) + 8
+        status = "ok" if got["allocs_per_op"] <= budget else "REGRESSION"
+        failed |= status == "REGRESSION"
+        print(f"  {name}: {got['allocs_per_op']} allocs/op "
+              f"(baseline {want['allocs_per_op']}, budget {budget}) {status}")
+    sys.exit(1 if failed else 0)
+else:
+    doc = {
+        "note": "Pinned by scripts/bench.sh; allocs/op is the gated number, "
+                "ns/op is informational (machine-dependent).",
+        "benchmarks": dict(sorted(rows.items())),
+    }
+    with open("BENCH_baseline.json", "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print("wrote BENCH_baseline.json")
+EOF
