@@ -12,6 +12,11 @@
 //	hhsim -exp fig6 -counters         # harvest-event counters + latency hist
 //	hhsim -all -cpuprofile cpu.pprof  # pprof CPU profile of the whole run
 //	hhsim -all -memprofile mem.pprof  # pprof allocation profile
+//	hhsim -exp fig11 -faults examples/faultplan.json -resilience
+//	                                  # inject a fault plan + default
+//	                                  # timeout/retry/hedge/shed policies
+//	hhsim -exp faultsweep -strict     # fault-intensity sweep, invariant
+//	                                  # violations panic with replay info
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/experiments"
+	"hardharvest/internal/faults"
 	"hardharvest/internal/obs"
 	"hardharvest/internal/sim"
 )
@@ -111,6 +117,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulated server runs (0 = GOMAXPROCS, 1 = sequential)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+	faultsPath := flag.String("faults", "", "inject faults from a JSON fault plan (see internal/faults)")
+	strict := flag.Bool("strict", false, "panic on the first invariant violation with replay info")
+	resilience := flag.Bool("resilience", false, "enable default request timeout/retry/hedge/shed policies")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 
@@ -160,6 +169,18 @@ func main() {
 	sc.Seed = *seed
 	if *measureMS > 0 {
 		sc.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	}
+	if *faultsPath != "" {
+		plan, err := faults.Load(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc.Faults = plan
+	}
+	sc.Strict = *strict
+	if *resilience {
+		sc.Resilience = cluster.DefaultResilience()
 	}
 
 	// runExp executes one experiment: the rendered table goes to w, the

@@ -24,6 +24,14 @@ type request struct {
 	// resuming marks a request waiting, pinned, to continue after blocking
 	// I/O (it re-enters the queue through unblock, not enqueue).
 	resuming bool
+	// state is the invariant checker's exclusive lifecycle state; every
+	// change goes through Server.setReqState.
+	state reqState
+	// call links an attempt back to its resilient logical call; nil for
+	// jobs and for requests issued with resilience policies disabled.
+	call *call
+	// isHedge marks the speculative duplicate attempt of a hedged call.
+	isHedge bool
 
 	// Critical-path overhead attribution (Figure 6).
 	reassign sim.Duration

@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"hardharvest/internal/core"
+	"hardharvest/internal/faults"
 	"hardharvest/internal/hypervisor"
 	"hardharvest/internal/nic"
 	"hardharvest/internal/noc"
 	"hardharvest/internal/sim"
+	"hardharvest/internal/workload"
 )
 
 // Config carries every latency constant and shape parameter of the server
@@ -144,6 +146,19 @@ type Config struct {
 	// AdaptiveBlock system stops harvesting on blocking calls (§4.1.5
 	// future work: requests that spend very short times blocked).
 	AdaptiveBlockMin sim.Duration
+
+	// FaultPlan, when non-nil, injects deterministic faults (core
+	// degradation/offlining, I/O stragglers, preemption storms, crashes)
+	// expanded from the plan and the server seed; see internal/faults.
+	FaultPlan *faults.Plan
+	// Strict makes the always-on invariant checker panic on the first
+	// violation with a replayable seed and recent-event dump instead of
+	// counting violations into ServerResult.
+	Strict bool
+	// Profiles overrides the service catalog assigned round-robin to
+	// Primary VMs (nil = workload.Profiles()). Used by fuzzing and tests
+	// that need custom service shapes.
+	Profiles []*workload.Profile
 }
 
 // DefaultConfig returns the Table 1 server with the paper's cost constants.

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"hardharvest/internal/faults"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/sim"
+)
+
+// Fault-injection runtime: Config.FaultPlan is expanded into a concrete
+// event schedule at Run() time (a pure function of the plan and the server
+// seed) and every injection is pre-registered through the engine's typed
+// allocation-free event path, so a fault-free run pays nothing and a
+// faulty run pays no per-event allocation.
+
+// scheduleFaults expands the plan over the run horizon and registers one
+// opFaultBegin per injection.
+func (s *Server) scheduleFaults(horizon sim.Time) {
+	evs := s.cfg.FaultPlan.Expand(s.cfg.Seed, len(s.cores), sim.Duration(horizon))
+	if len(evs) == 0 {
+		return
+	}
+	s.faultEvs = evs
+	for i := range s.faultEvs {
+		s.eng.CallAt(s.faultEvs[i].At, s, opFaultBegin, nil, &s.faultEvs[i])
+	}
+}
+
+// faultCore maps a plan core index onto the server's cores.
+func (s *Server) faultCore(idx int) *coreRT {
+	n := len(s.cores)
+	return s.cores[((idx%n)+n)%n]
+}
+
+// evFault emits the KindFault observer event for one injection.
+func (s *Server) evFault(ev *faults.Event, c *coreRT) {
+	if s.obs == nil {
+		return
+	}
+	e := obs.Event{Kind: obs.KindFault, Time: s.now(), VM: -1, Core: -1, Dur: ev.Dur}
+	if c != nil {
+		e.VM = c.owner
+		e.Core = c.id
+	}
+	s.obs.Observe(e)
+}
+
+// faultBegin applies one injection.
+func (s *Server) faultBegin(ev *faults.Event) {
+	s.faultsInjected++
+	switch ev.Kind {
+	case faults.CoreDegrade:
+		c := s.faultCore(ev.Core)
+		s.evFault(ev, c)
+		c.degradeDepth++
+		c.degradeFactor *= ev.Factor
+		s.eng.ScheduleCall(ev.Dur, s, opFaultEnd, nil, ev)
+	case faults.CoreOffline:
+		c := s.faultCore(ev.Core)
+		s.evFault(ev, c)
+		s.coreOffline(c)
+		s.eng.ScheduleCall(ev.Dur, s, opFaultEnd, nil, ev)
+	case faults.IOStraggler:
+		s.evFault(ev, nil)
+		// Overlapping stragglers: the latest factor wins, the active window
+		// extends to the furthest end.
+		s.faultIOFactor = ev.Factor
+		if until := s.now().Add(ev.Dur); until > s.faultIOUntil {
+			s.faultIOUntil = until
+		}
+	case faults.PreemptStorm:
+		s.evFault(ev, nil)
+		s.preemptStorm(ev.Count)
+	case faults.ServerCrash:
+		s.evFault(ev, nil)
+		for _, c := range s.cores {
+			s.coreOffline(c)
+		}
+		s.eng.ScheduleCall(ev.Dur, s, opFaultEnd, nil, ev)
+	}
+}
+
+// faultEnd lifts a bounded injection.
+func (s *Server) faultEnd(ev *faults.Event) {
+	switch ev.Kind {
+	case faults.CoreDegrade:
+		c := s.faultCore(ev.Core)
+		c.degradeDepth--
+		if c.degradeDepth == 0 {
+			c.degradeFactor = 1 // avoid drift from repeated multiply/divide
+		} else {
+			c.degradeFactor /= ev.Factor
+		}
+	case faults.CoreOffline:
+		s.coreOnline(s.faultCore(ev.Core))
+	case faults.ServerCrash:
+		for _, c := range s.cores {
+			s.coreOnline(c)
+		}
+	}
+}
+
+// coreOffline removes a core from service. Overlapping faults nest via
+// offlineDepth (a crash over a core-offline must not bring the core back
+// when the shorter fault ends). Running work is interrupted and requeued;
+// in-flight dispatch-path events are gated at their handlers.
+func (s *Server) coreOffline(c *coreRT) {
+	c.offlineDepth++
+	if c.offlineDepth != 1 {
+		return
+	}
+	if (c.kind == cRunOwn || c.kind == cRunLoaned) && c.cur != nil {
+		s.interruptBurst(c)
+	}
+	c.idleEligible = false
+}
+
+// coreOnline returns a core to service and, if it sits idle, has it pick
+// up work (requeued interrupted requests included).
+func (s *Server) coreOnline(c *coreRT) {
+	c.offlineDepth--
+	if c.offlineDepth != 0 {
+		return
+	}
+	if c.kind == cIdle && !c.pendingWake {
+		s.dispatch(c, false)
+	}
+}
+
+// interruptBurst evicts the request a core is running (fail-stop: the
+// work is requeued with its remaining demand, nothing is lost). Jobs take
+// the established abort path; primary requests are trimmed and requeued
+// at the head of their VM's queue just like a preempted job.
+func (s *Server) interruptBurst(c *coreRT) {
+	r := c.cur
+	elapsed := s.now().Sub(c.burstStart)
+	s.eng.Cancel(c.burstEv)
+	c.burstEv = sim.Event{}
+	s.setBusy(c, false)
+	r.exec += elapsed
+	if r.isJob {
+		s.activeJobs--
+		s.abortJob(c, r, elapsed)
+	} else {
+		s.trimRemainder(r, elapsed, c.burstScaled)
+		if s.obs != nil {
+			s.ev(obs.KindAbort, r, c.id, elapsed)
+		}
+		s.be.preempt(c.id, r)
+		s.setReqState(r, rsQueued)
+		s.vms[r.vmIdx].running--
+		c.cur = nil
+	}
+	s.setCoreKind(c, cIdle)
+	c.idleEligible = false
+	if s.obs != nil {
+		s.evCore(obs.KindCoreIdle, c, 0)
+	}
+}
+
+// preemptStorm fires reclamation at up to count cores currently running
+// loaned harvest work: the hardware path delivers reclamation interrupts,
+// the software path starts hypervisor reclaims for the owner VMs.
+func (s *Server) preemptStorm(count int) {
+	for _, c := range s.cores {
+		if count <= 0 {
+			return
+		}
+		if c.kind != cRunLoaned || c.offlineDepth > 0 {
+			continue
+		}
+		if s.hw != nil {
+			s.schedulePreempt(c)
+		} else {
+			s.startReclaim(s.vms[c.owner])
+		}
+		count--
+	}
+}

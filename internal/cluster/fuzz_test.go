@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+
+	"hardharvest/internal/faults"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+	"hardharvest/internal/workload"
+)
+
+// randomResilience draws a structurally valid random policy set: derived
+// (SLO-relative) timeouts and hedges only, so the hedge-vs-timeout ordering
+// holds for every service.
+func randomResilience(rng *stats.RNG) Resilience {
+	var res Resilience
+	if rng.Bool(0.7) {
+		res.SLOTimeoutFactor = 1 + 8*rng.Float64()
+		res.MaxRetries = rng.Intn(4)
+		res.RetryBackoff = sim.Duration(50+rng.Intn(400)) * sim.Microsecond
+		res.BackoffFactor = 1 + rng.Float64()
+		res.JitterFrac = 0.9 * rng.Float64()
+	}
+	if rng.Bool(0.6) {
+		res.HedgeSLOFactor = 1 + 3*rng.Float64()
+	}
+	if rng.Bool(0.6) {
+		res.MaxQueueDepth = 4 + rng.Intn(200)
+	}
+	return res
+}
+
+// fuzzBody runs one randomized fault+resilience scenario on a small cluster
+// and fails if the invariant checker saw anything or conservation broke.
+func fuzzBody(t *testing.T, seed uint64) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	plan := faults.RandomPlan(rng)
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("seed %d: RandomPlan invalid: %v", seed, err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.CoresPerServer = 8
+	cfg.PrimaryVMs = 2
+	cfg.CoresPerPrimary = 2
+	cfg.HarvestOwnCores = 2
+	cfg.WarmupDuration = 5 * sim.Millisecond
+	cfg.MeasureDuration = sim.Duration(20+rng.Intn(40)) * sim.Millisecond
+	cfg.FaultPlan = plan
+	if rng.Bool(0.5) {
+		cfg.Profiles = []*workload.Profile{
+			workload.RandomProfile(rng, "FuzzA"),
+			workload.RandomProfile(rng, "FuzzB"),
+		}
+	}
+	res := randomResilience(rng)
+	if err := res.Validate(); err != nil {
+		t.Fatalf("seed %d: randomResilience invalid: %v", seed, err)
+	}
+
+	work := bfs(t)
+	// Both queueing substrates: the software path (polling, hypervisor
+	// moves) and the hardware path (controller, reclamation interrupts).
+	for _, k := range []SystemKind{HarvestBlock, HardHarvestBlock} {
+		opts := SystemOptions(k)
+		opts.Resilience = res
+		r := RunServer(cfg, opts, work)
+		if r.InvariantViolations != 0 {
+			t.Fatalf("seed %d %v: %d violations: %s", seed, k, r.InvariantViolations, r.FirstViolation)
+		}
+		if r.Arrivals == 0 {
+			t.Fatalf("seed %d %v: no arrivals", seed, k)
+		}
+	}
+}
+
+// corpusSeeds is the seeded corpus CI runs on every push (satellite of the
+// fuzz target: deterministic, no -fuzz needed).
+var corpusSeeds = []uint64{1, 2, 3, 5, 8, 13, 0xDEAD, 0x5EED1234}
+
+// TestFaultPlanCorpus exercises the seeded corpus deterministically.
+func TestFaultPlanCorpus(t *testing.T) {
+	t.Parallel()
+	for _, seed := range corpusSeeds {
+		fuzzBody(t, seed)
+	}
+}
+
+// FuzzFaultResilience feeds random fault plans, service profiles, and
+// resilience policies into a small cluster under both backends; the
+// invariant checker must stay clean and the simulation must terminate.
+// Run with: go test -fuzz FuzzFaultResilience ./internal/cluster/
+func FuzzFaultResilience(f *testing.F) {
+	for _, seed := range corpusSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzBody(t, seed)
+	})
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"hardharvest/internal/faults"
+	"hardharvest/internal/sim"
+)
+
+// TestIllegalTransitionsCounted drives the checked setters through illegal
+// transitions directly and verifies the non-strict path tolerates, counts,
+// and describes them.
+func TestIllegalTransitionsCounted(t *testing.T) {
+	s := &Server{}
+	r := &request{id: 7}
+
+	s.setReqState(r, rsRunning) // free -> running skips transit+queued
+	if s.inv.violations != 1 {
+		t.Fatalf("violations = %d, want 1", s.inv.violations)
+	}
+	if !strings.Contains(s.inv.firstMsg, "request 7") ||
+		!strings.Contains(s.inv.firstMsg, "free -> running") {
+		t.Fatalf("firstMsg = %q", s.inv.firstMsg)
+	}
+	// The transition is still applied (tolerate-and-count), and the census
+	// tracks the new state.
+	if r.state != rsRunning || s.inv.counts[rsRunning] != 1 {
+		t.Fatalf("state = %v counts[running] = %d", r.state, s.inv.counts[rsRunning])
+	}
+	// A later legal transition adds no violation.
+	s.setReqState(r, rsBlocked)
+	if s.inv.violations != 1 {
+		t.Fatalf("legal transition counted: violations = %d", s.inv.violations)
+	}
+
+	c := &coreRT{id: 3, kind: cIdle}
+	s.setCoreKind(c, cRunOwn) // idle -> run-own skips overhead
+	if s.inv.violations != 2 {
+		t.Fatalf("core violation not counted: %d", s.inv.violations)
+	}
+	if c.kind != cRunOwn {
+		t.Fatalf("core kind = %v", c.kind)
+	}
+
+	// firstMsg keeps the first violation only.
+	if !strings.Contains(s.inv.firstMsg, "request 7") {
+		t.Fatalf("firstMsg overwritten: %q", s.inv.firstMsg)
+	}
+}
+
+// TestStrictPanicsWithReplayInfo verifies the strict mode contract: the
+// panic message carries the seed, the system name, and the event ring.
+func TestStrictPanicsWithReplayInfo(t *testing.T) {
+	cfg := testConfig()
+	cfg.Strict = true
+	cfg.Seed = 42
+	s := NewServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok {
+			t.Fatal("expected a string panic")
+		}
+		for _, want := range []string{"invariant violation", "seed=42", `system="HardHarvest-Block"`, "recent events"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	s.ring.record(0, opDispatch)
+	r := &request{id: 1}
+	s.setReqState(r, rsRunning)
+	t.Fatal("strict violation did not panic")
+}
+
+// TestFiveSystemsStrictClean runs all five architectures under the strict
+// checker: any illegal transition in the normal (fault-free) paths panics.
+func TestFiveSystemsStrictClean(t *testing.T) {
+	t.Parallel()
+	for _, k := range Systems() {
+		cfg := testConfig()
+		cfg.MeasureDuration = 120 * sim.Millisecond
+		cfg.Strict = true
+		res := RunServer(cfg, SystemOptions(k), bfs(t))
+		if res.InvariantViolations != 0 {
+			t.Fatalf("%v: %d violations: %s", k, res.InvariantViolations, res.FirstViolation)
+		}
+		if res.Requests == 0 {
+			t.Fatalf("%v: no requests", k)
+		}
+	}
+}
+
+// TestStrictCleanUnderFaultsAndResilience is the core robustness check: the
+// full fault plan plus all resilience policies, strict checker on, both
+// hardware and software paths.
+func TestStrictCleanUnderFaultsAndResilience(t *testing.T) {
+	t.Parallel()
+	for _, k := range []SystemKind{HarvestBlock, HardHarvestBlock} {
+		cfg := testConfig()
+		cfg.MeasureDuration = 150 * sim.Millisecond
+		cfg.Strict = true
+		cfg.FaultPlan = faults.DefaultPlan().Scaled(2)
+		opts := SystemOptions(k)
+		opts.Resilience = DefaultResilience()
+		res := RunServer(cfg, opts, bfs(t))
+		if res.InvariantViolations != 0 {
+			t.Fatalf("%v: %d violations: %s", k, res.InvariantViolations, res.FirstViolation)
+		}
+		if res.FaultsInjected == 0 {
+			t.Fatalf("%v: no faults injected", k)
+		}
+	}
+}
+
+// TestAggressiveRecycling is the pooled-object regression test: tiny
+// timeouts, a deep retry budget, eager hedging, and a heavy fault plan make
+// calls and requests churn through their pools as fast as the simulator
+// allows. A ScheduleCall callback capturing a pooled object without a
+// generation/cancellation guard shows up here as an invariant violation
+// (strict mode panics) or a conservation failure.
+func TestAggressiveRecycling(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.MeasureDuration = 150 * sim.Millisecond
+	cfg.Strict = true
+	cfg.FaultPlan = faults.DefaultPlan().Scaled(3)
+	opts := SystemOptions(HardHarvestBlock)
+	opts.Resilience = Resilience{
+		Timeout:       600 * sim.Microsecond, // far below typical demand
+		MaxRetries:    3,
+		RetryBackoff:  50 * sim.Microsecond,
+		BackoffFactor: 1.5,
+		JitterFrac:    0.5,
+		HedgeDelay:    300 * sim.Microsecond,
+		MaxQueueDepth: 6,
+	}
+	res := RunServer(cfg, opts, bfs(t))
+	if res.InvariantViolations != 0 {
+		t.Fatalf("%d violations: %s", res.InvariantViolations, res.FirstViolation)
+	}
+	// The point of the test is churn: retries and deadline misses must
+	// actually have recycled calls, and hedges must have raced primaries.
+	if res.Retries == 0 || res.DeadlineMisses == 0 || res.Hedges == 0 {
+		t.Fatalf("not aggressive enough: retries=%d misses=%d hedges=%d",
+			res.Retries, res.DeadlineMisses, res.Hedges)
+	}
+}
+
+// TestResultsIdenticalWithCheckerStrict verifies the checker itself does
+// not perturb the simulation: strict on/off must produce identical tables.
+func TestResultsIdenticalWithCheckerStrict(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.MeasureDuration = 120 * sim.Millisecond
+	a := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	cfg.Strict = true
+	b := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	if a.AvgP99() != b.AvgP99() || a.Requests != b.Requests || a.HarvestJobs != b.HarvestJobs {
+		t.Fatalf("strict changed results: %v/%d/%d vs %v/%d/%d",
+			a.AvgP99(), a.Requests, a.HarvestJobs, b.AvgP99(), b.Requests, b.HarvestJobs)
+	}
+}

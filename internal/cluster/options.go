@@ -139,6 +139,12 @@ type Options struct {
 	// ServerObserver keeps the parallel path, unlike Observer.
 	// ServerObserver takes precedence over Observer when both are set.
 	ServerObserver func(server int, workload string) Observer
+
+	// Resilience configures request-level timeout/retry/hedging/shedding
+	// policies for Primary VM microservice calls. The zero value disables
+	// all of them and keeps the simulation byte-identical to a build
+	// without resilience support.
+	Resilience Resilience
 }
 
 // SystemOptions returns the preset for one of the five architectures.

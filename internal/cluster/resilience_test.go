@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"hardharvest/internal/queueing"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/workload"
+)
+
+func TestResilienceValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		res  Resilience
+		want string // substring of the error, "" for valid
+	}{
+		{"zero", Resilience{}, ""},
+		{"default", DefaultResilience(), ""},
+		{"neg timeout", Resilience{Timeout: -1}, "resilience.timeout"},
+		{"neg slo", Resilience{SLOTimeoutFactor: -2}, "resilience.slo_timeout_factor"},
+		{"neg retries", Resilience{MaxRetries: -1}, "resilience.max_retries"},
+		{"neg backoff", Resilience{RetryBackoff: -1}, "resilience.retry_backoff"},
+		{"shrinking backoff", Resilience{MaxRetries: 1, Timeout: sim.Millisecond, BackoffFactor: 0.5}, "resilience.backoff_factor"},
+		{"bad jitter", Resilience{JitterFrac: 1.5}, "resilience.jitter_frac"},
+		{"neg hedge", Resilience{HedgeDelay: -1}, "resilience.hedge_delay"},
+		{"neg depth", Resilience{MaxQueueDepth: -1}, "resilience.max_queue_depth"},
+		{"retries without timeout", Resilience{MaxRetries: 2}, "resilience.max_retries"},
+		{"hedge past timeout", Resilience{Timeout: sim.Millisecond, HedgeDelay: 2 * sim.Millisecond}, "resilience.hedge_delay"},
+	}
+	for _, tc := range cases {
+		err := tc.res.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestResilienceConstructionFailsFast(t *testing.T) {
+	cfg := testConfig()
+	opts := SystemOptions(HardHarvestBlock)
+	opts.Resilience = Resilience{MaxQueueDepth: -1}
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.Contains(msg, "resilience.max_queue_depth") {
+			t.Fatalf("panic = %v", msg)
+		}
+	}()
+	NewServer(cfg, opts, bfs(t))
+	t.Fatal("invalid resilience config did not panic at construction")
+}
+
+// TestResilienceDeterministic re-runs an identical faulty, resilient
+// configuration and demands identical counters and latencies.
+func TestResilienceDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() *ServerResult {
+		cfg := testConfig()
+		cfg.MeasureDuration = 150 * sim.Millisecond
+		opts := SystemOptions(HardHarvestBlock)
+		opts.Resilience = DefaultResilience()
+		return RunServer(cfg, opts, bfs(t))
+	}
+	a, b := run(), run()
+	if a.AvgP99() != b.AvgP99() || a.Requests != b.Requests ||
+		a.Hedges != b.Hedges || a.Retries != b.Retries || a.HedgesWon != b.HedgesWon {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestResilienceOffIdentical verifies the byte-identity contract: a zero
+// Resilience must not change any result relative to a plain run.
+func TestResilienceOffIdentical(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.MeasureDuration = 120 * sim.Millisecond
+	a := RunServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	opts := SystemOptions(HardHarvestBlock)
+	opts.Resilience = Resilience{} // explicit zero
+	b := RunServer(cfg, opts, bfs(t))
+	if a.AvgP99() != b.AvgP99() || a.Requests != b.Requests || a.Arrivals != b.Arrivals ||
+		a.HarvestJobs != b.HarvestJobs || a.Reassigns != b.Reassigns {
+		t.Fatalf("zero resilience changed results: %v/%d vs %v/%d",
+			a.AvgP99(), a.Requests, b.AvgP99(), b.Requests)
+	}
+}
+
+// shedConfig builds a deliberately overloaded single-VM server with a
+// no-I/O, near-M/M/4 service so shedding admits an analytic cross-check.
+func shedConfig(depth int) (Config, Options) {
+	cfg := DefaultConfig()
+	cfg.CoresPerServer = 4
+	cfg.PrimaryVMs = 1
+	cfg.CoresPerPrimary = 4
+	cfg.HarvestOwnCores = 0
+	cfg.WarmupDuration = 30 * sim.Millisecond
+	cfg.MeasureDuration = 400 * sim.Millisecond
+	cfg.LoadScale = 1.0
+	cfg.TraceSteps = 0     // flat Poisson arrivals
+	cfg.BurstBatchProb = 0 // no correlated batches
+	cfg.Profiles = []*workload.Profile{{
+		Name:     "MMcK",
+		MeanCPU:  400 * sim.Microsecond,
+		CPUSigma: 0.25, // near-deterministic service; SCV << 1
+		// No I/O: every request is a single burst, so the ready queue is
+		// the only place a request can wait.
+		MeanIOCalls:    0,
+		IOMean:         sim.Microsecond,
+		IOSigma:        0.1,
+		SharedFrac:     0.5,
+		FootprintKB:    100,
+		BaseRPSPerCore: 2750, // rho = 2750*4*400us/4 = 1.1: overloaded
+	}}
+	opts := Options{
+		Name: "shed-test",
+		// Hardware scheduling/queues/context switching without harvesting:
+		// dispatch overheads in the nanoseconds, so the simulated system is
+		// as close to the analytic M/M/c/K as the simulator gets.
+		HWSched:    true,
+		HWQueue:    true,
+		HWCtxtSw:   true,
+		Resilience: Resilience{MaxQueueDepth: depth},
+	}
+	return cfg, opts
+}
+
+// TestShedAccounting pins the accounting rule of DESIGN.md: shed requests
+// never enter the latency percentiles, appear in the shed counter, and (with
+// no retry budget) each shed call is exactly one deadline miss. The shed
+// fraction must track the M/M/c/K blocking probability and fall as the
+// queue bound deepens.
+func TestShedAccounting(t *testing.T) {
+	t.Parallel()
+	fracs := make([]float64, 0, 3)
+	for _, depth := range []int{2, 8, 32} {
+		cfg, opts := shedConfig(depth)
+		cfg.Strict = true
+		res := RunServer(cfg, opts, bfs(t))
+		if res.InvariantViolations != 0 {
+			t.Fatalf("depth %d: %s", depth, res.FirstViolation)
+		}
+		if res.Sheds == 0 {
+			t.Fatalf("depth %d: overloaded queue never shed", depth)
+		}
+		// No retries configured: a shed call is lost, so sheds == misses.
+		if res.Sheds != res.DeadlineMisses {
+			t.Fatalf("depth %d: sheds=%d misses=%d", depth, res.Sheds, res.DeadlineMisses)
+		}
+		// Accounting rule: percentiles hold completed requests only.
+		n := 0
+		for _, rec := range res.Service {
+			n += rec.Count()
+		}
+		if n == 0 || n >= res.Arrivals {
+			t.Fatalf("depth %d: %d latency samples vs %d arrivals", depth, n, res.Arrivals)
+		}
+		if res.Requests+int(res.DeadlineMisses) > res.Arrivals {
+			t.Fatalf("depth %d: %d completed + %d missed > %d arrived",
+				depth, res.Requests, res.DeadlineMisses, res.Arrivals)
+		}
+		fracs = append(fracs, float64(res.Sheds)/float64(res.Arrivals))
+	}
+	if !(fracs[0] > fracs[1] && fracs[1] > fracs[2]) {
+		t.Fatalf("shed fraction should fall with queue depth: %v", fracs)
+	}
+
+	// Cross-check the middle depth against the analytic loss system. The
+	// simulated service is not exactly exponential (log-normal, SCV ~ 0.06)
+	// and dispatch is not free, so demand agreement within a [1/3, 3x] band.
+	lambda := 2750.0 * 4 // BaseRPSPerCore * cores, LoadScale 1
+	mu := 1.0 / 400e-6
+	q := queueing.MMcK{Lambda: lambda, Mu: mu, C: 4, K: 4 + 8}
+	want, err := q.BlockProb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fracs[1]
+	if got < want/3 || got > want*3 {
+		t.Fatalf("shed fraction %0.4f vs M/M/4/12 blocking %0.4f: outside 3x band", got, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hardharvest/internal/batch"
 	"hardharvest/internal/core"
+	"hardharvest/internal/faults"
 	"hardharvest/internal/hypervisor"
 	"hardharvest/internal/metrics"
 	"hardharvest/internal/nic"
@@ -53,6 +54,13 @@ type coreRT struct {
 	pendingWake  bool
 	preemptPend  bool
 
+	// Fault-injection state: offlineDepth nests overlapping offline faults
+	// (the core serves work only at depth 0); degradeFactor multiplies the
+	// core's execution time (1 when healthy).
+	offlineDepth  int
+	degradeDepth  int
+	degradeFactor float64
+
 	// Overheads paid before the next dispatched request starts, attributed
 	// to that request's breakdown (Figure 6).
 	pendingReassign sim.Duration
@@ -89,6 +97,10 @@ type vmRT struct {
 
 	lat       *metrics.LatencyRecorder
 	breakdown metrics.Breakdown
+
+	// Derived resilience deadlines (zero when the policy is off).
+	timeout    sim.Duration
+	hedgeDelay sim.Duration
 }
 
 // Typed event opcodes: the server schedules its hot-path events through
@@ -111,10 +123,18 @@ const (
 	opAgentTick                  // software harvesting agent prediction window
 	opLendEnd                    // a: *coreRT — hypervisor lend move finished
 	opReclaimEnd                 // a: *coreRT — hypervisor reclaim move finished
+	opFaultBegin                 // b: *faults.Event — injected fault begins
+	opFaultEnd                   // b: *faults.Event — injected fault lifts
+	opCallTimeout                // b: *call — attempt deadline expired
+	opCallRetry                  // b: *call — retry backoff elapsed
+	opCallHedge                  // b: *call — hedge delay elapsed
 )
 
 // OnEvent dispatches typed engine events (sim.Callback).
 func (s *Server) OnEvent(op int32, a, b any) {
+	if s.ring != nil {
+		s.ring.record(s.now(), op)
+	}
 	switch op {
 	case opDispatch:
 		s.dispatch(a.(*coreRT), false)
@@ -151,6 +171,16 @@ func (s *Server) OnEvent(op int32, a, b any) {
 		s.lendEnd(a.(*coreRT))
 	case opReclaimEnd:
 		s.reclaimEnd(a.(*coreRT))
+	case opFaultBegin:
+		s.faultBegin(b.(*faults.Event))
+	case opFaultEnd:
+		s.faultEnd(b.(*faults.Event))
+	case opCallTimeout:
+		s.callTimeout(b.(*call))
+	case opCallRetry:
+		s.callRetry(b.(*call))
+	case opCallHedge:
+		s.callHedge(b.(*call))
 	default:
 		panic(fmt.Sprintf("cluster: unknown event op %d", op))
 	}
@@ -206,6 +236,31 @@ type Server struct {
 	// attach operations take a global lock (§4.1.1), so moves queue behind
 	// each other — unlike HardHarvest's decentralized per-QM hardware.
 	moveBusyUntil sim.Time
+
+	// Fault injection (Config.FaultPlan): the expanded schedule plus the
+	// active I/O-straggler window.
+	faultEvs       []faults.Event
+	faultIOUntil   sim.Time
+	faultIOFactor  float64
+	faultsInjected uint64
+
+	// Resilience (Options.Resilience): resOn gates the per-arrival branch;
+	// calls are pooled like requests; resRNG drives backoff jitter.
+	resOn          bool
+	resRNG         *stats.RNG
+	callFree       []*call
+	callSeq        uint64
+	sheds          uint64
+	retries        uint64
+	hedges         uint64
+	hedgesWon      uint64
+	hedgesLost     uint64
+	deadlineMisses uint64
+
+	// Invariant checker (always on; strict panics on violation).
+	inv    invariantState
+	strict bool
+	ring   *opRing
 }
 
 // NewServer builds one server running the eight service profiles in its
@@ -232,7 +287,10 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 	seriesRNG := root.Split(4)
 	instRNG := root.Split(5)
 
-	profiles := workload.Profiles()
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = workload.Profiles()
+	}
 	if len(profiles) < cfg.PrimaryVMs {
 		panic("cluster: not enough service profiles for the primary VMs")
 	}
@@ -281,7 +339,8 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 	// scope: the paper's server is fully allocated).
 	coreID := 0
 	bind := func(vmIdx int) {
-		c := &coreRT{id: coreID, owner: vmIdx, lastVM: -1, lentTo: -1, coldFactor: 1, idleEligible: true}
+		c := &coreRT{id: coreID, owner: vmIdx, lastVM: -1, lentTo: -1, coldFactor: 1,
+			degradeFactor: 1, idleEligible: true}
 		s.cores = append(s.cores, c)
 		if s.hw != nil {
 			s.hw.bindCore(coreID, vmIdx)
@@ -305,6 +364,49 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 		s.agent.Interval = cfg.AgentInterval
 		s.agent.BufferCores = cfg.AgentBufferCores
 	}
+
+	// Robustness wiring. Resilience misconfigurations fail fast here, at
+	// construction, with field-level errors — never mid-simulation.
+	if err := opts.Resilience.Validate(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+	if opts.Resilience.Enabled() {
+		s.resOn = true
+		for _, v := range s.vms {
+			if !v.isPrimary {
+				continue
+			}
+			res := opts.Resilience
+			v.timeout = res.Timeout
+			if v.timeout == 0 && res.SLOTimeoutFactor > 0 {
+				v.timeout = sim.Duration(res.SLOTimeoutFactor * float64(v.profile.MeanDemand()))
+			}
+			v.hedgeDelay = res.HedgeDelay
+			if v.hedgeDelay == 0 && res.HedgeSLOFactor > 0 {
+				v.hedgeDelay = sim.Duration(res.HedgeSLOFactor * float64(v.profile.MeanDemand()))
+			}
+			if v.timeout > 0 && v.hedgeDelay >= v.timeout {
+				// A derived hedge delay past the timeout would never fire.
+				v.hedgeDelay = v.timeout / 2
+			}
+		}
+	}
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(); err != nil {
+			panic("cluster: fault plan: " + err.Error())
+		}
+	}
+	s.strict = cfg.Strict
+	if cfg.Strict {
+		s.ring = &opRing{}
+	}
+	// resRNG splits last, and only when resilience is on: stats.RNG.Split
+	// advances the root stream and allocates, so skipping it keeps a
+	// policies-off run alloc- and stream-identical to builds without
+	// resilience support.
+	if s.resOn {
+		s.resRNG = root.Split(7)
+	}
 	return s
 }
 
@@ -319,6 +421,7 @@ func (s *Server) now() sim.Time { return s.eng.Now() }
 // caller fills every field it needs; pooled objects arrive zeroed except for
 // gen and the reusable phases capacity.
 func (s *Server) newRequest() *request {
+	s.inv.created++
 	if n := len(s.reqFree); n > 0 {
 		r := s.reqFree[n-1]
 		s.reqFree = s.reqFree[:n-1]
@@ -331,6 +434,15 @@ func (s *Server) newRequest() *request {
 // or pin list references the request; events that may still hold the pointer
 // (pin releases) are generation-guarded, and the bump here expires them.
 func (s *Server) freeRequest(r *request) {
+	if r.state == rsFree {
+		// Double free: tolerated-and-counted (the object is NOT pooled
+		// again, so the first owner keeps it); strict mode panics inside
+		// invViolate.
+		s.invViolate("request %d: double free", r.id)
+		return
+	}
+	s.setReqState(r, rsFree)
+	s.inv.freed++
 	phases := r.phases[:0]
 	gen := r.gen + 1
 	*r = request{phases: phases, gen: gen}
@@ -391,6 +503,9 @@ func (s *Server) Run() *ServerResult {
 	if s.agent != nil {
 		s.eng.ScheduleCall(s.cfg.AgentSample, s, opAgentSample, nil, nil)
 		s.eng.ScheduleCall(s.cfg.AgentInterval, s, opAgentTick, nil, nil)
+	}
+	if s.cfg.FaultPlan != nil {
+		s.scheduleFaults(horizon)
 	}
 	// Reset utilization accounting at the start of the measurement window.
 	s.eng.At(s.measureStart, func() {
@@ -542,6 +657,10 @@ func (s *Server) arrivalFired(v *vmRT) {
 }
 
 func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
+	if s.resOn {
+		s.onArrivalResilient(v, inv)
+		return
+	}
 	_, nicLat, err := s.nicDev.Deposit(v.idx, 256)
 	if err != nil {
 		panic(err)
@@ -559,6 +678,7 @@ func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
 	r.phases = inv.Phases
 	r.arrival = s.now()
 	r.measured = s.measuring()
+	s.setReqState(r, rsTransit)
 	if s.obs != nil {
 		s.ev(obs.KindArrival, r, -1, nicLat)
 	}
@@ -571,6 +691,13 @@ func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
 // completes a reclaim.
 func (s *Server) arrivalReady(r *request) {
 	v := s.vms[r.vmIdx]
+	// Queue-depth load shedding: an overloaded VM rejects the attempt at
+	// the door rather than queue it past its depth budget.
+	if r.call != nil && s.opts.Resilience.MaxQueueDepth > 0 &&
+		s.be.readyLen(v.idx) >= s.opts.Resilience.MaxQueueDepth {
+		s.shedAttempt(r)
+		return
+	}
 	if s.sw != nil && s.opts.Harvesting && v.lentOut > 0 {
 		pinProb := s.cfg.PinScale * float64(v.lentOut) / float64(s.cfg.CoresPerPrimary)
 		if s.pollRNG.Float64() < pinProb {
@@ -585,6 +712,7 @@ func (s *Server) enqueueReady(r *request, isNew bool) {
 	v := s.vms[r.vmIdx]
 	var wake wakeInfo
 	var woken bool
+	s.setReqState(r, rsQueued)
 	if isNew {
 		if s.obs != nil {
 			s.ev(obs.KindEnqueue, r, -1, 0)
@@ -643,7 +771,8 @@ func (s *Server) pollDelay() sim.Duration {
 
 func (s *Server) idleCoreOf(v *vmRT) *coreRT {
 	for _, c := range s.cores {
-		if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 && !c.pendingWake {
+		if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 && !c.pendingWake &&
+			c.offlineDepth == 0 {
 			return c
 		}
 	}
@@ -655,7 +784,8 @@ func (s *Server) idleCoreOf(v *vmRT) *coreRT {
 // idle core (including those idled by a blocking call).
 func (s *Server) lendableCoreOf(v *vmRT) *coreRT {
 	for _, c := range s.cores {
-		if c.owner != v.idx || c.kind != cIdle || c.lentTo >= 0 || c.pendingWake {
+		if c.owner != v.idx || c.kind != cIdle || c.lentTo >= 0 || c.pendingWake ||
+			c.offlineDepth > 0 {
 			continue
 		}
 		if !s.opts.HarvestOnBlock && !c.idleEligible {
@@ -679,6 +809,20 @@ func (s *Server) scheduleWake(c *coreRT, delay sim.Duration) {
 // dispatch has the core pick its next work item. allowLoan permits
 // cross-VM harvesting on the hardware path for this dispatch.
 func (s *Server) dispatch(c *coreRT, allowLoan bool) {
+	// An offline core serves nothing; it re-dispatches when the fault ends
+	// (coreOnline). Pending dispatch-path events funnel through here, so
+	// this one gate covers wakes, stall retries, and move completions.
+	if c.offlineDepth > 0 {
+		if c.kind != cIdle {
+			s.setCoreKind(c, cIdle)
+			if s.obs != nil {
+				s.evCore(obs.KindCoreIdle, c, 0)
+			}
+		}
+		c.cur = nil
+		c.idleEligible = false
+		return
+	}
 	// A frozen VM (mid-move guest synchronization) cannot schedule work.
 	if s.sw != nil && c.lentTo < 0 {
 		if v := s.vms[c.owner]; v.isPrimary && s.now() < v.stallUntil {
@@ -688,7 +832,7 @@ func (s *Server) dispatch(c *coreRT, allowLoan bool) {
 				op = opStallRetryLoan
 			}
 			s.eng.ScheduleCall(wait, s, op, c, nil)
-			c.kind = cOverhead
+			s.setCoreKind(c, cOverhead)
 			return
 		}
 	}
@@ -730,7 +874,7 @@ func (s *Server) loanAllowed(c *coreRT) bool {
 	}
 	idle := 0
 	for _, o := range s.cores {
-		if o != c && o.owner == c.owner && o.kind == cIdle {
+		if o != c && o.owner == c.owner && o.kind == cIdle && o.offlineDepth == 0 {
 			idle++
 		}
 	}
@@ -738,7 +882,7 @@ func (s *Server) loanAllowed(c *coreRT) bool {
 }
 
 func (s *Server) goIdle(c *coreRT, eligible bool) {
-	c.kind = cIdle
+	s.setCoreKind(c, cIdle)
 	c.cur = nil
 	c.idleEligible = eligible
 	if s.obs != nil {
@@ -767,8 +911,9 @@ func (s *Server) goIdle(c *coreRT, eligible bool) {
 // next CPU burst.
 func (s *Server) startRequest(c *coreRT, r *request, crossVM bool) {
 	v := s.vms[r.vmIdx]
-	c.kind = cOverhead
+	s.setCoreKind(c, cOverhead)
 	c.cur = r
+	s.setReqState(r, rsRunning)
 
 	queueOp := s.cfg.SWQueueAccess
 	if s.opts.HWQueue {
@@ -868,10 +1013,37 @@ func (s *Server) scaledBurst(c *coreRT, r *request, raw sim.Duration) sim.Durati
 	if c.warmLeft == 0 {
 		c.coldFactor = 1
 	}
+	if c.degradeFactor != 1 {
+		// Injected core degradation (thermal throttling, interference).
+		base *= c.degradeFactor
+	}
 	return sim.Duration(scaled * base)
 }
 
 func (s *Server) runBurst(c *coreRT, r *request) {
+	if c.offlineDepth > 0 {
+		// The core was taken offline while paying dispatch overheads: the
+		// work it was about to run goes back to its queue.
+		c.preemptPend = false
+		if r.isJob {
+			s.abortJob(c, r, 0)
+		} else {
+			if s.obs != nil {
+				s.ev(obs.KindAbort, r, c.id, 0)
+			}
+			s.be.preempt(c.id, r)
+			s.setReqState(r, rsQueued)
+			s.vms[r.vmIdx].running--
+			c.cur = nil
+		}
+		s.setBusy(c, false)
+		s.setCoreKind(c, cIdle)
+		c.idleEligible = false
+		if s.obs != nil {
+			s.evCore(obs.KindCoreIdle, c, 0)
+		}
+		return
+	}
 	if c.preemptPend && r.isJob && c.owner != s.harvestIdx {
 		// A reclamation interrupt landed while this core was still in the
 		// dispatch path to Harvest work: hand the job straight back.
@@ -881,9 +1053,9 @@ func (s *Server) runBurst(c *coreRT, r *request) {
 		return
 	}
 	if r.isJob && c.owner != s.harvestIdx {
-		c.kind = cRunLoaned
+		s.setCoreKind(c, cRunLoaned)
 	} else {
-		c.kind = cRunOwn
+		s.setCoreKind(c, cRunOwn)
 	}
 	if r.isJob {
 		s.activeJobs++
@@ -919,19 +1091,25 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 	if ph.IO > 0 {
 		// Block on I/O: the request's pointer stays queued (Blocked); the
 		// core moves on.
+		io := ph.IO
+		if s.faultIOUntil > s.now() {
+			// An I/O straggler fault is active: the backend answers slowly.
+			io = sim.Duration(float64(io) * s.faultIOFactor)
+		}
 		v.running--
 		v.blocked++
 		if v.blockEWMA == 0 {
-			v.blockEWMA = ph.IO
+			v.blockEWMA = io
 		} else {
-			v.blockEWMA = (ph.IO + 4*v.blockEWMA) / 5
+			v.blockEWMA = (io + 4*v.blockEWMA) / 5
 		}
 		if s.obs != nil {
-			s.ev(obs.KindBlock, r, c.id, ph.IO)
+			s.ev(obs.KindBlock, r, c.id, io)
 		}
 		s.be.block(c.id, r)
+		s.setReqState(r, rsBlocked)
 		r.phase++
-		s.eng.ScheduleCall(ph.IO, s, opIOComplete, nil, r)
+		s.eng.ScheduleCall(io, s, opIOComplete, nil, r)
 		harvestOK := s.opts.HarvestOnBlock
 		if harvestOK && s.opts.AdaptiveBlock && v.blockEWMA < s.cfg.AdaptiveBlockMin {
 			// Adaptive fallback: short blocks make block-harvesting churn,
@@ -942,7 +1120,7 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 		return
 	}
 	// Completion.
-	if s.obs != nil {
+	if s.obs != nil && r.call == nil {
 		s.ev(obs.KindComplete, r, c.id, s.now().Sub(r.arrival))
 	}
 	s.be.complete(c.id, r)
@@ -952,6 +1130,10 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 			s.jobsDone++
 		}
 		s.refillJobs()
+	} else if r.call != nil {
+		// Resilient attempt: the call layer decides whether this completion
+		// resolves the call or is a zombie (timed-out / losing attempt).
+		s.completeAttempt(r, c.id)
 	} else {
 		s.requests++
 		if r.measured {
@@ -1015,6 +1197,7 @@ func (s *Server) refillJobs() {
 		job.isJob = true
 		job.arrival = s.now()
 		job.phases = append(job.phases[:0], workload.Phase{CPU: s.hwork.SampleJob(s.jobRNG)})
+		s.setReqState(job, rsQueued)
 		if s.obs != nil {
 			s.ev(obs.KindEnqueue, job, -1, 0)
 		}
@@ -1027,20 +1210,29 @@ func (s *Server) refillJobs() {
 // it with its remaining demand. elapsedScaled is how long the current burst
 // has been running.
 func (s *Server) abortJob(c *coreRT, job *request, elapsedScaled sim.Duration) {
-	if elapsedScaled > 0 && c.burstScaled > 0 {
-		consumed := sim.Duration(float64(job.currentPhase().CPU) * float64(elapsedScaled) / float64(c.burstScaled))
-		rem := job.currentPhase().CPU - consumed
-		if rem < 10*sim.Microsecond {
-			rem = 10 * sim.Microsecond
-		}
-		job.phases[job.phase].CPU = rem
-	}
+	s.trimRemainder(job, elapsedScaled, c.burstScaled)
 	if s.obs != nil {
 		s.ev(obs.KindAbort, job, c.id, elapsedScaled)
 	}
 	s.be.preempt(c.id, job)
+	s.setReqState(job, rsQueued)
 	s.vms[s.harvestIdx].running--
 	c.cur = nil
+}
+
+// trimRemainder rewrites a preempted request's current phase to its
+// remaining CPU demand, given how long the burst ran against its scheduled
+// scaled length.
+func (s *Server) trimRemainder(r *request, elapsedScaled, burstScaled sim.Duration) {
+	if elapsedScaled <= 0 || burstScaled <= 0 {
+		return
+	}
+	consumed := sim.Duration(float64(r.currentPhase().CPU) * float64(elapsedScaled) / float64(burstScaled))
+	rem := r.currentPhase().CPU - consumed
+	if rem < 10*sim.Microsecond {
+		rem = 10 * sim.Microsecond
+	}
+	r.phases[r.phase].CPU = rem
 }
 
 // ---- Hardware reclamation (§4.1.5) ----
@@ -1110,7 +1302,7 @@ func (s *Server) agentTick() {
 		// idle core) or a prediction that now exceeds the unlent cores.
 		idle := 0
 		for _, c := range s.cores {
-			if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 {
+			if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 && c.offlineDepth == 0 {
 				idle++
 			}
 		}
@@ -1171,6 +1363,7 @@ func (s *Server) stallVM(v *vmRT, stall sim.Duration) {
 // migrates the handling thread to a backed vCPU.
 func (s *Server) pinRequest(v *vmRT, r *request) {
 	s.pins++
+	s.setReqState(r, rsPinned)
 	if s.obs != nil {
 		s.ev(obs.KindPin, r, -1, 0)
 	}
@@ -1248,7 +1441,7 @@ func (s *Server) serializeMove(cost sim.Duration) sim.Duration {
 func (s *Server) startLend(c *coreRT) {
 	v := s.vms[c.owner]
 	v.lentOut++
-	c.kind = cOverhead
+	s.setCoreKind(c, cOverhead)
 	c.cur = nil
 	c.lentTo = s.harvestIdx
 	s.reassigns++
@@ -1292,7 +1485,8 @@ func (s *Server) lendEnd(c *coreRT) {
 func (s *Server) startReclaim(v *vmRT) {
 	var victim *coreRT
 	for _, c := range s.cores {
-		if c.owner == v.idx && c.lentTo >= 0 && (c.kind == cRunLoaned || c.kind == cIdle) {
+		if c.owner == v.idx && c.lentTo >= 0 && (c.kind == cRunLoaned || c.kind == cIdle) &&
+			c.offlineDepth == 0 {
 			victim = c
 			break
 		}
@@ -1312,7 +1506,7 @@ func (s *Server) startReclaim(v *vmRT) {
 		job.exec += elapsed
 		s.abortJob(victim, job, elapsed)
 	}
-	victim.kind = cOverhead
+	s.setCoreKind(victim, cOverhead)
 	victim.cur = nil
 	var cost, flushPart sim.Duration
 	if !s.opts.ReassignFree {
@@ -1397,6 +1591,16 @@ func (s *Server) result() *ServerResult {
 	res.BusyCores = s.util.BusyCores(s.cfg.MeasureDuration)
 	res.HarvestJobs = s.jobsDone
 	res.HarvestJobsPerSec = float64(s.jobsDone) / s.cfg.MeasureDuration.Seconds()
+	s.checkConservation()
+	res.InvariantViolations = s.inv.violations
+	res.FirstViolation = s.inv.firstMsg
+	res.FaultsInjected = s.faultsInjected
+	res.Sheds = s.sheds
+	res.Retries = s.retries
+	res.Hedges = s.hedges
+	res.HedgesWon = s.hedgesWon
+	res.HedgesLost = s.hedgesLost
+	res.DeadlineMisses = s.deadlineMisses
 	return res
 }
 
@@ -1427,6 +1631,22 @@ type ServerResult struct {
 	Requests int
 	Arrivals int
 	Elapsed  sim.Duration
+
+	// InvariantViolations counts checker violations tolerated during the
+	// run (always zero under Config.Strict, which panics instead);
+	// FirstViolation describes the first one.
+	InvariantViolations uint64
+	FirstViolation      string
+	// Robustness counters: injected faults, load-shed attempts, retry and
+	// hedge attempts, hedge outcomes, and calls that exhausted their retry
+	// budget (deadline misses).
+	FaultsInjected uint64
+	Sheds          uint64
+	Retries        uint64
+	Hedges         uint64
+	HedgesWon      uint64
+	HedgesLost     uint64
+	DeadlineMisses uint64
 }
 
 // P99 reports a service's tail latency (zero if the service is unknown).

@@ -34,6 +34,7 @@ func Runners() []Runner {
 		{"app", "End-to-end application latency (Figure 1 DAGs)", Application},
 		{"profiling", "Shared-before-serve validation sweep (§4.2.2)", Profiling},
 		{"loadsweep", "P99 vs offered load (extension)", LoadSweep},
+		{"faultsweep", "P99 vs fault intensity (robustness extension)", FaultSweep},
 		{"summary", "Headline claims, paper vs measured", Summary},
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hardharvest/internal/batch"
 	"hardharvest/internal/cluster"
+	"hardharvest/internal/faults"
 	"hardharvest/internal/mem"
 	"hardharvest/internal/sim"
 	"hardharvest/internal/workload"
@@ -19,7 +20,17 @@ func baseConfig(sc Scale) cluster.Config {
 	cfg.MeasureDuration = sc.Measure
 	cfg.WarmupDuration = sc.Warmup
 	cfg.Seed = sc.Seed
+	cfg.FaultPlan = sc.Faults
+	cfg.Strict = sc.Strict
 	return cfg
+}
+
+// applyResilience layers the scale's resilience policies onto options that
+// do not carry their own.
+func applyResilience(sc Scale, opts *cluster.Options) {
+	if !opts.Resilience.Enabled() {
+		opts.Resilience = sc.Resilience
+	}
 }
 
 // defaultWork is the batch workload used by single-server latency figures
@@ -35,6 +46,7 @@ func defaultWork() *batch.Workload {
 // runOne simulates a single server under the given options.
 func runOne(sc Scale, opts cluster.Options) *cluster.ServerResult {
 	opts.Observer = sc.observerFor(opts.Name)
+	applyResilience(sc, &opts)
 	return cluster.RunServer(baseConfig(sc), opts, defaultWork())
 }
 
@@ -44,6 +56,7 @@ func runFlat(sc Scale, opts cluster.Options) *cluster.ServerResult {
 	cfg := baseConfig(sc)
 	cfg.TraceSteps = 0
 	opts.Observer = sc.observerFor(opts.Name)
+	applyResilience(sc, &opts)
 	return cluster.RunServer(cfg, opts, defaultWork())
 }
 
@@ -63,6 +76,7 @@ func prepareOne(sc Scale, opts cluster.Options, label string) preparedRun {
 		label = opts.Name
 	}
 	opts.Observer = sc.observerFor(label)
+	applyResilience(sc, &opts)
 	return preparedRun{cfg: baseConfig(sc), opts: opts, work: defaultWork()}
 }
 
@@ -91,6 +105,9 @@ type fiveKey struct {
 	servers int
 	seed    uint64
 	system  cluster.SystemKind
+	faults  *faults.Plan
+	strict  bool
+	res     cluster.Resilience
 }
 
 // fiveEntry is one system's memoized run; the Once gives per-key
@@ -126,7 +143,7 @@ func fiveSystems(sc Scale) map[cluster.SystemKind]*cluster.ServerResult {
 		entries := make([]*fiveEntry, len(systems))
 		fiveMu.Lock()
 		for i, k := range systems {
-			key := fiveKey{sc.Measure, sc.Warmup, sc.Servers, sc.Seed, k}
+			key := fiveKey{sc.Measure, sc.Warmup, sc.Servers, sc.Seed, k, sc.Faults, sc.Strict, sc.Resilience}
 			e, ok := fiveCache[key]
 			if !ok {
 				e = &fiveEntry{}

@@ -30,6 +30,7 @@ func LoadSweep(sc Scale) *Table {
 			cfg.LoadScale *= ls
 			o := cluster.SystemOptions(k)
 			o.Observer = sc.observerFor(fmt.Sprintf("%.1fx/%s", ls, o.Name))
+			applyResilience(sc, &o)
 			runs = append(runs, preparedRun{cfg: cfg, opts: o, work: defaultWork()})
 		}
 	}

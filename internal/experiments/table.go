@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"strings"
 
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/faults"
 	"hardharvest/internal/sim"
 )
 
@@ -31,6 +33,14 @@ type Scale struct {
 	// cached results with plain scales; observers are resolved in
 	// deterministic submission order even under the parallel scheduler.
 	Obs ObserverProvider
+	// Faults, when non-nil, injects the fault plan into every server run
+	// (the faultsweep experiment layers its own intensities on top).
+	Faults *faults.Plan
+	// Strict makes invariant violations panic with replay information.
+	Strict bool
+	// Resilience applies request-level timeout/retry/hedge/shed policies
+	// to every run that does not set its own.
+	Resilience cluster.Resilience
 }
 
 // Quick returns a test-friendly scale (~seconds of wall clock per figure).

@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+func TestParseValidPlan(t *testing.T) {
+	data := []byte(`{
+		"seed": 7,
+		"intensity": 1.5,
+		"core_offline": {"rate_per_s": 40, "duration_ms": 2, "jitter": 0.5},
+		"io_straggler": {"rate_per_s": 10, "duration_ms": 1, "factor": 4},
+		"events": [{"at_ms": 5, "kind": "crash", "duration_ms": 3}]
+	}`)
+	p, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed != 7 || p.Intensity != 1.5 {
+		t.Fatalf("header fields wrong: %+v", p)
+	}
+	if p.CoreOffline == nil || p.CoreOffline.RatePerSec != 40 {
+		t.Fatalf("core_offline wrong: %+v", p.CoreOffline)
+	}
+	if len(p.Events) != 1 || p.Events[0].Kind != "crash" {
+		t.Fatalf("events wrong: %+v", p.Events)
+	}
+}
+
+func TestParseUnknownField(t *testing.T) {
+	_, err := Parse([]byte(`{"core_offline": {"rate_per_s": 1, "duration_ms": 1, "bogus": 2}}`))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want unknown-field error mentioning bogus, got %v", err)
+	}
+}
+
+func TestParseSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Parse([]byte("{\n  \"intensity\": oops\n}"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-positioned syntax error, got %v", err)
+	}
+}
+
+func TestValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"negative intensity", Plan{Intensity: -1}, "intensity"},
+		{"zero rate", Plan{CoreOffline: &Spec{RatePerSec: 0, DurationMS: 1}}, "core_offline.rate_per_s"},
+		{"huge rate", Plan{Crash: &Spec{RatePerSec: 1e6, DurationMS: 1}}, "crash.rate_per_s"},
+		{"missing duration", Plan{CoreOffline: &Spec{RatePerSec: 1}}, "core_offline.duration_ms"},
+		{"bad factor", Plan{CoreDegrade: &Spec{RatePerSec: 1, DurationMS: 1, Factor: 0.5}}, "core_degrade.factor"},
+		{"bad count", Plan{PreemptStorm: &Spec{RatePerSec: 1}}, "preempt_storm.count"},
+		{"bad jitter", Plan{IOStraggler: &Spec{RatePerSec: 1, DurationMS: 1, Factor: 2, Jitter: 1}}, "io_straggler.jitter"},
+		{"bad event kind", Plan{Events: []ScriptedEvent{{Kind: "meteor"}}}, "events[0].kind"},
+		{"event missing dur", Plan{Events: []ScriptedEvent{{Kind: "core_offline"}}}, "events[0].duration_ms"},
+		{"event bad factor", Plan{Events: []ScriptedEvent{{Kind: "io_straggler", DurationMS: 1, Factor: 0.2}}}, "events[0].factor"},
+		{"event negative time", Plan{Events: []ScriptedEvent{{Kind: "preempt_storm", AtMS: -1}}}, "events[0].at_ms"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error mentioning %q, got %v", tc.name, tc.want, err)
+		}
+	}
+	if err := (&Plan{}).Validate(); err != nil {
+		t.Errorf("empty plan should validate, got %v", err)
+	}
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Errorf("DefaultPlan should validate, got %v", err)
+	}
+}
+
+func TestExpandDeterministicSortedBounded(t *testing.T) {
+	p := DefaultPlan()
+	horizon := 200 * sim.Millisecond
+	a := p.Expand(42, 36, horizon)
+	b := p.Expand(42, 36, horizon)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Expand not deterministic for identical inputs")
+	}
+	if len(a) == 0 {
+		t.Fatal("DefaultPlan expanded to zero events over 200ms")
+	}
+	c := p.Expand(43, 36, horizon)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("Expand should differ across server seeds")
+	}
+	for i, ev := range a {
+		if ev.At >= sim.Time(horizon) {
+			t.Fatalf("event %d at %v beyond horizon", i, ev.At)
+		}
+		if ev.Core >= 36 {
+			t.Fatalf("event %d core %d out of range", i, ev.Core)
+		}
+		switch ev.Kind {
+		case CoreDegrade, CoreOffline:
+			if ev.Core < 0 {
+				t.Fatalf("event %d (%v) needs a core", i, ev.Kind)
+			}
+			if ev.Dur <= 0 {
+				t.Fatalf("event %d (%v) needs a duration", i, ev.Kind)
+			}
+		case IOStraggler, PreemptStorm, ServerCrash:
+			if ev.Core != -1 {
+				t.Fatalf("event %d (%v) should be server-wide, core=%d", i, ev.Kind, ev.Core)
+			}
+		}
+		if i > 0 && a[i-1].At > ev.At {
+			t.Fatalf("events not sorted at %d", i)
+		}
+	}
+}
+
+func TestExpandIntensityScalesRate(t *testing.T) {
+	p := &Plan{CoreOffline: &Spec{RatePerSec: 100, DurationMS: 1}}
+	horizon := 500 * sim.Millisecond
+	base := len(p.Expand(1, 8, horizon))
+	hot := len(p.Scaled(4).Expand(1, 8, horizon))
+	if hot < base*2 {
+		t.Fatalf("intensity 4x should at least double events: base=%d hot=%d", base, hot)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := &Plan{Intensity: 2}
+	if got := p.Scaled(3).Intensity; got != 6 {
+		t.Fatalf("Scaled: want 6, got %g", got)
+	}
+	q := &Plan{} // unset intensity counts as 1
+	if got := q.Scaled(0.5).Intensity; got != 0.5 {
+		t.Fatalf("Scaled unset: want 0.5, got %g", got)
+	}
+	if p.Intensity != 2 {
+		t.Fatal("Scaled must not mutate the receiver")
+	}
+}
+
+func TestExpandNilAndEmpty(t *testing.T) {
+	var p *Plan
+	if got := p.Expand(1, 8, sim.Second); got != nil {
+		t.Fatalf("nil plan: want nil, got %d events", len(got))
+	}
+	if got := (&Plan{}).Expand(1, 8, sim.Second); len(got) != 0 {
+		t.Fatalf("empty plan: want no events, got %d", len(got))
+	}
+}
+
+func TestRandomPlanAlwaysValid(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for i := 0; i < 200; i++ {
+		p := RandomPlan(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("RandomPlan #%d invalid: %v\n%+v", i, err, p)
+		}
+		p.Expand(uint64(i), 8, 50*sim.Millisecond)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := CoreDegrade; k <= ServerCrash; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+}

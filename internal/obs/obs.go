@@ -71,6 +71,20 @@ const (
 	KindCoreBusy
 	// KindCoreIdle: a core ran out of work.
 	KindCoreIdle
+	// KindFault: an injected fault began (Dur is the fault duration, Core is
+	// the victim or -1 for server-wide faults).
+	KindFault
+	// KindShed: an attempt was rejected by queue-depth load shedding.
+	KindShed
+	// KindRetry: a resilience retry attempt was launched (Req is the call id).
+	KindRetry
+	// KindHedge: a hedged duplicate attempt was launched (Req is the call id).
+	KindHedge
+	// KindHedgeWin: a hedge attempt resolved its call before the primary.
+	KindHedgeWin
+	// KindDeadlineMiss: a call exhausted its timeout/retry budget without
+	// completing; Dur is the time spent before giving up.
+	KindDeadlineMiss
 
 	numKinds
 )
@@ -82,6 +96,7 @@ var kindNames = [numKinds]string{
 	"preempt", "abort", "pin", "unpin",
 	"lend-start", "lend-end", "reclaim-start", "reclaim-end",
 	"core-busy", "core-idle",
+	"fault", "shed", "retry", "hedge", "hedge-win", "deadline-miss",
 }
 
 func (k Kind) String() string {

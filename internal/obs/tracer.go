@@ -29,14 +29,30 @@ type Counters struct {
 	Unblocks    uint64 // I/O completions re-queued
 	Completions uint64 // primary invocations finished
 	JobsDone    uint64 // harvest batch jobs finished
+
+	// Robustness counters (zero unless faults or resilience policies run).
+	FaultsInjected uint64 // injected fault events fired
+	Sheds          uint64 // attempts rejected by queue-depth load shedding
+	Retries        uint64 // retry attempts launched
+	Hedges         uint64 // hedged duplicate attempts launched
+	HedgesWon      uint64 // calls resolved by a hedge attempt
+	DeadlineMisses uint64 // calls that exhausted their timeout/retry budget
 }
 
-// String renders the counters as one summary line.
+// String renders the counters as one summary line. The robustness section
+// is appended only when any of its counters is nonzero, so fault-free runs
+// render identically to builds that predate fault injection.
 func (c Counters) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"arrivals=%d completions=%d jobs=%d loans=%d reclaims=%d preempts=%d flushes=%d aborts=%d pins=%d blocks=%d",
 		c.Arrivals, c.Completions, c.JobsDone, c.Loans, c.Reclaims,
 		c.Preempts, c.Flushes, c.Aborts, c.Pins, c.Blocks)
+	if c.FaultsInjected|c.Sheds|c.Retries|c.Hedges|c.HedgesWon|c.DeadlineMisses != 0 {
+		s += fmt.Sprintf(
+			" faults=%d sheds=%d retries=%d hedges=%d hedge-wins=%d deadline-misses=%d",
+			c.FaultsInjected, c.Sheds, c.Retries, c.Hedges, c.HedgesWon, c.DeadlineMisses)
+	}
+	return s
 }
 
 // SpanTracer records the full event stream of one server run and exports
@@ -141,6 +157,18 @@ func (t *SpanTracer) Observe(ev Event) {
 		t.counters.Loans++
 	case KindReclaimStart:
 		t.counters.Reclaims++
+	case KindFault:
+		t.counters.FaultsInjected++
+	case KindShed:
+		t.counters.Sheds++
+	case KindRetry:
+		t.counters.Retries++
+	case KindHedge:
+		t.counters.Hedges++
+	case KindHedgeWin:
+		t.counters.HedgesWon++
+	case KindDeadlineMiss:
+		t.counters.DeadlineMisses++
 	}
 }
 
@@ -316,6 +344,25 @@ func (t *SpanTracer) appendTraceEvents(dst []traceEvent) []traceEvent {
 			dst = append(dst, traceEvent{Name: "reclaim", Ph: "X", Ts: tsOf(ev.Time),
 				Dur: ev.Dur.Microseconds(), Pid: t.pidOfCore(ev.Core, ev.VM), Tid: ev.Core,
 				Args: map[string]any{"vm": ev.VM}})
+		case KindFault:
+			if ev.Core >= 0 {
+				dst = append(dst, traceEvent{Name: "fault", Cat: "fault", Ph: "X",
+					Ts: tsOf(ev.Time), Dur: ev.Dur.Microseconds(),
+					Pid: t.pidOfCore(ev.Core, ev.VM), Tid: ev.Core,
+					Args: map[string]any{"dur_us": ev.Dur.Microseconds()}})
+			} else {
+				vm := ev.VM
+				if vm < 0 {
+					vm = 0
+				}
+				dst = append(dst, traceEvent{Name: "fault (server)", Cat: "fault", Ph: "i",
+					Ts: tsOf(ev.Time), Pid: t.pidOf(vm), Tid: lifecycleTid,
+					Args: map[string]any{"dur_us": ev.Dur.Microseconds()}})
+			}
+		case KindShed, KindRetry, KindHedge, KindHedgeWin, KindDeadlineMiss:
+			dst = append(dst, traceEvent{Name: ev.Kind.String(), Ph: "i", Ts: tsOf(ev.Time),
+				Pid: t.pidOf(ev.VM), Tid: lifecycleTid,
+				Args: map[string]any{"req": ev.Req}})
 		}
 	}
 

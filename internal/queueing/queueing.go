@@ -121,6 +121,97 @@ func (q MGc) MeanResponse() (float64, error) {
 	return w + q.MeanS, nil
 }
 
+// MMcK describes an M/M/c/K loss system: Poisson arrivals, c exponential
+// servers, and at most K requests in the system (arrivals beyond that are
+// blocked/shed). It cross-validates the simulator's queue-depth load
+// shedding: with MaxQueueDepth D on c cores, K = c + D and the simulated
+// shed fraction must track the Erlang blocking probability.
+type MMcK struct {
+	Lambda float64 // arrivals per second
+	Mu     float64 // service completions per second per server
+	C      int     // servers
+	K      int     // system capacity (servers + queue slots), K >= C
+}
+
+// Probabilities returns the steady-state distribution p[0..K] of the number
+// in system. Unlike the delay models, a loss system is stable at any load.
+func (q MMcK) Probabilities() ([]float64, error) {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.C <= 0 || q.K < q.C {
+		return nil, fmt.Errorf("queueing: invalid M/M/%d/%d (lambda=%g mu=%g)", q.C, q.K, q.Lambda, q.Mu)
+	}
+	a := q.Lambda / q.Mu
+	p := make([]float64, q.K+1)
+	// Unnormalized terms built iteratively: p[n] = p[n-1] * a/min(n,c).
+	p[0] = 1
+	sum := 1.0
+	for n := 1; n <= q.K; n++ {
+		div := float64(n)
+		if n > q.C {
+			div = float64(q.C)
+		}
+		p[n] = p[n-1] * a / div
+		sum += p[n]
+	}
+	for n := range p {
+		p[n] /= sum
+	}
+	return p, nil
+}
+
+// BlockProb reports the probability an arrival finds the system full and is
+// shed (PASTA: the blocking probability equals p[K]).
+func (q MMcK) BlockProb() (float64, error) {
+	p, err := q.Probabilities()
+	if err != nil {
+		return 0, err
+	}
+	return p[q.K], nil
+}
+
+// Throughput reports the accepted-arrival rate lambda*(1 - BlockProb).
+func (q MMcK) Throughput() (float64, error) {
+	b, err := q.BlockProb()
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * (1 - b), nil
+}
+
+// MeanQueueLen reports the mean number waiting (excluding those in
+// service).
+func (q MMcK) MeanQueueLen() (float64, error) {
+	p, err := q.Probabilities()
+	if err != nil {
+		return 0, err
+	}
+	lq := 0.0
+	for n := q.C + 1; n <= q.K; n++ {
+		lq += float64(n-q.C) * p[n]
+	}
+	return lq, nil
+}
+
+// MeanResponse reports the mean time in system of accepted requests
+// (Little's law over the accepted throughput).
+func (q MMcK) MeanResponse() (float64, error) {
+	p, err := q.Probabilities()
+	if err != nil {
+		return 0, err
+	}
+	l := 0.0
+	for n := 1; n <= q.K; n++ {
+		l += float64(n) * p[n]
+	}
+	th, err := q.Throughput()
+	if err != nil {
+		return 0, err
+	}
+	if th <= 0 {
+		return 0, fmt.Errorf("queueing: zero throughput in M/M/%d/%d", q.C, q.K)
+	}
+	return l / th, nil
+}
+
 // MM1TailQuantile reports the p-quantile of the M/M/1 response time
 // (exponential with rate mu-lambda).
 func MM1TailQuantile(lambda, mu, p float64) (float64, error) {

@@ -199,3 +199,83 @@ func TestFormulasAllocFree(t *testing.T) {
 		t.Fatalf("analytic formulas allocate %.1f per sweep, want 0", avg)
 	}
 }
+
+func TestMMcKErlangB(t *testing.T) {
+	// K = C reduces M/M/c/K to the Erlang-B loss system; M/M/1/1 with a = 1
+	// blocks with probability a/(1+a) = 0.5.
+	q := MMcK{Lambda: 1, Mu: 1, C: 1, K: 1}
+	b, err := q.BlockProb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("M/M/1/1 blocking = %v, want 0.5", b)
+	}
+	// Erlang-B for c=2, a=2: (a^2/2) / (1 + a + a^2/2) = 2/5.
+	q2 := MMcK{Lambda: 2, Mu: 1, C: 2, K: 2}
+	b2, _ := q2.BlockProb()
+	if math.Abs(b2-0.4) > 1e-9 {
+		t.Fatalf("Erlang-B(2,2) = %v, want 0.4", b2)
+	}
+}
+
+func TestMMcKMatchesMM1Truncation(t *testing.T) {
+	// M/M/1/K steady state is the truncated geometric rho^n (1-rho)/(1-rho^{K+1}).
+	q := MMcK{Lambda: 0.5, Mu: 1, C: 1, K: 4}
+	p, err := q.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := 0.5
+	norm := (1 - rho) / (1 - math.Pow(rho, 5))
+	for n := 0; n <= 4; n++ {
+		want := math.Pow(rho, float64(n)) * norm
+		if math.Abs(p[n]-want) > 1e-9 {
+			t.Fatalf("p[%d] = %v, want %v", n, p[n], want)
+		}
+	}
+}
+
+func TestMMcKConsistency(t *testing.T) {
+	q := MMcK{Lambda: 30, Mu: 10, C: 2, K: 10}
+	p, err := q.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// An overloaded loss system still has a steady state; throughput
+	// saturates below the raw arrival rate.
+	th, err := q.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 || th >= q.Lambda {
+		t.Fatalf("throughput %v outside (0, lambda)", th)
+	}
+	if th > float64(q.C)*q.Mu+1e-9 {
+		t.Fatalf("throughput %v exceeds service capacity", th)
+	}
+	// More queue slots shed less.
+	bSmall, _ := MMcK{Lambda: 30, Mu: 10, C: 2, K: 4}.BlockProb()
+	bBig, _ := q.BlockProb()
+	if bBig >= bSmall {
+		t.Fatalf("deeper queue should block less: K=10 %v vs K=4 %v", bBig, bSmall)
+	}
+	// Mean response of accepted requests is at least one service time.
+	r, err := q.MeanResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 1/q.Mu {
+		t.Fatalf("mean response %v below a service time", r)
+	}
+	if _, err := (MMcK{Lambda: 1, Mu: 1, C: 2, K: 1}).BlockProb(); err == nil {
+		t.Fatal("K < C should error")
+	}
+}

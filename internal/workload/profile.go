@@ -75,6 +75,31 @@ func Profiles() []*Profile {
 	}
 }
 
+// MeanDemand is the mean end-to-end service demand of one request: total
+// CPU plus the expected blocking time (MeanIOCalls draws of IOMean). It is
+// the natural unit for SLO-derived resilience deadlines.
+func (p *Profile) MeanDemand() sim.Duration {
+	return p.MeanCPU + sim.Duration(p.MeanIOCalls*float64(p.IOMean))
+}
+
+// RandomProfile draws a bounded random service shape for fuzzing: every
+// field stays inside the envelope spanned by the eight real services, so a
+// random profile stresses scheduling without producing degenerate (zero- or
+// hour-long) requests.
+func RandomProfile(rng *stats.RNG, name string) *Profile {
+	return &Profile{
+		Name:           name,
+		MeanCPU:        sim.Duration(100+rng.Intn(1200)) * sim.Microsecond,
+		CPUSigma:       0.2 + 0.4*rng.Float64(),
+		MeanIOCalls:    4 * rng.Float64(),
+		IOMean:         sim.Duration(100+rng.Intn(600)) * sim.Microsecond,
+		IOSigma:        0.2 + 0.4*rng.Float64(),
+		SharedFrac:     0.4 + 0.4*rng.Float64(),
+		FootprintKB:    100 + rng.Intn(400),
+		BaseRPSPerCore: 60 + 200*rng.Float64(),
+	}
+}
+
 // ProfileByName returns the named profile or an error.
 func ProfileByName(name string) (*Profile, error) {
 	for _, p := range Profiles() {

@@ -4,13 +4,20 @@
 #
 # Usage:
 #   scripts/bench.sh              # run + rewrite BENCH_baseline.json
-#   scripts/bench.sh -check      # run + diff allocs/op against the baseline
-#                                 (fails if any benchmark allocates more than
-#                                 the committed numbers + 10% slack; ns/op is
-#                                 machine-dependent and only reported)
+#   scripts/bench.sh -check      # run + diff against the baseline:
+#                                 - allocs/op: fails if any benchmark
+#                                   allocates more than the committed number
+#                                   + 10% slack
+#                                 - ns/op: fails if BenchmarkServerSimulation
+#                                   (the end-to-end hot path, which carries
+#                                   the always-on invariant checker) runs more
+#                                   than BENCH_NS_SLACK (default 3%) over the
+#                                   baseline; other benchmarks are reported
+#                                   only. Set BENCH_SKIP_NS=1 on hardware that
+#                                   does not match the pinning machine.
 #
 # The baseline is committed so reviewers can see the pinned numbers and CI
-# can gate on allocation regressions without depending on wall-clock speed.
+# can gate on allocation and hot-path-latency regressions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,10 +30,12 @@ trap 'rm -f "$OUT"' EXIT
 
 # -benchtime 5x keeps the suite fast while still amortising setup; the engine
 # micro-benches are deterministic in allocs/op from the first iteration.
-go test -run '^$' -bench "$BENCHES" -benchtime 5x -benchmem ./... 2>&1 | tee "$OUT"
+# -count 3 repeats every benchmark; the parser takes the per-benchmark
+# minimum ns/op, which strips scheduler/turbo noise far better than a mean.
+go test -run '^$' -bench "$BENCHES" -benchtime 5x -benchmem -count 3 ./... 2>&1 | tee "$OUT"
 
 python3 - "$OUT" "$CHECK" <<'EOF'
-import json, re, sys
+import json, os, re, sys
 
 out_path, check = sys.argv[1], sys.argv[2] == "1"
 rows = {}
@@ -36,10 +45,18 @@ pat = re.compile(
 for line in open(out_path):
     m = pat.match(line.strip())
     if m:
-        rows[m.group(1)] = {"ns_per_op": float(m.group(2)), "allocs_per_op": int(m.group(3))}
+        name, ns, allocs = m.group(1), float(m.group(2)), int(m.group(3))
+        row = rows.setdefault(name, {"ns_per_op": ns, "allocs_per_op": allocs})
+        # min ns/op across -count repeats; allocs/op must be identical.
+        row["ns_per_op"] = min(row["ns_per_op"], ns)
+        row["allocs_per_op"] = max(row["allocs_per_op"], allocs)
 
 if not rows:
     sys.exit("bench.sh: no benchmark results parsed")
+
+NS_GATED = "BenchmarkServerSimulation"  # end-to-end hot path incl. invariant checker
+NS_SLACK = float(os.environ.get("BENCH_NS_SLACK", "0.03"))
+SKIP_NS = os.environ.get("BENCH_SKIP_NS", "") == "1"
 
 if check:
     base = json.load(open("BENCH_baseline.json"))["benchmarks"]
@@ -54,11 +71,19 @@ if check:
         failed |= status == "REGRESSION"
         print(f"  {name}: {got['allocs_per_op']} allocs/op "
               f"(baseline {want['allocs_per_op']}, budget {budget}) {status}")
+        if name == NS_GATED and not SKIP_NS:
+            ns_budget = want["ns_per_op"] * (1 + NS_SLACK)
+            ns_status = "ok" if got["ns_per_op"] <= ns_budget else "REGRESSION"
+            failed |= ns_status == "REGRESSION"
+            print(f"  {name}: {got['ns_per_op']:.0f} ns/op "
+                  f"(baseline {want['ns_per_op']:.0f}, budget {ns_budget:.0f}, "
+                  f"slack {NS_SLACK:.0%}) {ns_status}")
     sys.exit(1 if failed else 0)
 else:
     doc = {
-        "note": "Pinned by scripts/bench.sh; allocs/op is the gated number, "
-                "ns/op is informational (machine-dependent).",
+        "note": "Pinned by scripts/bench.sh; allocs/op is gated for every "
+                "benchmark, ns/op is gated (3% slack) for "
+                "BenchmarkServerSimulation and informational elsewhere.",
         "benchmarks": dict(sorted(rows.items())),
     }
     with open("BENCH_baseline.json", "w") as f:
