@@ -17,6 +17,11 @@
 //	                                  # timeout/retry/hedge/shed policies
 //	hhsim -exp faultsweep -strict     # fault-intensity sweep, invariant
 //	                                  # violations panic with replay info
+//	hhsim -validate                   # simulation oracle: metamorphic +
+//	                                  # analytic checks, exit 1 on failure
+//	hhsim -validate -perturb partition-flush-wait=3
+//	                                  # prove the oracle catches a
+//	                                  # corrupted Table 1 constant
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"hardharvest/internal/faults"
 	"hardharvest/internal/obs"
 	"hardharvest/internal/sim"
+	"hardharvest/internal/validate"
 )
 
 // collector hands out per-run observers and keeps them for export after the
@@ -120,6 +126,9 @@ func main() {
 	faultsPath := flag.String("faults", "", "inject faults from a JSON fault plan (see internal/faults)")
 	strict := flag.Bool("strict", false, "panic on the first invariant violation with replay info")
 	resilience := flag.Bool("resilience", false, "enable default request timeout/retry/hedge/shed policies")
+	runValidate := flag.Bool("validate", false, "run the simulation oracle (metamorphic + analytic checks) and exit nonzero on failure")
+	perturb := flag.String("perturb", "", "comma-separated field=factor corruptions for -validate (fields: "+
+		strings.Join(validate.PerturbFields(), ", ")+")")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 
@@ -181,6 +190,14 @@ func main() {
 	sc.Strict = *strict
 	if *resilience {
 		sc.Resilience = cluster.DefaultResilience()
+	}
+
+	if *runValidate {
+		os.Exit(runOracle(sc, *perturb))
+	}
+	if *perturb != "" {
+		fmt.Fprintln(os.Stderr, "-perturb only applies to -validate")
+		os.Exit(2)
 	}
 
 	// runExp executes one experiment: the rendered table goes to w, the
@@ -280,6 +297,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runOracle executes the validate suite at the scale's parameters and
+// prints every check. Exit codes: 0 all checks pass, 1 at least one check
+// failed, 2 unusable parameters (malformed -perturb spec).
+func runOracle(sc experiments.Scale, perturb string) int {
+	p := validate.Params{
+		Measure:    sc.Measure,
+		Warmup:     sc.Warmup,
+		Seed:       sc.Seed,
+		Faults:     sc.Faults,
+		Strict:     sc.Strict,
+		Resilience: sc.Resilience,
+	}
+	if perturb != "" {
+		p.Perturb = strings.Split(perturb, ",")
+	}
+	start := time.Now()
+	checks, err := validate.Suite(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, c := range checks {
+		fmt.Println(c)
+	}
+	failed := validate.Failed(checks)
+	fmt.Fprintf(os.Stderr, "  (validate: %d checks, %d failed, in %.1fs)\n",
+		len(checks), len(failed), time.Since(start).Seconds())
+	if len(failed) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // printCounters reports the harvest-event counters and the end-to-end

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The CLI tests re-execute the test binary as hhsim: TestMain dispatches
+// to main() when HHSIM_RUN_MAIN is set, so no separate build artifact is
+// needed and `go test ./cmd/hhsim` covers real flag parsing, stream
+// separation, and exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("HHSIM_RUN_MAIN") == "1" {
+		os.Args = append(os.Args[:1], strings.Split(os.Getenv("HHSIM_ARGS"), " ")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// hhsim re-runs the test binary as the CLI with the given args and returns
+// stdout, stderr, and the exit code.
+func hhsim(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(),
+		"HHSIM_RUN_MAIN=1",
+		"HHSIM_ARGS="+strings.Join(args, " "))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := hhsim(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"table1", "fig11", "fig16", "summary"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, stderr, code := hhsim(t, "-exp", "nope")
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("stderr %q does not explain the failure", stderr)
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	if _, _, code := hhsim(t); code != 2 {
+		t.Errorf("exit %d, want 2 (usage)", code)
+	}
+}
+
+// TestExpTable runs one cheap experiment and checks the rendered table
+// lands on stdout while the timing line stays on stderr.
+func TestExpTable(t *testing.T) {
+	out, stderr, code := hhsim(t, "-exp", "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "== table1:") {
+		t.Errorf("stdout missing table header:\n%s", out)
+	}
+	if !strings.Contains(stderr, "(table1 in") {
+		t.Errorf("timing line not on stderr: %q", stderr)
+	}
+	if strings.Contains(out, "(table1 in") {
+		t.Errorf("timing line leaked to stdout")
+	}
+}
+
+// TestJSONAllSingleDocument asserts `-json -all` emits exactly one JSON
+// array of tables on stdout — nothing else — so the output pipes straight
+// into jq. Timing lines must all be on stderr. This is the documented
+// stream contract; quick scale keeps it a few seconds.
+func TestJSONAllSingleDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs every experiment")
+	}
+	out, stderr, code := hhsim(t, "-json", "-all", "-measure-ms", "100")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var tables []struct {
+		ID      string   `json:"ID"`
+		Columns []string `json:"Columns"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	if err := dec.Decode(&tables); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\nstdout starts: %.200s", err, out)
+	}
+	if dec.More() {
+		t.Errorf("stdout holds more than one JSON document")
+	}
+	if len(tables) < 20 {
+		t.Errorf("decoded %d tables, want every experiment", len(tables))
+	}
+	if !strings.Contains(stderr, "(fig11 in") {
+		t.Errorf("per-experiment timing lines missing from stderr")
+	}
+}
+
+// TestDeterminism runs the same experiment twice and requires
+// byte-identical stdout: the simulation is seeded and the CLI adds no
+// nondeterminism of its own.
+func TestDeterminism(t *testing.T) {
+	a, _, codeA := hhsim(t, "-exp", "fig6", "-json")
+	b, _, codeB := hhsim(t, "-exp", "fig6", "-json")
+	if codeA != 0 || codeB != 0 {
+		t.Fatalf("exits %d/%d", codeA, codeB)
+	}
+	if a != b {
+		t.Errorf("two identical invocations differ on stdout")
+	}
+}
+
+// TestValidateExitCodes covers the oracle mode's contract: 0 when every
+// check passes, 1 when a perturbed constant makes checks fail, 2 for a
+// malformed -perturb spec, and -perturb without -validate is a usage
+// error.
+func TestValidateExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs the oracle suite three times")
+	}
+	out, stderr, code := hhsim(t, "-validate", "-measure-ms", "200")
+	if code != 0 {
+		t.Fatalf("clean -validate exit %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "PASS analytic/littles-law-identity/") ||
+		!strings.Contains(out, "PASS metamorphic/time-rescaling/") {
+		t.Errorf("check listing missing expected lines:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("clean run printed FAIL lines:\n%s", out)
+	}
+
+	out, _, code = hhsim(t, "-validate", "-measure-ms", "200", "-perturb", "partition-flush-wait=3")
+	if code != 1 {
+		t.Errorf("perturbed -validate exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "FAIL analytic/table1-calibration/PartitionFlushWait") {
+		t.Errorf("perturbed run does not name the corrupted constant:\n%s", out)
+	}
+	if !strings.Contains(out, "relation:") {
+		t.Errorf("failure does not state the violated relation:\n%s", out)
+	}
+
+	if _, _, code = hhsim(t, "-validate", "-perturb", "bogus"); code != 2 {
+		t.Errorf("malformed -perturb exit %d, want 2", code)
+	}
+	if _, _, code = hhsim(t, "-perturb", "load-scale=2"); code != 2 {
+		t.Errorf("-perturb without -validate exit %d, want 2", code)
+	}
+}

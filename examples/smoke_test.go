@@ -1,0 +1,82 @@
+// Package examples_test smoke-tests every runnable example: each must
+// build and run to completion with a zero exit and produce output. The
+// examples double as the public-API tutorial, so a compile break or a
+// panic here is a documentation regression, not just a test failure.
+package examples_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exampleDirs discovers the example programs (every subdirectory holding a
+// main.go), so a new example is covered without editing this test.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(e.Name() + "/main.go"); err == nil {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) < 6 {
+		t.Fatalf("found only %d example dirs (%v), expected the full set", len(dirs), dirs)
+	}
+	return dirs
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: examples run whole simulations")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./%s: %v\nstderr:\n%s", dir, err, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}
+
+// TestExamplesDeterministic reruns the cheapest example and requires
+// byte-identical output: examples print simulation results, and those are
+// seeded.
+func TestExamplesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: examples run whole simulations")
+	}
+	run := func() string {
+		out, err := exec.Command("go", "run", "./controller").Output()
+		if err != nil {
+			t.Fatalf("go run ./controller: %v", err)
+		}
+		return string(out)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("controller example output differs between runs")
+	}
+}

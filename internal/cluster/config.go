@@ -27,6 +27,11 @@ type Config struct {
 	// Measurement window.
 	WarmupDuration  sim.Duration
 	MeasureDuration sim.Duration
+	// GraceWindow lets requests that arrived near the end of the
+	// measurement window complete before the engine stops (0 uses the
+	// default 50 ms). It scales with the rest of the config under the
+	// validate oracle's time-rescaling relation.
+	GraceWindow sim.Duration
 
 	// LoadScale multiplies every service's base arrival rate.
 	LoadScale float64
@@ -172,6 +177,7 @@ func DefaultConfig() Config {
 
 		WarmupDuration:  100 * sim.Millisecond,
 		MeasureDuration: 1500 * sim.Millisecond,
+		GraceWindow:     graceWindow,
 
 		LoadScale:      1.85,
 		TraceStep:      50 * sim.Millisecond,
@@ -222,6 +228,14 @@ func DefaultConfig() Config {
 
 // TotalPrimaryCores reports the cores allocated to Primary VMs.
 func (c Config) TotalPrimaryCores() int { return c.PrimaryVMs * c.CoresPerPrimary }
+
+// grace reports the effective post-window grace.
+func (c Config) grace() sim.Duration {
+	if c.GraceWindow > 0 {
+		return c.GraceWindow
+	}
+	return graceWindow
+}
 
 // validate panics on impossible shapes; configs are programmer-provided.
 func (c Config) validate() {

@@ -31,8 +31,10 @@ func randomResilience(rng *stats.RNG) Resilience {
 }
 
 // fuzzBody runs one randomized fault+resilience scenario on a small cluster
-// and fails if the invariant checker saw anything or conservation broke.
-func fuzzBody(t *testing.T, seed uint64) {
+// and fails if the invariant checker saw anything or conservation broke. It
+// reports the hedged and shed attempt counts across both backends so
+// corpus tests can assert coverage of the resilience interactions.
+func fuzzBody(t *testing.T, seed uint64) (hedges, sheds uint64) {
 	t.Helper()
 	rng := stats.NewRNG(seed)
 	plan := faults.RandomPlan(rng)
@@ -73,12 +75,42 @@ func fuzzBody(t *testing.T, seed uint64) {
 		if r.Arrivals == 0 {
 			t.Fatalf("seed %d %v: no arrivals", seed, k)
 		}
+		hedges += r.Hedges
+		sheds += r.Sheds
 	}
+	return hedges, sheds
 }
 
 // corpusSeeds is the seeded corpus CI runs on every push (satellite of the
-// fuzz target: deterministic, no -fuzz needed).
-var corpusSeeds = []uint64{1, 2, 3, 5, 8, 13, 0xDEAD, 0x5EED1234}
+// fuzz target: deterministic, no -fuzz needed). 26 and 29 are chosen so
+// randomResilience draws timeouts, retries, hedging, and queue-depth
+// shedding all at once — the policy interactions live in that overlap, and
+// TestCorpusExercisesHedgeAndShed pins that the overlap actually fires.
+var corpusSeeds = []uint64{1, 2, 3, 5, 8, 13, 26, 29, 0xDEAD, 0x5EED1234}
+
+// hedgeShedSeeds are the corpus entries drawn to enable hedging and
+// shedding together.
+var hedgeShedSeeds = []uint64{26, 29}
+
+// TestCorpusExercisesHedgeAndShed asserts the hedge+shed corpus entries
+// still observe both mechanisms at runtime: if a refactor of
+// randomResilience's draw order (or the policies themselves) silences
+// them, this fails rather than letting the corpus quietly stop covering
+// the interaction.
+func TestCorpusExercisesHedgeAndShed(t *testing.T) {
+	t.Parallel()
+	var hedges, sheds uint64
+	for _, seed := range hedgeShedSeeds {
+		h, s := fuzzBody(t, seed)
+		hedges += h
+		sheds += s
+	}
+	if hedges == 0 || sheds == 0 {
+		t.Errorf("hedge+shed corpus seeds %v observed hedges=%d sheds=%d; "+
+			"both must be nonzero — re-pick seeds if resilience drawing changed",
+			hedgeShedSeeds, hedges, sheds)
+	}
+}
 
 // TestFaultPlanCorpus exercises the seeded corpus deterministically.
 func TestFaultPlanCorpus(t *testing.T) {

@@ -101,10 +101,21 @@ func (s *Server) setReqState(r *request, to reqState) {
 	r.state = to
 }
 
-// setCoreKind performs a checked core state transition.
+// setCoreKind performs a checked core state transition. On instrumented
+// runs (an Observer is attached — always true for the validate oracle) the
+// transition also closes the open phase interval into the core's cycle
+// account, so busy/idle/harvested/transition time integrates exactly and
+// the four buckets sum to wall time per core. Plain runs skip the
+// accounting: this is the simulation's hottest edge, and uninstrumented
+// callers never read the accounts.
 func (s *Server) setCoreKind(c *coreRT, to corePhaseKind) {
 	if coreLegal[c.kind]&(1<<to) == 0 {
 		s.invViolate("core %d: illegal transition %v -> %v", c.id, c.kind, to)
+	}
+	if s.acctOn {
+		now := s.now()
+		c.acct[c.kind] += now.Sub(c.acctSince)
+		c.acctSince = now
 	}
 	c.kind = to
 }

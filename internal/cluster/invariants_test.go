@@ -12,7 +12,10 @@ import (
 // transitions directly and verifies the non-strict path tolerates, counts,
 // and describes them.
 func TestIllegalTransitionsCounted(t *testing.T) {
-	s := &Server{}
+	// acctOn makes setCoreKind fold elapsed time into the core's cycle
+	// account (the instrumented-run path), so this bare server needs a
+	// clock too.
+	s := &Server{eng: sim.NewEngine(), acctOn: true}
 	r := &request{id: 7}
 
 	s.setReqState(r, rsRunning) // free -> running skips transit+queued

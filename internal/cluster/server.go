@@ -65,6 +65,12 @@ type coreRT struct {
 	// to that request's breakdown (Figure 6).
 	pendingReassign sim.Duration
 	pendingFlush    sim.Duration
+
+	// Cycle accounting for the validate oracle: acct integrates the time
+	// spent in each corePhaseKind, folded in at every checked transition
+	// (setCoreKind); acctSince is the start of the open phase interval.
+	acctSince sim.Time
+	acct      [4]sim.Duration
 }
 
 type vmRT struct {
@@ -201,6 +207,11 @@ type Server struct {
 	// obs receives lifecycle events; nil disables instrumentation and every
 	// hook site reduces to one nil check (see internal/obs).
 	obs obs.Observer
+	// acctOn enables per-core cycle accounting in setCoreKind. It follows
+	// obs != nil: the accounts exist for the validate oracle's conservation
+	// checks, which always observe the run, and the hottest transition edge
+	// should not pay for them otherwise.
+	acctOn bool
 
 	flushRNG *stats.RNG
 	pollRNG  *stats.RNG
@@ -225,7 +236,14 @@ type Server struct {
 	measureStart sim.Time
 	measureEnd   sim.Time
 	stopArrivals sim.Time
+	horizon      sim.Time
 	reqSeq       uint64
+
+	// Per-core cycle accounts snapshotted at the measurement-window edges
+	// (validate oracle: busy + idle + harvested + transition must sum to
+	// the window per core).
+	coreWinStart []CoreCycles
+	coreWinEnd   []CoreCycles
 
 	// reqFree recycles request objects (and their phase slices): a server
 	// simulates hundreds of thousands of requests but only a few hundred
@@ -278,6 +296,7 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 		harvestIdx: cfg.PrimaryVMs,
 		hwork:      work,
 		obs:        opts.Observer,
+		acctOn:     opts.Observer != nil,
 	}
 	root := stats.NewRNG(cfg.Seed)
 	s.flushRNG = root.Split(1)
@@ -465,8 +484,9 @@ func (s *Server) coresOf(vmIdx int) []*coreRT {
 func (s *Server) Run() *ServerResult {
 	s.measureStart = sim.Time(s.cfg.WarmupDuration)
 	s.measureEnd = s.measureStart.Add(s.cfg.MeasureDuration)
-	s.stopArrivals = s.measureEnd.Add(graceWindow / 2)
-	horizon := s.measureEnd.Add(graceWindow)
+	s.stopArrivals = s.measureEnd.Add(s.cfg.grace() / 2)
+	s.horizon = s.measureEnd.Add(s.cfg.grace())
+	horizon := s.horizon
 
 	// Observability: hand the topology to interested observers and drive
 	// snapshot sinks at their requested simulated-time cadence.
@@ -507,7 +527,8 @@ func (s *Server) Run() *ServerResult {
 	if s.cfg.FaultPlan != nil {
 		s.scheduleFaults(horizon)
 	}
-	// Reset utilization accounting at the start of the measurement window.
+	// Reset utilization accounting at the start of the measurement window,
+	// and snapshot the per-core cycle accounts at both window edges.
 	s.eng.At(s.measureStart, func() {
 		s.util = metrics.NewUtilization(len(s.cores))
 		for _, c := range s.cores {
@@ -515,11 +536,13 @@ func (s *Server) Run() *ServerResult {
 				s.util.SetBusy(c.id, s.now(), true)
 			}
 		}
+		s.coreWinStart = s.acctSnapshot()
 	})
 	s.eng.At(s.measureEnd, func() {
 		// Finish freezes the accumulator: post-window SetBusy calls are
 		// ignored inside metrics.Utilization.
 		s.util.Finish(s.measureEnd)
+		s.coreWinEnd = s.acctSnapshot()
 	})
 
 	s.eng.Run(horizon)
@@ -1287,7 +1310,7 @@ func (s *Server) agentSample() {
 		}
 		s.agent.Observe(v.idx, busy)
 	}
-	if s.now() < s.measureEnd.Add(graceWindow) {
+	if s.now() < s.horizon {
 		s.eng.ScheduleCall(s.cfg.AgentSample, s, opAgentSample, nil, nil)
 	}
 }
@@ -1327,7 +1350,7 @@ func (s *Server) agentTick() {
 			lend--
 		}
 	}
-	if s.now() < s.measureEnd.Add(graceWindow) {
+	if s.now() < s.horizon {
 		s.eng.ScheduleCall(s.cfg.AgentInterval, s, opAgentTick, nil, nil)
 	}
 }
@@ -1562,6 +1585,57 @@ func (s *Server) reclaimEnd(victim *coreRT) {
 
 // ---- Results ----
 
+// CoreCycles is one core's cycle account over a span of simulated time,
+// split by phase: Idle, Overhead (dispatch paths, flushes, hypervisor and
+// controller moves), RunOwn (executing the owner VM's work), and RunLoaned
+// (executing harvested work for another VM). The four buckets sum exactly
+// to the span — that identity is what the validate oracle's utilization-
+// conservation check asserts.
+type CoreCycles struct {
+	Idle      sim.Duration
+	Overhead  sim.Duration
+	RunOwn    sim.Duration
+	RunLoaned sim.Duration
+}
+
+// Total sums the four phase buckets.
+func (cc CoreCycles) Total() sim.Duration {
+	return cc.Idle + cc.Overhead + cc.RunOwn + cc.RunLoaned
+}
+
+// Sub reports the bucket-wise difference cc - other.
+func (cc CoreCycles) Sub(other CoreCycles) CoreCycles {
+	return CoreCycles{
+		Idle:      cc.Idle - other.Idle,
+		Overhead:  cc.Overhead - other.Overhead,
+		RunOwn:    cc.RunOwn - other.RunOwn,
+		RunLoaned: cc.RunLoaned - other.RunLoaned,
+	}
+}
+
+// acctSnapshot folds every core's open phase interval into its account and
+// returns a copy of the accounts (nil on uninstrumented runs, whose
+// setCoreKind skips accounting). It runs at most three times per run
+// (window edges and end of run), never on the event hot path.
+func (s *Server) acctSnapshot() []CoreCycles {
+	if !s.acctOn {
+		return nil
+	}
+	now := s.now()
+	out := make([]CoreCycles, len(s.cores))
+	for i, c := range s.cores {
+		c.acct[c.kind] += now.Sub(c.acctSince)
+		c.acctSince = now
+		out[i] = CoreCycles{
+			Idle:      c.acct[cIdle],
+			Overhead:  c.acct[cOverhead],
+			RunOwn:    c.acct[cRunOwn],
+			RunLoaned: c.acct[cRunLoaned],
+		}
+	}
+	return out
+}
+
 func (s *Server) result() *ServerResult {
 	res := &ServerResult{
 		System:    s.opts.Name,
@@ -1589,6 +1663,14 @@ func (s *Server) result() *ServerResult {
 		}
 	}
 	res.BusyCores = s.util.BusyCores(s.cfg.MeasureDuration)
+	res.CoreCyclesTotal = s.acctSnapshot()
+	res.AccountedEnd = s.now()
+	if len(s.coreWinStart) > 0 && len(s.coreWinEnd) > 0 {
+		res.CoreCyclesWindow = make([]CoreCycles, len(s.coreWinEnd))
+		for i := range s.coreWinEnd {
+			res.CoreCyclesWindow[i] = s.coreWinEnd[i].Sub(s.coreWinStart[i])
+		}
+	}
 	res.HarvestJobs = s.jobsDone
 	res.HarvestJobsPerSec = float64(s.jobsDone) / s.cfg.MeasureDuration.Seconds()
 	s.checkConservation()
@@ -1631,6 +1713,17 @@ type ServerResult struct {
 	Requests int
 	Arrivals int
 	Elapsed  sim.Duration
+
+	// CoreCyclesWindow is each core's phase-split cycle account over the
+	// measurement window (idle + overhead + own-run + loaned-run sums to
+	// MeasureDuration exactly); CoreCyclesTotal covers the whole run up to
+	// AccountedEnd. Both feed the validate oracle's utilization-
+	// conservation check and are populated only on instrumented runs
+	// (Options.Observer != nil) — plain runs skip the per-transition
+	// accounting to keep the hot path lean.
+	CoreCyclesWindow []CoreCycles
+	CoreCyclesTotal  []CoreCycles
+	AccountedEnd     sim.Time
 
 	// InvariantViolations counts checker violations tolerated during the
 	// run (always zero under Config.Strict, which panics instead);

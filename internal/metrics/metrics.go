@@ -112,6 +112,12 @@ func (u *Utilization) BusyCores(elapsed sim.Duration) float64 {
 	return float64(total) / float64(elapsed)
 }
 
+// CoreBusy reports one core's accumulated busy time (closed intervals
+// only until Finish is called).
+func (u *Utilization) CoreBusy(core int) sim.Duration {
+	return u.busyTotal[core]
+}
+
 // CoreBusyFraction reports one core's busy fraction.
 func (u *Utilization) CoreBusyFraction(core int, elapsed sim.Duration) float64 {
 	if elapsed <= 0 {

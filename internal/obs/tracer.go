@@ -39,6 +39,59 @@ type Counters struct {
 	DeadlineMisses uint64 // calls that exhausted their timeout/retry budget
 }
 
+// Count folds one event into the counters. It is the single place event
+// kinds map to counter fields; SpanTracer and Audit both delegate here so
+// their counts can never disagree.
+func (c *Counters) Count(ev Event) {
+	switch ev.Kind {
+	case KindArrival:
+		c.Arrivals++
+	case KindEnqueue:
+		c.Enqueues++
+	case KindDispatch:
+		c.Dispatches++
+		if ev.CrossVM {
+			c.Loans++
+		}
+	case KindFlushStart:
+		c.Flushes++
+	case KindBlock:
+		c.Blocks++
+	case KindUnblock:
+		c.Unblocks++
+	case KindComplete:
+		if ev.IsJob {
+			c.JobsDone++
+		} else {
+			c.Completions++
+		}
+	case KindPreempt:
+		c.Preempts++
+		c.Reclaims++
+	case KindAbort:
+		c.Aborts++
+	case KindPin:
+		c.Pins++
+	case KindLendStart:
+		c.LendMoves++
+		c.Loans++
+	case KindReclaimStart:
+		c.Reclaims++
+	case KindFault:
+		c.FaultsInjected++
+	case KindShed:
+		c.Sheds++
+	case KindRetry:
+		c.Retries++
+	case KindHedge:
+		c.Hedges++
+	case KindHedgeWin:
+		c.HedgesWon++
+	case KindDeadlineMiss:
+		c.DeadlineMisses++
+	}
+}
+
 // String renders the counters as one summary line. The robustness section
 // is appended only when any of its counters is nonzero, so fault-free runs
 // render identically to builds that predate fault injection.
@@ -113,62 +166,22 @@ func (t *SpanTracer) SetTopology(topo Topology) {
 // Observe implements Observer.
 func (t *SpanTracer) Observe(ev Event) {
 	t.events = append(t.events, ev)
+	t.counters.Count(ev)
 	switch ev.Kind {
-	case KindArrival:
-		t.counters.Arrivals++
-	case KindEnqueue:
-		t.counters.Enqueues++
-	case KindDispatch:
-		t.counters.Dispatches++
-		if ev.CrossVM {
-			t.counters.Loans++
-		}
 	case KindFlushStart:
-		t.counters.Flushes++
 		t.flushCritical += ev.Dur
 	case KindBurstEnd:
 		if !ev.IsJob {
 			t.execByReq[ev.Req] += ev.Dur
 		}
-	case KindBlock:
-		t.counters.Blocks++
-	case KindUnblock:
-		t.counters.Unblocks++
 	case KindComplete:
-		if ev.IsJob {
-			t.counters.JobsDone++
-		} else {
-			t.counters.Completions++
+		if !ev.IsJob {
 			if ev.Measured {
 				t.execMeasured += t.execByReq[ev.Req]
 				t.hist.Record(ev.Dur)
 			}
 			delete(t.execByReq, ev.Req)
 		}
-	case KindPreempt:
-		t.counters.Preempts++
-		t.counters.Reclaims++
-	case KindAbort:
-		t.counters.Aborts++
-	case KindPin:
-		t.counters.Pins++
-	case KindLendStart:
-		t.counters.LendMoves++
-		t.counters.Loans++
-	case KindReclaimStart:
-		t.counters.Reclaims++
-	case KindFault:
-		t.counters.FaultsInjected++
-	case KindShed:
-		t.counters.Sheds++
-	case KindRetry:
-		t.counters.Retries++
-	case KindHedge:
-		t.counters.Hedges++
-	case KindHedgeWin:
-		t.counters.HedgesWon++
-	case KindDeadlineMiss:
-		t.counters.DeadlineMisses++
 	}
 }
 

@@ -1,0 +1,125 @@
+package validate
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// bless regenerates the golden artifacts instead of diffing against them:
+//
+//	go test ./internal/validate -run TestGolden -bless
+var bless = flag.Bool("bless", false, "regenerate golden artifacts instead of comparing")
+
+const goldenPath = "testdata/golden/quick.json"
+
+// TestGolden diffs a fresh quick-scale capture against the blessed
+// artifact. Any divergence fails with the exact cell that moved; an
+// intentional behaviour change is re-blessed with -bless and reviewed as
+// part of the diff.
+func TestGolden(t *testing.T) {
+	got := Capture(Quick())
+	if *bless {
+		if err := got.WriteFile(goldenPath); err != nil {
+			t.Fatalf("bless: %v", err)
+		}
+		t.Logf("blessed %s (%d bytes)", goldenPath, len(got.Marshal()))
+		return
+	}
+	blessed, err := LoadArtifact(goldenPath)
+	if err != nil {
+		t.Fatalf("load blessed artifact (regenerate with -bless): %v", err)
+	}
+	for _, line := range Diff(blessed, got) {
+		t.Errorf("golden diff: %s", line)
+	}
+}
+
+// TestGoldenByteStable asserts the artifact pipeline is deterministic end
+// to end: two independent captures must marshal to identical bytes, and
+// the blessed file must be byte-identical to a fresh re-bless (so a CI
+// re-run or a -bless on another machine produces no diff noise).
+func TestGoldenByteStable(t *testing.T) {
+	a := Capture(Quick()).Marshal()
+	b := Capture(Quick()).Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two captures marshalled differently (%d vs %d bytes)", len(a), len(b))
+	}
+	disk, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("no blessed artifact yet: %v", err)
+	}
+	if !bytes.Equal(disk, a) {
+		t.Errorf("blessed %s is not byte-identical to a fresh capture; re-bless or "+
+			"inspect TestGolden's structural diff", goldenPath)
+	}
+}
+
+// TestGoldenDiffNamesCell covers the diff engine itself: a single mutated
+// cell must produce exactly one line naming table, row, and column; a
+// mutated system percentile must name system, service, and field.
+func TestGoldenDiffNamesCell(t *testing.T) {
+	base := Capture(Quick())
+	if len(base.Tables) == 0 || len(base.Tables[0].Rows) == 0 {
+		t.Fatal("capture produced no table rows")
+	}
+	if ds := Diff(base, base); len(ds) != 0 {
+		t.Fatalf("self-diff not empty: %v", ds)
+	}
+
+	mut := *base
+	mut.Tables = append([]TableGold(nil), base.Tables...)
+	tg := mut.Tables[0]
+	tg.Rows = append([]RowGold(nil), tg.Rows...)
+	row := tg.Rows[0]
+	row.Cells = append([]string(nil), row.Cells...)
+	row.Cells[0] = "corrupted"
+	tg.Rows[0] = row
+	mut.Tables[0] = tg
+	ds := Diff(base, &mut)
+	if len(ds) != 1 {
+		t.Fatalf("one mutated cell produced %d diff lines: %v", len(ds), ds)
+	}
+	for _, frag := range []string{tg.ID, row.Label, tg.Columns[1], "corrupted"} {
+		if !contains(ds[0], frag) {
+			t.Errorf("diff %q does not name %q", ds[0], frag)
+		}
+	}
+
+	mut2 := *base
+	mut2.Systems = append([]SystemGold(nil), base.Systems...)
+	sg := mut2.Systems[0]
+	sg.Services = append([]ServiceGold(nil), sg.Services...)
+	sg.Services[0].P99Ps += 12345
+	mut2.Systems[0] = sg
+	ds2 := Diff(base, &mut2)
+	if len(ds2) != 1 {
+		t.Fatalf("one mutated percentile produced %d diff lines: %v", len(ds2), ds2)
+	}
+	for _, frag := range []string{sg.System, sg.Services[0].Name, "p99_ps"} {
+		if !contains(ds2[0], frag) {
+			t.Errorf("diff %q does not name %q", ds2[0], frag)
+		}
+	}
+}
+
+// TestBlessRoundTrip blesses into a temp dir and reloads: write → load →
+// diff must be the identity.
+func TestBlessRoundTrip(t *testing.T) {
+	art := Capture(Quick())
+	path := filepath.Join(t.TempDir(), "golden", "quick.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatalf("LoadArtifact: %v", err)
+	}
+	if ds := Diff(art, loaded); len(ds) != 0 {
+		t.Errorf("round-trip diff not empty: %v", ds)
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -1,0 +1,309 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+	"hardharvest/internal/workload"
+)
+
+// rescaleK is the time-rescaling factor: every duration constant, every
+// service time, and the measurement window itself stretch by k while
+// arrival rates shrink by k. Latencies must stretch by exactly k (up to
+// per-draw picosecond rounding and the 1 µs phase clamps, absorbed by
+// rescaleTol).
+const rescaleK = 2
+
+// rescaleTol bounds the per-service percentile deviation of the rescaled
+// run after dividing by k. The RNG consumes identical uniform draws in
+// both runs and Exp/LogNormal scale exactly with their means, so the band
+// only absorbs picosecond rounding, the unscaled 1 µs phase clamps, and
+// end-of-window boundary effects.
+const rescaleTol = 0.02
+
+// rescaleOptions is the hardware scheduling path without harvesting: the
+// software path's PollInterval jitter draws (Int63n) do not scale with
+// their bound, and batch-job service times come from the workload files,
+// not the config — both would break the exact-scaling argument.
+func rescaleOptions() cluster.Options {
+	return cluster.Options{
+		Name:     "Rescale",
+		HWSched:  true,
+		HWQueue:  true,
+		HWCtxtSw: true,
+	}
+}
+
+// rescaleProfiles stretches every service's time constants by k and
+// divides its arrival rate by k, preserving utilization.
+func rescaleProfiles(k int64) []*workload.Profile {
+	ps := workload.Profiles()
+	out := make([]*workload.Profile, len(ps))
+	for i, p := range ps {
+		q := *p
+		q.MeanCPU *= sim.Duration(k)
+		q.IOMean *= sim.Duration(k)
+		q.BaseRPSPerCore /= float64(k)
+		out[i] = &q
+	}
+	return out
+}
+
+// checkRescale runs the time-rescaling metamorphic relation: simulate the
+// default services on the hardware no-harvest path, then rescale time by
+// k and simulate again; per-service Mean/P50/P99 divided by k must land
+// inside rescaleTol of the base run, and completion counts must match to
+// within the end-of-window boundary effect. Fault plans carry absolute
+// trigger times and are not time-rescalable, so this relation always runs
+// fault-free.
+func checkRescale(p Params, perturb func(*cluster.Config)) []Check {
+	base := cluster.DefaultConfig()
+	base.MeasureDuration = p.Measure
+	base.WarmupDuration = p.Warmup
+	base.Seed = p.Seed
+	if perturb != nil {
+		perturb(&base)
+	}
+	scaled := scaleDurations(base, rescaleK)
+	scaled.Profiles = rescaleProfiles(rescaleK)
+
+	rb := cluster.RunServer(base, rescaleOptions(), defaultWork())
+	rs := cluster.RunServer(scaled, rescaleOptions(), defaultWork())
+
+	var checks []Check
+	for _, svc := range serviceOrder {
+		recB, okB := rb.Service[svc]
+		recS, okS := rs.Service[svc]
+		if !okB || !okS {
+			checks = append(checks, Check{
+				Name:     "metamorphic/time-rescaling/" + svc,
+				Relation: "both the base and the rescaled run must measure every service",
+				OK:       false,
+				Detail:   fmt.Sprintf("service present: base=%v scaled=%v", okB, okS),
+			})
+			continue
+		}
+		type q struct {
+			name       string
+			base, scld sim.Duration
+		}
+		qs := []q{
+			{"mean", recB.Mean(), recS.Mean() / rescaleK},
+			{"p50", recB.P50(), recS.P50() / rescaleK},
+			{"p99", recB.P99(), recS.P99() / rescaleK},
+		}
+		ok := true
+		detail := ""
+		for _, x := range qs {
+			if !relTolOK(float64(x.scld), float64(x.base), rescaleTol, float64(5*sim.Microsecond)) {
+				ok = false
+			}
+			detail += fmt.Sprintf("%s %s→%s ", x.name, durf(x.base), durf(x.scld))
+		}
+		countOK := relTolOK(float64(recS.Count()), float64(recB.Count()), 0.02, 4)
+		checks = append(checks, Check{
+			Name: "metamorphic/time-rescaling/" + svc,
+			Relation: fmt.Sprintf("uniform time rescaling by %d must scale every latency "+
+				"percentile by exactly %d (within %.0f%% for rounding and phase clamps)",
+				rescaleK, rescaleK, 100*rescaleTol),
+			OK: ok && countOK,
+			Detail: fmt.Sprintf("%scount %d→%d (scaled values shown ÷%d)",
+				detail, recB.Count(), recS.Count(), rescaleK),
+		})
+	}
+	return checks
+}
+
+// serviceOrder matches the paper's x-axes (and experiments' row order).
+var serviceOrder = []string{"Text", "SGraph", "User", "PstStr", "UsrMnt", "HomeT", "CPost", "UrlShort"}
+
+// checkComposition runs the server-duplication relation: a 2-server
+// cluster (double the aggregate arrival rate) must reproduce each
+// server's distributions exactly — servers never communicate, so cluster
+// composition is byte-identical to running each seeded server alone.
+// Unlike the statistical relations this one is exact, and it runs under
+// whatever fault plan and resilience policies the suite was given.
+func checkComposition(p Params, cfg cluster.Config) []Check {
+	const servers = 2
+	opts := cluster.SystemOptions(cluster.HardHarvestBlock)
+	opts.Resilience = p.Resilience
+	cl := cluster.RunCluster(cfg, opts, servers)
+
+	works := batch.Workloads()
+	var checks []Check
+	for i := 0; i < servers; i++ {
+		scfg := cfg
+		scfg.Seed = cfg.Seed + uint64(i)*7919 // RunCluster's per-server seeding
+		solo := cluster.RunServer(scfg, opts, works[i])
+		dup := cl.Servers[i]
+		ok := solo.Requests == dup.Requests && solo.Arrivals == dup.Arrivals &&
+			solo.Reassigns == dup.Reassigns && solo.BusyCores == dup.BusyCores &&
+			solo.HarvestJobs == dup.HarvestJobs
+		detail := fmt.Sprintf("requests %d/%d arrivals %d/%d reassigns %d/%d",
+			dup.Requests, solo.Requests, dup.Arrivals, solo.Arrivals,
+			dup.Reassigns, solo.Reassigns)
+		for _, svc := range serviceOrder {
+			rd, okD := dup.Service[svc]
+			rsolo, okS := solo.Service[svc]
+			if !okD || !okS || rd.Count() != rsolo.Count() ||
+				rd.P50() != rsolo.P50() || rd.P99() != rsolo.P99() {
+				ok = false
+				detail += fmt.Sprintf("; %s diverged", svc)
+			}
+		}
+		checks = append(checks, Check{
+			Name: fmt.Sprintf("metamorphic/server-duplication/server%d", i),
+			Relation: "duplicating a server (doubling aggregate arrivals) must preserve " +
+				"per-server distributions exactly: cluster composition equals " +
+				"independent seeded runs",
+			OK:     ok,
+			Detail: detail,
+		})
+	}
+	return checks
+}
+
+// seedBandTol bounds the max/min spread of aggregate percentile summaries
+// across permuted seeds. Individual-service tails are noisy at quick
+// scale; the aggregate means and medians are stable.
+const (
+	seedBandTolP50  = 0.20
+	seedBandTolP99  = 0.45
+	seedBandWiden   = 2.0 // fault plans add variance
+	seedBandSamples = 3
+)
+
+// checkSeedBand runs the seed-permutation relation: the same system under
+// permuted seeds must keep its percentile summaries inside a declared
+// tolerance band — randomness may move individual requests, never the
+// distribution.
+func checkSeedBand(p Params, cfg cluster.Config) []Check {
+	opts := cluster.SystemOptions(cluster.HardHarvestBlock)
+	opts.Resilience = p.Resilience
+	widen := 1.0
+	if p.Faults != nil {
+		widen = seedBandWiden
+	}
+	var p50s, p99s []float64
+	for i := uint64(0); i < seedBandSamples; i++ {
+		scfg := cfg
+		scfg.Seed = cfg.Seed + i
+		res := cluster.RunServer(scfg, opts, defaultWork())
+		p50s = append(p50s, float64(res.AvgP50()))
+		p99s = append(p99s, float64(res.AvgP99()))
+	}
+	spread := func(xs []float64) float64 {
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if lo <= 0 {
+			return math.Inf(1)
+		}
+		return hi/lo - 1
+	}
+	s50, s99 := spread(p50s), spread(p99s)
+	return []Check{
+		{
+			Name: "metamorphic/seed-permutation/avg-p50",
+			Relation: fmt.Sprintf("seed permutation must keep the aggregate median within "+
+				"a %.0f%% band across %d seeds", 100*seedBandTolP50*widen, seedBandSamples),
+			OK:     s50 <= seedBandTolP50*widen,
+			Detail: fmt.Sprintf("spread %.1f%% (bound %.0f%%)", 100*s50, 100*seedBandTolP50*widen),
+		},
+		{
+			Name: "metamorphic/seed-permutation/avg-p99",
+			Relation: fmt.Sprintf("seed permutation must keep the aggregate P99 within "+
+				"a %.0f%% band across %d seeds", 100*seedBandTolP99*widen, seedBandSamples),
+			OK:     s99 <= seedBandTolP99*widen,
+			Detail: fmt.Sprintf("spread %.1f%% (bound %.0f%%)", 100*s99, 100*seedBandTolP99*widen),
+		},
+	}
+}
+
+// checkPoissonComposition verifies thinning and superposition of the
+// workload generator's Poisson streams against closed-form counts: a
+// p-thinned rate-λ stream is Poisson(pλ), and the superposition of two
+// independent rate-λ streams is Poisson(2λ). Counts must land within 5σ
+// and the superposed mean gap within 5% of 1/(2λ). This pins the arrival
+// machinery itself, independent of any server.
+func checkPoissonComposition(seed uint64) []Check {
+	const (
+		horizon = 10 * sim.Second
+		rate    = 2000.0 // per generator
+		thinP   = 0.5
+	)
+	prof := calProfile()
+	prof.BaseRPSPerCore = rate
+
+	gen := func(s uint64) *workload.Generator {
+		return workload.NewGenerator(prof, 1, nil, 0, stats.NewRNG(s))
+	}
+
+	// Thinning: keep each arrival of one stream with probability p.
+	thinRNG := stats.NewRNG(seed ^ 0x9E3779B97F4A7C15)
+	g := gen(seed)
+	kept := 0
+	for {
+		a := g.Next()
+		if a.At >= sim.Time(horizon) {
+			break
+		}
+		if thinRNG.Float64() < thinP {
+			kept++
+		}
+	}
+	wantThin := rate * thinP * horizon.Seconds()
+	thinSigma := math.Sqrt(wantThin)
+	thinOK := math.Abs(float64(kept)-wantThin) <= 5*thinSigma
+
+	// Superposition: merge two independent streams and compare the merged
+	// count and mean gap against a rate-2λ process.
+	g1, g2 := gen(seed+101), gen(seed+211)
+	merged := 0
+	var last sim.Time
+	a1, a2 := g1.Next(), g2.Next()
+	for {
+		var at sim.Time
+		if a1.At <= a2.At {
+			at = a1.At
+			a1 = g1.Next()
+		} else {
+			at = a2.At
+			a2 = g2.Next()
+		}
+		if at >= sim.Time(horizon) {
+			break
+		}
+		merged++
+		last = at
+	}
+	wantSup := 2 * rate * horizon.Seconds()
+	supSigma := math.Sqrt(wantSup)
+	supOK := math.Abs(float64(merged)-wantSup) <= 5*supSigma
+	meanGap := last.Sub(0).Seconds() / float64(merged)
+	gapOK := relTolOK(meanGap, 1/(2*rate), 0.05, 0)
+
+	return []Check{
+		{
+			Name: "metamorphic/poisson-thinning",
+			Relation: fmt.Sprintf("Bernoulli(%.1f)-thinning a Poisson(λ) stream must yield "+
+				"Poisson(%.1fλ) counts (within 5σ)", thinP, thinP),
+			OK:     thinOK,
+			Detail: fmt.Sprintf("kept %d want %.0f ± %.0f (5σ)", kept, wantThin, 5*thinSigma),
+		},
+		{
+			Name: "metamorphic/poisson-superposition",
+			Relation: "superposing two independent Poisson(λ) streams must yield Poisson(2λ) " +
+				"counts (within 5σ) and mean gap 1/2λ (within 5%)",
+			OK: supOK && gapOK,
+			Detail: fmt.Sprintf("merged %d want %.0f ± %.0f (5σ); mean gap %.1fµs want %.1fµs",
+				merged, wantSup, 5*supSigma, meanGap*1e6, 1e6/(2*rate)),
+		},
+	}
+}

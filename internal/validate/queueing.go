@@ -1,0 +1,183 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/queueing"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/workload"
+)
+
+// The calibrated queueing configs: a single service with no blocking I/O
+// (one CPU phase per request, so the core-occupancy law is the pure
+// lognormal the analytic models assume), flat load, no bursts, no
+// harvesting, hardware scheduling (work discovery is effectively
+// instantaneous, matching the models' zero dispatch latency).
+const (
+	calMeanCPU = 400 * sim.Microsecond
+	calSigma   = 0.5
+	calRPSCore = 1500 // per core → ρ = 0.6 at calMeanCPU
+
+	// The mean-wait estimator is correlated across busy periods, so it
+	// converges slowly: 800 ms windows (~1.2k requests) spread ±30% across
+	// seeds, 4 s windows land within ~5% of Pollaczek-Khinchine. The
+	// calibrated runs therefore use their own, longer window — they cost
+	// tens of milliseconds of wall time, not seconds.
+	calMeasure  = 4 * sim.Second
+	calWarmup   = 200 * sim.Millisecond
+	queueingTol = 0.15 // slack around the analytic values
+)
+
+// calSCV is the squared coefficient of variation of the calibrated
+// lognormal service law: e^{σ²} − 1.
+func calSCV() float64 { return math.Exp(calSigma*calSigma) - 1 }
+
+// calProfile is the calibrated single service.
+func calProfile() *workload.Profile {
+	return &workload.Profile{
+		Name:           "Calibrated",
+		MeanCPU:        calMeanCPU,
+		CPUSigma:       calSigma,
+		MeanIOCalls:    0,
+		IOMean:         0,
+		IOSigma:        0,
+		SharedFrac:     0.5,
+		FootprintKB:    200,
+		BaseRPSPerCore: calRPSCore,
+	}
+}
+
+// calConfig builds the calibrated c-server (c-core) config. The perturb
+// mutator is applied so corrupted overhead constants surface here too.
+func calConfig(seed uint64, c int, perturb func(*cluster.Config)) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = seed
+	cfg.MeasureDuration = calMeasure
+	cfg.WarmupDuration = calWarmup
+	cfg.PrimaryVMs = 1
+	cfg.CoresPerPrimary = c
+	cfg.HarvestOwnCores = c
+	cfg.CoresPerServer = 2 * c
+	cfg.LoadScale = 1
+	cfg.TraceSteps = 0 // flat load: the models assume a homogeneous Poisson stream
+	cfg.BurstBatchProb = 0
+	cfg.Profiles = []*workload.Profile{calProfile()}
+	if perturb != nil {
+		perturb(&cfg)
+	}
+	return cfg
+}
+
+// calOptions is the hardware scheduling path without harvesting: cores
+// learn of work instantly, queues are cheap, and no core ever leaves, so
+// the system is exactly a c-server queue.
+func calOptions() cluster.Options {
+	return cluster.Options{
+		Name:     "Calibrated",
+		HWSched:  true,
+		HWQueue:  true,
+		HWCtxtSw: true,
+	}
+}
+
+// runCalibrated executes one calibrated run and returns its audit.
+func runCalibrated(seed uint64, c int, perturb func(*cluster.Config)) (*cluster.ServerResult, *obs.Audit) {
+	cfg := calConfig(seed, c, perturb)
+	opts := calOptions()
+	a := obs.NewAudit()
+	opts.Observer = a
+	res := cluster.RunServer(cfg, opts, defaultWork())
+	a.Finish(res.AccountedEnd)
+	return res, a
+}
+
+// checkQueueingBounds cross-checks the simulated mean queue wait of the
+// calibrated configs against internal/queueing: the exact Pollaczek-
+// Khinchine M/G/1 wait for c=1, and the M/M/c / Allen-Cunneen M/G/c
+// bracket for c=4. It also sanity-checks the realized Poisson arrival
+// count against the configured rate. These runs are always fault-free:
+// the brackets assume the calibrated service law.
+func checkQueueingBounds(seed uint64, perturb func(*cluster.Config)) []Check {
+	var checks []Check
+
+	meanS := calMeanCPU.Seconds()
+	scv := calSCV()
+
+	// c = 1: M/G/1 has an exact mean-wait law.
+	{
+		lambda := float64(calRPSCore)
+		_, audit := runCalibrated(seed, 1, perturb)
+		w, n := audit.MeanQueueWait()
+		pk := queueing.MG1{Lambda: lambda, MeanS: meanS, SCVS: scv}
+		want, err := pk.MeanWait()
+		if err != nil {
+			panic(err)
+		}
+		wSec := w.Seconds()
+		checks = append(checks, Check{
+			Name: "analytic/queueing-mg1-wait",
+			Relation: fmt.Sprintf("simulated mean queue wait of the calibrated single-core "+
+				"service must match the Pollaczek-Khinchine M/G/1 wait within %.0f%%",
+				100*queueingTol),
+			OK: relTolOK(wSec, want, queueingTol, 0),
+			Detail: fmt.Sprintf("sim=%.1fµs P-K=%.1fµs (ρ=%.2f, n=%d)",
+				wSec*1e6, want*1e6, pk.Rho(), n),
+		})
+		checks = append(checks, checkArrivalRate("analytic/queueing-mg1-arrivals", lambda, audit))
+	}
+
+	// c = 4: bracket between Allen-Cunneen (below, SCV < 1) and M/M/c
+	// (above — exponential service is the pessimistic envelope here).
+	{
+		const c = 4
+		lambda := float64(calRPSCore * c)
+		_, audit := runCalibrated(seed, c, perturb)
+		w, n := audit.MeanQueueWait()
+		ac := queueing.MGc{Lambda: lambda, MeanS: meanS, SCVS: scv, C: c}
+		lower, err := ac.MeanWait()
+		if err != nil {
+			panic(err)
+		}
+		mmc := queueing.MMc{Lambda: lambda, Mu: 1 / meanS, C: c}
+		upper, err := mmc.MeanWait()
+		if err != nil {
+			panic(err)
+		}
+		wSec := w.Seconds()
+		lo := lower * (1 - queueingTol)
+		hi := upper * (1 + queueingTol)
+		checks = append(checks, Check{
+			Name: "analytic/queueing-mgc-bracket",
+			Relation: "simulated mean queue wait of the calibrated 4-core service must " +
+				"lie between the Allen-Cunneen M/G/c and M/M/c mean waits",
+			OK: wSec >= lo && wSec <= hi,
+			Detail: fmt.Sprintf("sim=%.1fµs ∈ [AC=%.1fµs, MMc=%.1fµs] ±%.0f%% (ρ=%.2f, n=%d)",
+				wSec*1e6, lower*1e6, upper*1e6, 100*queueingTol, ac.Rho(), n),
+		})
+		checks = append(checks, checkArrivalRate("analytic/queueing-mgc-arrivals", lambda, audit))
+	}
+	return checks
+}
+
+// checkArrivalRate asserts the measured-window arrival count is within 5σ
+// of the configured Poisson rate: the audit's measured population is
+// completions + misses + still-in-flight.
+func checkArrivalRate(name string, lambda float64, audit *obs.Audit) Check {
+	_, latN := audit.LatencySum()
+	_, missN := audit.MissSum()
+	inflight, _ := audit.Unresolved()
+	got := float64(latN) + float64(missN) + float64(inflight)
+	want := lambda * calMeasure.Seconds()
+	sigma := math.Sqrt(want)
+	diff := math.Abs(got - want)
+	return Check{
+		Name: name,
+		Relation: "measured-window arrival count must be within 5σ of the configured " +
+			"Poisson rate λT",
+		OK:     diff <= 5*sigma,
+		Detail: fmt.Sprintf("got %d want %.0f ± %.0f (5σ)", int64(got), want, 5*sigma),
+	}
+}

@@ -1,0 +1,321 @@
+// Package validate is the simulation oracle: a standing subsystem that
+// proves the simulator still means what the paper says after a refactor.
+// It has three pillars:
+//
+//   - metamorphic relations (metamorphic.go): run a system twice under a
+//     semantics-preserving transformation and assert the invariant —
+//     uniform time rescaling scales latencies, cluster composition equals
+//     independent per-server runs, Poisson thinning/superposition
+//     composes, and seed permutation keeps percentile summaries inside a
+//     declared band;
+//   - analytic cross-checks (analytic.go, queueing.go): Little's law
+//     audited from the internal/obs event stream, per-core utilization
+//     conservation (idle + overhead + own + harvested cycles sum to the
+//     measurement window exactly), and M/M/c / Allen-Cunneen M/G/c bounds
+//     from internal/queueing bracketing the simulated mean wait on
+//     calibrated single-service configs;
+//   - a golden-run harness (golden.go): blessed JSON artifacts under
+//     testdata/golden/ with structural diffs that name the exact cell
+//     that moved, regenerated with -bless.
+//
+// The oracle is consumed three ways: the package's own tests, the
+// `hhsim -validate` CLI mode (composable with -faults and -resilience),
+// and the CI validate job.
+package validate
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/faults"
+	"hardharvest/internal/noc"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/sim"
+)
+
+// Check is one oracle assertion's outcome. Name identifies the check
+// ("analytic/littles-law/HardHarvest-Block"); Relation states the violated
+// or verified property in words, so a failure names exactly what no
+// longer holds.
+type Check struct {
+	Name     string
+	Relation string
+	OK       bool
+	Detail   string
+}
+
+func (c Check) String() string {
+	status := "PASS"
+	if !c.OK {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%-4s %-50s %s", status, c.Name, c.Detail)
+	if !c.OK {
+		s += "\n     relation: " + c.Relation
+	}
+	return s
+}
+
+// Params configures one oracle suite run.
+type Params struct {
+	// Measure/Warmup bound the five-system analytic runs and the
+	// metamorphic relations (the calibrated queueing runs size their own
+	// windows: bracketing a mean wait needs more samples than a quick
+	// regression pass provides).
+	Measure sim.Duration
+	Warmup  sim.Duration
+	Seed    uint64
+
+	// Faults/Strict/Resilience flow into the five-system analytic runs
+	// and the composition/seed relations, mirroring hhsim -faults/-strict/
+	// -resilience. The time-rescaling relation and the calibrated queueing
+	// runs always execute fault-free: a fault plan's absolute trigger
+	// times are not time-rescalable, and the queueing brackets assume the
+	// calibrated service law.
+	Faults     *faults.Plan
+	Strict     bool
+	Resilience cluster.Resilience
+
+	// Perturb lists "field=factor" corruptions applied to every config the
+	// suite builds (e.g. "partition-flush-wait=3"). A perturbed constant
+	// must make at least one check fail naming the violated relation —
+	// that property is itself tested, so the oracle cannot silently lose
+	// its teeth.
+	Perturb []string
+}
+
+// Quick returns suite parameters matching the experiments' quick scale.
+func Quick() Params {
+	return Params{Measure: 400 * sim.Millisecond, Warmup: 40 * sim.Millisecond, Seed: 1}
+}
+
+// perturbableFields maps -perturb field names to config mutators. Factors
+// multiply the field's default.
+var perturbableFields = map[string]func(*cluster.Config, float64){
+	"partition-flush-wait": func(c *cluster.Config, f float64) {
+		c.PartitionFlushWait = scaleDur(c.PartitionFlushWait, f)
+	},
+	"hw-queue-op": func(c *cluster.Config, f float64) { c.HWQueueOp = scaleDur(c.HWQueueOp, f) },
+	"hw-ctx-sw":   func(c *cluster.Config, f float64) { c.HWCtxSw = scaleDur(c.HWCtxSw, f) },
+	"sw-ctx-sw":   func(c *cluster.Config, f float64) { c.SWCtxSw = scaleDur(c.SWCtxSw, f) },
+	"poll-interval": func(c *cluster.Config, f float64) {
+		c.PollInterval = scaleDur(c.PollInterval, f)
+	},
+	"warm-factor": func(c *cluster.Config, f float64) { c.WarmFactor *= f },
+	"cold-factor": func(c *cluster.Config, f float64) { c.ColdFactor *= f },
+	"load-scale":  func(c *cluster.Config, f float64) { c.LoadScale *= f },
+}
+
+func scaleDur(d sim.Duration, f float64) sim.Duration {
+	return sim.Duration(float64(d) * f)
+}
+
+// PerturbFields lists the corruptible constant names for -perturb usage
+// messages, sorted.
+func PerturbFields() []string {
+	out := make([]string, 0, len(perturbableFields))
+	for k := range perturbableFields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parsePerturb turns "field=factor" specs into a config mutator.
+func parsePerturb(specs []string) (func(*cluster.Config), error) {
+	type mut struct {
+		apply  func(*cluster.Config, float64)
+		factor float64
+	}
+	muts := make([]mut, 0, len(specs))
+	for _, s := range specs {
+		field, factorStr, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("validate: bad perturbation %q (want field=factor)", s)
+		}
+		apply, ok := perturbableFields[field]
+		if !ok {
+			return nil, fmt.Errorf("validate: unknown perturbable field %q (have %s)",
+				field, strings.Join(PerturbFields(), ", "))
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("validate: bad factor in %q: %v", s, err)
+		}
+		muts = append(muts, mut{apply, factor})
+	}
+	return func(c *cluster.Config) {
+		for _, m := range muts {
+			m.apply(c, m.factor)
+		}
+	}, nil
+}
+
+// baseConfig builds the (possibly perturbed) default config for the suite.
+func (p Params) baseConfig(perturb func(*cluster.Config)) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.MeasureDuration = p.Measure
+	cfg.WarmupDuration = p.Warmup
+	cfg.Seed = p.Seed
+	cfg.FaultPlan = p.Faults
+	cfg.Strict = p.Strict
+	if perturb != nil {
+		perturb(&cfg)
+	}
+	return cfg
+}
+
+// Suite runs the full oracle and returns every check's outcome. It returns
+// an error only for unusable parameters (malformed Perturb specs); check
+// failures are reported through the Check slice so callers can render all
+// of them.
+func Suite(p Params) ([]Check, error) {
+	if p.Measure <= 0 {
+		p.Measure = Quick().Measure
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = Quick().Warmup
+	}
+	perturb, err := parsePerturb(p.Perturb)
+	if err != nil {
+		return nil, err
+	}
+
+	var checks []Check
+	cfg := p.baseConfig(perturb)
+	checks = append(checks, checkCalibration(cfg)...)
+
+	runs := runFiveSystems(p, cfg)
+	for _, r := range runs {
+		checks = append(checks, checkAnalytic(cfg, r)...)
+	}
+
+	checks = append(checks, checkQueueingBounds(p.Seed, perturb)...)
+	checks = append(checks, checkRescale(p, perturb)...)
+	checks = append(checks, checkComposition(p, cfg)...)
+	checks = append(checks, checkSeedBand(p, cfg)...)
+	checks = append(checks, checkPoissonComposition(p.Seed)...)
+	return checks, nil
+}
+
+// Failed filters the failing checks.
+func Failed(checks []Check) []Check {
+	var out []Check
+	for _, c := range checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// table1FlushWait is the oracle's own copy of the Table 1 efficient-flush
+// cost (1000 cycles). Both the calibration pin and the event-stream
+// flush-pin check compare against this literal — never against the config
+// under test — so a corrupted config constant fails both.
+var table1FlushWait = sim.Cycles(1000)
+
+// checkCalibration pins the Table 1 / §4.1 cost constants of the supplied
+// config against independently held literals. A perturbed or accidentally
+// edited constant fails here with the constant's name — the analytic and
+// metamorphic checks then localize the behavioural consequence.
+func checkCalibration(cfg cluster.Config) []Check {
+	type pin struct {
+		name string
+		got  float64
+		want float64
+	}
+	pins := []pin{
+		{"PartitionFlushWait", float64(cfg.PartitionFlushWait), float64(table1FlushWait)},
+		{"HWQueueOp", float64(cfg.HWQueueOp), float64(noc.DefaultTree().RoundTrip() + sim.Cycles(2))},
+		{"HWInterrupt", float64(cfg.HWInterrupt), float64(200 * sim.Nanosecond)},
+		{"SWQueueAccess", float64(cfg.SWQueueAccess), float64(4 * sim.Microsecond)},
+		{"SWCtxSw", float64(cfg.SWCtxSw), float64(5 * sim.Microsecond)},
+		{"SWVMContextLoad", float64(cfg.SWVMContextLoad), float64(100 * sim.Microsecond)},
+		{"PollInterval", float64(cfg.PollInterval), float64(100 * sim.Microsecond)},
+		{"WarmFactor", cfg.WarmFactor, 1.0},
+		{"ColdFactor", cfg.ColdFactor, 1.2},
+		{"LoadScale", cfg.LoadScale, 1.85},
+	}
+	out := make([]Check, 0, len(pins))
+	for _, pn := range pins {
+		out = append(out, Check{
+			Name: "analytic/table1-calibration/" + pn.name,
+			Relation: fmt.Sprintf("config constant %s must equal its Table 1 / §4.1 value %g",
+				pn.name, pn.want),
+			OK:     pn.got == pn.want,
+			Detail: fmt.Sprintf("got %g want %g", pn.got, pn.want),
+		})
+	}
+	return out
+}
+
+// sysRun is one instrumented system run: the simulator's own result next
+// to an event-stream audit that re-derived everything independently.
+type sysRun struct {
+	kind  cluster.SystemKind
+	res   *cluster.ServerResult
+	audit *obs.Audit
+}
+
+// runFiveSystems executes the five evaluated architectures with an Audit
+// observer each. Runs are sequential and deterministic; the audit shares
+// no state with the simulator, which is what makes agreement meaningful.
+func runFiveSystems(p Params, cfg cluster.Config) []sysRun {
+	systems := cluster.Systems()
+	out := make([]sysRun, 0, len(systems))
+	for _, k := range systems {
+		opts := cluster.SystemOptions(k)
+		opts.Resilience = p.Resilience
+		a := obs.NewAudit()
+		opts.Observer = a
+		res := cluster.RunServer(cfg, opts, defaultWork())
+		a.Finish(res.AccountedEnd)
+		out = append(out, sysRun{kind: k, res: res, audit: a})
+	}
+	return out
+}
+
+// relTolOK reports |got-want| <= tol*|want| (+absSlack).
+func relTolOK(got, want, tol, absSlack float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	bound := tol * want
+	if want < 0 {
+		bound = -bound
+	}
+	return diff <= bound+absSlack
+}
+
+// durf renders a duration in milliseconds for check details.
+func durf(d sim.Duration) string { return fmt.Sprintf("%.6fms", d.Milliseconds()) }
+
+// scaleDurations returns cfg with every sim.Duration field — recursing
+// into embedded value structs such as hypervisor.Costs and nic.Latencies —
+// multiplied by k. Pointer fields (FaultPlan, Profiles) are left alone:
+// fault plans carry absolute trigger times and are documented as not
+// time-rescalable, and profiles are rescaled explicitly by the caller.
+func scaleDurations(cfg cluster.Config, k int64) cluster.Config {
+	scaleStructDurations(reflect.ValueOf(&cfg).Elem(), k)
+	return cfg
+}
+
+var durType = reflect.TypeOf(sim.Duration(0))
+
+func scaleStructDurations(v reflect.Value, k int64) {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch {
+		case f.Type() == durType && f.CanSet():
+			f.SetInt(f.Int() * k)
+		case f.Kind() == reflect.Struct:
+			scaleStructDurations(f, k)
+		}
+	}
+}

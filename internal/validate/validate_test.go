@@ -1,0 +1,169 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/faults"
+	"hardharvest/internal/sim"
+)
+
+// TestSuitePasses is the oracle's own regression gate: every metamorphic
+// relation, analytic cross-check, and calibration pin must hold on the
+// unmodified simulator at quick scale.
+func TestSuitePasses(t *testing.T) {
+	checks, err := Suite(Quick())
+	if err != nil {
+		t.Fatalf("Suite: %v", err)
+	}
+	if len(checks) < 40 {
+		t.Fatalf("suite ran only %d checks — pillars are missing", len(checks))
+	}
+	for _, c := range Failed(checks) {
+		t.Errorf("%s", c)
+	}
+}
+
+// TestSuiteWithFaults runs the oracle under a fault plan with resilience
+// policies, mirroring `hhsim -validate -faults -resilience`: the exact
+// identities (flow balance, Little's law, conservation, composition) must
+// survive fault injection; only the statistical bands widen.
+func TestSuiteWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: quick suite already covered")
+	}
+	p := Quick()
+	p.Faults = faults.DefaultPlan()
+	p.Resilience = cluster.DefaultResilience()
+	checks, err := Suite(p)
+	if err != nil {
+		t.Fatalf("Suite: %v", err)
+	}
+	for _, c := range Failed(checks) {
+		t.Errorf("%s", c)
+	}
+}
+
+// TestPerturbationDetected is the oracle's teeth test (ISSUE acceptance):
+// corrupting one overhead constant must make at least one check fail
+// naming the violated relation. Each case lists the check-name fragments
+// of which at least one must appear among the failures.
+func TestPerturbationDetected(t *testing.T) {
+	cases := []struct {
+		perturb string
+		anyOf   []string
+	}{
+		// Table 1 flush cost tripled: the calibration pin names the
+		// constant and the event-stream flush pin sees the wrong cost.
+		{"partition-flush-wait=3", []string{
+			"analytic/table1-calibration/PartitionFlushWait",
+			"analytic/flush-pin/",
+		}},
+		// Offered load up 30%: the calibrated queueing runs drift off the
+		// analytic waits computed from the declared rate.
+		{"load-scale=1.3", []string{
+			"analytic/table1-calibration/LoadScale",
+			"analytic/queueing-mg1-wait",
+			"analytic/queueing-mg1-arrivals",
+		}},
+		{"sw-ctx-sw=10", []string{"analytic/table1-calibration/SWCtxSw"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.perturb, func(t *testing.T) {
+			p := Quick()
+			p.Perturb = []string{tc.perturb}
+			checks, err := Suite(p)
+			if err != nil {
+				t.Fatalf("Suite: %v", err)
+			}
+			failed := Failed(checks)
+			if len(failed) == 0 {
+				t.Fatalf("perturbation %s raised no failures — the oracle lost its teeth", tc.perturb)
+			}
+			found := false
+			for _, c := range failed {
+				if c.Relation == "" {
+					t.Errorf("failed check %s names no relation", c.Name)
+				}
+				for _, want := range tc.anyOf {
+					if strings.Contains(c.Name, want) {
+						found = true
+					}
+				}
+			}
+			if !found {
+				names := make([]string, len(failed))
+				for i, c := range failed {
+					names[i] = c.Name
+				}
+				t.Errorf("perturbation %s failed %v, want one of %v", tc.perturb, names, tc.anyOf)
+			}
+		})
+	}
+}
+
+// TestParsePerturb covers the spec syntax and its error cases.
+func TestParsePerturb(t *testing.T) {
+	if _, err := parsePerturb([]string{"partition-flush-wait=2", "load-scale=0.5"}); err != nil {
+		t.Fatalf("valid specs rejected: %v", err)
+	}
+	for _, bad := range []string{"no-equals", "unknown-field=2", "load-scale=abc"} {
+		if _, err := parsePerturb([]string{bad}); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+	mut, err := parsePerturb([]string{"partition-flush-wait=3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	want := 3 * cfg.PartitionFlushWait
+	mut(&cfg)
+	if cfg.PartitionFlushWait != want {
+		t.Errorf("PartitionFlushWait = %v, want %v", cfg.PartitionFlushWait, want)
+	}
+}
+
+// TestScaleDurations checks the reflective rescaler reaches nested structs
+// and leaves non-duration fields alone.
+func TestScaleDurations(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	scaled := scaleDurations(cfg, 3)
+	if scaled.PartitionFlushWait != 3*cfg.PartitionFlushWait {
+		t.Errorf("PartitionFlushWait not scaled: %v", scaled.PartitionFlushWait)
+	}
+	if scaled.MeasureDuration != 3*cfg.MeasureDuration {
+		t.Errorf("MeasureDuration not scaled: %v", scaled.MeasureDuration)
+	}
+	if scaled.NICLat.DDIODeposit != 3*cfg.NICLat.DDIODeposit {
+		t.Errorf("nested NICLat.DDIODeposit not scaled: %v", scaled.NICLat.DDIODeposit)
+	}
+	if scaled.CoresPerServer != cfg.CoresPerServer {
+		t.Errorf("non-duration CoresPerServer changed: %v", scaled.CoresPerServer)
+	}
+	if scaled.LoadScale != cfg.LoadScale {
+		t.Errorf("float LoadScale changed: %v", scaled.LoadScale)
+	}
+}
+
+// FuzzValidateRescale fuzzes the time-rescaling relation over seeds and
+// window lengths: the relation must hold at any quick-ish scale, not just
+// the blessed one. Windows are kept small so each iteration stays cheap.
+func FuzzValidateRescale(f *testing.F) {
+	f.Add(uint64(1), uint8(40))
+	f.Add(uint64(0x5EED1234), uint8(0))
+	f.Add(uint64(42), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, measBucket uint8) {
+		p := Params{
+			Measure: sim.Duration(20+int64(measBucket)%80) * sim.Millisecond,
+			Warmup:  5 * sim.Millisecond,
+			Seed:    seed,
+		}
+		for _, c := range checkRescale(p, nil) {
+			if !c.OK {
+				t.Errorf("%s", c)
+			}
+		}
+	})
+}
