@@ -22,6 +22,13 @@
 //	hhsim -validate -perturb partition-flush-wait=3
 //	                                  # prove the oracle catches a
 //	                                  # corrupted Table 1 constant
+//	hhsim serve -addr :8377           # long-lived simulation server:
+//	                                  # Prometheus /metrics, REST control
+//	                                  # (/api/state, /api/config, pause/
+//	                                  # resume/step), /api/timeseries
+//	hhsim serve -actionlog run.jsonl  # log control actions for replay
+//	hhsim serve -replay run.jsonl     # re-run a served session headless;
+//	                                  # the summary is byte-identical
 package main
 
 import (
@@ -109,6 +116,12 @@ func writeFile(path string, write func(f *os.File) error) {
 }
 
 func main() {
+	// Subcommand dispatch happens before flag parsing: `hhsim serve` has
+	// its own flag set, and the batch flags below do not apply to it.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "", "experiment id (see -list)")
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiment ids")

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveProc is a re-executed `hhsim serve` under test: the real binary with
+// real flag parsing, an ephemeral port, and live pipes.
+type serveProc struct {
+	cmd     *exec.Cmd
+	baseURL string
+	stdout  *bytes.Buffer // summary lands here when the run completes
+	stderrC chan string   // stderr lines after the listen announcement
+	mu      sync.Mutex
+}
+
+// startServe launches the test binary as `hhsim serve args...` and blocks
+// until the server announces its listen address on stderr.
+func startServe(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(),
+		"HHSIM_RUN_MAIN=1",
+		"HHSIM_ARGS="+strings.Join(append([]string{"serve"}, args...), " "))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, stdout: &bytes.Buffer{}, stderrC: make(chan string, 64)}
+	cmd.Stdout = p.stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrC := make(chan string, 1)
+	go func() {
+		defer close(p.stderrC)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "hhsim serve: listening on http://"); ok {
+				addrC <- rest
+				continue
+			}
+			select {
+			case p.stderrC <- line:
+			default:
+			}
+		}
+	}()
+	select {
+	case addr := <-addrC:
+		p.baseURL = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never announced its listen address")
+	}
+	return p
+}
+
+// waitStderr blocks until a stderr line containing want arrives.
+func (p *serveProc) waitStderr(t *testing.T, want string) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-p.stderrC:
+			if !ok {
+				t.Fatalf("stderr closed before %q appeared", want)
+			}
+			if strings.Contains(line, want) {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q on stderr", want)
+		}
+	}
+}
+
+func (p *serveProc) get(t *testing.T, path string) string {
+	t.Helper()
+	resp, err := http.Get(p.baseURL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func (p *serveProc) post(t *testing.T, path, body string, wantCode int) {
+	t.Helper()
+	resp, err := http.Post(p.baseURL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: %d (want %d): %s", path, resp.StatusCode, wantCode, b)
+	}
+}
+
+// metricValue extracts one unlabelled sample value from an exposition body.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in scrape", name)
+	return 0
+}
+
+// TestServeLifecycle drives the full tentpole loop end to end through the
+// real CLI: boot on an ephemeral port, scrape, mutate config over REST,
+// finish the run, shut down cleanly — then replay the action log and demand
+// a byte-identical summary.
+func TestServeLifecycle(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "run.jsonl")
+	p := startServe(t, "-addr", "127.0.0.1:0", "-paused",
+		"-seed", "3", "-warmup-ms", "10", "-sim-ms", "60", "-step-ms", "10",
+		"-actionlog", logPath)
+
+	// Scrape 1: paused at t=0.
+	m1 := p.get(t, "/metrics")
+	if !strings.Contains(m1, "# TYPE hhsim_events_total counter") ||
+		!strings.Contains(m1, "# TYPE hhsim_request_latency_seconds histogram") {
+		t.Fatalf("scrape missing expected families:\n%.400s", m1)
+	}
+	if v := metricValue(t, m1, "hhsim_paused"); v != 1 {
+		t.Fatalf("hhsim_paused = %g, want 1 (started -paused)", v)
+	}
+	t0 := metricValue(t, m1, "hhsim_sim_time_seconds")
+
+	// Mutate config while paused: guaranteed to land at barrier t=0.
+	p.post(t, "/api/config", `{"intensity": 1.25}`, http.StatusAccepted)
+	p.post(t, "/api/config", `{"intensity": 0}`, http.StatusBadRequest)
+
+	// Run to the horizon and wait for the CLI's completion announcement.
+	p.post(t, "/api/resume", "", http.StatusOK)
+	p.waitStderr(t, "run complete")
+
+	// Scrape 2: monotone sim time, run done, action applied.
+	m2 := p.get(t, "/metrics")
+	if t1 := metricValue(t, m2, "hhsim_sim_time_seconds"); t1 <= t0 {
+		t.Fatalf("sim time not monotone across scrapes: %g -> %g", t0, t1)
+	}
+	if v := metricValue(t, m2, "hhsim_run_done"); v != 1 {
+		t.Fatalf("hhsim_run_done = %g, want 1", v)
+	}
+	if v := metricValue(t, m2, "hhsim_actions_applied_total"); v != 1 {
+		t.Fatalf("hhsim_actions_applied_total = %g, want 1", v)
+	}
+
+	// Clean shutdown via the API; exit code 0.
+	p.post(t, "/api/shutdown", "", http.StatusOK)
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+	live := p.stdout.String()
+	if !strings.Contains(live, "== hhsim serve summary ==") ||
+		!strings.Contains(live, "actions=1") {
+		t.Fatalf("summary missing from stdout:\n%s", live)
+	}
+
+	// The logged run replays to the byte through the CLI.
+	replayed, stderr, code := hhsim(t, "serve", "-replay", logPath)
+	if code != 0 {
+		t.Fatalf("replay exit %d, stderr: %s", code, stderr)
+	}
+	if replayed != live {
+		t.Fatalf("replay diverged from served run:\n--- live ---\n%s--- replay ---\n%s", live, replayed)
+	}
+}
+
+func TestServeReplayErrors(t *testing.T) {
+	if _, stderr, code := hhsim(t, "serve", "-replay", "/nonexistent/run.jsonl"); code != 1 || stderr == "" {
+		t.Fatalf("missing log: exit %d stderr %q, want 1 with message", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	os.WriteFile(bad, []byte("not json\n"), 0o644)
+	if _, stderr, code := hhsim(t, "serve", "-replay", bad); code != 1 || !strings.Contains(stderr, "replay") {
+		t.Fatalf("garbage log: exit %d stderr %q, want 1 naming the failure", code, stderr)
+	}
+}

@@ -391,24 +391,7 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 	}
 	if opts.Resilience.Enabled() {
 		s.resOn = true
-		for _, v := range s.vms {
-			if !v.isPrimary {
-				continue
-			}
-			res := opts.Resilience
-			v.timeout = res.Timeout
-			if v.timeout == 0 && res.SLOTimeoutFactor > 0 {
-				v.timeout = sim.Duration(res.SLOTimeoutFactor * float64(v.profile.MeanDemand()))
-			}
-			v.hedgeDelay = res.HedgeDelay
-			if v.hedgeDelay == 0 && res.HedgeSLOFactor > 0 {
-				v.hedgeDelay = sim.Duration(res.HedgeSLOFactor * float64(v.profile.MeanDemand()))
-			}
-			if v.timeout > 0 && v.hedgeDelay >= v.timeout {
-				// A derived hedge delay past the timeout would never fire.
-				v.hedgeDelay = v.timeout / 2
-			}
-		}
+		s.deriveResilienceDeadlines()
 	}
 	if cfg.FaultPlan != nil {
 		if err := cfg.FaultPlan.Validate(); err != nil {
@@ -427,6 +410,31 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 		s.resRNG = root.Split(7)
 	}
 	return s
+}
+
+// deriveResilienceDeadlines computes each Primary VM's effective timeout and
+// hedge delay from the current Options.Resilience policy. Called at
+// construction when the policy starts enabled, and again from
+// SetResilienceEnabled when a live run turns the policy on.
+func (s *Server) deriveResilienceDeadlines() {
+	res := s.opts.Resilience
+	for _, v := range s.vms {
+		if !v.isPrimary {
+			continue
+		}
+		v.timeout = res.Timeout
+		if v.timeout == 0 && res.SLOTimeoutFactor > 0 {
+			v.timeout = sim.Duration(res.SLOTimeoutFactor * float64(v.profile.MeanDemand()))
+		}
+		v.hedgeDelay = res.HedgeDelay
+		if v.hedgeDelay == 0 && res.HedgeSLOFactor > 0 {
+			v.hedgeDelay = sim.Duration(res.HedgeSLOFactor * float64(v.profile.MeanDemand()))
+		}
+		if v.timeout > 0 && v.hedgeDelay >= v.timeout {
+			// A derived hedge delay past the timeout would never fire.
+			v.hedgeDelay = v.timeout / 2
+		}
+	}
 }
 
 // EventDriven reports whether the software path moves cores on
@@ -482,6 +490,19 @@ func (s *Server) coresOf(vmIdx int) []*coreRT {
 
 // Run executes the simulation and returns the server's results.
 func (s *Server) Run() *ServerResult {
+	s.Start()
+	s.eng.Run(s.horizon)
+	return s.Finish()
+}
+
+// Start schedules the run's initial events (arrivals, agent ticks, fault
+// plan, measurement-window hooks) without executing any of them. It is the
+// setup half of Run, split out so long-lived callers (internal/serve) can
+// advance the simulation in simulated-time slices with StepTo and apply
+// runtime reconfiguration at the slice barriers. Stepping executes exactly
+// the same events in exactly the same order as a monolithic Run: the engine
+// orders events by (time, seq) regardless of how the horizon is reached.
+func (s *Server) Start() {
 	s.measureStart = sim.Time(s.cfg.WarmupDuration)
 	s.measureEnd = s.measureStart.Add(s.cfg.MeasureDuration)
 	s.stopArrivals = s.measureEnd.Add(s.cfg.grace() / 2)
@@ -544,8 +565,24 @@ func (s *Server) Run() *ServerResult {
 		s.util.Finish(s.measureEnd)
 		s.coreWinEnd = s.acctSnapshot()
 	})
+}
 
-	s.eng.Run(horizon)
+// StepTo advances the simulation to simulated time t (clamped to the run
+// horizon) and reports whether the run has reached the horizon. Calling
+// StepTo with increasing times executes the identical event sequence as a
+// single Run over the full horizon. Must be preceded by Start.
+func (s *Server) StepTo(t sim.Time) (done bool) {
+	if t > s.horizon {
+		t = s.horizon
+	}
+	s.eng.Run(t)
+	return t >= s.horizon
+}
+
+// Finish computes and returns the run's results. Call it exactly once, after
+// the simulation has reached the horizon (Run does this internally; stepped
+// callers call it after StepTo reports done).
+func (s *Server) Finish() *ServerResult {
 	return s.result()
 }
 

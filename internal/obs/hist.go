@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -98,13 +99,23 @@ func (h *LatencyHist) Mean() sim.Duration {
 }
 
 // Quantile reports the q-quantile (q in [0,1]) as the upper edge of the
-// bucket holding the target rank; an empty histogram reports 0.
+// bucket holding the target rank, clamped to the recorded extremes. Edge
+// behavior is explicit, not incidental: q <= 0 (including -Inf) reports the
+// exact recorded minimum, q >= 1 (including +Inf) reports the exact
+// recorded maximum, NaN is treated as q=1 (the conservative end for a
+// latency metric), and an empty histogram reports 0 for every q. Interior
+// quantiles carry the histogram's bucket quantization (~3% with the
+// default sub-bucket precision); the q=0 and q=1 endpoints are exact
+// because min and max are tracked outside the buckets.
 func (h *LatencyHist) Quantile(q float64) sim.Duration {
 	if h.count == 0 {
 		return 0
 	}
 	if q <= 0 {
 		return h.Min()
+	}
+	if q >= 1 || math.IsNaN(q) {
+		return h.max
 	}
 	target := uint64(q * float64(h.count))
 	if target >= h.count {
@@ -122,6 +133,38 @@ func (h *LatencyHist) Quantile(q float64) sim.Duration {
 		}
 	}
 	return h.max
+}
+
+// Sum reports the exact sum of recorded latencies (kept outside the
+// buckets, so it carries no quantization error).
+func (h *LatencyHist) Sum() sim.Duration { return h.sum }
+
+// Clone returns an independent copy of the histogram. Serve-mode exporters
+// clone at a simulated-time barrier and publish the copy to concurrent
+// HTTP readers while the engine keeps recording into the original.
+func (h *LatencyHist) Clone() *LatencyHist {
+	c := *h
+	c.buckets = append([]uint64(nil), h.buckets...)
+	return &c
+}
+
+// CumulativeBuckets reports count(sample <= bound) for each bound, for
+// exporting the distribution as a native Prometheus histogram. bounds must
+// be ascending. A sample is attributed to its bucket's upper edge, so each
+// cumulative count is exact with respect to those edges and within one
+// sub-bucket (~3%) of the true value-based count — the same quantization
+// Quantile carries.
+func (h *LatencyHist) CumulativeBuckets(bounds []sim.Duration) []uint64 {
+	out := make([]uint64, len(bounds))
+	i, cum := 0, uint64(0)
+	for bi, bound := range bounds {
+		for i < len(h.buckets) && bucketUpper(i) <= bound {
+			cum += h.buckets[i]
+			i++
+		}
+		out[bi] = cum
+	}
+	return out
 }
 
 // Quantiles evaluates several quantiles in one call.

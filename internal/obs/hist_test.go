@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -99,6 +100,84 @@ func TestHistEmptyAndClamping(t *testing.T) {
 	h2.Record(1000003)
 	if q := h2.Quantile(0.99); q != 1000003 {
 		t.Fatalf("single-sample p99 = %v, want the sample itself", q)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	h := NewLatencyHist()
+	for _, v := range []sim.Duration{100, 2000, 30000, 400001} {
+		h.Record(v)
+	}
+	// q=0 and q=1 are exact: min and max are tracked outside the buckets.
+	if got := h.Quantile(0); got != 100 {
+		t.Fatalf("q=0 = %v, want exact min 100", got)
+	}
+	if got := h.Quantile(1); got != 400001 {
+		t.Fatalf("q=1 = %v, want exact max 400001", got)
+	}
+	// Out-of-range and non-finite inputs clamp rather than misbehave.
+	if got := h.Quantile(-0.5); got != 100 {
+		t.Fatalf("q<0 = %v, want min", got)
+	}
+	if got := h.Quantile(1.5); got != 400001 {
+		t.Fatalf("q>1 = %v, want max", got)
+	}
+	if got := h.Quantile(math.Inf(-1)); got != 100 {
+		t.Fatalf("q=-Inf = %v, want min", got)
+	}
+	if got := h.Quantile(math.Inf(1)); got != 400001 {
+		t.Fatalf("q=+Inf = %v, want max", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 400001 {
+		t.Fatalf("q=NaN = %v, want max (treated as q=1)", got)
+	}
+	// Quantiles passes each q through Quantile unchanged.
+	qs := h.Quantiles(0, 1, math.NaN())
+	if qs[0] != 100 || qs[1] != 400001 || qs[2] != 400001 {
+		t.Fatalf("Quantiles edge values = %v", qs)
+	}
+	// Empty histogram: every edge input reports 0.
+	e := NewLatencyHist()
+	for _, q := range []float64{0, 1, -1, 2, math.NaN()} {
+		if got := e.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistCumulativeBuckets(t *testing.T) {
+	h := NewLatencyHist()
+	for _, v := range []sim.Duration{10, 20, 20, 5000, 70000} {
+		h.Record(v)
+	}
+	bounds := []sim.Duration{0, 15, 25, 1 << 20, 1 << 30}
+	cum := h.CumulativeBuckets(bounds)
+	want := []uint64{0, 1, 3, 5, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] (le %v) = %d, want %d (all: %v)", i, bounds[i], cum[i], want[i], cum)
+		}
+	}
+	// Cumulative counts are monotone and end at the total.
+	if cum[len(cum)-1] != h.Count() {
+		t.Fatalf("last cumulative %d != count %d", cum[len(cum)-1], h.Count())
+	}
+	if got := NewLatencyHist().CumulativeBuckets(bounds); got[0] != 0 || got[len(got)-1] != 0 {
+		t.Fatalf("empty histogram cumulative = %v", got)
+	}
+}
+
+func TestHistClone(t *testing.T) {
+	h := NewLatencyHist()
+	h.Record(100)
+	h.Record(90000)
+	c := h.Clone()
+	h.Record(5) // must not show up in the clone
+	if c.Count() != 2 || c.Min() != 100 || c.Max() != 90000 {
+		t.Fatalf("clone diverged: n=%d min=%v max=%v", c.Count(), c.Min(), c.Max())
+	}
+	if h.Count() != 3 || h.Min() != 5 {
+		t.Fatalf("original lost a record: n=%d min=%v", h.Count(), h.Min())
 	}
 }
 

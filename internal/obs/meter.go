@@ -1,0 +1,46 @@
+package obs
+
+// Meter is a bounded-memory Observer for long-running (served) simulations.
+// It maintains the harvest-event Counters and a latency histogram of primary
+// completions but — unlike SpanTracer — stores no event stream, so its
+// footprint is independent of run length: a simulated day costs the same
+// memory as a simulated millisecond.
+//
+// Two deliberate differences from SpanTracer: the histogram records every
+// primary completion, not just measurement-window ones (a live endpoint
+// reports what the server is doing now, warmup included), and there is no
+// trace export. Like every Observer, a Meter is passive — attaching one
+// never changes simulation results.
+type Meter struct {
+	topo     Topology
+	counters Counters
+	hist     *LatencyHist
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{hist: NewLatencyHist()}
+}
+
+// Observe implements Observer.
+func (m *Meter) Observe(ev Event) {
+	m.counters.Count(ev)
+	if ev.Kind == KindComplete && !ev.IsJob {
+		m.hist.Record(ev.Dur)
+	}
+}
+
+// SetTopology implements TopologyObserver.
+func (m *Meter) SetTopology(t Topology) { m.topo = t }
+
+// Topology reports the server shape received at run start.
+func (m *Meter) Topology() Topology { return m.topo }
+
+// Counters reports the aggregated harvest-event counts (a value copy,
+// stable once returned).
+func (m *Meter) Counters() Counters { return m.counters }
+
+// Hist reports the live latency histogram. The returned pointer is the
+// meter's own histogram: callers that publish it across goroutines must
+// Clone it at a barrier.
+func (m *Meter) Hist() *LatencyHist { return m.hist }

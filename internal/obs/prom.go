@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+
+	"hardharvest/internal/sim"
+)
+
+// Prometheus text exposition format (version 0.0.4) writer. Hand-rolled on
+// purpose: the format is a dozen lines of escaping rules, and the repo's
+// no-new-dependencies rule beats importing a client library to print
+// `name{label="value"} 42`.
+//
+// Output is deterministic for deterministic inputs — callers emit metrics
+// in a fixed order and the writer adds nothing of its own (no timestamps,
+// no process metrics), so two scrapes of identical simulator state are
+// byte-identical.
+
+// PromLabel is one label pair on a sample.
+type PromLabel struct {
+	Key   string
+	Value string
+}
+
+// PromWriter accumulates one exposition document. Errors are sticky:
+// check Flush.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter returns a writer targeting w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+func (p *PromWriter) write(s string) {
+	if p.err == nil {
+		_, p.err = p.w.WriteString(s)
+	}
+}
+
+// escapeLabel applies the exposition format's label-value escaping
+// (backslash, double quote, newline).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Head writes the # HELP and # TYPE comments for a metric family. typ is
+// one of "counter", "gauge", "histogram".
+func (p *PromWriter) Head(name, help, typ string) {
+	p.write("# HELP " + name + " " + help + "\n")
+	p.write("# TYPE " + name + " " + typ + "\n")
+}
+
+func (p *PromWriter) sampleName(name string, labels []PromLabel) {
+	p.write(name)
+	if len(labels) > 0 {
+		p.write("{")
+		for i, l := range labels {
+			if i > 0 {
+				p.write(",")
+			}
+			p.write(l.Key + `="` + escapeLabel(l.Value) + `"`)
+		}
+		p.write("}")
+	}
+	p.write(" ")
+}
+
+// Uint writes one sample with an integer value.
+func (p *PromWriter) Uint(name string, v uint64, labels ...PromLabel) {
+	p.sampleName(name, labels)
+	p.write(strconv.FormatUint(v, 10))
+	p.write("\n")
+}
+
+// Float writes one sample with a float value (shortest round-trip form).
+func (p *PromWriter) Float(name string, v float64, labels ...PromLabel) {
+	p.sampleName(name, labels)
+	p.write(strconv.FormatFloat(v, 'g', -1, 64))
+	p.write("\n")
+}
+
+// Histogram writes h as a native Prometheus histogram family: cumulative
+// bucket counts at each bound (converted to seconds in the `le` label), the
+// mandatory +Inf bucket, and the _sum/_count samples. bounds must be
+// ascending; extra labels are applied to every sample. Server-side quantile
+// queries (histogram_quantile) carry the histogram's ~3% bucket
+// quantization plus the coarseness of bounds.
+func (p *PromWriter) Histogram(name, help string, h *LatencyHist, bounds []sim.Duration, labels ...PromLabel) {
+	p.Head(name, help, "histogram")
+	cum := h.CumulativeBuckets(bounds)
+	bl := make([]PromLabel, len(labels)+1)
+	copy(bl, labels)
+	for i, b := range bounds {
+		bl[len(labels)] = PromLabel{Key: "le", Value: strconv.FormatFloat(b.Seconds(), 'g', -1, 64)}
+		p.Uint(name+"_bucket", cum[i], bl...)
+	}
+	bl[len(labels)] = PromLabel{Key: "le", Value: "+Inf"}
+	p.Uint(name+"_bucket", h.Count(), bl...)
+	p.Float(name+"_sum", h.Sum().Seconds(), labels...)
+	p.Uint(name+"_count", h.Count(), labels...)
+}
+
+// Flush writes buffered output and reports the first error encountered.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// DefaultLatencyBuckets is the exporter's bucket ladder for request
+// latencies: a 1-2.5-5 decade ladder from 1µs to 2.5s, wide enough for
+// every service profile's SLO range at both tails. Treat as read-only.
+var DefaultLatencyBuckets = []sim.Duration{
+	1 * sim.Microsecond, 2500 * sim.Nanosecond, 5 * sim.Microsecond,
+	10 * sim.Microsecond, 25 * sim.Microsecond, 50 * sim.Microsecond,
+	100 * sim.Microsecond, 250 * sim.Microsecond, 500 * sim.Microsecond,
+	1 * sim.Millisecond, 2500 * sim.Microsecond, 5 * sim.Millisecond,
+	10 * sim.Millisecond, 25 * sim.Millisecond, 50 * sim.Millisecond,
+	100 * sim.Millisecond, 250 * sim.Millisecond, 500 * sim.Millisecond,
+	1 * sim.Second, 2500 * sim.Millisecond,
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"hardharvest/internal/sim"
 )
@@ -37,6 +38,55 @@ type Counters struct {
 	Hedges         uint64 // hedged duplicate attempts launched
 	HedgesWon      uint64 // calls resolved by a hedge attempt
 	DeadlineMisses uint64 // calls that exhausted their timeout/retry budget
+}
+
+// CounterDef describes one Counters field. It is the single source of truth
+// for counter naming: Name is the stable snake_case identifier used by
+// machine-facing exports (Prometheus label values — renaming one is a
+// breaking change to scrapers), Label is the short display form used by
+// Counters.String, and Get reads the field. Robust marks the robustness
+// group, which the summary line renders only when one of its members is
+// nonzero; Summary marks membership in the one-line summary at all
+// (enqueues/dispatches/lend-moves/unblocks are export-only).
+type CounterDef struct {
+	Name    string
+	Label   string
+	Help    string
+	Robust  bool
+	Summary bool
+	Get     func(*Counters) uint64
+}
+
+// counterDefs lists every counter in render order: the summary group first
+// (in Counters.String order), then the export-only counters, then the
+// robustness group (in its String order).
+var counterDefs = []CounterDef{
+	{Name: "arrivals", Label: "arrivals", Help: "primary invocations entering the system", Summary: true, Get: func(c *Counters) uint64 { return c.Arrivals }},
+	{Name: "completions", Label: "completions", Help: "primary invocations finished", Summary: true, Get: func(c *Counters) uint64 { return c.Completions }},
+	{Name: "jobs_done", Label: "jobs", Help: "harvest batch jobs finished", Summary: true, Get: func(c *Counters) uint64 { return c.JobsDone }},
+	{Name: "loans", Label: "loans", Help: "cross-VM dispatches (hw) plus hypervisor lends (sw)", Summary: true, Get: func(c *Counters) uint64 { return c.Loans }},
+	{Name: "reclaims", Label: "reclaims", Help: "hardware preempts plus software reclaim operations", Summary: true, Get: func(c *Counters) uint64 { return c.Reclaims }},
+	{Name: "preempts", Label: "preempts", Help: "hardware reclamation interrupts served", Summary: true, Get: func(c *Counters) uint64 { return c.Preempts }},
+	{Name: "flushes", Label: "flushes", Help: "cache/TLB flushes (critical-path and move-time)", Summary: true, Get: func(c *Counters) uint64 { return c.Flushes }},
+	{Name: "aborts", Label: "aborts", Help: "harvest jobs kicked off a core and re-queued", Summary: true, Get: func(c *Counters) uint64 { return c.Aborts }},
+	{Name: "pins", Label: "pins", Help: "arrivals/resumes parked on unbacked vCPUs", Summary: true, Get: func(c *Counters) uint64 { return c.Pins }},
+	{Name: "blocks", Label: "blocks", Help: "I/O blocking calls", Summary: true, Get: func(c *Counters) uint64 { return c.Blocks }},
+	{Name: "enqueues", Label: "enqueues", Help: "ready-queue insertions (jobs included)", Get: func(c *Counters) uint64 { return c.Enqueues }},
+	{Name: "dispatches", Label: "dispatches", Help: "core pickups", Get: func(c *Counters) uint64 { return c.Dispatches }},
+	{Name: "lend_moves", Label: "lend-moves", Help: "software hypervisor lend operations", Get: func(c *Counters) uint64 { return c.LendMoves }},
+	{Name: "unblocks", Label: "unblocks", Help: "I/O completions re-queued", Get: func(c *Counters) uint64 { return c.Unblocks }},
+	{Name: "faults_injected", Label: "faults", Help: "injected fault events fired", Robust: true, Summary: true, Get: func(c *Counters) uint64 { return c.FaultsInjected }},
+	{Name: "sheds", Label: "sheds", Help: "attempts rejected by queue-depth load shedding", Robust: true, Summary: true, Get: func(c *Counters) uint64 { return c.Sheds }},
+	{Name: "retries", Label: "retries", Help: "retry attempts launched", Robust: true, Summary: true, Get: func(c *Counters) uint64 { return c.Retries }},
+	{Name: "hedges", Label: "hedges", Help: "hedged duplicate attempts launched", Robust: true, Summary: true, Get: func(c *Counters) uint64 { return c.Hedges }},
+	{Name: "hedges_won", Label: "hedge-wins", Help: "calls resolved by a hedge attempt", Robust: true, Summary: true, Get: func(c *Counters) uint64 { return c.HedgesWon }},
+	{Name: "deadline_misses", Label: "deadline-misses", Help: "calls that exhausted their timeout/retry budget", Robust: true, Summary: true, Get: func(c *Counters) uint64 { return c.DeadlineMisses }},
+}
+
+// CounterDefs returns the counter definition table (a copy; the underlying
+// defs are immutable program data).
+func CounterDefs() []CounterDef {
+	return append([]CounterDef(nil), counterDefs...)
 }
 
 // Count folds one event into the counters. It is the single place event
@@ -92,20 +142,37 @@ func (c *Counters) Count(ev Event) {
 	}
 }
 
-// String renders the counters as one summary line. The robustness section
-// is appended only when any of its counters is nonzero, so fault-free runs
-// render identically to builds that predate fault injection.
+// String renders the counters as one summary line, driven by the counter
+// definition table so the display can never drift from the export names.
+// The robustness section is appended only when any of its counters is
+// nonzero, so fault-free runs render identically to builds that predate
+// fault injection.
 func (c Counters) String() string {
-	s := fmt.Sprintf(
-		"arrivals=%d completions=%d jobs=%d loans=%d reclaims=%d preempts=%d flushes=%d aborts=%d pins=%d blocks=%d",
-		c.Arrivals, c.Completions, c.JobsDone, c.Loans, c.Reclaims,
-		c.Preempts, c.Flushes, c.Aborts, c.Pins, c.Blocks)
-	if c.FaultsInjected|c.Sheds|c.Retries|c.Hedges|c.HedgesWon|c.DeadlineMisses != 0 {
-		s += fmt.Sprintf(
-			" faults=%d sheds=%d retries=%d hedges=%d hedge-wins=%d deadline-misses=%d",
-			c.FaultsInjected, c.Sheds, c.Retries, c.Hedges, c.HedgesWon, c.DeadlineMisses)
+	var b strings.Builder
+	for _, d := range counterDefs {
+		if !d.Summary || d.Robust {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", d.Label, d.Get(&c))
 	}
-	return s
+	robust := false
+	for _, d := range counterDefs {
+		if d.Robust && d.Get(&c) != 0 {
+			robust = true
+			break
+		}
+	}
+	if robust {
+		for _, d := range counterDefs {
+			if d.Robust {
+				fmt.Fprintf(&b, " %s=%d", d.Label, d.Get(&c))
+			}
+		}
+	}
+	return b.String()
 }
 
 // SpanTracer records the full event stream of one server run and exports

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hardharvest/internal/faults"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/sim"
+)
+
+// NewHTTP wires the runner's control surface onto a fresh mux:
+//
+//	GET  /metrics         Prometheus text exposition
+//	GET  /api/state       current barrier snapshot (JSON)
+//	GET  /api/timeseries  streaming snapshots (SSE or NDJSON)
+//	POST /api/config      enqueue barrier-applied mutations
+//	POST /api/pause|resume|step
+//	POST /api/shutdown
+func NewHTTP(r *Runner) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if !methodIs(w, req, http.MethodGet) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, r.State())
+	})
+	mux.HandleFunc("/api/state", func(w http.ResponseWriter, req *http.Request) {
+		if !methodIs(w, req, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, stateJSON(r.State()))
+	})
+	mux.HandleFunc("/api/config", func(w http.ResponseWriter, req *http.Request) {
+		if !methodIs(w, req, http.MethodPost) {
+			return
+		}
+		var body configRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("bad config body: %w", err))
+			return
+		}
+		queued, err := enqueueConfig(r, body)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"queued": queued,
+			"note":   "applied at the next simulated-time barrier",
+		})
+	})
+	mux.HandleFunc("/api/pause", control(r, func(r *Runner) error { r.Pause(); return nil }))
+	mux.HandleFunc("/api/resume", control(r, func(r *Runner) error { r.Resume(); return nil }))
+	mux.HandleFunc("/api/step", control(r, (*Runner).StepBarrier))
+	mux.HandleFunc("/api/shutdown", control(r, func(r *Runner) error { r.Shutdown(); return nil }))
+	mux.HandleFunc("/api/timeseries", func(w http.ResponseWriter, req *http.Request) {
+		if !methodIs(w, req, http.MethodGet) {
+			return
+		}
+		streamTimeseries(r, w, req)
+	})
+	return mux
+}
+
+func methodIs(w http.ResponseWriter, req *http.Request, m string) bool {
+	if req.Method != m {
+		httpErr(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires %s", req.URL.Path, m))
+		return false
+	}
+	return true
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// control adapts a pacing mutation into a POST handler.
+func control(r *Runner, f func(*Runner) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if !methodIs(w, req, http.MethodPost) {
+			return
+		}
+		if err := f(r); err != nil {
+			httpErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+	}
+}
+
+// configRequest is the POST /api/config body: each present field becomes
+// one barrier-applied action.
+type configRequest struct {
+	Intensity      *float64     `json:"intensity,omitempty"`
+	HarvestOnBlock *bool        `json:"harvest_on_block,omitempty"`
+	Resilience     *bool        `json:"resilience,omitempty"`
+	FaultPlan      *faults.Plan `json:"fault_plan,omitempty"`
+}
+
+func enqueueConfig(r *Runner, body configRequest) (int, error) {
+	var acts []Action
+	if body.Intensity != nil {
+		acts = append(acts, Action{Kind: ActIntensity, Intensity: *body.Intensity})
+	}
+	if body.HarvestOnBlock != nil {
+		acts = append(acts, Action{Kind: ActHarvestOnBlock, On: *body.HarvestOnBlock})
+	}
+	if body.Resilience != nil {
+		acts = append(acts, Action{Kind: ActResilience, On: *body.Resilience})
+	}
+	if body.FaultPlan != nil {
+		acts = append(acts, Action{Kind: ActFaults, Plan: body.FaultPlan})
+	}
+	if len(acts) == 0 {
+		return 0, fmt.Errorf("config body names no settings (intensity, harvest_on_block, resilience, fault_plan)")
+	}
+	// Validate everything before enqueueing anything: a config POST is
+	// applied all-or-nothing so a typo cannot half-apply.
+	for _, a := range acts {
+		if err := a.validate(); err != nil {
+			return 0, err
+		}
+	}
+	for _, a := range acts {
+		if err := r.Enqueue(a); err != nil {
+			return 0, err
+		}
+	}
+	return len(acts), nil
+}
+
+// stateJSON shapes a State for the /api/state response.
+func stateJSON(st State) map[string]any {
+	qs := st.Hist.Quantiles(0.50, 0.99)
+	vms := make([]VMPoint, 0, len(st.Occupancy.VMs))
+	names := map[int]string{}
+	for _, vm := range st.Topology.VMs {
+		names[vm.Idx] = vm.Name
+	}
+	for _, v := range st.Occupancy.VMs {
+		vms = append(vms, VMPoint{
+			VM: v.VM, Name: names[v.VM], Running: v.Running, Blocked: v.Blocked,
+			Queued: v.Queued, LentOut: v.LentOut, Pinned: v.Pinned, BusyCores: v.BusyCores,
+		})
+	}
+	return map[string]any{
+		"config":       st.Config,
+		"sim_ms":       sim.Duration(st.SimTime).Milliseconds(),
+		"horizon_ms":   sim.Duration(st.Horizon).Milliseconds(),
+		"done":         st.Done,
+		"paused":       st.Paused,
+		"pace":         st.Pace,
+		"intensity":    st.Intensity,
+		"events_fired": st.EventsFired,
+		"actions":      st.Actions,
+		"counters":     st.Counters,
+		"latency_ms": map[string]float64{
+			"p50":  qs[0].Milliseconds(),
+			"p99":  qs[1].Milliseconds(),
+			"mean": st.Hist.Mean().Milliseconds(),
+			"max":  st.Hist.Max().Milliseconds(),
+		},
+		"vms": vms,
+	}
+}
+
+// writeMetrics renders the Prometheus exposition for one published state.
+// Metric families and label values come out in a fixed order (the counter
+// def table, then topology order), so two scrapes of identical simulator
+// state are byte-identical — the serve-smoke CI job depends on that.
+func writeMetrics(w http.ResponseWriter, st State) {
+	p := obs.NewPromWriter(w)
+	runLabels := []obs.PromLabel{
+		{Key: "system", Value: st.Config.System},
+		{Key: "workload", Value: st.Config.Workload},
+	}
+	p.Head("hhsim_info", "run identity (value is always 1)", "gauge")
+	p.Uint("hhsim_info", 1, append(runLabels,
+		obs.PromLabel{Key: "seed", Value: strconv.FormatUint(st.Config.Seed, 10)})...)
+	p.Head("hhsim_sim_time_seconds", "current simulated time", "gauge")
+	p.Float("hhsim_sim_time_seconds", sim.Duration(st.SimTime).Seconds())
+	p.Head("hhsim_sim_horizon_seconds", "simulated end-of-run time", "gauge")
+	p.Float("hhsim_sim_horizon_seconds", sim.Duration(st.Horizon).Seconds())
+	p.Head("hhsim_run_done", "1 once the horizon is reached", "gauge")
+	p.Uint("hhsim_run_done", boolToUint(st.Done))
+	p.Head("hhsim_paused", "1 while the pacing loop is paused", "gauge")
+	p.Uint("hhsim_paused", boolToUint(st.Paused))
+	p.Head("hhsim_intensity", "offered-load multiplier (1 = configured load)", "gauge")
+	p.Float("hhsim_intensity", st.Intensity)
+	p.Head("hhsim_engine_events_total", "simulation events executed", "counter")
+	p.Uint("hhsim_engine_events_total", st.EventsFired)
+	p.Head("hhsim_actions_applied_total", "control actions applied at barriers", "counter")
+	p.Uint("hhsim_actions_applied_total", uint64(st.Actions))
+
+	p.Head("hhsim_events_total", "simulator transitions by kind", "counter")
+	for _, d := range obs.CounterDefs() {
+		c := st.Counters
+		p.Uint("hhsim_events_total", d.Get(&c), obs.PromLabel{Key: "kind", Value: d.Name})
+	}
+
+	p.Histogram("hhsim_request_latency_seconds",
+		"end-to-end primary request latency (warmup included)",
+		st.Hist, obs.DefaultLatencyBuckets)
+
+	names := map[int]string{}
+	for _, vm := range st.Topology.VMs {
+		names[vm.Idx] = vm.Name
+	}
+	p.Head("hhsim_vm_occupancy", "per-VM occupancy at the last barrier, by state", "gauge")
+	for _, v := range st.Occupancy.VMs {
+		vmLabels := func(state string) []obs.PromLabel {
+			return []obs.PromLabel{
+				{Key: "vm", Value: strconv.Itoa(v.VM)},
+				{Key: "name", Value: names[v.VM]},
+				{Key: "state", Value: state},
+			}
+		}
+		p.Uint("hhsim_vm_occupancy", uint64(v.Running), vmLabels("running")...)
+		p.Uint("hhsim_vm_occupancy", uint64(v.Blocked), vmLabels("blocked")...)
+		p.Uint("hhsim_vm_occupancy", uint64(v.Queued), vmLabels("queued")...)
+		p.Uint("hhsim_vm_occupancy", uint64(v.LentOut), vmLabels("lent_out")...)
+		p.Uint("hhsim_vm_occupancy", uint64(v.Pinned), vmLabels("pinned")...)
+		p.Uint("hhsim_vm_occupancy", uint64(v.BusyCores), vmLabels("busy_cores")...)
+	}
+	p.Flush()
+}
+
+func boolToUint(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// streamTimeseries serves GET /api/timeseries: SSE when the client asks
+// for text/event-stream (or ?format=sse), chunked NDJSON otherwise. One
+// point is emitted per simulated barrier until the run completes or the
+// client disconnects.
+func streamTimeseries(r *Runner, w http.ResponseWriter, req *http.Request) {
+	sse := req.URL.Query().Get("format") == "sse" ||
+		strings.Contains(req.Header.Get("Accept"), "text/event-stream")
+	fl, canFlush := w.(http.Flusher)
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	// Flush headers now: a paused run publishes no points, and clients
+	// (curl, http.Get) block until the response header arrives.
+	w.WriteHeader(http.StatusOK)
+	if canFlush {
+		fl.Flush()
+	}
+	ch, cancel := r.Subscribe(64)
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-r.ShutdownRequested():
+			return
+		case tp, ok := <-ch:
+			if !ok {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "data: ")
+			}
+			enc.Encode(tp)
+			if sse {
+				fmt.Fprintf(w, "\n")
+			}
+			if canFlush {
+				fl.Flush()
+			}
+			if tp.Done {
+				return
+			}
+		}
+	}
+}

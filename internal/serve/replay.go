@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hardharvest/internal/sim"
+)
+
+// Replay reconstructs a served run from its action log: the header line
+// rebuilds the simulation, and each action is re-applied at its logged
+// barrier while the same barrier loop drives the engine to the horizon.
+// Because action application is a pure function of (config, action, barrier
+// time) and stepping is event-sequence-identical to a monolithic run, the
+// returned summary is byte-identical to the one the live run printed.
+func Replay(rd io.Reader) (string, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22) // fault plans can be large
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", fmt.Errorf("serve: replay: %w", err)
+		}
+		return "", fmt.Errorf("serve: replay: empty action log")
+	}
+	var hdr logHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != 1 {
+		return "", fmt.Errorf("serve: replay: bad log header (want hhsim_serve_log=1): %s", sc.Bytes())
+	}
+	var actions []Action
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var a Action
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return "", fmt.Errorf("serve: replay: bad action line: %w", err)
+		}
+		if err := a.validate(); err != nil {
+			return "", fmt.Errorf("serve: replay: %w", err)
+		}
+		if n := len(actions); n > 0 && a.At < actions[n-1].At {
+			return "", fmt.Errorf("serve: replay: actions out of order at t=%dps", a.At)
+		}
+		actions = append(actions, a)
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("serve: replay: %w", err)
+	}
+	return ReplayActions(hdr.Config, actions)
+}
+
+// ReplayActions drives cfg to completion, applying each action at its
+// recorded barrier, and returns the deterministic summary. A nil/empty
+// action list replays a zero-action run — the batch-equivalence baseline.
+func ReplayActions(cfg RunConfig, actions []Action) (string, error) {
+	r, err := NewRunner(cfg, nil, 0)
+	if err != nil {
+		return "", err
+	}
+	step := r.step
+	next := 0
+	barrier := sim.Time(0)
+	for {
+		for next < len(actions) && actions[next].At == int64(barrier) {
+			a := actions[next]
+			if err := r.applyAction(a, barrier); err != nil {
+				return "", fmt.Errorf("serve: replay at t=%v: %w", barrier, err)
+			}
+			r.applied++
+			next++
+		}
+		if next < len(actions) && actions[next].At < int64(barrier) {
+			return "", fmt.Errorf("serve: replay: action at t=%dps is not on a %v barrier",
+				actions[next].At, step)
+		}
+		nb := barrier.Add(step)
+		if h := r.srv.Horizon(); nb > h {
+			nb = h
+		}
+		if r.srv.StepTo(nb) {
+			break
+		}
+		barrier = nb
+	}
+	if next < len(actions) {
+		return "", fmt.Errorf("serve: replay: %d actions logged past the horizon", len(actions)-next)
+	}
+	res := r.srv.Finish()
+	return renderSummary(cfg, res, r.meter.Counters(), r.meter.Hist(), r.applied), nil
+}

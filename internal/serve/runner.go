@@ -1,0 +1,496 @@
+// Package serve hosts a long-lived simulation behind a live control
+// surface: a pacing loop advances the cluster simulation in simulated-time
+// slices (barriers), HTTP handlers read published barrier snapshots and
+// enqueue control actions, and every applied action is appended to a
+// deterministic NDJSON log so a served run can be replayed byte-identically
+// as a batch run.
+//
+// Determinism model (DESIGN.md §8): the engine executes the identical event
+// sequence whether the horizon is reached in one Run or many StepTo slices,
+// so the only way a served run can diverge from a batch run is through
+// control actions — and those are applied exclusively at barriers, logged
+// with their barrier time, and implemented as pure functions of (run
+// config, action, barrier time). Pause, resume, manual stepping, and the
+// pacing rate affect only the wall-clock schedule of the loop, never the
+// simulation, and are deliberately absent from the log.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/faults"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/sim"
+)
+
+// RunConfig identifies a served run completely: the same config plus the
+// same action log reproduces the same simulation.
+type RunConfig struct {
+	System   string `json:"system"`   // cluster.SystemKind name (e.g. "HardHarvest-Block")
+	Workload string `json:"workload"` // batch workload name (e.g. "BFS")
+	Seed     uint64 `json:"seed"`
+	WarmupMS int    `json:"warmup_ms"`
+	SimMS    int    `json:"sim_ms"`  // measurement window
+	StepMS   int    `json:"step_ms"` // barrier cadence
+}
+
+// DefaultRunConfig mirrors the quick experiment scale on the paper's full
+// system.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		System:   cluster.HardHarvestBlock.String(),
+		Workload: "BFS",
+		Seed:     1,
+		WarmupMS: 100,
+		SimMS:    2000,
+		StepMS:   10,
+	}
+}
+
+// build constructs the cluster server plus its meter for this config. It
+// is the single construction path for live runs, replays, and the batch
+// baseline in tests: the byte-equivalence guarantees hold because every
+// mode starts from the identical simulation.
+func (rc RunConfig) build() (*cluster.Server, *obs.Meter, error) {
+	kind, err := ParseSystem(rc.System)
+	if err != nil {
+		return nil, nil, err
+	}
+	work, err := batch.WorkloadByName(rc.Workload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.WarmupDuration = sim.Duration(rc.WarmupMS) * sim.Millisecond
+	ccfg.MeasureDuration = sim.Duration(rc.SimMS) * sim.Millisecond
+	ccfg.Seed = rc.Seed
+	opts := cluster.SystemOptions(kind)
+	meter := obs.NewMeter()
+	opts.Observer = meter
+	return cluster.NewServer(ccfg, opts, work), meter, nil
+}
+
+// ParseSystem resolves a system name as printed by cluster.SystemKind.
+func ParseSystem(name string) (cluster.SystemKind, error) {
+	for _, k := range cluster.Systems() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown system %q (want one of %v)", name, cluster.Systems())
+}
+
+// Action kinds. Every kind is applied at a barrier and logged.
+const (
+	ActIntensity      = "intensity"        // scale offered load (Intensity field)
+	ActHarvestOnBlock = "harvest_on_block" // toggle harvest-on-block (On field)
+	ActResilience     = "resilience"       // toggle resilience policies (On field)
+	ActFaults         = "faults"           // inject a fault plan (Plan field)
+)
+
+// Action is one logged control mutation. At is the simulated barrier time
+// (picoseconds) it was applied at; replay re-applies it at the same barrier.
+type Action struct {
+	At        int64        `json:"at"`
+	Kind      string       `json:"kind"`
+	Intensity float64      `json:"intensity,omitempty"`
+	On        bool         `json:"on,omitempty"`
+	Plan      *faults.Plan `json:"plan,omitempty"`
+}
+
+// validate rejects malformed actions at enqueue time, before they reach the
+// log.
+func (a Action) validate() error {
+	switch a.Kind {
+	case ActIntensity:
+		if !(a.Intensity > 0) {
+			return fmt.Errorf("serve: intensity must be positive, got %v", a.Intensity)
+		}
+	case ActHarvestOnBlock, ActResilience:
+		// any On value is valid
+	case ActFaults:
+		if a.Plan == nil {
+			return fmt.Errorf("serve: faults action without a plan")
+		}
+		if err := a.Plan.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	default:
+		return fmt.Errorf("serve: unknown action kind %q", a.Kind)
+	}
+	return nil
+}
+
+// logHeader is the first line of an action log.
+type logHeader struct {
+	Magic  int       `json:"hhsim_serve_log"`
+	Config RunConfig `json:"config"`
+}
+
+// VMPoint is one VM's occupancy inside a TimePoint.
+type VMPoint struct {
+	VM        int    `json:"vm"`
+	Name      string `json:"name"`
+	Running   int    `json:"running"`
+	Blocked   int    `json:"blocked"`
+	Queued    int    `json:"queued"`
+	LentOut   int    `json:"lent_out"`
+	Pinned    int    `json:"pinned"`
+	BusyCores int    `json:"busy_cores"`
+}
+
+// TimePoint is one windowed snapshot streamed on /api/timeseries.
+type TimePoint struct {
+	SimMS       float64   `json:"sim_ms"`
+	Done        bool      `json:"done"`
+	Arrivals    uint64    `json:"arrivals"`
+	Completions uint64    `json:"completions"`
+	JobsDone    uint64    `json:"jobs_done"`
+	Loans       uint64    `json:"loans"`
+	Reclaims    uint64    `json:"reclaims"`
+	P50MS       float64   `json:"p50_ms"`
+	P99MS       float64   `json:"p99_ms"`
+	VMs         []VMPoint `json:"vms"`
+}
+
+// State is the published barrier snapshot HTTP readers see. Everything in
+// it is an independent copy: the engine goroutine keeps mutating its own
+// structures while readers render this.
+type State struct {
+	Config      RunConfig
+	SimTime     sim.Time
+	Horizon     sim.Time
+	Done        bool
+	Paused      bool
+	Pace        float64
+	Intensity   float64
+	EventsFired uint64
+	Actions     int
+	Counters    obs.Counters
+	Hist        *obs.LatencyHist
+	Occupancy   obs.Snapshot
+	Topology    obs.Topology
+}
+
+// Runner drives one served simulation. The loop goroutine owns the cluster
+// server; everything else reads published snapshots or enqueues actions
+// under the runner's lock.
+type Runner struct {
+	cfg   RunConfig
+	srv   *cluster.Server
+	meter *obs.Meter
+	step  sim.Duration
+	logW  io.Writer
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []Action
+	applied  int
+	paused   bool
+	stepsOK  int // manual barriers granted while paused
+	pace     float64
+	closing  bool
+	intensty float64
+	pub      State
+	subs     map[chan TimePoint]struct{}
+
+	shutdownCh chan struct{}
+	shutdownMu sync.Once
+
+	done    bool
+	result  *cluster.ServerResult
+	summary string
+}
+
+// NewRunner builds the simulation for cfg, schedules its initial events,
+// and (when logW is non-nil) writes the action-log header. pace is the
+// initial simulated-seconds-per-wall-second rate; 0 runs unpaced.
+func NewRunner(cfg RunConfig, logW io.Writer, pace float64) (*Runner, error) {
+	if cfg.StepMS <= 0 {
+		return nil, fmt.Errorf("serve: step must be positive, got %dms", cfg.StepMS)
+	}
+	if cfg.SimMS <= 0 || cfg.WarmupMS < 0 {
+		return nil, fmt.Errorf("serve: bad window: warmup=%dms sim=%dms", cfg.WarmupMS, cfg.SimMS)
+	}
+	srv, meter, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:        cfg,
+		srv:        srv,
+		meter:      meter,
+		step:       sim.Duration(cfg.StepMS) * sim.Millisecond,
+		logW:       logW,
+		pace:       pace,
+		intensty:   1.0,
+		subs:       map[chan TimePoint]struct{}{},
+		shutdownCh: make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.srv.Start()
+	r.publishLocked(false) // pre-loop state for early scrapes
+	if logW != nil {
+		if err := json.NewEncoder(logW).Encode(logHeader{Magic: 1, Config: cfg}); err != nil {
+			return nil, fmt.Errorf("serve: action log: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// Config reports the run configuration.
+func (r *Runner) Config() RunConfig { return r.cfg }
+
+// Loop drives barriers until the horizon is reached or Shutdown is called.
+// It must be called exactly once, on its own goroutine for a live server
+// (tests drive it synchronously).
+func (r *Runner) Loop() {
+	barrier := sim.Time(0)
+	for {
+		r.mu.Lock()
+		for r.paused && r.stepsOK == 0 && !r.closing {
+			r.cond.Wait()
+		}
+		if r.closing {
+			r.mu.Unlock()
+			return
+		}
+		if r.stepsOK > 0 {
+			r.stepsOK--
+		}
+		todo := r.pending
+		r.pending = nil
+		pace := r.pace
+		r.mu.Unlock()
+
+		// Apply queued actions at this barrier, then log them. Application
+		// errors (e.g. a fault plan past the horizon) drop the action —
+		// an action that did not change the simulation must not be logged,
+		// or replay would diverge.
+		for _, a := range todo {
+			a.At = int64(barrier)
+			if err := r.applyAction(a, barrier); err != nil {
+				continue
+			}
+			r.mu.Lock()
+			r.applied++
+			if a.Kind == ActIntensity {
+				r.intensty = a.Intensity
+			}
+			r.mu.Unlock()
+			if r.logW != nil {
+				json.NewEncoder(r.logW).Encode(a)
+			}
+		}
+
+		next := barrier.Add(r.step)
+		if h := r.srv.Horizon(); next > h {
+			next = h
+		}
+		done := r.srv.StepTo(next)
+		barrier = next
+
+		r.mu.Lock()
+		r.publishLocked(done)
+		if done {
+			r.done = true
+			r.result = r.srv.Finish()
+			r.summary = renderSummary(r.cfg, r.result, r.meter.Counters(), r.meter.Hist(), r.applied)
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+
+		if pace > 0 {
+			time.Sleep(time.Duration(float64(r.step.Std()) / pace))
+		}
+	}
+}
+
+// applyAction mutates the simulation at a barrier.
+func (r *Runner) applyAction(a Action, at sim.Time) error {
+	switch a.Kind {
+	case ActIntensity:
+		return r.srv.SetIntensity(a.Intensity)
+	case ActHarvestOnBlock:
+		r.srv.SetHarvestOnBlock(a.On)
+		return nil
+	case ActResilience:
+		r.srv.SetResilienceEnabled(a.On)
+		return nil
+	case ActFaults:
+		return r.srv.InjectFaultPlan(a.Plan, at)
+	default:
+		return fmt.Errorf("serve: unknown action kind %q", a.Kind)
+	}
+}
+
+// publishLocked refreshes the published snapshot and fans a TimePoint out
+// to subscribers. Caller holds r.mu; the cluster server is quiescent (the
+// loop goroutine is between StepTo calls).
+func (r *Runner) publishLocked(done bool) {
+	occ := r.srv.OccupancySnapshot()
+	topo := r.srv.LiveTopology()
+	hist := r.meter.Hist().Clone()
+	c := r.meter.Counters()
+	r.pub = State{
+		Config:      r.cfg,
+		SimTime:     r.srv.Now(),
+		Horizon:     r.srv.Horizon(),
+		Done:        done,
+		Paused:      r.paused,
+		Pace:        r.pace,
+		Intensity:   r.intensty,
+		EventsFired: r.srv.EventsFired(),
+		Actions:     r.applied,
+		Counters:    c,
+		Hist:        hist,
+		Occupancy:   occ,
+		Topology:    topo,
+	}
+	tp := TimePoint{
+		SimMS:       sim.Duration(r.pub.SimTime).Milliseconds(),
+		Done:        done,
+		Arrivals:    c.Arrivals,
+		Completions: c.Completions,
+		JobsDone:    c.JobsDone,
+		Loans:       c.Loans,
+		Reclaims:    c.Reclaims,
+		P50MS:       hist.Quantile(0.50).Milliseconds(),
+		P99MS:       hist.Quantile(0.99).Milliseconds(),
+	}
+	names := map[int]string{}
+	for _, vm := range topo.VMs {
+		names[vm.Idx] = vm.Name
+	}
+	for _, v := range occ.VMs {
+		tp.VMs = append(tp.VMs, VMPoint{
+			VM: v.VM, Name: names[v.VM], Running: v.Running, Blocked: v.Blocked,
+			Queued: v.Queued, LentOut: v.LentOut, Pinned: v.Pinned, BusyCores: v.BusyCores,
+		})
+	}
+	for ch := range r.subs {
+		select {
+		case ch <- tp:
+		default: // slow subscriber: drop the point, never stall the loop
+		}
+	}
+}
+
+// State returns the latest published barrier snapshot.
+func (r *Runner) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pub
+}
+
+// Enqueue validates a and queues it for the next barrier.
+func (r *Runner) Enqueue(a Action) error {
+	if err := a.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || r.closing {
+		return fmt.Errorf("serve: run is over, action not applicable")
+	}
+	r.pending = append(r.pending, a)
+	return nil
+}
+
+// Pause stops the loop at the next barrier (wall-clock only; not logged).
+func (r *Runner) Pause() {
+	r.mu.Lock()
+	r.paused = true
+	r.publishPausedLocked()
+	r.mu.Unlock()
+}
+
+// Resume restarts a paused loop.
+func (r *Runner) Resume() {
+	r.mu.Lock()
+	r.paused = false
+	r.publishPausedLocked()
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// StepBarrier advances one barrier while paused.
+func (r *Runner) StepBarrier() error {
+	r.mu.Lock()
+	defer func() { r.mu.Unlock(); r.cond.Broadcast() }()
+	if !r.paused {
+		return fmt.Errorf("serve: step requires a paused run")
+	}
+	r.stepsOK++
+	return nil
+}
+
+// publishPausedLocked keeps the published pause flag current without
+// waiting for the next barrier.
+func (r *Runner) publishPausedLocked() {
+	r.pub.Paused = r.paused
+	r.pub.Pace = r.pace
+}
+
+// SetPace changes the simulated-seconds-per-wall-second rate (0 = unpaced).
+func (r *Runner) SetPace(p float64) {
+	r.mu.Lock()
+	r.pace = p
+	r.publishPausedLocked()
+	r.mu.Unlock()
+}
+
+// Shutdown asks the loop to exit at the next barrier and signals the
+// process-level waiters. Idempotent.
+func (r *Runner) Shutdown() {
+	r.shutdownMu.Do(func() {
+		r.mu.Lock()
+		r.closing = true
+		r.mu.Unlock()
+		r.cond.Broadcast()
+		close(r.shutdownCh)
+	})
+}
+
+// ShutdownRequested is closed once Shutdown has been called.
+func (r *Runner) ShutdownRequested() <-chan struct{} { return r.shutdownCh }
+
+// Done reports whether the run reached its horizon.
+func (r *Runner) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// Summary returns the deterministic end-of-run summary once Done.
+func (r *Runner) Summary() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.summary, r.done
+}
+
+// Subscribe registers a timeseries listener; cancel unregisters it and
+// closes the channel. Points published while the channel is full are
+// dropped.
+func (r *Runner) Subscribe(buf int) (<-chan TimePoint, func()) {
+	ch := make(chan TimePoint, buf)
+	r.mu.Lock()
+	r.subs[ch] = struct{}{}
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		if _, ok := r.subs[ch]; ok {
+			delete(r.subs, ch)
+			close(ch)
+		}
+		r.mu.Unlock()
+	}
+	return ch, cancel
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hardharvest/internal/faults"
+)
+
+// quickCfg is a small-but-real run: full system, short windows.
+func quickCfg() RunConfig {
+	return RunConfig{
+		System:   "HardHarvest-Block",
+		Workload: "BFS",
+		Seed:     3,
+		WarmupMS: 10,
+		SimMS:    60,
+		StepMS:   10,
+	}
+}
+
+// TestStepEquivalenceZeroActions is the serve determinism cornerstone: a
+// zero-action served run (barrier-stepped, meter attached, occupancy polled
+// at every barrier) must produce a summary byte-identical to the monolithic
+// batch run of the same configuration.
+func TestStepEquivalenceZeroActions(t *testing.T) {
+	cfg := quickCfg()
+
+	// Batch baseline: one Run over the whole horizon.
+	srv, meter, err := cfg.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := srv.Run()
+	batch := renderSummary(cfg, res, meter.Counters(), meter.Hist(), 0)
+
+	// Served: the replay path drives the identical barrier loop a live
+	// runner uses.
+	stepped, err := ReplayActions(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepped != batch {
+		t.Fatalf("stepped run diverged from batch run:\n--- batch ---\n%s--- stepped ---\n%s", batch, stepped)
+	}
+	if !strings.Contains(batch, "counters: arrivals=") {
+		t.Fatalf("summary shape unexpected:\n%s", batch)
+	}
+}
+
+// TestStepEquivalenceAcrossStepSizes: the barrier cadence is a wall-clock
+// detail — it must never leak into simulation results.
+func TestStepEquivalenceAcrossStepSizes(t *testing.T) {
+	a := quickCfg()
+	b := quickCfg()
+	b.StepMS = 3 // horizon is not a multiple: exercises the clamp
+	sa, err := ReplayActions(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ReplayActions(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The step size appears in the header line; everything below it must
+	// match exactly.
+	trim := func(s string) string { return s[strings.Index(s, "\nresult:"):] }
+	if trim(sa) != trim(sb) {
+		t.Fatalf("step size changed simulation results:\n--- 10ms ---\n%s--- 3ms ---\n%s", sa, sb)
+	}
+}
+
+// liveRun drives a live runner with a deterministic action schedule using
+// the pause/step controls, returning its summary and action log.
+func liveRun(t *testing.T, cfg RunConfig) (string, *bytes.Buffer) {
+	t.Helper()
+	var log bytes.Buffer
+	r, err := NewRunner(cfg, &log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := r.Subscribe(4096)
+	defer cancel()
+	r.Pause()
+	go r.Loop()
+
+	// Applied at barrier t=0 (enqueued before the step grant).
+	mustEnqueue(t, r, Action{Kind: ActIntensity, Intensity: 1.5})
+	step := func() {
+		if err := r.StepBarrier(); err != nil {
+			t.Fatal(err)
+		}
+		<-ch
+	}
+	step() // -> 10ms
+	step() // -> 20ms
+	// Applied at barrier t=20ms.
+	mustEnqueue(t, r, Action{Kind: ActResilience, On: true})
+	mustEnqueue(t, r, Action{Kind: ActFaults, Plan: &faults.Plan{
+		Events: []faults.ScriptedEvent{{AtMS: 5, Kind: "core_offline", Core: 3, DurationMS: 8}},
+	}})
+	step() // -> 30ms
+	// Applied at barrier t=30ms.
+	mustEnqueue(t, r, Action{Kind: ActHarvestOnBlock, On: false})
+	r.Resume()
+	for tp := range ch {
+		if tp.Done {
+			break
+		}
+	}
+	summary, ok := r.Summary()
+	if !ok {
+		t.Fatal("run finished without a summary")
+	}
+	return summary, &log
+}
+
+func mustEnqueue(t *testing.T, r *Runner, a Action) {
+	t.Helper()
+	if err := r.Enqueue(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayDeterminismWithActions: a served run with intensity, policy,
+// and fault-plan actions must replay byte-identically from its action log.
+func TestReplayDeterminismWithActions(t *testing.T) {
+	cfg := quickCfg()
+	live, log := liveRun(t, cfg)
+	logCopy := log.String()
+
+	replayed, err := Replay(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatalf("replay failed: %v\nlog:\n%s", err, logCopy)
+	}
+	if replayed != live {
+		t.Fatalf("replay diverged from live run:\n--- live ---\n%s--- replay ---\n%s\nlog:\n%s",
+			live, replayed, logCopy)
+	}
+
+	// The actions must have moved the simulation: the same config with no
+	// actions ends elsewhere (faults counter if nothing else).
+	plain, err := ReplayActions(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == live {
+		t.Fatal("action run is identical to the zero-action run: actions were lost")
+	}
+	if !strings.Contains(live, "faults=1") {
+		t.Fatalf("injected fault not reflected in counters:\n%s", live)
+	}
+
+	// Log shape: header plus four applied actions at their barrier times.
+	lines := strings.Split(strings.TrimSpace(logCopy), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("log has %d lines, want header+4 actions:\n%s", len(lines), logCopy)
+	}
+	for _, frag := range []string{
+		`"hhsim_serve_log":1`,
+		`"at":0,"kind":"intensity","intensity":1.5`,
+		`"at":20000000000,"kind":"resilience","on":true`,
+		`"at":20000000000,"kind":"faults"`,
+		`"at":30000000000,"kind":"harvest_on_block"`,
+	} {
+		if !strings.Contains(logCopy, frag) {
+			t.Fatalf("log missing %q:\n%s", frag, logCopy)
+		}
+	}
+
+	// Replay twice: same bytes again (no hidden state in Replay itself).
+	again, err := Replay(strings.NewReader(logCopy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != replayed {
+		t.Fatal("two replays of the same log disagree")
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := Replay(strings.NewReader("")); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := Replay(strings.NewReader("{\"not\":\"a header\"}\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	hdr := `{"hhsim_serve_log":1,"config":{"system":"HardHarvest-Block","workload":"BFS","seed":1,"warmup_ms":10,"sim_ms":20,"step_ms":10}}`
+	if _, err := Replay(strings.NewReader(hdr + "\n" + `{"at":0,"kind":"nope"}` + "\n")); err == nil {
+		t.Fatal("unknown action kind accepted")
+	}
+	if _, err := Replay(strings.NewReader(hdr + "\n" + `{"at":7,"kind":"intensity","intensity":2}` + "\n")); err == nil {
+		t.Fatal("off-barrier action accepted")
+	}
+}
+
+func TestActionValidation(t *testing.T) {
+	cfg := quickCfg()
+	r, err := NewRunner(cfg, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Action{
+		{Kind: ActIntensity, Intensity: 0},
+		{Kind: ActIntensity, Intensity: -2},
+		{Kind: ActFaults},
+		{Kind: "warp_speed"},
+	} {
+		if err := r.Enqueue(a); err == nil {
+			t.Fatalf("action %+v accepted", a)
+		}
+	}
+	if err := r.StepBarrier(); err == nil {
+		t.Fatal("step allowed while not paused")
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	if _, err := ParseSystem("HardHarvest-Block"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSystem("NoSuchSystem"); err == nil {
+		t.Fatal("bad system name accepted")
+	}
+	if _, err := NewRunner(RunConfig{System: "x", Workload: "BFS", SimMS: 10, StepMS: 1}, nil, 0); err == nil {
+		t.Fatal("runner built for unknown system")
+	}
+	if _, err := NewRunner(RunConfig{System: "NoHarvest", Workload: "BFS", SimMS: 10, StepMS: 0}, nil, 0); err == nil {
+		t.Fatal("runner built with zero step")
+	}
+}

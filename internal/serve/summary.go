@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/obs"
+)
+
+// renderSummary is the single end-of-run renderer shared by the live loop
+// and Replay: the byte-replayability guarantee compares its output, so the
+// summary must be a pure function of the inputs — no wall-clock, no map
+// iteration order, no pointers.
+func renderSummary(cfg RunConfig, res *cluster.ServerResult, c obs.Counters, h *obs.LatencyHist, actions int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hhsim serve summary ==\n")
+	fmt.Fprintf(&b, "system=%s workload=%s seed=%d warmup=%dms measure=%dms step=%dms actions=%d\n",
+		cfg.System, cfg.Workload, cfg.Seed, cfg.WarmupMS, cfg.SimMS, cfg.StepMS, actions)
+	fmt.Fprintf(&b, "result: %s\n", res)
+	names := make([]string, 0, len(res.Service))
+	for name := range res.Service {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := res.Service[name]
+		fmt.Fprintf(&b, "  %-10s p50=%-12v p99=%v\n", name, rec.P50(), rec.P99())
+	}
+	fmt.Fprintf(&b, "jobs=%d (%.0f/s) busy=%.2f pins=%d\n",
+		res.HarvestJobs, res.HarvestJobsPerSec, res.BusyCores, res.Pins)
+	fmt.Fprintf(&b, "counters: %s\n", c)
+	fmt.Fprintf(&b, "latency:  %s\n", h)
+	if res.InvariantViolations > 0 {
+		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d (first: %s)\n",
+			res.InvariantViolations, res.FirstViolation)
+	}
+	return b.String()
+}

@@ -29,6 +29,11 @@ type Generator struct {
 	series   []float64
 	seriesMu float64 // mean of series
 	stepDur  sim.Duration
+
+	// intensity scales the instantaneous rate (live-control surface).
+	// It starts at exactly 1.0: x*1.0 is an IEEE-754 identity, so a run
+	// that never calls SetIntensity samples bit-identical gaps.
+	intensity float64
 }
 
 // NewGenerator builds a generator for one VM with the given core count. The
@@ -37,10 +42,11 @@ type Generator struct {
 // series step to simulated time.
 func NewGenerator(p *Profile, cores int, series []float64, stepDur sim.Duration, rng *stats.RNG) *Generator {
 	g := &Generator{
-		profile:  p,
-		rng:      rng,
-		baseRate: p.BaseRPSPerCore * float64(cores),
-		stepDur:  stepDur,
+		profile:   p,
+		rng:       rng,
+		baseRate:  p.BaseRPSPerCore * float64(cores),
+		stepDur:   stepDur,
+		intensity: 1.0,
 	}
 	if len(series) > 0 && stepDur > 0 {
 		g.series = series
@@ -59,17 +65,30 @@ func NewGenerator(p *Profile, cores int, series []float64, stepDur sim.Duration,
 // Profile reports the generator's service profile.
 func (g *Generator) Profile() *Profile { return g.profile }
 
+// SetIntensity scales the generator's offered load by x (1.0 restores the
+// configured rate). Panics if x is not positive: a zero rate would make the
+// next exponential gap infinite.
+func (g *Generator) SetIntensity(x float64) {
+	if !(x > 0) {
+		panic("workload: intensity must be positive")
+	}
+	g.intensity = x
+}
+
+// Intensity reports the current offered-load multiplier.
+func (g *Generator) Intensity() float64 { return g.intensity }
+
 // rateAt reports the instantaneous arrival rate (req/s) at time t.
 func (g *Generator) rateAt(t sim.Time) float64 {
 	if g.series == nil {
-		return g.baseRate
+		return g.baseRate * g.intensity
 	}
 	step := int(int64(t)/int64(g.stepDur)) % len(g.series)
 	r := g.baseRate * g.series[step] / g.seriesMu
 	if r < g.baseRate*0.02 {
 		r = g.baseRate * 0.02 // traces never go fully silent
 	}
-	return r
+	return r * g.intensity
 }
 
 // Next returns the next arrival. The exponential gap is sampled at the

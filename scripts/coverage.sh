@@ -16,6 +16,7 @@ cd "$(dirname "$0")/.."
 FLOORS="
 internal/cluster 93.0
 internal/sim 91.0
+internal/serve 87.0
 "
 
 check=false
