@@ -116,11 +116,18 @@ func writeFile(path string, write func(f *os.File) error) {
 }
 
 func main() {
-	// Subcommand dispatch happens before flag parsing: `hhsim serve` has
-	// its own flag set, and the batch flags below do not apply to it.
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	// Subcommand dispatch happens before flag parsing: `hhsim serve`,
+	// `hhsim run`, and `hhsim validate` have their own flag sets, and the
+	// batch flags below do not apply to them. (`hhsim validate <file>` is
+	// the scenario checker; the `-validate` flag is the simulation oracle.)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "run", "validate":
+			os.Exit(scenarioMain(os.Args[1], os.Args[2:]))
+		}
 	}
 	exp := flag.String("exp", "", "experiment id (see -list)")
 	all := flag.Bool("all", false, "run every experiment")
@@ -143,6 +150,25 @@ func main() {
 	perturb := flag.String("perturb", "", "comma-separated field=factor corruptions for -validate (fields: "+
 		strings.Join(validate.PerturbFields(), ", ")+")")
 	flag.Parse()
+
+	// Reject unusable numeric flags before any run construction: a zero
+	// sampling cadence would silently disable -timeseries, and negative
+	// windows or worker counts would surface as panics deep in the
+	// scheduler. Exit 2 (usage), matching the documented code convention.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hhsim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sampleUS <= 0 {
+		usageErr("-sample-us must be a positive number of simulated microseconds, got %d", *sampleUS)
+	}
+	if *parallel < 0 {
+		usageErr("-parallel must be >= 0 (0 = GOMAXPROCS), got %d", *parallel)
+	}
+	if *measureMS < 0 {
+		usageErr("-measure-ms must be >= 0 (0 = the scale's default window), got %d", *measureMS)
+	}
 	experiments.SetParallelism(*parallel)
 
 	if *cpuProfile != "" {

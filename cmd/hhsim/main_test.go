@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -170,5 +171,117 @@ func TestValidateExitCodes(t *testing.T) {
 	}
 	if _, _, code = hhsim(t, "-perturb", "load-scale=2"); code != 2 {
 		t.Errorf("-perturb without -validate exit %d, want 2", code)
+	}
+}
+
+// TestFlagValidation: unusable numeric flags must exit 2 with an
+// explanation before any run construction, not panic mid-run or silently
+// disable an output.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "table1", "-sample-us", "0"},
+		{"-exp", "table1", "-sample-us", "-5"},
+		{"-exp", "table1", "-parallel", "-1"},
+		{"-exp", "table1", "-measure-ms", "-100"},
+	}
+	for _, args := range cases {
+		out, stderr, code := hhsim(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2\nstdout: %s\nstderr: %s", args, code, out, stderr)
+			continue
+		}
+		if !strings.Contains(stderr, "must be") || !strings.Contains(stderr, "got ") {
+			t.Errorf("%v: stderr does not explain the rejected value: %q", args, stderr)
+		}
+		if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "usage") {
+			t.Errorf("%v: stderr has no usage text: %q", args, stderr)
+		}
+	}
+}
+
+const cliScenario = `name: cli-smoke
+seed: 9
+warmup_ms: 10
+duration_ms: 40
+step_ms: 10
+fleet:
+  - group: web
+    count: 1
+workload:
+  - at_ms: 10
+    kind: intensity
+    intensity: 1.4
+assertions:
+  - metric: completions
+    min: 1
+  - metric: flow_balance
+`
+
+// TestScenarioCLI covers the run/validate subcommand contract: validate is
+// parse+check only with positioned diagnostics, run prints a deterministic
+// summary, and exit codes distinguish assertion failure (1) from malformed
+// input (2).
+func TestScenarioCLI(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.yaml", cliScenario)
+	bad := write("bad.yaml", strings.Replace(cliScenario, "kind: intensity", "kind: sorcery", 1))
+	failing := write("failing.yaml", strings.Replace(cliScenario, "min: 1", "min: 1000000", 1))
+
+	out, stderr, code := hhsim(t, "validate", good)
+	if code != 0 {
+		t.Fatalf("validate good: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "ok: ") || !strings.Contains(out, `scenario "cli-smoke"`) {
+		t.Errorf("validate output: %q", out)
+	}
+
+	out, stderr, code = hhsim(t, "validate", good, bad)
+	if code != 1 {
+		t.Errorf("validate with bad file: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad.yaml:10: workload[0].kind: unknown timeline kind \"sorcery\"") {
+		t.Errorf("validate diagnostic not positioned: %q", stderr)
+	}
+	if !strings.Contains(out, "ok: ") {
+		t.Errorf("good file not reported ok alongside bad one: %q", out)
+	}
+
+	runA, stderr, code := hhsim(t, "run", good)
+	if code != 0 {
+		t.Fatalf("run: exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"== hhsim scenario summary ==", "scenario=cli-smoke", "result: PASS"} {
+		if !strings.Contains(runA, want) {
+			t.Errorf("run summary missing %q:\n%s", want, runA)
+		}
+	}
+	runB, _, _ := hhsim(t, "run", good)
+	if runA != runB {
+		t.Errorf("two runs of the same scenario differ:\n--- a ---\n%s--- b ---\n%s", runA, runB)
+	}
+
+	out, _, code = hhsim(t, "run", failing)
+	if code != 1 {
+		t.Errorf("failing assertions: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "FAIL completions >= 1000000") || !strings.Contains(out, "result: FAIL") {
+		t.Errorf("failure summary wrong:\n%s", out)
+	}
+
+	if _, stderr, code = hhsim(t, "run", bad); code != 2 {
+		t.Errorf("run on malformed scenario: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if _, _, code = hhsim(t, "run"); code != 2 {
+		t.Errorf("run without a file: exit %d, want 2", code)
+	}
+	if _, _, code = hhsim(t, "validate"); code != 2 {
+		t.Errorf("validate without files: exit %d, want 2", code)
 	}
 }

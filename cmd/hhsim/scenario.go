@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hardharvest/internal/scenario"
+)
+
+// scenarioMain implements `hhsim run <scenario>` and `hhsim validate
+// <scenario...>`.
+//
+// validate parses and semantically checks each file without running
+// anything: exit 0 when every file is well-formed, 1 otherwise, with one
+// "file:line: field: why" diagnostic per rejected file.
+//
+// run executes one scenario and prints its deterministic summary. Exit 0
+// when every declared assertion and implicit oracle check passes, 1 when
+// any fails (or the run itself errors), 2 for a malformed scenario or
+// usage.
+func scenarioMain(cmd string, args []string) int {
+	fs := flag.NewFlagSet("hhsim "+cmd, flag.ContinueOnError)
+	fs.Usage = func() {
+		if cmd == "run" {
+			fmt.Fprintf(os.Stderr, "usage: hhsim run <scenario.(yaml|json)>\n")
+			fmt.Fprintf(os.Stderr, "  runs one fleet scenario and prints its summary; exit 1 if assertions fail\n")
+		} else {
+			fmt.Fprintf(os.Stderr, "usage: hhsim validate <scenario.(yaml|json)>...\n")
+			fmt.Fprintf(os.Stderr, "  parses + semantically checks scenarios without running them\n")
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	if cmd == "validate" {
+		rc := 0
+		for _, path := range files {
+			sc, err := scenario.Load(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				rc = 1
+				continue
+			}
+			fmt.Printf("ok: %s: scenario %q, %d servers, %d timeline entries, %d events, %d assertions\n",
+				path, sc.Name, sc.Servers(), len(sc.Workload), len(sc.Events), len(sc.Assertions))
+		}
+		return rc
+	}
+
+	if len(files) != 1 {
+		fs.Usage()
+		return 2
+	}
+	sc, err := scenario.Load(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(rep.Summary)
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}

@@ -62,6 +62,29 @@ func (s *Server) SetIntensity(x float64) error {
 	return nil
 }
 
+// SetVMIntensity scales one Primary VM's arrival generator by x, leaving
+// the other VMs untouched — the "profile switch" primitive of scenario
+// timelines. vm indexes Primary VMs in construction order
+// (0..PrimaryVMs-1). Like SetIntensity, it takes effect from the next
+// generated inter-arrival gap and perturbs nothing else.
+func (s *Server) SetVMIntensity(vm int, x float64) error {
+	if x <= 0 {
+		return fmt.Errorf("cluster: intensity must be positive, got %v", x)
+	}
+	idx := 0
+	for _, v := range s.vms {
+		if !v.isPrimary {
+			continue
+		}
+		if idx == vm {
+			v.gen.SetIntensity(x)
+			return nil
+		}
+		idx++
+	}
+	return fmt.Errorf("cluster: primary VM %d out of range (%d primary VMs)", vm, idx)
+}
+
 // SetHarvestOnBlock toggles harvesting of cores idled by blocking I/O at
 // runtime. The flag is consulted on each dispatch/block decision, so the
 // switch takes effect on the next such decision with no rescheduling.

@@ -10,12 +10,14 @@
 package faults
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"hardharvest/internal/jsonx"
 	"hardharvest/internal/sim"
 	"hardharvest/internal/stats"
 )
@@ -138,11 +140,17 @@ const maxRatePerSec = 20000
 // mismatches, and semantic errors are reported with field- or
 // offset-level context so a bad plan fails fast, before any simulation.
 func Parse(data []byte) (*Plan, error) {
-	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	p := &Plan{}
 	if err := dec.Decode(p); err != nil {
 		return nil, fmt.Errorf("fault plan: %s", describeJSONError(data, err))
+	}
+	// A plan is exactly one JSON document: content after it is a malformed
+	// file (e.g. two concatenated plans), not something to silently ignore.
+	if dec.More() {
+		line, col := jsonx.LineCol(data, dec.InputOffset())
+		return nil, fmt.Errorf("fault plan: line %d, column %d: trailing data after the plan document", line, col)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("fault plan: %w", err)
@@ -163,29 +171,12 @@ func Load(path string) (*Plan, error) {
 	return p, nil
 }
 
-// describeJSONError augments a decode error with line:column position
-// when the error carries a byte offset.
+// describeJSONError augments a decode error with line:column position when
+// the error carries a byte offset. It delegates to the shared ingestion
+// helper so fault plans, action logs, and scenario files all report
+// positions identically.
 func describeJSONError(data []byte, err error) string {
-	var off int64 = -1
-	switch e := err.(type) {
-	case *json.SyntaxError:
-		off = e.Offset
-	case *json.UnmarshalTypeError:
-		off = e.Offset
-	}
-	if off < 0 || off > int64(len(data)) {
-		return err.Error()
-	}
-	line, col := 1, 1
-	for _, b := range data[:off] {
-		if b == '\n' {
-			line++
-			col = 1
-		} else {
-			col++
-		}
-	}
-	return fmt.Sprintf("line %d, column %d: %s", line, col, err.Error())
+	return jsonx.DescribeError(data, err)
 }
 
 // Validate checks every field and returns the first problem with its

@@ -46,6 +46,52 @@ func TestParseSyntaxErrorHasPosition(t *testing.T) {
 	}
 }
 
+// TestParseErrorLineColumnExact pins the exact line and column reported
+// for decode errors on multi-line plan documents. The decoder reads
+// straight from the input bytes (bytes.NewReader — no copy), so the
+// offsets it reports must land precisely on the offending token of the
+// document the user wrote.
+func TestParseErrorLineColumnExact(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			name: "syntax error on line 3",
+			doc:  "{\n  \"intensity\": 1,\n  \"crash\": nope\n}",
+			want: "line 3, column 14",
+		},
+		{
+			name: "type error mid-document",
+			doc: "{\n  \"core_offline\": {\n    \"rate_per_s\": \"fast\",\n" +
+				"    \"duration_ms\": 1\n  }\n}",
+			want: "line 3, column 25",
+		},
+		{
+			name: "type error after blank lines",
+			doc:  "{\n\n\n  \"events\": {}\n}",
+			want: "line 4, column 14",
+		},
+		{
+			name: "trailing garbage",
+			doc:  "{\n  \"intensity\": 1\n}\ntrailing",
+			want: "line 4, column 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("plan unexpectedly parsed")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not pin position %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestValidateFieldErrors(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,48 @@
+// Package jsonx holds the shared config-ingestion error helpers: every
+// user-authored JSON document the simulator accepts (fault plans, serve
+// action logs, scenario files) reports parse failures with an exact
+// line/column position instead of a bare byte offset. The helpers live in
+// one place so the diagnostics stay uniform across ingestion paths.
+package jsonx
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// LineCol converts a 0-based byte offset into 1-based line and column
+// numbers. Offsets past the end of data clamp to the final position, so a
+// decoder offset that points one past the last byte still resolves.
+func LineCol(data []byte, off int64) (line, col int) {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// DescribeError augments a json decode error with "line L, column C"
+// position when the error carries a byte offset (syntax and type errors
+// do); other errors pass through unchanged.
+func DescribeError(data []byte, err error) string {
+	var off int64 = -1
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		off = e.Offset
+	case *json.UnmarshalTypeError:
+		off = e.Offset
+	}
+	if off < 0 || off > int64(len(data)) {
+		return err.Error()
+	}
+	line, col := LineCol(data, off)
+	return fmt.Sprintf("line %d, column %d: %s", line, col, err.Error())
+}

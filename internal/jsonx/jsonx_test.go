@@ -1,0 +1,83 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLineCol(t *testing.T) {
+	data := []byte("ab\ncd\n\nxyz")
+	tests := []struct {
+		off       int64
+		line, col int
+	}{
+		{0, 1, 1},
+		{1, 1, 2},
+		{2, 1, 3},  // at the first newline, still line 1
+		{3, 2, 1},  // first byte after it
+		{6, 3, 1},  // empty line
+		{7, 4, 1},  // start of "xyz"
+		{10, 4, 4}, // one past the last byte
+		{99, 4, 4}, // clamped
+	}
+	for _, tc := range tests {
+		line, col := LineCol(data, tc.off)
+		if line != tc.line || col != tc.col {
+			t.Errorf("LineCol(off=%d) = %d:%d, want %d:%d", tc.off, line, col, tc.line, tc.col)
+		}
+	}
+}
+
+// TestDescribeErrorOffsets pins the exact line/column reported for decode
+// errors on multi-line documents: the position must land on the offending
+// token, proving the offset-to-line conversion is not off by the document
+// copy it used to be computed against.
+func TestDescribeErrorOffsets(t *testing.T) {
+	type target struct {
+		A string `json:"a"`
+		B int    `json:"b"`
+	}
+	tests := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			name: "syntax error line 3",
+			doc:  "{\n  \"a\": \"x\",\n  \"b\": }\n}",
+			want: "line 3, column 9:",
+		},
+		{
+			name: "type error line 2",
+			doc:  "{\n  \"a\": 7,\n  \"b\": 1\n}",
+			want: "line 2, column 9:",
+		},
+		{
+			name: "type error deep line 4",
+			doc:  "{\n  \"a\": \"ok\",\n\n  \"b\": \"not an int\"\n}",
+			want: "line 4, column 20:",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var v target
+			err := json.Unmarshal([]byte(tc.doc), &v)
+			if err == nil {
+				t.Fatal("document unexpectedly decoded")
+			}
+			got := DescribeError([]byte(tc.doc), err)
+			if !strings.HasPrefix(got, tc.want) {
+				t.Errorf("DescribeError = %q, want prefix %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDescribeErrorPassthrough(t *testing.T) {
+	err := errors.New("no offset here")
+	if got := DescribeError([]byte("{}"), err); got != "no offset here" {
+		t.Errorf("non-positional error mangled: %q", got)
+	}
+}

@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hardharvest/internal/cluster"
+)
+
+// TestValidateSemanticsTable sweeps the semantic-validation branches that
+// the file-level diagnostics test does not reach, using minimal inline
+// documents (errors carry the internal "line N:" prefix here — Load is
+// what rewrites it to "file:N:").
+func TestValidateSemanticsTable(t *testing.T) {
+	const base = "name: t\nduration_ms: 40\nfleet:\n  - group: g\n"
+	for _, tc := range []struct{ name, doc, want string }{
+		{"duration missing", "name: t\nfleet:\n  - group: g\n",
+			"duration_ms: required"},
+		{"warmup negative", "name: t\nduration_ms: 40\nwarmup_ms: -1\nfleet:\n  - group: g\n",
+			"warmup_ms: must be non-negative"},
+		{"step zero", "name: t\nduration_ms: 40\nstep_ms: 0\nfleet:\n  - group: g\n",
+			"step_ms: must be positive"},
+		{"fleet missing", "name: t\nduration_ms: 40\n",
+			"fleet: required"},
+		{"fleet too large", "name: t\nduration_ms: 40\nfleet:\n  - group: g\n    count: 300\n",
+			"expands to 300 servers (max 256)"},
+		{"group unnamed", "name: t\nduration_ms: 40\nfleet:\n  - count: 1\n",
+			"fleet[0].group: required"},
+		{"count zero", base + "    count: 0\n",
+			"fleet[0].count: must be >= 1"},
+		{"cores zero", base + "    cores: 0\n",
+			"server shape fields must be positive"},
+		{"harvest cores negative", base + "    harvest_cores: -1\n",
+			"server shape fields must be positive"},
+		{"generation and exec_factor", base + "    generation: gen1\n    exec_factor: 1.1\n",
+			"generation and exec_factor are mutually exclusive"},
+		{"exec_factor out of range", base + "    exec_factor: 20\n",
+			"exec_factor: must be in (0, 10]"},
+		{"load_scale negative", base + "    load_scale: -1\n",
+			"load_scale: must be positive"},
+		{"intensity zero", base + "workload:\n  - kind: intensity\n    intensity: 0\n",
+			"workload[0].intensity: must be positive"},
+		{"factor on intensity kind", base + "workload:\n  - kind: intensity\n    intensity: 1\n    factor: 2\n",
+			`factor/duration_ms only apply to kind "flash_crowd"`},
+		{"flash factor zero", base + "workload:\n  - kind: flash_crowd\n    duration_ms: 10\n",
+			"workload[0].factor: must be positive"},
+		{"flash duration zero", base + "workload:\n  - kind: flash_crowd\n    factor: 2\n",
+			"workload[0].duration_ms: must be positive"},
+		{"intensity on flash kind", base + "workload:\n  - kind: flash_crowd\n    factor: 2\n    duration_ms: 10\n    intensity: 1\n",
+			`intensity only applies to kinds "intensity" and "vm_intensity"`},
+		{"vm intensity zero", base + "workload:\n  - kind: vm_intensity\n    vm: 0\n",
+			"workload[0].intensity: must be positive"},
+		{"vm negative", base + "workload:\n  - kind: vm_intensity\n    intensity: 1\n    vm: -2\n",
+			"workload[0].vm: must be non-negative"},
+		{"vm out of range", base + "workload:\n  - kind: vm_intensity\n    intensity: 1\n    vm: 12\n",
+			`vm 12 out of range for group "g" (8 primary VMs)`},
+		{"timeline kind missing", base + "workload:\n  - at_ms: 0\n",
+			"workload[0].kind: required"},
+		{"event kind missing", base + "events:\n  - at_ms: 0\n",
+			"events[0].kind: required"},
+		{"resilience with plan", base + "events:\n  - kind: resilience\n    on: true\n    plan: {\"events\": [{\"at_ms\": 0, \"kind\": \"crash\", \"duration_ms\": 5}]}\n",
+			`plan/plan_file only apply to kind "faults"`},
+		{"faults with plan and plan_file", base + "events:\n  - kind: faults\n    plan: {\"events\": [{\"at_ms\": 0, \"kind\": \"crash\", \"duration_ms\": 5}]}\n    plan_file: x.json\n",
+			`kind "faults" needs exactly one of plan or plan_file`},
+		{"plan_file unreadable", base + "events:\n  - kind: faults\n    plan_file: no-such-plan.json\n",
+			"events[0].plan_file:"},
+		{"plan not a map", base + "events:\n  - kind: faults\n    plan: [1, 2]\n",
+			"events[0].plan: want a mapping, got a list"},
+		{"assertion metric missing", base + "assertions:\n  - min: 1\n",
+			"assertions[0].metric: required"},
+		{"assertion min above max", base + "assertions:\n  - metric: completions\n    min: 5\n    max: 2\n",
+			"min 5 exceeds max 2"},
+		{"seed not unsigned", "name: t\nduration_ms: 40\nseed: -1\nfleet:\n  - group: g\n",
+			`seed: want a non-negative integer, got "-1"`},
+		{"events not a list", base + "events: 5\n",
+			"events: want a list, got a scalar"},
+		{"name not a string", "name:\n  - t\nduration_ms: 40\nfleet:\n  - group: g\n",
+			"name: want a string, got a list"},
+	} {
+		_, err := Parse([]byte(tc.doc), false, "")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// TestPlanFileEvent covers the plan_file success path: the referenced JSON
+// plan is resolved relative to the scenario file and loaded at validation.
+func TestPlanFileEvent(t *testing.T) {
+	dir := t.TempDir()
+	plan := `{"events": [{"at_ms": 0, "kind": "crash", "duration_ms": 5}]}`
+	if err := os.WriteFile(filepath.Join(dir, "plan.json"), []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := "name: t\nduration_ms: 40\nfleet:\n  - group: g\nevents:\n" +
+		"  - kind: faults\n    plan_file: plan.json\n"
+	sc, err := Parse([]byte(doc), false, dir)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Events[0].Plan == nil {
+		t.Fatal("plan_file did not populate the plan")
+	}
+}
+
+// TestLoadPaths covers Load's error path and its JSON front-end selection.
+func TestLoadPaths(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.yaml")); err == nil ||
+		!strings.Contains(err.Error(), "scenario:") {
+		t.Errorf("missing file: %v", err)
+	}
+	dir := t.TempDir()
+	doc := `{"name": "j", "duration_ms": 40, "fleet": [{"group": "g"}]}`
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load json: %v", err)
+	}
+	if sc.Name != "j" || sc.Servers() != 1 {
+		t.Errorf("loaded scenario = %q/%d servers", sc.Name, sc.Servers())
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": 5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil || !strings.HasPrefix(err.Error(), bad+":") {
+		t.Errorf("json diagnostic not file-prefixed: %v", err)
+	}
+}
+
+// TestTargetHelpers pins the target selector's rendering and matching.
+func TestTargetHelpers(t *testing.T) {
+	all := Target{Server: -1}
+	if !all.All() || all.String() != "all" {
+		t.Errorf("all target = %v/%q", all.All(), all.String())
+	}
+	if g := (Target{Group: "web", Server: -1}); g.All() || g.String() != "group web" {
+		t.Errorf("group target = %q", g.String())
+	}
+	if s := (Target{Server: 3}); s.All() || s.String() != "server 3" {
+		t.Errorf("server target = %q", s.String())
+	}
+}
+
+// TestEvalAssertionCorners drives evalAssertion directly on fabricated
+// results: min-bound binding extreme, worst-violation pick, and the
+// nothing-selected failure.
+func TestEvalAssertionCorners(t *testing.T) {
+	runs := []*serverRun{
+		{index: 0, group: "g", res: &cluster.ServerResult{Requests: 5}},
+		{index: 1, group: "g", res: &cluster.ServerResult{Requests: 10}},
+	}
+	min := func(v float64) Assertion {
+		return Assertion{Metric: "completions", Min: &v, Target: Target{Server: -1}}
+	}
+	r := evalAssertion(min(1), runs)
+	if !r.OK || r.Detail != "server 0 [g] completions=5" {
+		t.Errorf("min binding extreme = %v %q", r.OK, r.Detail)
+	}
+	r = evalAssertion(min(8), runs)
+	if r.OK || r.Detail != "server 0 [g] completions=5" {
+		t.Errorf("min violation = %v %q", r.OK, r.Detail)
+	}
+	r = evalAssertion(Assertion{Metric: "completions", Min: new(float64),
+		Target: Target{Group: "nope", Server: -1}}, runs)
+	if r.OK || r.Detail != "no server matched the target" {
+		t.Errorf("empty selection = %v %q", r.OK, r.Detail)
+	}
+	if b := min(2); b.bounds() != ">= 2" {
+		t.Errorf("bounds = %q", b.bounds())
+	}
+	lo, hi := 1.0, 2.5
+	if b := (Assertion{Min: &lo, Max: &hi}); b.bounds() != "in [1, 2.5]" {
+		t.Errorf("range bounds = %q", b.bounds())
+	}
+}
+
+// TestYAMLParserListCorners covers the list-item shapes the main syntax
+// test skips: a bare dash, a dash holding an indented block, a bad
+// continuation indent, and double-quoted escapes.
+func TestYAMLParserListCorners(t *testing.T) {
+	doc := "l:\n  -\n  - \n  -\n    k: 1\nesc: \"a\\\\b\\\"c\\nd\\te\"\n"
+	n, err := parseYAMLTree([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAMLTree: %v", err)
+	}
+	items := n.child("l").items
+	if len(items) != 3 || items[0].kind != nScalar || items[2].kind != nMap ||
+		items[2].child("k").scalar != "1" {
+		t.Errorf("list items = %+v", items)
+	}
+	if got := n.child("esc").scalar; got != "a\\b\"c\nd\te" {
+		t.Errorf("escapes = %q", got)
+	}
+	if _, err := parseYAMLTree([]byte("l:\n  - k: 1\n     j: 2\n")); err == nil ||
+		!strings.Contains(err.Error(), "unexpected indentation") {
+		t.Errorf("bad continuation indent: %v", err)
+	}
+	if _, err := parseYAMLTree([]byte("a: \"x\\qz\"\n")); err == nil ||
+		!strings.Contains(err.Error(), "unsupported escape") {
+		t.Errorf("bad escape: %v", err)
+	}
+	if _, err := parseYAMLTree([]byte("a: \"dangling\\\n")); err == nil ||
+		!strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("unterminated: %v", err)
+	}
+}
+
+// TestJSONTreeCorners covers the JSON front end's non-map values and its
+// node accessors' nil paths.
+func TestJSONTreeCorners(t *testing.T) {
+	n, err := parseJSONTree([]byte(`[1, [2, 3], {"a": null, "b": true, "s": "x"}]`))
+	if err != nil {
+		t.Fatalf("parseJSONTree: %v", err)
+	}
+	if n.kind != nList || len(n.items) != 3 {
+		t.Fatalf("root = %+v", n)
+	}
+	inner := n.items[2]
+	if inner.child("b").scalar != "true" || !inner.child("s").quoted {
+		t.Errorf("nested values = %+v", inner)
+	}
+	if inner.child("absent") != nil || inner.keyLine("absent") != inner.line {
+		t.Errorf("missing-key accessors leaked: %+v", inner.child("absent"))
+	}
+	if n.items[0].child("x") != nil {
+		t.Errorf("child on a scalar = %+v", n.items[0].child("x"))
+	}
+	if _, err := parseJSONTree([]byte(`{"a": `)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	for k, want := range map[nodeKind]string{nScalar: "scalar", nMap: "mapping", nList: "list"} {
+		if k.String() != want {
+			t.Errorf("nodeKind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+// TestHarvestToggleScenario exercises the harvest_on_block action path end
+// to end (the one applyAction branch the main run tests leave cold).
+func TestHarvestToggleScenario(t *testing.T) {
+	doc := "name: toggle\nduration_ms: 60\nwarmup_ms: 10\nfleet:\n  - group: g\n" +
+		"events:\n  - at_ms: 20\n    kind: harvest_on_block\n    on: false\n" +
+		"  - at_ms: 40\n    kind: harvest_on_block\n    on: true\n"
+	sc, err := Parse([]byte(doc), false, "")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("toggle scenario failed:\n%s", rep.Summary)
+	}
+	if !strings.Contains(rep.Summary, "actions=2") {
+		t.Errorf("summary missing the two toggle actions:\n%s", rep.Summary)
+	}
+}

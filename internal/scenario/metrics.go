@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/validate"
+)
+
+// serverRun is one finished server of the fleet: its result plus the
+// independent observers the runner attached.
+type serverRun struct {
+	index int // fleet index
+	group string
+	res   *cluster.ServerResult
+	meter *obs.Meter
+	audit *obs.Audit
+}
+
+// metricDef describes one assertable metric. Numeric metrics expose a
+// per-server value checked against min/max bounds; oracle checks expose a
+// pass/fail verdict with a detail string and take no bounds.
+type metricDef struct {
+	name string
+	help string
+	// eval computes a numeric metric's value for one server.
+	eval func(r *serverRun) float64
+	// check runs an oracle check for one server (nil for numeric metrics).
+	check func(r *serverRun) validate.Check
+}
+
+func msOf(q float64) func(r *serverRun) float64 {
+	return func(r *serverRun) float64 {
+		return r.meter.Hist().Quantile(q).Milliseconds()
+	}
+}
+
+// metricCatalog lists every metric assertions may reference, in display
+// order. The names are the public scenario-format vocabulary — renaming one
+// breaks shipped scenarios.
+var metricCatalog = []metricDef{
+	{name: "p50_ms", help: "median end-to-end request latency (milliseconds)", eval: msOf(0.50)},
+	{name: "p95_ms", help: "95th-percentile request latency (milliseconds)", eval: msOf(0.95)},
+	{name: "p99_ms", help: "99th-percentile request latency (milliseconds)", eval: msOf(0.99)},
+	{name: "mean_ms", help: "mean request latency (milliseconds)", eval: func(r *serverRun) float64 {
+		return r.meter.Hist().Mean().Milliseconds()
+	}},
+	{name: "arrivals", help: "requests that entered the server in the measurement window", eval: func(r *serverRun) float64 {
+		return float64(r.res.Arrivals)
+	}},
+	{name: "completions", help: "requests completed in the measurement window", eval: func(r *serverRun) float64 {
+		return float64(r.res.Requests)
+	}},
+	{name: "sheds", help: "load-shed requests", eval: func(r *serverRun) float64 {
+		return float64(r.res.Sheds)
+	}},
+	{name: "shed_fraction", help: "sheds / arrivals (0 when nothing arrived)", eval: func(r *serverRun) float64 {
+		if r.res.Arrivals == 0 {
+			return 0
+		}
+		return float64(r.res.Sheds) / float64(r.res.Arrivals)
+	}},
+	{name: "deadline_misses", help: "requests that exhausted their retry budget", eval: func(r *serverRun) float64 {
+		return float64(r.res.DeadlineMisses)
+	}},
+	{name: "retries", help: "retry attempts issued by the resilience policy", eval: func(r *serverRun) float64 {
+		return float64(r.res.Retries)
+	}},
+	{name: "hedges", help: "hedge attempts issued by the resilience policy", eval: func(r *serverRun) float64 {
+		return float64(r.res.Hedges)
+	}},
+	{name: "faults_injected", help: "fault events that fired on the server", eval: func(r *serverRun) float64 {
+		return float64(r.res.FaultsInjected)
+	}},
+	{name: "jobs_done", help: "Harvest VM batch jobs completed", eval: func(r *serverRun) float64 {
+		return float64(r.res.HarvestJobs)
+	}},
+	{name: "jobs_per_sec", help: "Harvest VM batch throughput (jobs/s)", eval: func(r *serverRun) float64 {
+		return r.res.HarvestJobsPerSec
+	}},
+	{name: "busy_cores", help: "time-averaged busy core count", eval: func(r *serverRun) float64 {
+		return r.res.BusyCores
+	}},
+	{name: "reassigns", help: "core movements between VMs", eval: func(r *serverRun) float64 {
+		return float64(r.res.Reassigns)
+	}},
+	{name: "invariant_violations", help: "violations tolerated by the always-on checker", eval: func(r *serverRun) float64 {
+		return float64(r.res.InvariantViolations)
+	}},
+	{name: "flow_balance", help: "oracle check: event-stream flow equals simulator counters exactly",
+		check: func(r *serverRun) validate.Check {
+			return validate.FlowBalance(fmt.Sprintf("server%d", r.index), r.res, r.audit)
+		}},
+	{name: "littles_law", help: "oracle check: exact Little's-law identity over the audited span",
+		check: func(r *serverRun) validate.Check {
+			return validate.LittlesLawIdentity(fmt.Sprintf("server%d", r.index), r.res, r.audit)
+		}},
+}
+
+// metricsByName indexes the catalog.
+var metricsByName = func() map[string]metricDef {
+	m := make(map[string]metricDef, len(metricCatalog))
+	for _, d := range metricCatalog {
+		m[d.name] = d
+	}
+	return m
+}()
+
+// metricNames lists the catalog names, sorted, for diagnostics.
+func metricNames() string {
+	names := make([]string, 0, len(metricCatalog))
+	for _, d := range metricCatalog {
+		names = append(names, d.name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// AssertResult is one evaluated assertion: for numeric metrics, the worst
+// (closest-to-violating or violating) server and its value; for oracle
+// checks, the first failing server's detail.
+type AssertResult struct {
+	Assertion Assertion
+	OK        bool
+	Detail    string
+}
+
+// bounds renders an assertion's bound expression deterministically.
+func (a Assertion) bounds() string {
+	switch {
+	case a.Min != nil && a.Max != nil:
+		return fmt.Sprintf("in [%s, %s]", fnum(*a.Min), fnum(*a.Max))
+	case a.Min != nil:
+		return ">= " + fnum(*a.Min)
+	case a.Max != nil:
+		return "<= " + fnum(*a.Max)
+	default:
+		return "holds"
+	}
+}
+
+// fnum formats a float deterministically with no trailing-zero noise.
+func fnum(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// selected reports whether a server run matches an assertion target.
+func (t Target) selects(r *serverRun) bool {
+	switch {
+	case t.Group != "":
+		return r.group == t.Group
+	case t.Server >= 0:
+		return r.index == t.Server
+	default:
+		return true
+	}
+}
+
+// evalAssertion checks one assertion against the fleet. Numeric bounds must
+// hold on every selected server; oracle checks must pass on every selected
+// server.
+func evalAssertion(a Assertion, runs []*serverRun) AssertResult {
+	def := metricsByName[a.Metric] // validated during Parse
+	out := AssertResult{Assertion: a, OK: true}
+	if def.check != nil {
+		for _, r := range runs {
+			if !a.Target.selects(r) {
+				continue
+			}
+			c := def.check(r)
+			if !c.OK {
+				out.OK = false
+				out.Detail = fmt.Sprintf("server %d [%s]: %s", r.index, r.group, c.Detail)
+				return out
+			}
+		}
+		out.Detail = "holds on every selected server"
+		return out
+	}
+	// Numeric: every selected server must satisfy the bounds. The detail
+	// line reports the binding extreme — the largest value under a max
+	// bound, the smallest under a min-only bound — or the worst violation.
+	var pick *serverRun
+	var pickV, worstDist float64
+	for _, r := range runs {
+		if !a.Target.selects(r) {
+			continue
+		}
+		v := def.eval(r)
+		viol := 0.0
+		if a.Min != nil && v < *a.Min {
+			viol = *a.Min - v
+		}
+		if a.Max != nil && v > *a.Max && v-*a.Max > viol {
+			viol = v - *a.Max
+		}
+		switch {
+		case viol > 0 && (out.OK || viol > worstDist):
+			out.OK = false
+			worstDist = viol
+			pick, pickV = r, v
+		case out.OK && (pick == nil ||
+			(a.Max != nil && v > pickV) || (a.Max == nil && v < pickV)):
+			pick, pickV = r, v
+		}
+	}
+	if pick == nil {
+		out.OK = false
+		out.Detail = "no server matched the target"
+		return out
+	}
+	out.Detail = fmt.Sprintf("server %d [%s] %s=%s", pick.index, pick.group, a.Metric, fnum(pickV))
+	return out
+}

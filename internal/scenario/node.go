@@ -1,0 +1,227 @@
+// Package scenario implements the declarative fleet-scenario format: a
+// YAML-subset or JSON document with four sections — fleet definition,
+// workload timeline, event script, and end-of-run assertions — compiled
+// into barrier-aligned control actions over the internal/cluster live
+// surface and executed deterministically (same scenario + seed ⇒
+// byte-identical summary).
+//
+// Both front ends parse into the same line-tracked node tree, so every
+// parse or semantic error names its position as "file:line: field: why".
+// The YAML loader is a hand-rolled subset (block maps, block lists,
+// scalars, comments, single-line JSON flow values) in keeping with the
+// repo's no-new-dependencies convention; JSON files are tokenized with the
+// stdlib decoder.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hardharvest/internal/jsonx"
+)
+
+// nodeKind discriminates the three node shapes of a parsed document.
+type nodeKind int
+
+const (
+	nScalar nodeKind = iota
+	nMap
+	nList
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case nScalar:
+		return "scalar"
+	case nMap:
+		return "mapping"
+	case nList:
+		return "list"
+	default:
+		return fmt.Sprintf("nodeKind(%d)", int(k))
+	}
+}
+
+// node is one value of a parsed scenario document with its source line.
+// Scalars keep their raw text plus a quoted flag so "1.5" (a string) and
+// 1.5 (a number) stay distinguishable during schema decoding.
+type node struct {
+	line int
+	kind nodeKind
+
+	// Scalar state.
+	scalar string
+	quoted bool
+
+	// Map state: keys in document order, child values, and the line each
+	// key appeared on (error positions point at the key, not the value).
+	keys     []string
+	children map[string]*node
+	keyLines map[string]int
+
+	// List state.
+	items []*node
+}
+
+func newMapNode(line int) *node {
+	return &node{line: line, kind: nMap, children: map[string]*node{}, keyLines: map[string]int{}}
+}
+
+// child returns the value for key, or nil.
+func (n *node) child(key string) *node {
+	if n.kind != nMap {
+		return nil
+	}
+	return n.children[key]
+}
+
+// keyLine reports the line a map key appeared on (the node's own line if
+// unknown).
+func (n *node) keyLine(key string) int {
+	if l, ok := n.keyLines[key]; ok {
+		return l
+	}
+	return n.line
+}
+
+// addChild inserts a map entry, rejecting duplicates.
+func (n *node) addChild(key string, line int, v *node) error {
+	if _, dup := n.children[key]; dup {
+		return fmt.Errorf("line %d: duplicate key %q", line, key)
+	}
+	n.keys = append(n.keys, key)
+	n.children[key] = v
+	n.keyLines[key] = line
+	return nil
+}
+
+// toAny converts a node tree to plain Go values (map[string]any,
+// []any, string, json.Number, bool, nil) — the bridge used to re-encode a
+// scenario's inline fault plan as JSON for faults.Parse, so plan
+// validation stays in exactly one place.
+func (n *node) toAny() any {
+	switch n.kind {
+	case nMap:
+		m := make(map[string]any, len(n.keys))
+		for _, k := range n.keys {
+			m[k] = n.children[k].toAny()
+		}
+		return m
+	case nList:
+		s := make([]any, len(n.items))
+		for i, it := range n.items {
+			s[i] = it.toAny()
+		}
+		return s
+	default:
+		if n.quoted {
+			return n.scalar
+		}
+		switch n.scalar {
+		case "", "null", "~":
+			return nil
+		case "true":
+			return true
+		case "false":
+			return false
+		}
+		if _, err := strconv.ParseFloat(n.scalar, 64); err == nil {
+			return json.Number(n.scalar)
+		}
+		return n.scalar
+	}
+}
+
+// parseJSONTree parses one JSON document into a node tree using the stdlib
+// tokenizer, tracking the line each value starts on via the decoder's
+// input offset.
+func parseJSONTree(data []byte) (*node, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	root, err := jsonValue(dec, data)
+	if err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		line, _ := jsonx.LineCol(data, dec.InputOffset())
+		return nil, fmt.Errorf("line %d: trailing data after the document", line)
+	}
+	return root, nil
+}
+
+// jsonLine reports the 1-based line of the token the decoder just
+// consumed. InputOffset points one past the token, so backing up one byte
+// lands inside it — which keeps a value ending exactly at a newline
+// attributed to its own line.
+func jsonLine(dec *json.Decoder, data []byte) int {
+	off := dec.InputOffset()
+	if off > 0 {
+		off--
+	}
+	line, _ := jsonx.LineCol(data, off)
+	return line
+}
+
+func jsonValue(dec *json.Decoder, data []byte) (*node, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("line 1: empty document")
+		}
+		return nil, fmt.Errorf("%s", jsonx.DescribeError(data, err))
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			n := newMapNode(jsonLine(dec, data))
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("%s", jsonx.DescribeError(data, err))
+				}
+				key, _ := keyTok.(string) // object keys are always strings
+				keyLine := jsonLine(dec, data)
+				val, err := jsonValue(dec, data)
+				if err != nil {
+					return nil, err
+				}
+				if err := n.addChild(key, keyLine, val); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, fmt.Errorf("%s", jsonx.DescribeError(data, err))
+			}
+			return n, nil
+		default: // '['
+			n := &node{line: jsonLine(dec, data), kind: nList}
+			for dec.More() {
+				item, err := jsonValue(dec, data)
+				if err != nil {
+					return nil, err
+				}
+				n.items = append(n.items, item)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, fmt.Errorf("%s", jsonx.DescribeError(data, err))
+			}
+			return n, nil
+		}
+	case string:
+		return &node{line: jsonLine(dec, data), kind: nScalar, scalar: t, quoted: true}, nil
+	case json.Number:
+		return &node{line: jsonLine(dec, data), kind: nScalar, scalar: t.String()}, nil
+	case bool:
+		s := "false"
+		if t {
+			s = "true"
+		}
+		return &node{line: jsonLine(dec, data), kind: nScalar, scalar: s}, nil
+	default: // nil
+		return &node{line: jsonLine(dec, data), kind: nScalar, scalar: "null"}, nil
+	}
+}

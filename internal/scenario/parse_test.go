@@ -1,0 +1,368 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// okYAML is a small fully-featured scenario used as the mutation base for
+// the diagnostics table: every section present, every error case below is
+// one edit away.
+const okYAML = `name: smoke
+description: "parser fixture"
+seed: 3
+warmup_ms: 10
+duration_ms: 60
+step_ms: 10
+fleet:
+  - group: web
+    count: 2
+    system: HardHarvest-Block
+    workload: BFS
+  - group: legacy
+    count: 1
+    system: NoHarvest
+    generation: gen1
+workload:
+  - at_ms: 20
+    kind: intensity
+    intensity: 1.5
+    group: web
+  - at_ms: 20
+    kind: flash_crowd
+    factor: 3
+    duration_ms: 20
+events:
+  - at_ms: 30
+    kind: resilience
+    on: true
+  - at_ms: 10
+    kind: faults
+    server: 0
+    plan: {"events": [{"at_ms": 2, "kind": "core_offline", "core": 1, "duration_ms": 5}]}
+assertions:
+  - metric: completions
+    min: 1
+  - metric: flow_balance
+`
+
+func TestParseValidScenario(t *testing.T) {
+	sc, err := Parse([]byte(okYAML), false, "")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Name != "smoke" || sc.Seed != 3 || sc.Servers() != 3 {
+		t.Fatalf("header decoded wrong: %+v", sc)
+	}
+	if len(sc.Fleet) != 2 || sc.Fleet[1].Generation != "gen1" {
+		t.Fatalf("fleet decoded wrong: %+v", sc.Fleet)
+	}
+	if got := sc.Fleet[1].effExecFactor(); got != generations["gen1"] {
+		t.Fatalf("gen1 exec factor = %g", got)
+	}
+	if len(sc.Workload) != 2 || sc.Workload[0].Target.Group != "web" {
+		t.Fatalf("workload decoded wrong: %+v", sc.Workload)
+	}
+	if len(sc.Events) != 2 || sc.Events[1].Plan == nil || len(sc.Events[1].Plan.Events) != 1 {
+		t.Fatalf("events decoded wrong: %+v", sc.Events)
+	}
+	if len(sc.Assertions) != 2 || sc.Assertions[0].Min == nil || *sc.Assertions[0].Min != 1 {
+		t.Fatalf("assertions decoded wrong: %+v", sc.Assertions)
+	}
+}
+
+// TestLoadDiagnostics pins the file:line: field shape of every decode and
+// semantic failure mode the format rejects — the satellite-4 table. Each
+// case is the valid fixture with one line's worth of damage.
+func TestLoadDiagnostics(t *testing.T) {
+	edit := func(old, new string) string {
+		if !strings.Contains(okYAML, old) {
+			t.Fatalf("fixture lost mutation anchor %q", old)
+		}
+		return strings.Replace(okYAML, old, new, 1)
+	}
+	cases := []struct {
+		name string
+		doc  string
+		want []string // all must appear in the error
+	}{
+		{
+			name: "unknown top-level field",
+			doc:  edit("seed: 3", "sneed: 3"),
+			want: []string{"scenario.yaml:3: sneed: unknown field", "want one of"},
+		},
+		{
+			name: "unknown fleet field",
+			doc:  edit("count: 2", "cuont: 2"),
+			want: []string{"scenario.yaml:9: fleet[0].cuont: unknown field"},
+		},
+		{
+			name: "wrong type for count",
+			doc:  edit("count: 2", "count: two"),
+			want: []string{"scenario.yaml:9: fleet[0].count: want an integer, got \"two\""},
+		},
+		{
+			name: "wrong type for intensity",
+			doc:  edit("intensity: 1.5", `intensity: "1.5"`),
+			want: []string{"scenario.yaml:19: workload[0].intensity: want a number, got a string"},
+		},
+		{
+			name: "wrong type for on",
+			doc:  edit("on: true", "on: yes"),
+			want: []string{"scenario.yaml:28: events[0].on: want true or false"},
+		},
+		{
+			name: "out-of-range timestamp",
+			doc:  edit("at_ms: 30", "at_ms: 4000"),
+			want: []string{"scenario.yaml:26: events[0].at_ms:", "lands on barrier 4000ms, past the last in-run barrier"},
+		},
+		{
+			name: "negative timestamp",
+			doc:  edit("at_ms: 20\n    kind: intensity", "at_ms: -1\n    kind: intensity"),
+			want: []string{"scenario.yaml:17: workload[0].at_ms: must be non-negative"},
+		},
+		{
+			name: "flash crowd running past the window",
+			doc:  edit("duration_ms: 20\nevents:", "duration_ms: 2000\nevents:"),
+			want: []string{"scenario.yaml:21: workload[1].duration_ms:", "past the last in-run barrier"},
+		},
+		{
+			name: "assertion on nonexistent metric",
+			doc:  edit("metric: completions", "metric: p99_parsecs"),
+			want: []string{"scenario.yaml:34: assertions[0].metric: unknown metric \"p99_parsecs\"", "want one of"},
+		},
+		{
+			name: "oracle check with a bound",
+			doc:  edit("metric: flow_balance", "metric: flow_balance\n    max: 1"),
+			want: []string{"scenario.yaml:36: assertions[1]: oracle check \"flow_balance\" takes no min/max bounds"},
+		},
+		{
+			name: "assertion without bounds",
+			doc:  edit("metric: completions\n    min: 1", "metric: completions"),
+			want: []string{"assertions[0]: metric \"completions\" needs a min or max bound"},
+		},
+		{
+			name: "unknown system",
+			doc:  edit("system: NoHarvest", "system: YoloHarvest"),
+			want: []string{"scenario.yaml:14: fleet[1].system: unknown system \"YoloHarvest\""},
+		},
+		{
+			name: "unknown workload",
+			doc:  edit("workload: BFS", "workload: Minesweeper"),
+			want: []string{"fleet[0].workload: batch: unknown workload"},
+		},
+		{
+			name: "unknown generation",
+			doc:  edit("generation: gen1", "generation: gen9"),
+			want: []string{"fleet[1].generation: unknown generation \"gen9\"", "gen1, gen2, gen3"},
+		},
+		{
+			name: "unknown group reference",
+			doc:  edit("group: web\n  - at_ms: 20", "group: wbe\n  - at_ms: 20"),
+			want: []string{"scenario.yaml:20: workload[0].group: unknown fleet group \"wbe\""},
+		},
+		{
+			name: "server index out of range",
+			doc:  edit("server: 0", "server: 12"),
+			want: []string{"events[1].server: server 12 out of range (fleet has 3 servers)"},
+		},
+		{
+			name: "core shape exceeds server",
+			doc:  edit("count: 2", "count: 2\n    cores: 12"),
+			want: []string{"fleet[0].cores: 8 primary_vms x 4 cores + 4 harvest cores = 36 exceeds cores=12"},
+		},
+		{
+			name: "duplicate group name",
+			doc:  edit("group: legacy", "group: web"),
+			want: []string{"fleet[1].group: duplicate group name \"web\""},
+		},
+		{
+			name: "duplicate key",
+			doc:  edit("seed: 3", "seed: 3\nseed: 4"),
+			want: []string{"scenario.yaml:4: duplicate key \"seed\""},
+		},
+		{
+			name: "tab indentation",
+			doc:  edit("seed: 3", "\tseed: 3"),
+			want: []string{"scenario.yaml:3: tab in indentation"},
+		},
+		{
+			name: "bad inline plan",
+			doc:  edit(`"duration_ms": 5`, `"duration_ms": -5`),
+			want: []string{"scenario.yaml:32: events[1].plan:", "events[0].duration_ms"},
+		},
+		{
+			name: "faults event without a plan",
+			doc: edit("    plan: {\"events\": [{\"at_ms\": 2, \"kind\": \"core_offline\", \"core\": 1, \"duration_ms\": 5}]}\n",
+				""),
+			want: []string{"events[1]: kind \"faults\" needs exactly one of plan or plan_file"},
+		},
+		{
+			name: "unknown event kind",
+			doc:  edit("kind: resilience", "kind: chaos_monkey"),
+			want: []string{"events[0].kind: unknown event kind \"chaos_monkey\""},
+		},
+		{
+			name: "unknown timeline kind",
+			doc:  edit("kind: flash_crowd", "kind: tsunami"),
+			want: []string{"workload[1].kind: unknown timeline kind \"tsunami\""},
+		},
+		{
+			name: "step larger than duration",
+			doc:  edit("step_ms: 10", "step_ms: 600"),
+			want: []string{"step_ms: barrier step 600ms exceeds duration_ms 60"},
+		},
+		{
+			name: "missing name",
+			doc:  edit("name: smoke\n", ""),
+			want: []string{"name: required"},
+		},
+		{
+			name: "group and server both set",
+			doc:  edit("server: 0", "server: 0\n    group: web"),
+			want: []string{"events[1]: group and server are mutually exclusive"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "scenario.yaml")
+			if err := os.WriteFile(path, []byte(tc.doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Load(path)
+			if err == nil {
+				t.Fatal("damaged scenario unexpectedly loaded")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q\nmissing %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+// TestParseJSONFrontEnd: the same scenario expressed as JSON decodes to the
+// same result, and JSON errors carry line positions too.
+func TestParseJSONFrontEnd(t *testing.T) {
+	doc := `{
+  "name": "j",
+  "duration_ms": 40,
+  "step_ms": 10,
+  "fleet": [{"group": "web", "count": 1}],
+  "assertions": [{"metric": "completions", "min": 0}]
+}`
+	sc, err := Parse([]byte(doc), true, "")
+	if err != nil {
+		t.Fatalf("Parse JSON: %v", err)
+	}
+	if sc.Name != "j" || sc.Servers() != 1 || sc.Fleet[0].System != "HardHarvest-Block" {
+		t.Fatalf("JSON scenario decoded wrong: %+v", sc)
+	}
+
+	bad := strings.Replace(doc, `"count": 1`, `"count": "one"`, 1)
+	_, err = Parse([]byte(bad), true, "")
+	if err == nil || !strings.Contains(err.Error(), "line 5: fleet[0].count: want an integer") {
+		t.Fatalf("JSON type error not positioned: %v", err)
+	}
+
+	_, err = Parse([]byte(doc+"{}"), true, "")
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("trailing JSON accepted: %v", err)
+	}
+}
+
+// TestYAMLParserConstructs covers the subset loader's syntax corners.
+func TestYAMLParserConstructs(t *testing.T) {
+	doc := `# leading comment
+---
+top: "quoted # not a comment"
+single: 'it''s fine'
+n: 1.25
+flag: false
+empty:
+nested:
+  inner:
+    - 1
+    - two
+  flow: {"a": [1, 2], "b": null}
+list:
+  - bare
+  - key: v
+    other: w
+flows:
+  - {"at_ms": 0, "kind": "crash"}
+`
+	n, err := parseYAMLTree([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAMLTree: %v", err)
+	}
+	if got := n.child("top").scalar; got != "quoted # not a comment" {
+		t.Errorf("double-quoted scalar = %q", got)
+	}
+	if got := n.child("single").scalar; got != "it's fine" {
+		t.Errorf("single-quoted scalar = %q", got)
+	}
+	if got := n.child("empty").scalar; got != "" || n.child("empty").quoted {
+		t.Errorf("empty value = %+v", n.child("empty"))
+	}
+	inner := n.child("nested").child("inner")
+	if inner.kind != nList || len(inner.items) != 2 || inner.items[1].scalar != "two" {
+		t.Errorf("nested list = %+v", inner)
+	}
+	flow := n.child("nested").child("flow")
+	if flow.kind != nMap || len(flow.child("a").items) != 2 {
+		t.Errorf("flow value = %+v", flow)
+	}
+	if flow.line != 12 || flow.child("a").line != 12 {
+		t.Errorf("flow lines not stamped: %d/%d", flow.line, flow.child("a").line)
+	}
+	items := n.child("list").items
+	if len(items) != 2 || items[1].kind != nMap || items[1].child("other").scalar != "w" {
+		t.Errorf("list items = %+v", items)
+	}
+	if l := n.keyLine("n"); l != 5 {
+		t.Errorf("key line for n = %d, want 5", l)
+	}
+	// A flow map as a list item must not be misread as an inline
+	// "key: value" entry (the colon inside the braces is not a map key).
+	flows := n.child("flows").items
+	if len(flows) != 1 || flows[0].kind != nMap || flows[0].child("kind").scalar != "crash" {
+		t.Errorf("flow list item = %+v", flows)
+	}
+
+	for _, bad := range []struct{ doc, want string }{
+		{"a: 1\n---\nb: 2\n", "multi-document"},
+		{"a: 'unterminated\n", "unterminated"},
+		{"a: \"bad \\q escape\"\n", "unsupported escape"},
+		{"", "empty document"},
+		{"   \n# just comments\n", "empty document"},
+		{"a:\n  b: 1\n c: 2\n", "unexpected indentation"},
+		{"a: 1\n- item\n", "unexpected list item inside a mapping"},
+		{"just a scalar line\n", `expected "key: value"`},
+		{"a: {\"broken\": \n", "flow value"},
+	} {
+		if _, err := parseYAMLTree([]byte(bad.doc)); err == nil || !strings.Contains(err.Error(), bad.want) {
+			t.Errorf("doc %q: want error containing %q, got %v", bad.doc, bad.want, err)
+		}
+	}
+}
+
+// TestNodeToAny: the fault-plan bridge must preserve JSON types.
+func TestNodeToAny(t *testing.T) {
+	n, err := parseYAMLTree([]byte("s: \"x\"\nn: 2.5\nb: true\nz: null\nl:\n  - 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.toAny().(map[string]any)
+	if m["s"] != "x" || string(m["n"].(interface{ String() string }).String()) != "2.5" ||
+		m["b"] != true || m["z"] != nil {
+		t.Fatalf("toAny = %#v", m)
+	}
+	if l := m["l"].([]any); len(l) != 1 {
+		t.Fatalf("list bridge = %#v", m["l"])
+	}
+}

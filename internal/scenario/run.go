@@ -1,0 +1,343 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hardharvest/internal/batch"
+	"hardharvest/internal/cluster"
+	"hardharvest/internal/faults"
+	"hardharvest/internal/obs"
+	"hardharvest/internal/sim"
+)
+
+// The scenario runner. A scenario compiles to one serverSpec per fleet
+// server plus a sorted list of barrier-aligned control actions per server;
+// each server then runs the same pause-free barrier loop a served run uses
+// (Start / apply actions / StepTo / Finish), so scenario execution inherits
+// the step-equivalence guarantee of DESIGN §8: the barrier cadence is a
+// control-plane detail that never perturbs the simulated event sequence.
+// Servers are independent (no cross-server events), and run sequentially in
+// fleet order with seeds derived exactly as RunCluster derives them —
+// identical inputs produce a byte-identical summary.
+
+// action kinds, in the order they apply within one barrier.
+type actKind int
+
+const (
+	actIntensity actKind = iota
+	actVMIntensity
+	actFaults
+	actResilience
+	actHarvestOnBlock
+)
+
+// action is one compiled control mutation for one server.
+type action struct {
+	at   sim.Time
+	seq  int // document order; breaks ties at a shared barrier
+	kind actKind
+	x    float64
+	vm   int
+	on   bool
+	plan *faults.Plan
+}
+
+// serverSpec is one expanded fleet server.
+type serverSpec struct {
+	index   int
+	group   *Group
+	cfg     cluster.Config
+	opts    cluster.Options
+	work    *batch.Workload
+	actions []action
+}
+
+// barrier quantizes a scenario timestamp to the first barrier at or after
+// it. Validation guarantees the result lies on an in-run barrier.
+func (sc *Scenario) barrier(atMS float64) sim.Time {
+	step := float64(sc.StepMS)
+	n := int64(math.Ceil(atMS/step - 1e-9))
+	if n < 0 {
+		n = 0
+	}
+	return sim.Time(sim.Duration(n*int64(sc.StepMS)) * sim.Millisecond)
+}
+
+// compile expands the fleet and distributes timeline entries and events to
+// the servers they target as barrier-aligned actions.
+func (sc *Scenario) compile() ([]*serverSpec, error) {
+	specs := make([]*serverSpec, 0, sc.Servers())
+	for gi := range sc.Fleet {
+		g := &sc.Fleet[gi]
+		kind, err := parseSystem(g.System)
+		if err != nil {
+			return nil, err
+		}
+		work, err := batch.WorkloadByName(g.Workload)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < g.Count; j++ {
+			i := len(specs)
+			cfg := cluster.DefaultConfig()
+			cfg.Seed = sc.Seed + uint64(i)*7919 // the RunCluster derivation
+			cfg.CoresPerServer = g.Cores
+			cfg.PrimaryVMs = g.PrimaryVMs
+			cfg.CoresPerPrimary = g.CoresPerPrimary
+			cfg.HarvestOwnCores = g.HarvestCores
+			cfg.WarmupDuration = sim.Duration(sc.WarmupMS) * sim.Millisecond
+			cfg.MeasureDuration = sim.Duration(sc.DurationMS) * sim.Millisecond
+			if g.LoadScale > 0 {
+				cfg.LoadScale = g.LoadScale
+			}
+			// Hardware generation: scale every cache-warmth execution
+			// factor, so a slower generation stretches CPU bursts uniformly.
+			if f := g.effExecFactor(); f != 1.0 {
+				cfg.WarmFactor *= f
+				cfg.ReplWarmFactor *= f
+				cfg.ColdFactor *= f
+				cfg.PartReclaimFactor *= f
+			}
+			specs = append(specs, &serverSpec{
+				index: i,
+				group: g,
+				cfg:   cfg,
+				opts:  cluster.SystemOptions(kind),
+				work:  work,
+			})
+		}
+	}
+
+	// Distribute workload-timeline entries. seq is the entry's document
+	// position; events follow all timeline entries in the tiebreak order.
+	for ti := range sc.Workload {
+		e := &sc.Workload[ti]
+		for _, s := range specs {
+			if !e.Target.selects(&serverRun{index: s.index, group: s.group.Name}) {
+				continue
+			}
+			switch e.Kind {
+			case TlIntensity:
+				s.actions = append(s.actions, action{
+					at: sc.barrier(e.AtMS), seq: ti, kind: actIntensity, x: e.Intensity})
+			case TlVMIntensity:
+				s.actions = append(s.actions, action{
+					at: sc.barrier(e.AtMS), seq: ti, kind: actVMIntensity, x: e.Intensity, vm: e.VM})
+			case TlFlashCrowd:
+				// A flash crowd multiplies the plain-intensity baseline for
+				// its window: set base*factor at the start barrier, restore
+				// the baseline in effect at the end barrier.
+				start, end := sc.barrier(e.AtMS), sc.barrier(e.AtMS+e.DurationMS)
+				s.actions = append(s.actions,
+					action{at: start, seq: ti, kind: actIntensity, x: sc.baselineAt(start, s) * e.Factor},
+					action{at: end, seq: ti, kind: actIntensity, x: sc.baselineAt(end, s)})
+			}
+		}
+	}
+	for ei := range sc.Events {
+		e := &sc.Events[ei]
+		for _, s := range specs {
+			if !e.Target.selects(&serverRun{index: s.index, group: s.group.Name}) {
+				continue
+			}
+			a := action{at: sc.barrier(e.AtMS), seq: len(sc.Workload) + ei}
+			switch e.Kind {
+			case EvFaults:
+				a.kind, a.plan = actFaults, e.Plan
+			case EvResilience:
+				a.kind, a.on = actResilience, e.On
+			case EvHarvestOnBlock:
+				a.kind, a.on = actHarvestOnBlock, e.On
+			}
+			s.actions = append(s.actions, a)
+		}
+	}
+	for _, s := range specs {
+		acts := s.actions
+		// Insertion sort keeps the compile dependency-free and the order
+		// total: barrier time first, then document order.
+		for i := 1; i < len(acts); i++ {
+			for j := i; j > 0 && (acts[j].at < acts[j-1].at ||
+				(acts[j].at == acts[j-1].at && acts[j].seq < acts[j-1].seq)); j-- {
+				acts[j], acts[j-1] = acts[j-1], acts[j]
+			}
+		}
+	}
+	return specs, nil
+}
+
+// baselineAt reports the plain-intensity baseline in effect at a barrier
+// for one server: the last plain "intensity" entry targeting it at or
+// before t, or 1.0. Flash crowds multiply this baseline rather than
+// stacking on each other.
+func (sc *Scenario) baselineAt(t sim.Time, s *serverSpec) float64 {
+	base := 1.0
+	for ti := range sc.Workload {
+		e := &sc.Workload[ti]
+		if e.Kind != TlIntensity || !e.Target.selects(&serverRun{index: s.index, group: s.group.Name}) {
+			continue
+		}
+		if sc.barrier(e.AtMS) <= t {
+			base = e.Intensity
+		}
+	}
+	return base
+}
+
+// Report is one finished scenario run.
+type Report struct {
+	Scenario *Scenario
+	Summary  string         // deterministic, byte-replayable rendering
+	Asserts  []AssertResult // declared assertions, in document order
+	Failed   int            // failed assertions + failed oracle checks
+}
+
+// OK reports whether every assertion and oracle check passed.
+func (r *Report) OK() bool { return r.Failed == 0 }
+
+// Run executes a validated scenario and evaluates its assertions. On top
+// of the declared assertions, the oracle's flow-balance and Little's-law
+// checks run on every server of the fleet unconditionally — a scenario
+// cannot opt out of conservation.
+func (sc *Scenario) Run() (*Report, error) {
+	specs, err := sc.compile()
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*serverRun, 0, len(specs))
+	applied := make([]int, len(specs))
+	for _, s := range specs {
+		meter := obs.NewMeter()
+		audit := obs.NewAudit()
+		s.opts.Observer = obs.Multi(meter, audit)
+		srv := cluster.NewServer(s.cfg, s.opts, s.work)
+		srv.Start()
+		step := sim.Duration(sc.StepMS) * sim.Millisecond
+		barrier := sim.Time(0)
+		next := 0
+		for {
+			for next < len(s.actions) && s.actions[next].at <= barrier {
+				if err := applyAction(srv, s.actions[next], barrier); err != nil {
+					return nil, fmt.Errorf("scenario: server %d: %w", s.index, err)
+				}
+				applied[s.index]++
+				next++
+			}
+			nb := barrier.Add(step)
+			if h := srv.Horizon(); nb > h {
+				nb = h
+			}
+			if srv.StepTo(nb) {
+				break
+			}
+			barrier = nb
+		}
+		res := srv.Finish()
+		audit.Finish(res.AccountedEnd)
+		runs = append(runs, &serverRun{
+			index: s.index, group: s.group.Name, res: res, meter: meter, audit: audit,
+		})
+	}
+
+	rep := &Report{Scenario: sc}
+	oracleOK := 0
+	oracleDetail := ""
+	for _, r := range runs {
+		for _, name := range []string{"flow_balance", "littles_law"} {
+			c := metricsByName[name].check(r)
+			if c.OK {
+				oracleOK++
+				continue
+			}
+			rep.Failed++
+			if oracleDetail == "" {
+				oracleDetail = fmt.Sprintf("%s FAIL on server %d [%s]: %s", name, r.index, r.group, c.Detail)
+			}
+		}
+	}
+	for _, a := range sc.Assertions {
+		ar := evalAssertion(a, runs)
+		if !ar.OK {
+			rep.Failed++
+		}
+		rep.Asserts = append(rep.Asserts, ar)
+	}
+	rep.Summary = sc.renderSummary(specs, runs, applied, rep, oracleOK, oracleDetail)
+	return rep, nil
+}
+
+func applyAction(srv *cluster.Server, a action, at sim.Time) error {
+	switch a.kind {
+	case actIntensity:
+		return srv.SetIntensity(a.x)
+	case actVMIntensity:
+		return srv.SetVMIntensity(a.vm, a.x)
+	case actFaults:
+		return srv.InjectFaultPlan(a.plan, at)
+	case actResilience:
+		srv.SetResilienceEnabled(a.on)
+		return nil
+	case actHarvestOnBlock:
+		srv.SetHarvestOnBlock(a.on)
+		return nil
+	default:
+		return fmt.Errorf("unknown action kind %d", a.kind)
+	}
+}
+
+// renderSummary is the single scenario renderer: a pure function of the
+// run's inputs and results — no wall-clock, no map iteration, no pointers —
+// so identical scenarios produce byte-identical summaries.
+func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
+	applied []int, rep *Report, oracleOK int, oracleDetail string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hhsim scenario summary ==\n")
+	fmt.Fprintf(&b, "scenario=%s seed=%d servers=%d warmup=%dms measure=%dms step=%dms\n",
+		sc.Name, sc.Seed, len(specs), sc.WarmupMS, sc.DurationMS, sc.StepMS)
+	fleet := make([]string, len(sc.Fleet))
+	for i := range sc.Fleet {
+		g := &sc.Fleet[i]
+		fleet[i] = fmt.Sprintf("%s=%dx %s/%s", g.Name, g.Count, g.System, g.Workload)
+	}
+	fmt.Fprintf(&b, "fleet: %s\n", strings.Join(fleet, "  "))
+	for i, r := range runs {
+		g := specs[i].group
+		fmt.Fprintf(&b, "server %d [%s] cores=%d exec_factor=%s actions=%d\n",
+			r.index, r.group, g.Cores, fnum(g.effExecFactor()), applied[i])
+		fmt.Fprintf(&b, "  result: %s\n", r.res)
+		fmt.Fprintf(&b, "  jobs=%d (%.0f/s) busy=%.2f\n",
+			r.res.HarvestJobs, r.res.HarvestJobsPerSec, r.res.BusyCores)
+		fmt.Fprintf(&b, "  counters: %s\n", r.meter.Counters())
+		fmt.Fprintf(&b, "  latency:  %s\n", r.meter.Hist())
+		if r.res.InvariantViolations > 0 {
+			fmt.Fprintf(&b, "  INVARIANT VIOLATIONS: %d (first: %s)\n",
+				r.res.InvariantViolations, r.res.FirstViolation)
+		}
+	}
+	if oracleDetail == "" {
+		fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers\n", len(runs), len(runs))
+	} else {
+		fmt.Fprintf(&b, "oracle: %d/%d checks passed; first failure: %s\n",
+			oracleOK, 2*len(runs), oracleDetail)
+	}
+	if len(rep.Asserts) > 0 {
+		fmt.Fprintf(&b, "assertions:\n")
+		for _, ar := range rep.Asserts {
+			status := "PASS"
+			if !ar.OK {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "  %s %s %s [%s] — %s\n",
+				status, ar.Assertion.Metric, ar.Assertion.bounds(), ar.Assertion.Target, ar.Detail)
+		}
+	}
+	verdict := "PASS"
+	if rep.Failed > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "result: %s (%d assertions, %d oracle checks, %d failed)\n",
+		verdict, len(rep.Asserts), 2*len(runs), rep.Failed)
+	return b.String()
+}

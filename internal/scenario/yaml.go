@@ -1,0 +1,327 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The YAML-subset loader. Supported constructs — enough for every shipped
+// scenario, small enough to audit:
+//
+//   - block mappings ("key: value" / "key:" with an indented block below)
+//   - block lists ("- item", "- key: value" inline-map items)
+//   - scalars: null/~, true/false, numbers, bare strings, single- and
+//     double-quoted strings
+//   - comments ("# ..." to end of line, outside quotes)
+//   - single-line JSON flow values ("plan: {\"crash\": {...}}"), delegated
+//     to the stdlib-token JSON tree parser
+//
+// Not supported (rejected with positioned errors rather than misparsed):
+// tabs in indentation, anchors/aliases, multi-document streams, block
+// scalars (| and >), and multi-line flow collections.
+
+// yline is one significant source line: 1-based number, indent width in
+// spaces, and content with indent and comments stripped.
+type yline struct {
+	num    int
+	indent int
+	text   string
+}
+
+// stripComment removes a trailing "# ..." comment, respecting quotes. A
+// '#' starts a comment at line start or after whitespace.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == '\\' && quote == '"' {
+				i++ // skip the escaped char
+			} else if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// scanLines splits a document into significant lines.
+func scanLines(data []byte) ([]yline, error) {
+	var out []yline
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", num+1)
+		}
+		text := strings.TrimSpace(stripComment(line[indent:]))
+		if text == "" {
+			continue
+		}
+		if text == "---" && indent == 0 {
+			if len(out) > 0 {
+				return nil, fmt.Errorf("line %d: multi-document streams are not supported", num+1)
+			}
+			continue // a leading document marker is harmless
+		}
+		out = append(out, yline{num: num + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// parseYAMLTree parses a YAML-subset document into a node tree.
+func parseYAMLTree(data []byte) (*node, error) {
+	lines, err := scanLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("line 1: empty document")
+	}
+	p := &yparser{lines: lines}
+	root, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.i < len(p.lines) {
+		return nil, fmt.Errorf("line %d: unexpected indentation", p.lines[p.i].num)
+	}
+	return root, nil
+}
+
+type yparser struct {
+	lines []yline
+	i     int
+}
+
+// isListItem reports whether a content line starts a list item.
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// itemRest returns a list item's content after the dash.
+func itemRest(text string) string {
+	if text == "-" {
+		return ""
+	}
+	return strings.TrimSpace(text[2:])
+}
+
+// splitKey splits "key: value" / "key:" into (key, rest). The first
+// unquoted colon followed by a space (or ending the line) terminates the
+// key, so values may contain colons freely.
+func splitKey(text string) (key, rest string, ok bool) {
+	for i := 0; i < len(text); i++ {
+		if text[i] != ':' {
+			continue
+		}
+		if i+1 == len(text) {
+			return strings.TrimSpace(text[:i]), "", strings.TrimSpace(text[:i]) != ""
+		}
+		if text[i+1] == ' ' {
+			return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), strings.TrimSpace(text[:i]) != ""
+		}
+	}
+	return "", "", false
+}
+
+// parseBlock parses the block starting at the current line; its kind (map
+// or list) and indent come from that line.
+func (p *yparser) parseBlock() (*node, error) {
+	ln := p.lines[p.i]
+	if isListItem(ln.text) {
+		return p.parseList(ln.indent)
+	}
+	return p.parseMap(ln.indent)
+}
+
+// parseMap parses map entries at exactly the given indent.
+func (p *yparser) parseMap(indent int) (*node, error) {
+	n := newMapNode(p.lines[p.i].num)
+	for p.i < len(p.lines) {
+		ln := p.lines[p.i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation (want %d spaces, got %d)",
+				ln.num, indent, ln.indent)
+		}
+		if isListItem(ln.text) {
+			return nil, fmt.Errorf("line %d: unexpected list item inside a mapping", ln.num)
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key: value\", got %q", ln.num, ln.text)
+		}
+		p.i++
+		val, err := p.entryValue(rest, ln.num, indent)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.addChild(key, ln.num, val); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// entryValue parses the value of a "key: rest" entry whose key sits at
+// entryIndent: an inline scalar/flow value, or (when rest is empty) the
+// indented block on the following lines, or null.
+func (p *yparser) entryValue(rest string, num, entryIndent int) (*node, error) {
+	if rest != "" {
+		return p.parseScalar(rest, num)
+	}
+	if p.i < len(p.lines) && p.lines[p.i].indent > entryIndent {
+		return p.parseBlock()
+	}
+	return &node{line: num, kind: nScalar, scalar: ""}, nil // null
+}
+
+// parseList parses list items at exactly the given indent.
+func (p *yparser) parseList(indent int) (*node, error) {
+	n := &node{line: p.lines[p.i].num, kind: nList}
+	for p.i < len(p.lines) {
+		ln := p.lines[p.i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation (want %d spaces, got %d)",
+				ln.num, indent, ln.indent)
+		}
+		if !isListItem(ln.text) {
+			break // a sibling map key at the parent's level
+		}
+		p.i++
+		item, err := p.parseListItem(itemRest(ln.text), ln.num, indent)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// parseListItem parses one "- ..." item. An inline "key: value" starts a
+// map whose continuation lines must be indented to the key's column
+// (indent+2); a bare value is a scalar; an empty item holds the indented
+// block below it.
+func (p *yparser) parseListItem(rest string, num, indent int) (*node, error) {
+	if rest == "" {
+		if p.i < len(p.lines) && p.lines[p.i].indent > indent {
+			return p.parseBlock()
+		}
+		return &node{line: num, kind: nScalar, scalar: ""}, nil
+	}
+	if rest[0] != '"' && rest[0] != '\'' && rest[0] != '{' && rest[0] != '[' {
+		if key, val, ok := splitKey(rest); ok {
+			item := newMapNode(num)
+			first, err := p.entryValue(val, num, indent+2)
+			if err != nil {
+				return nil, err
+			}
+			if err := item.addChild(key, num, first); err != nil {
+				return nil, err
+			}
+			// Continuation entries aligned under the first key.
+			for p.i < len(p.lines) && p.lines[p.i].indent == indent+2 && !isListItem(p.lines[p.i].text) {
+				cont, err := p.parseMap(indent + 2)
+				if err != nil {
+					return nil, err
+				}
+				for _, k := range cont.keys {
+					if err := item.addChild(k, cont.keyLines[k], cont.children[k]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if p.i < len(p.lines) && p.lines[p.i].indent > indent && p.lines[p.i].indent != indent+2 {
+				return nil, fmt.Errorf("line %d: unexpected indentation (want %d spaces, got %d)",
+					p.lines[p.i].num, indent+2, p.lines[p.i].indent)
+			}
+			return item, nil
+		}
+	}
+	return p.parseScalar(rest, num)
+}
+
+// parseScalar parses an inline value: quoted string, single-line JSON flow
+// collection, or bare scalar.
+func (p *yparser) parseScalar(text string, num int) (*node, error) {
+	switch text[0] {
+	case '"', '\'':
+		s, err := unquote(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", num, err)
+		}
+		return &node{line: num, kind: nScalar, scalar: s, quoted: true}, nil
+	case '{', '[':
+		n, err := parseJSONTree([]byte(text))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: flow value: %v", num, err)
+		}
+		setLines(n, num)
+		return n, nil
+	}
+	return &node{line: num, kind: nScalar, scalar: text}, nil
+}
+
+// unquote strips matching quotes: double quotes support \\ \" \n \t
+// escapes, single quotes only the doubled-quote escape (”).
+func unquote(s string) (string, error) {
+	q := s[0]
+	if len(s) < 2 || s[len(s)-1] != q {
+		return "", fmt.Errorf("unterminated quoted string %s", s)
+	}
+	body := s[1 : len(s)-1]
+	if q == '\'' {
+		return strings.ReplaceAll(body, "''", "'"), nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i == len(body) {
+			return "", fmt.Errorf("dangling escape in %s", s)
+		}
+		switch body[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", fmt.Errorf("unsupported escape \\%c in %s", body[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// setLines stamps a flow-parsed subtree with the source line it sits on.
+func setLines(n *node, line int) {
+	n.line = line
+	for _, k := range n.keys {
+		n.keyLines[k] = line
+		setLines(n.children[k], line)
+	}
+	for _, it := range n.items {
+		setLines(it, line)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"hardharvest/internal/jsonx"
 	"hardharvest/internal/sim"
 )
 
@@ -25,24 +26,33 @@ func Replay(rd io.Reader) (string, error) {
 		}
 		return "", fmt.Errorf("serve: replay: empty action log")
 	}
+	// Malformed JSON and a well-formed header with the wrong magic are
+	// different operator mistakes (a corrupted log vs. not an action log at
+	// all), so they get distinct, line-numbered diagnostics.
 	var hdr logHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != 1 {
-		return "", fmt.Errorf("serve: replay: bad log header (want hhsim_serve_log=1): %s", sc.Bytes())
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return "", fmt.Errorf("serve: replay: line 1: malformed header JSON: %s",
+			jsonx.DescribeError(sc.Bytes(), err))
+	}
+	if hdr.Magic != 1 {
+		return "", fmt.Errorf("serve: replay: line 1: not an hhsim serve action log "+
+			"(want hhsim_serve_log=1, got %q)", bytes.TrimSpace(sc.Bytes()))
 	}
 	var actions []Action
-	for sc.Scan() {
+	for line := 2; sc.Scan(); line++ {
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
 		var a Action
 		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
-			return "", fmt.Errorf("serve: replay: bad action line: %w", err)
+			return "", fmt.Errorf("serve: replay: line %d: malformed action JSON: %s",
+				line, jsonx.DescribeError(sc.Bytes(), err))
 		}
 		if err := a.validate(); err != nil {
-			return "", fmt.Errorf("serve: replay: %w", err)
+			return "", fmt.Errorf("serve: replay: line %d: %w", line, err)
 		}
 		if n := len(actions); n > 0 && a.At < actions[n-1].At {
-			return "", fmt.Errorf("serve: replay: actions out of order at t=%dps", a.At)
+			return "", fmt.Errorf("serve: replay: line %d: actions out of order at t=%dps", line, a.At)
 		}
 		actions = append(actions, a)
 	}

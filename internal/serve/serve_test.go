@@ -195,6 +195,58 @@ func TestReplayRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReplayHeaderDiagnostics pins the split between the two header
+// failure modes — malformed JSON and well-formed JSON that is not an
+// action-log header — and the line numbering of action errors. Each case
+// must produce a distinct, positioned message, not one opaque error.
+func TestReplayHeaderDiagnostics(t *testing.T) {
+	hdr := `{"hhsim_serve_log":1,"config":{"system":"HardHarvest-Block","workload":"BFS","seed":1,"warmup_ms":10,"sim_ms":20,"step_ms":10}}`
+	cases := []struct {
+		name string
+		log  string
+		want []string
+	}{
+		{
+			name: "malformed header JSON",
+			log:  "{\"hhsim_serve_log\": oops}\n",
+			want: []string{"line 1", "malformed header JSON", "column"},
+		},
+		{
+			name: "wrong magic",
+			log:  "{\"hhsim_serve_log\":2}\n",
+			want: []string{"line 1", "not an hhsim serve action log", "hhsim_serve_log=1"},
+		},
+		{
+			name: "valid JSON, not a header at all",
+			log:  "{\"intensity\":1.5}\n",
+			want: []string{"line 1", "not an hhsim serve action log"},
+		},
+		{
+			name: "malformed action line is numbered",
+			log:  hdr + "\n" + `{"at":0,"kind":"intensity","intensity":2}` + "\n{broken\n",
+			want: []string{"line 3", "malformed action JSON"},
+		},
+		{
+			name: "invalid action line is numbered",
+			log:  hdr + "\n" + `{"at":0,"kind":"nope"}` + "\n",
+			want: []string{"line 2", "unknown action kind"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Replay(strings.NewReader(tc.log))
+			if err == nil {
+				t.Fatal("log unexpectedly replayed")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+		})
+	}
+}
+
 func TestActionValidation(t *testing.T) {
 	cfg := quickCfg()
 	r, err := NewRunner(cfg, nil, 0)

@@ -6,6 +6,7 @@ import (
 
 	"hardharvest/internal/batch"
 	"hardharvest/internal/cluster"
+	"hardharvest/internal/obs"
 	"hardharvest/internal/sim"
 )
 
@@ -202,4 +203,17 @@ func checkFlushPin(name string, r sysRun) (Check, bool) {
 		Detail: fmt.Sprintf("flushes=%d min=%s max=%s want %s",
 			r.audit.Counters().Flushes, durf(min), durf(max), durf(table1FlushWait)),
 	}, true
+}
+
+// FlowBalance exposes the oracle's flow-balance check to external runners
+// (the scenario runner applies it to every server of a fleet): event-stream
+// arrivals/completions must equal the simulator's own counters exactly.
+func FlowBalance(name string, res *cluster.ServerResult, audit *obs.Audit) Check {
+	return checkFlowBalance(name, sysRun{res: res, audit: audit})
+}
+
+// LittlesLawIdentity exposes the oracle's exact Little's-law identity to
+// external runners: ∫N(t)dt must equal Σ sojourn over the audited span.
+func LittlesLawIdentity(name string, res *cluster.ServerResult, audit *obs.Audit) Check {
+	return checkLittleIdentity(name, sysRun{res: res, audit: audit})
 }

@@ -17,6 +17,7 @@ FLOORS="
 internal/cluster 93.0
 internal/sim 91.0
 internal/serve 87.0
+internal/scenario 85.0
 "
 
 check=false
