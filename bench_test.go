@@ -14,6 +14,7 @@ import (
 
 	"hardharvest"
 	"hardharvest/internal/experiments"
+	"hardharvest/internal/scenario"
 )
 
 func benchScale() hardharvest.Scale {
@@ -103,6 +104,48 @@ func benchAll(b *testing.B, parallelism int) {
 
 func BenchmarkAllExperimentsParallel(b *testing.B)   { benchAll(b, 0) }
 func BenchmarkAllExperimentsSequential(b *testing.B) { benchAll(b, 1) }
+
+// BenchmarkShardedVsSerial runs one fleet scenario through the sharded
+// runner with 1 worker and with 8; the pair measures the intra-run speedup
+// on the host (the summaries are byte-identical either way, so the ratio is
+// pure execution overhead). The serial leg's allocs/op is pinned in
+// BENCH_baseline.json: it covers the whole sharded path — group setup,
+// window bookkeeping, per-server barrier loops, sketch recorders.
+
+const shardBenchYAML = `name: bench-shard
+seed: 9
+warmup_ms: 5
+duration_ms: 40
+step_ms: 5
+fleet:
+  - group: web
+    count: 8
+    system: HardHarvest-Block
+    workload: BFS
+`
+
+func benchScenarioShards(b *testing.B, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := scenario.Parse([]byte(shardBenchYAML), false, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sc.RunShards(shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("scenario failed:\n%s", rep.Summary)
+		}
+	}
+}
+
+func BenchmarkShardedVsSerial(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchScenarioShards(b, 1) })
+	b.Run("shards8", func(b *testing.B) { benchScenarioShards(b, 8) })
+}
 
 // Micro-benchmarks of the core primitives, for engineering regressions.
 

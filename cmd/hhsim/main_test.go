@@ -267,6 +267,19 @@ func TestScenarioCLI(t *testing.T) {
 		t.Errorf("two runs of the same scenario differ:\n--- a ---\n%s--- b ---\n%s", runA, runB)
 	}
 
+	// -shards is an execution detail: stdout must be byte-identical at any
+	// worker count (the default run above used every CPU).
+	for _, n := range []string{"1", "2", "8"} {
+		runN, stderr, code := hhsim(t, "run", "-shards", n, good)
+		if code != 0 {
+			t.Fatalf("run -shards %s: exit %d, stderr: %s", n, code, stderr)
+		}
+		if runN != runA {
+			t.Errorf("-shards %s changed the summary:\n--- default ---\n%s--- shards=%s ---\n%s",
+				n, runA, n, runN)
+		}
+	}
+
 	out, _, code = hhsim(t, "run", failing)
 	if code != 1 {
 		t.Errorf("failing assertions: exit %d, want 1", code)

@@ -21,9 +21,11 @@ import (
 // usage.
 func scenarioMain(cmd string, args []string) int {
 	fs := flag.NewFlagSet("hhsim "+cmd, flag.ContinueOnError)
+	shards := fs.Int("shards", 0,
+		"worker goroutines for the sharded fleet runner (0 = all CPUs); the summary is byte-identical at any value")
 	fs.Usage = func() {
 		if cmd == "run" {
-			fmt.Fprintf(os.Stderr, "usage: hhsim run <scenario.(yaml|json)>\n")
+			fmt.Fprintf(os.Stderr, "usage: hhsim run [-shards n] <scenario.(yaml|json)>\n")
 			fmt.Fprintf(os.Stderr, "  runs one fleet scenario and prints its summary; exit 1 if assertions fail\n")
 		} else {
 			fmt.Fprintf(os.Stderr, "usage: hhsim validate <scenario.(yaml|json)>...\n")
@@ -64,7 +66,7 @@ func scenarioMain(cmd string, args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	rep, err := sc.Run()
+	rep, err := sc.RunShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -134,8 +134,8 @@ func (b *hwBackend) allocHW() *core.Request {
 	return new(core.Request)
 }
 
-func toWake(w *core.WakeDecision) (wakeInfo, bool) {
-	if w == nil {
+func toWake(w core.WakeDecision) (wakeInfo, bool) {
+	if !w.Valid {
 		return wakeInfo{}, false
 	}
 	return wakeInfo{core: int(w.Core), preempt: w.Preempt}, true

@@ -103,7 +103,13 @@ func aggregate(system string, results []*ServerResult) *ClusterResult {
 		for svc, rec := range r.Service {
 			agg, ok := cr.Service[svc]
 			if !ok {
-				agg = metrics.NewLatencyRecorder()
+				// The aggregate adopts the mode of its sources: sketch
+				// recorders fold into a sketch aggregate, exact into exact.
+				if rec.Sketched() {
+					agg = metrics.NewLatencySketch()
+				} else {
+					agg = metrics.NewLatencyRecorder()
+				}
 				cr.Service[svc] = agg
 			}
 			agg.Merge(rec)

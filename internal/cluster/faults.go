@@ -28,7 +28,7 @@ func (s *Server) scheduleFaults(horizon sim.Time) {
 // faultCore maps a plan core index onto the server's cores.
 func (s *Server) faultCore(idx int) *coreRT {
 	n := len(s.cores)
-	return s.cores[((idx%n)+n)%n]
+	return &s.cores[((idx%n)+n)%n]
 }
 
 // evFault emits the KindFault observer event for one injection.
@@ -72,7 +72,8 @@ func (s *Server) faultBegin(ev *faults.Event) {
 		s.preemptStorm(ev.Count)
 	case faults.ServerCrash:
 		s.evFault(ev, nil)
-		for _, c := range s.cores {
+		for i := range s.cores {
+			c := &s.cores[i]
 			s.coreOffline(c)
 		}
 		s.eng.ScheduleCall(ev.Dur, s, opFaultEnd, nil, ev)
@@ -93,7 +94,8 @@ func (s *Server) faultEnd(ev *faults.Event) {
 	case faults.CoreOffline:
 		s.coreOnline(s.faultCore(ev.Core))
 	case faults.ServerCrash:
-		for _, c := range s.cores {
+		for i := range s.cores {
+			c := &s.cores[i]
 			s.coreOnline(c)
 		}
 	}
@@ -161,7 +163,8 @@ func (s *Server) interruptBurst(c *coreRT) {
 // loaned harvest work: the hardware path delivers reclamation interrupts,
 // the software path starts hypervisor reclaims for the owner VMs.
 func (s *Server) preemptStorm(count int) {
-	for _, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		if count <= 0 {
 			return
 		}

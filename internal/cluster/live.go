@@ -31,6 +31,12 @@ func (s *Server) MeasureWindow() (start, end sim.Time) {
 	return s.measureStart, s.measureEnd
 }
 
+// Engine exposes the server's event engine for shard-group membership
+// (sim.ShardGroup reads its event floor between advance windows). The
+// engine remains owned by the server: callers must not execute events on it
+// directly — advance the server with StepTo as usual.
+func (s *Server) Engine() *sim.Engine { return s.eng }
+
 // EventsFired reports how many engine events have executed so far.
 func (s *Server) EventsFired() uint64 { return s.eng.Fired() }
 

@@ -272,7 +272,7 @@ func TestServerObserverParallelTraceDeterminism(t *testing.T) {
 func TestNilObserverNoAllocs(t *testing.T) {
 	s := NewServer(obsConfig(), SystemOptions(HardHarvestBlock), bfs(t))
 	r := &request{id: 1, vmIdx: 0}
-	c := s.cores[0]
+	c := &s.cores[0]
 	if n := testing.AllocsPerRun(1000, func() {
 		s.ev(obs.KindArrival, r, -1, 0)
 		s.evCore(obs.KindCoreIdle, c, 0)

@@ -121,6 +121,13 @@ type Options struct {
 	// blocked on I/O (frequent short blocks make block-harvesting churn).
 	AdaptiveBlock bool
 
+	// SketchLatency selects bounded-memory mergeable latency sketches for
+	// the per-VM service recorders instead of exact sample buffers: memory
+	// stays flat over arbitrarily long runs at a bounded relative quantile
+	// error (stats.SketchRelativeError). Fleet-scale scenario runs set it;
+	// golden runs and the experiment suite keep exact recorders.
+	SketchLatency bool
+
 	// Observer, when non-nil, receives every request-lifecycle and
 	// core-state transition of the run (see internal/obs for ready-made
 	// tracers and samplers). The presets leave it nil: with no observer the

@@ -114,26 +114,26 @@ type vmRT struct {
 // plus *coreRT / *vmRT / *request payloads in the event record instead of
 // allocating a closure per event.
 const (
-	opDispatch      int32 = iota // a: *coreRT — dispatch(c, false)
-	opWake                       // a: *coreRT — pending wake delivered
-	opStallRetry                 // a: *coreRT — retry dispatch after a VM stall (no loan)
-	opStallRetryLoan             // a: *coreRT — retry dispatch after a VM stall (loan ok)
-	opArrival                    // a: *vmRT — deliver the VM's next generated arrival
-	opArrivalReady               // b: *request — NIC deposit done, request lands on a vCPU
-	opRunBurst                   // a: *coreRT, b: *request — dispatch overheads paid
-	opBurstEnd                   // a: *coreRT, b: *request — CPU burst finished
-	opIOComplete                 // b: *request — network response arrived at the NIC
-	opIOReady                    // b: *request — queue/notify delay after I/O completion
-	opPreempt                    // a: *coreRT — hardware reclamation interrupt delivered
-	opAgentSample                // software harvesting agent usage sample
-	opAgentTick                  // software harvesting agent prediction window
-	opLendEnd                    // a: *coreRT — hypervisor lend move finished
-	opReclaimEnd                 // a: *coreRT — hypervisor reclaim move finished
-	opFaultBegin                 // b: *faults.Event — injected fault begins
-	opFaultEnd                   // b: *faults.Event — injected fault lifts
-	opCallTimeout                // b: *call — attempt deadline expired
-	opCallRetry                  // b: *call — retry backoff elapsed
-	opCallHedge                  // b: *call — hedge delay elapsed
+	opDispatch       int32 = iota // a: *coreRT — dispatch(c, false)
+	opWake                        // a: *coreRT — pending wake delivered
+	opStallRetry                  // a: *coreRT — retry dispatch after a VM stall (no loan)
+	opStallRetryLoan              // a: *coreRT — retry dispatch after a VM stall (loan ok)
+	opArrival                     // a: *vmRT — deliver the VM's next generated arrival
+	opArrivalReady                // b: *request — NIC deposit done, request lands on a vCPU
+	opRunBurst                    // a: *coreRT, b: *request — dispatch overheads paid
+	opBurstEnd                    // a: *coreRT, b: *request — CPU burst finished
+	opIOComplete                  // b: *request — network response arrived at the NIC
+	opIOReady                     // b: *request — queue/notify delay after I/O completion
+	opPreempt                     // a: *coreRT — hardware reclamation interrupt delivered
+	opAgentSample                 // software harvesting agent usage sample
+	opAgentTick                   // software harvesting agent prediction window
+	opLendEnd                     // a: *coreRT — hypervisor lend move finished
+	opReclaimEnd                  // a: *coreRT — hypervisor reclaim move finished
+	opFaultBegin                  // b: *faults.Event — injected fault begins
+	opFaultEnd                    // b: *faults.Event — injected fault lifts
+	opCallTimeout                 // b: *call — attempt deadline expired
+	opCallRetry                   // b: *call — retry backoff elapsed
+	opCallHedge                   // b: *call — hedge delay elapsed
 )
 
 // OnEvent dispatches typed engine events (sim.Callback).
@@ -217,11 +217,14 @@ type Server struct {
 	pollRNG  *stats.RNG
 	jobRNG   *stats.RNG
 	batchRNG *stats.RNG
+	// batchScratch backs flash-batch sampling; onArrival copies the phases
+	// into the pooled request before the next sample reuses it.
+	batchScratch workload.SampleScratch
 
 	vms        []*vmRT // 0..PrimaryVMs-1 primary, last is the Harvest VM
 	harvestIdx int
 	hwork      *batch.Workload
-	cores      []*coreRT
+	cores      []coreRT
 
 	util       *metrics.Utilization
 	activeJobs int
@@ -315,6 +318,10 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 	}
 	seriesParams := trace.DefaultSeriesParams()
 	seriesParams.Steps = cfg.TraceSteps
+	newLat := metrics.NewLatencyRecorder
+	if opts.SketchLatency {
+		newLat = metrics.NewLatencySketch
+	}
 	for i := 0; i < cfg.PrimaryVMs; i++ {
 		p := *profiles[i]
 		p.BaseRPSPerCore *= cfg.LoadScale
@@ -330,12 +337,12 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 			isPrimary: true,
 			profile:   &p,
 			gen:       workload.NewGenerator(&p, cfg.CoresPerPrimary, series, cfg.TraceStep, root.Split(uint64(100+i))),
-			lat:       metrics.NewLatencyRecorder(),
+			lat:       newLat(),
 		}
 		s.vms = append(s.vms, v)
 		s.nicDev.RegisterVM(i)
 	}
-	s.vms = append(s.vms, &vmRT{idx: s.harvestIdx, lat: metrics.NewLatencyRecorder()})
+	s.vms = append(s.vms, &vmRT{idx: s.harvestIdx, lat: newLat()})
 	s.nicDev.RegisterVM(s.harvestIdx)
 
 	// Backend.
@@ -356,11 +363,15 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 	// Cores: primary VMs first, then the Harvest VM's own cores; any
 	// remaining server cores stay unassigned (unallocated cores are out of
 	// scope: the paper's server is fully allocated).
+	// The cores live in one contiguous value slice (struct-of-arrays for
+	// the scheduler's hottest scans); capacity is fixed up front so the
+	// *coreRT pointers captured in event payloads stay stable for the
+	// server's lifetime.
+	s.cores = make([]coreRT, 0, cfg.PrimaryVMs*cfg.CoresPerPrimary+cfg.HarvestOwnCores)
 	coreID := 0
 	bind := func(vmIdx int) {
-		c := &coreRT{id: coreID, owner: vmIdx, lastVM: -1, lentTo: -1, coldFactor: 1,
-			degradeFactor: 1, idleEligible: true}
-		s.cores = append(s.cores, c)
+		s.cores = append(s.cores, coreRT{id: coreID, owner: vmIdx, lastVM: -1, lentTo: -1,
+			coldFactor: 1, degradeFactor: 1, idleEligible: true})
 		if s.hw != nil {
 			s.hw.bindCore(coreID, vmIdx)
 		} else {
@@ -480,8 +491,8 @@ func (s *Server) harvestVM() *vmRT { return s.vms[s.harvestIdx] }
 
 func (s *Server) coresOf(vmIdx int) []*coreRT {
 	var out []*coreRT
-	for _, c := range s.cores {
-		if c.owner == vmIdx {
+	for i := range s.cores {
+		if c := &s.cores[i]; c.owner == vmIdx {
 			out = append(out, c)
 		}
 	}
@@ -552,7 +563,8 @@ func (s *Server) Start() {
 	// and snapshot the per-core cycle accounts at both window edges.
 	s.eng.At(s.measureStart, func() {
 		s.util = metrics.NewUtilization(len(s.cores))
-		for _, c := range s.cores {
+		for i := range s.cores {
+			c := &s.cores[i]
 			if c.kind == cRunOwn || c.kind == cRunLoaned {
 				s.util.SetBusy(c.id, s.now(), true)
 			}
@@ -651,7 +663,8 @@ func (s *Server) topology() obs.Topology {
 		} else {
 			vi.Name = "Harvest:" + s.hwork.Name
 		}
-		for _, c := range s.cores {
+		for i := range s.cores {
+			c := &s.cores[i]
 			if c.owner == v.idx {
 				vi.Cores = append(vi.Cores, c.id)
 			}
@@ -665,7 +678,8 @@ func (s *Server) topology() obs.Topology {
 func (s *Server) snapshot() obs.Snapshot {
 	sn := obs.Snapshot{Time: s.now(), VMs: make([]obs.VMSample, 0, len(s.vms))}
 	busy := make([]int, len(s.vms))
-	for _, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		if c.kind != cIdle {
 			busy[c.owner]++
 		}
@@ -710,7 +724,7 @@ func (s *Server) arrivalFired(v *vmRT) {
 			extra++
 		}
 		for i := 0; i < extra; i++ {
-			s.onArrival(v, v.gen.Profile().Sample(s.batchRNG))
+			s.onArrival(v, v.gen.Profile().SampleInto(s.batchRNG, &s.batchScratch))
 		}
 	}
 	s.scheduleNextArrival(v)
@@ -735,7 +749,10 @@ func (s *Server) onArrival(v *vmRT, inv workload.Invocation) {
 	r := s.newRequest()
 	r.id = s.reqSeq
 	r.vmIdx = v.idx
-	r.phases = inv.Phases
+	// Copy: inv.Phases aliases the generator's sampling scratch (see
+	// workload.Generator.Next), and the pooled request recycles its own
+	// phase slice, so the copy is allocation-free at steady state.
+	r.phases = append(r.phases[:0], inv.Phases...)
 	r.arrival = s.now()
 	r.measured = s.measuring()
 	s.setReqState(r, rsTransit)
@@ -792,7 +809,7 @@ func (s *Server) enqueueReady(r *request, isNew bool) {
 // software discovery/reclaim logic.
 func (s *Server) notify(v *vmRT, wake wakeInfo, woken bool) {
 	if woken {
-		c := s.cores[wake.core]
+		c := &s.cores[wake.core]
 		if wake.preempt {
 			s.schedulePreempt(c)
 			return
@@ -830,7 +847,8 @@ func (s *Server) pollDelay() sim.Duration {
 }
 
 func (s *Server) idleCoreOf(v *vmRT) *coreRT {
-	for _, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 && !c.pendingWake &&
 			c.offlineDepth == 0 {
 			return c
@@ -843,7 +861,8 @@ func (s *Server) idleCoreOf(v *vmRT) *coreRT {
 // Term, only cores idle because they terminated a request; under Block, any
 // idle core (including those idled by a blocking call).
 func (s *Server) lendableCoreOf(v *vmRT) *coreRT {
-	for _, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		if c.owner != v.idx || c.kind != cIdle || c.lentTo >= 0 || c.pendingWake ||
 			c.offlineDepth > 0 {
 			continue
@@ -933,7 +952,8 @@ func (s *Server) loanAllowed(c *coreRT) bool {
 		return true
 	}
 	idle := 0
-	for _, o := range s.cores {
+	for i := range s.cores {
+		o := &s.cores[i]
 		if o != c && o.owner == c.owner && o.kind == cIdle && o.offlineDepth == 0 {
 			idle++
 		}
@@ -1361,7 +1381,8 @@ func (s *Server) agentTick() {
 		// Reclaim first: unserved demand (queued or pinned work with no
 		// idle core) or a prediction that now exceeds the unlent cores.
 		idle := 0
-		for _, c := range s.cores {
+		for i := range s.cores {
+			c := &s.cores[i]
 			if c.owner == v.idx && c.kind == cIdle && c.lentTo < 0 && c.offlineDepth == 0 {
 				idle++
 			}
@@ -1405,7 +1426,8 @@ func (s *Server) stallVM(v *vmRT, stall sim.Duration) {
 	if until > v.stallUntil {
 		v.stallUntil = until
 	}
-	for _, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		if c.owner != v.idx || c.kind != cRunOwn || !c.burstEv.Valid() {
 			continue
 		}
@@ -1544,7 +1566,8 @@ func (s *Server) lendEnd(c *coreRT) {
 // and no idle cores, paying the full software re-assignment cost.
 func (s *Server) startReclaim(v *vmRT) {
 	var victim *coreRT
-	for _, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		if c.owner == v.idx && c.lentTo >= 0 && (c.kind == cRunLoaned || c.kind == cIdle) &&
 			c.offlineDepth == 0 {
 			victim = c
@@ -1660,7 +1683,8 @@ func (s *Server) acctSnapshot() []CoreCycles {
 	}
 	now := s.now()
 	out := make([]CoreCycles, len(s.cores))
-	for i, c := range s.cores {
+	for i := range s.cores {
+		c := &s.cores[i]
 		c.acct[c.kind] += now.Sub(c.acctSince)
 		c.acctSince = now
 		out[i] = CoreCycles{

@@ -22,6 +22,10 @@ type Controller struct {
 
 	// nextHarvest rotates loan targets across Harvest VMs.
 	nextHarvest int
+	// hvmScratch backs harvestVMsWithWork: the candidate list is rebuilt on
+	// every idle-primary dequeue, so it reuses one buffer instead of
+	// allocating per call.
+	hvmScratch []VMID
 
 	// Stats.
 	loans    uint64
@@ -220,24 +224,29 @@ func (c *Controller) Rebalance() {
 }
 
 // WakeDecision tells the cluster layer what the controller decided when new
-// work arrived for a VM.
+// work arrived for a VM. It is passed by value on the hottest enqueue edge —
+// the zero WakeDecision (Valid false) means "no action", so no per-enqueue
+// heap allocation is needed to represent the common no-wake case.
 type WakeDecision struct {
-	// Core is the core to notify.
+	// Core is the core to notify. Meaningless unless Valid is true.
 	Core CoreID
 	// Preempt is true when Core currently executes Harvest VM work and must
 	// be interrupted and context-switched back to its Primary VM (§4.1.5).
 	Preempt bool
+	// Valid reports whether the controller issued a wake at all.
+	Valid bool
 }
 
 // Enqueue stores a request arriving from the NIC into vm's subqueue
-// (§4.1.3) and returns the controller's wake decision, if any.
-func (c *Controller) Enqueue(vm VMID, r *Request) (toOverflow bool, wake *WakeDecision, err error) {
+// (§4.1.3) and returns the controller's wake decision, if any
+// (wake.Valid reports whether there is one).
+func (c *Controller) Enqueue(vm VMID, r *Request) (toOverflow bool, wake WakeDecision, err error) {
 	qm, ok := c.qms[vm]
 	if !ok {
-		return false, nil, fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+		return false, WakeDecision{}, fmt.Errorf("%w: %d", ErrUnknownVM, vm)
 	}
 	if r.VM != vm {
-		return false, nil, fmt.Errorf("%w: request for VM %d enqueued to VM %d", ErrIsolation, r.VM, vm)
+		return false, WakeDecision{}, fmt.Errorf("%w: request for VM %d enqueued to VM %d", ErrIsolation, r.VM, vm)
 	}
 	toOverflow = qm.enqueue(r)
 	return toOverflow, c.notifyWork(qm), nil
@@ -245,23 +254,23 @@ func (c *Controller) Enqueue(vm VMID, r *Request) (toOverflow bool, wake *WakeDe
 
 // Unblock marks a blocked request ready again (the NIC received its network
 // response) and returns the wake decision (§4.1.5).
-func (c *Controller) Unblock(vm VMID, r *Request) (*WakeDecision, error) {
+func (c *Controller) Unblock(vm VMID, r *Request) (WakeDecision, error) {
 	qm, ok := c.qms[vm]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownVM, vm)
+		return WakeDecision{}, fmt.Errorf("%w: %d", ErrUnknownVM, vm)
 	}
 	if r.VM != vm {
-		return nil, fmt.Errorf("%w: unblock across VMs", ErrIsolation)
+		return WakeDecision{}, fmt.Errorf("%w: unblock across VMs", ErrIsolation)
 	}
 	if !qm.unblock(r) {
-		return nil, fmt.Errorf("%w: unblock of %v request", ErrBadTransition, r.Status)
+		return WakeDecision{}, fmt.Errorf("%w: unblock of %v request", ErrBadTransition, r.Status)
 	}
 	return c.notifyWork(qm), nil
 }
 
 // notifyWork implements the QM's new-work check: wake an idle bound core if
 // one exists; otherwise, for a Primary VM, reclaim a loaned core (§4.1.5).
-func (c *Controller) notifyWork(qm *QueueManager) *WakeDecision {
+func (c *Controller) notifyWork(qm *QueueManager) WakeDecision {
 	// Deterministic order: lowest core ID first.
 	var idle, loaned CoreID = -1, -1
 	for core := range qm.boundCores {
@@ -279,14 +288,14 @@ func (c *Controller) notifyWork(qm *QueueManager) *WakeDecision {
 	if idle >= 0 {
 		c.coreState[idle] = coreNotified
 		c.wakes++
-		return &WakeDecision{Core: idle}
+		return WakeDecision{Core: idle, Valid: true}
 	}
 	if qm.isPrimary && loaned >= 0 {
 		c.coreState[loaned] = coreNotified
 		c.reclaims++
-		return &WakeDecision{Core: loaned, Preempt: true}
+		return WakeDecision{Core: loaned, Preempt: true, Valid: true}
 	}
-	return nil
+	return WakeDecision{}
 }
 
 // coreNotified is an internal state: a wake/interrupt is in flight and the
@@ -377,14 +386,18 @@ func (c *Controller) LastVM(core CoreID) (VMID, bool) {
 	return vm, ok
 }
 
+// harvestVMsWithWork returns the Harvest VMs holding ready work, in
+// registration order. The result aliases a controller-owned scratch buffer
+// valid until the next call.
 func (c *Controller) harvestVMsWithWork() []VMID {
-	var out []VMID
+	out := c.hvmScratch[:0]
 	for _, vm := range c.vmOrder {
 		qm := c.qms[vm]
 		if !qm.isPrimary && qm.hasReady() {
 			out = append(out, vm)
 		}
 	}
+	c.hvmScratch = out
 	return out
 }
 

@@ -185,7 +185,7 @@ func TestBlockUnblockLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wake == nil {
+	if !wake.Valid {
 		t.Fatal("unblock should wake an idle core")
 	}
 	got, _, _, _ = c.Dequeue(wake.Core, false)
@@ -204,7 +204,7 @@ func TestWakeIdleCoreOnEnqueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wake == nil || wake.Preempt {
+	if !wake.Valid || wake.Preempt {
 		t.Fatalf("wake = %+v, want non-preempt wake", wake)
 	}
 	if c.State(wake.Core) == CoreIdle {
@@ -212,7 +212,7 @@ func TestWakeIdleCoreOnEnqueue(t *testing.T) {
 	}
 	// A second enqueue wakes a different idle core.
 	_, wake2, _ := c.Enqueue(1, req(2, 1))
-	if wake2 == nil || wake2.Core == wake.Core {
+	if !wake2.Valid || wake2.Core == wake.Core {
 		t.Fatalf("second wake = %+v (first %+v)", wake2, wake)
 	}
 }
@@ -271,7 +271,7 @@ func TestLoanAndReclaim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wake == nil || !wake.Preempt || wake.Core != 0 {
+	if !wake.Valid || !wake.Preempt || wake.Core != 0 {
 		t.Fatalf("wake = %+v, want preempt of core 0", wake)
 	}
 	if c.Reclaims() != 1 {
@@ -314,7 +314,7 @@ func TestNoPreemptWhenIdleCoreExists(t *testing.T) {
 	c.Dequeue(0, true) // loan core 0
 	// Cores 1-3 idle; enqueue should wake an idle core, not preempt.
 	_, wake, _ := c.Enqueue(1, req(1, 1))
-	if wake == nil || wake.Preempt {
+	if !wake.Valid || wake.Preempt {
 		t.Fatalf("wake = %+v, want idle-core wake", wake)
 	}
 }

@@ -16,9 +16,9 @@ type QueueManager struct {
 
 	// queue holds all requests resident in hardware slots, FIFO order.
 	// Entries may be Ready, Running, or Blocked; all occupy slots.
-	queue []*Request
+	queue reqRing
 	// overflow is the software In-memory Overflow Subqueue (§4.1.7), FIFO.
-	overflow []*Request
+	overflow reqRing
 
 	boundCores map[CoreID]bool
 
@@ -54,10 +54,10 @@ func (q *QueueManager) Chunks() int { return q.rqMap.Len() }
 func (q *QueueManager) BoundCores() int { return len(q.boundCores) }
 
 // HardwareOccupancy reports requests resident in hardware slots.
-func (q *QueueManager) HardwareOccupancy() int { return len(q.queue) }
+func (q *QueueManager) HardwareOccupancy() int { return q.queue.Len() }
 
 // OverflowLen reports requests in the software overflow subqueue.
-func (q *QueueManager) OverflowLen() int { return len(q.overflow) }
+func (q *QueueManager) OverflowLen() int { return q.overflow.Len() }
 
 // Mask returns the VM's HarvestMask register.
 func (q *QueueManager) Mask() HarvestMask { return q.mask }
@@ -72,17 +72,16 @@ func (q *QueueManager) VMState() *VMStateRegisterSet { return &q.vmState }
 // tail entries to the overflow subqueue; called after chunk donation.
 func (q *QueueManager) setCapacityFromChunks(chunkEntries int) (spilled int) {
 	q.capacity = q.rqMap.Len() * chunkEntries
-	for len(q.queue) > q.capacity {
+	for q.queue.Len() > q.capacity {
 		// Donations come from the tail of the subqueue (§4.1.2), so the
 		// youngest entries spill.
-		last := q.queue[len(q.queue)-1]
-		q.queue = q.queue[:len(q.queue)-1]
+		last := q.queue.PopBack()
 		last.InOverflow = true
 		// Keep overflow in FIFO order: the spilled entry is younger than
 		// anything already waiting there only if overflow was filled later.
 		// Spills go to the front of overflow because overflow entries were
 		// enqueued after the hardware filled.
-		q.overflow = append([]*Request{last}, q.overflow...)
+		q.overflow.PushFront(last)
 		spilled++
 	}
 	return spilled
@@ -94,16 +93,16 @@ func (q *QueueManager) setCapacityFromChunks(chunkEntries int) (spilled int) {
 func (q *QueueManager) enqueue(r *Request) (toOverflow bool) {
 	q.enqueues++
 	r.Status = StatusReady
-	if len(q.queue) < q.capacity {
+	if q.queue.Len() < q.capacity {
 		r.InOverflow = false
-		q.queue = append(q.queue, r)
-		if len(q.queue) > q.maxOccupancy {
-			q.maxOccupancy = len(q.queue)
+		q.queue.PushBack(r)
+		if q.queue.Len() > q.maxOccupancy {
+			q.maxOccupancy = q.queue.Len()
 		}
 		return false
 	}
 	r.InOverflow = true
-	q.overflow = append(q.overflow, r)
+	q.overflow.PushBack(r)
 	q.overflowEnqueues++
 	return true
 }
@@ -114,29 +113,28 @@ func (q *QueueManager) enqueue(r *Request) (toOverflow bool) {
 func (q *QueueManager) requeueFront(r *Request) {
 	r.Status = StatusReady
 	r.InOverflow = false
-	q.queue = append([]*Request{r}, q.queue...)
+	q.queue.PushFront(r)
 	// requeueFront is used for preempted work whose slot was just vacated,
 	// so it cannot exceed capacity unless chunks shrank concurrently; spill
 	// from the tail in that case.
-	if len(q.queue) > q.capacity && q.capacity > 0 {
-		last := q.queue[len(q.queue)-1]
-		q.queue = q.queue[:len(q.queue)-1]
+	if q.queue.Len() > q.capacity && q.capacity > 0 {
+		last := q.queue.PopBack()
 		last.InOverflow = true
-		q.overflow = append([]*Request{last}, q.overflow...)
+		q.overflow.PushFront(last)
 	}
 }
 
 // preempt moves a running request back to the head of the subqueue, Ready,
 // so another core can take it (§4.1.5, Figure 10).
 func (q *QueueManager) preempt(r *Request) bool {
-	for i, qr := range q.queue {
-		if qr != r {
+	for i := 0; i < q.queue.Len(); i++ {
+		if q.queue.At(i) != r {
 			continue
 		}
 		if r.Status != StatusRunning {
 			return false
 		}
-		q.queue = append(q.queue[:i], q.queue[i+1:]...)
+		q.queue.RemoveAt(i)
 		q.requeueFront(r)
 		return true
 	}
@@ -147,8 +145,8 @@ func (q *QueueManager) preempt(r *Request) bool {
 // slot remains occupied until completion or preemption. Returns nil if no
 // Ready request exists.
 func (q *QueueManager) dequeue() *Request {
-	for _, r := range q.queue {
-		if r.Status == StatusReady {
+	for i := 0; i < q.queue.Len(); i++ {
+		if r := q.queue.At(i); r.Status == StatusReady {
 			r.Status = StatusRunning
 			q.dequeues++
 			return r
@@ -159,13 +157,13 @@ func (q *QueueManager) dequeue() *Request {
 
 // hasReady reports whether a Ready request is queued (hardware or overflow).
 func (q *QueueManager) hasReady() bool {
-	for _, r := range q.queue {
-		if r.Status == StatusReady {
+	for i := 0; i < q.queue.Len(); i++ {
+		if q.queue.At(i).Status == StatusReady {
 			return true
 		}
 	}
-	for _, r := range q.overflow {
-		if r.Status == StatusReady {
+	for i := 0; i < q.overflow.Len(); i++ {
+		if q.overflow.At(i).Status == StatusReady {
 			return true
 		}
 	}
@@ -175,13 +173,13 @@ func (q *QueueManager) hasReady() bool {
 // ReadyLen counts Ready requests in hardware and overflow.
 func (q *QueueManager) ReadyLen() int {
 	n := 0
-	for _, r := range q.queue {
-		if r.Status == StatusReady {
+	for i := 0; i < q.queue.Len(); i++ {
+		if q.queue.At(i).Status == StatusReady {
 			n++
 		}
 	}
-	for _, r := range q.overflow {
-		if r.Status == StatusReady {
+	for i := 0; i < q.overflow.Len(); i++ {
+		if q.overflow.At(i).Status == StatusReady {
 			n++
 		}
 	}
@@ -190,9 +188,9 @@ func (q *QueueManager) ReadyLen() int {
 
 // complete removes a finished request's slot and refills from overflow.
 func (q *QueueManager) complete(r *Request) bool {
-	for i, qr := range q.queue {
-		if qr == r {
-			q.queue = append(q.queue[:i], q.queue[i+1:]...)
+	for i := 0; i < q.queue.Len(); i++ {
+		if q.queue.At(i) == r {
+			q.queue.RemoveAt(i)
 			r.Status = StatusEmpty
 			q.refillFromOverflow()
 			return true
@@ -204,8 +202,8 @@ func (q *QueueManager) complete(r *Request) bool {
 // block marks a running request as blocked on I/O; its pointer stays in the
 // subqueue (§4.1.5).
 func (q *QueueManager) block(r *Request) bool {
-	for _, qr := range q.queue {
-		if qr == r {
+	for i := 0; i < q.queue.Len(); i++ {
+		if q.queue.At(i) == r {
 			if r.Status != StatusRunning {
 				return false
 			}
@@ -228,11 +226,10 @@ func (q *QueueManager) unblock(r *Request) bool {
 
 // refillFromOverflow promotes overflow entries into freed hardware slots.
 func (q *QueueManager) refillFromOverflow() {
-	for len(q.overflow) > 0 && len(q.queue) < q.capacity {
-		r := q.overflow[0]
-		q.overflow = q.overflow[1:]
+	for q.overflow.Len() > 0 && q.queue.Len() < q.capacity {
+		r := q.overflow.PopFront()
 		r.InOverflow = false
-		q.queue = append(q.queue, r)
+		q.queue.PushBack(r)
 	}
 }
 

@@ -9,47 +9,119 @@ import (
 	"hardharvest/internal/stats"
 )
 
-// LatencyRecorder collects end-to-end request latencies.
+// LatencyRecorder collects end-to-end request latencies. It runs in one of
+// two modes behind the same interface:
+//
+//   - exact (NewLatencyRecorder): every sample is kept, quantiles are exact.
+//     The mode for golden runs and single-server experiments, where
+//     byte-stable exact percentiles matter more than memory.
+//   - sketch (NewLatencySketch): samples fold into a bounded mergeable
+//     log-linear sketch (stats.Sketch); memory stays flat no matter how
+//     long the run, at a bounded relative quantile error
+//     (stats.SketchRelativeError). The mode for fleet-scale scenario runs.
 type LatencyRecorder struct {
-	rec *stats.Recorder
+	rec *stats.Recorder // exact mode
+	sk  *stats.Sketch   // sketch mode
 }
 
-// NewLatencyRecorder returns an empty recorder.
+// NewLatencyRecorder returns an empty exact recorder.
 func NewLatencyRecorder() *LatencyRecorder {
 	return &LatencyRecorder{rec: stats.NewRecorder()}
 }
 
+// NewLatencySketch returns an empty bounded-memory sketch recorder.
+func NewLatencySketch() *LatencyRecorder {
+	return &LatencyRecorder{sk: stats.NewSketch()}
+}
+
+// Sketched reports whether the recorder runs in sketch mode.
+func (l *LatencyRecorder) Sketched() bool { return l.sk != nil }
+
 // Add records one latency.
-func (l *LatencyRecorder) Add(d sim.Duration) { l.rec.Add(float64(d)) }
+func (l *LatencyRecorder) Add(d sim.Duration) {
+	if l.sk != nil {
+		l.sk.Add(float64(d))
+		return
+	}
+	l.rec.Add(float64(d))
+}
 
-// Merge folds all of other's samples into l.
-func (l *LatencyRecorder) Merge(other *LatencyRecorder) { l.rec.Merge(other.rec) }
+// Merge folds all of other's samples into l. Exact samples fold into a
+// sketch target losslessly (each sample is re-bucketed); the reverse —
+// reconstructing exact samples from a sketch — is impossible, so merging a
+// sketch into an exact recorder panics: construct the aggregate with the
+// same mode as its sources.
+func (l *LatencyRecorder) Merge(other *LatencyRecorder) {
+	switch {
+	case l.sk != nil && other.sk != nil:
+		l.sk.Merge(other.sk)
+	case l.sk != nil:
+		other.rec.Each(l.sk.Add)
+	case other.sk != nil:
+		panic("metrics: cannot merge a sketch recorder into an exact recorder")
+	default:
+		l.rec.Merge(other.rec)
+	}
+}
 
-// Freeze pre-sorts the recorder so later percentile queries are pure reads
-// and therefore safe from concurrent readers. Call after the last Add/Merge,
-// before sharing the recorder across goroutines.
-func (l *LatencyRecorder) Freeze() { l.rec.Sort() }
+// Freeze pre-sorts an exact recorder so later percentile queries are pure
+// reads and therefore safe from concurrent readers. Call after the last
+// Add/Merge, before sharing the recorder across goroutines. Sketch queries
+// are already pure reads, so Freeze is a no-op in sketch mode.
+func (l *LatencyRecorder) Freeze() {
+	if l.sk == nil {
+		l.rec.Sort()
+	}
+}
 
 // SampleLatency draws from the measured distribution by inverse-CDF: u in
 // [0,1) selects the u-quantile.
 func (l *LatencyRecorder) SampleLatency(u float64) sim.Duration {
+	if l.sk != nil {
+		return sim.Duration(l.sk.Quantile(u))
+	}
 	return sim.Duration(l.rec.Quantile(u))
 }
 
 // Count reports recorded samples.
-func (l *LatencyRecorder) Count() int { return l.rec.Count() }
+func (l *LatencyRecorder) Count() int {
+	if l.sk != nil {
+		return l.sk.Count()
+	}
+	return l.rec.Count()
+}
 
 // P50 reports the median latency.
-func (l *LatencyRecorder) P50() sim.Duration { return sim.Duration(l.rec.P50()) }
+func (l *LatencyRecorder) P50() sim.Duration {
+	if l.sk != nil {
+		return sim.Duration(l.sk.P50())
+	}
+	return sim.Duration(l.rec.P50())
+}
 
 // P99 reports the 99th-percentile latency.
-func (l *LatencyRecorder) P99() sim.Duration { return sim.Duration(l.rec.P99()) }
+func (l *LatencyRecorder) P99() sim.Duration {
+	if l.sk != nil {
+		return sim.Duration(l.sk.P99())
+	}
+	return sim.Duration(l.rec.P99())
+}
 
 // Mean reports the mean latency.
-func (l *LatencyRecorder) Mean() sim.Duration { return sim.Duration(l.rec.Mean()) }
+func (l *LatencyRecorder) Mean() sim.Duration {
+	if l.sk != nil {
+		return sim.Duration(l.sk.Mean())
+	}
+	return sim.Duration(l.rec.Mean())
+}
 
 // Max reports the maximum latency.
-func (l *LatencyRecorder) Max() sim.Duration { return sim.Duration(l.rec.Max()) }
+func (l *LatencyRecorder) Max() sim.Duration {
+	if l.sk != nil {
+		return sim.Duration(l.sk.Max())
+	}
+	return sim.Duration(l.rec.Max())
+}
 
 // Utilization integrates per-core busy time to report average busy cores,
 // the §6.7 metric.

@@ -137,3 +137,79 @@ func TestLatencyRecorderEmpty(t *testing.T) {
 		t.Fatal("empty recorder statistics must be zero")
 	}
 }
+
+// TestLatencySketchMode drives the sketch-backed recorder through the same
+// interface the exact one implements: quantiles within the sketch's bounded
+// relative error, exact count/mean/max.
+func TestLatencySketchMode(t *testing.T) {
+	l := NewLatencySketch()
+	if !l.Sketched() {
+		t.Fatal("NewLatencySketch not in sketch mode")
+	}
+	if NewLatencyRecorder().Sketched() {
+		t.Fatal("NewLatencyRecorder reports sketch mode")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	l.Freeze() // no-op in sketch mode, must not panic
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if p := l.P50(); p < 49*sim.Microsecond || p > 52*sim.Microsecond {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := l.P99(); p < 97*sim.Microsecond || p > 101*sim.Microsecond {
+		t.Fatalf("P99 = %v", p)
+	}
+	if l.Max() != 100*sim.Microsecond {
+		t.Fatalf("Max = %v (sketch max is exact)", l.Max())
+	}
+	if m := l.Mean(); m < 50*sim.Microsecond || m > 51*sim.Microsecond {
+		t.Fatalf("Mean = %v (sketch mean is exact)", m)
+	}
+	if s := l.SampleLatency(0); s != 1*sim.Microsecond {
+		t.Fatalf("SampleLatency(0) = %v, want exact min", s)
+	}
+	if s := l.SampleLatency(0.999999); s != 100*sim.Microsecond {
+		t.Fatalf("SampleLatency(~1) = %v, want exact max", s)
+	}
+}
+
+// TestLatencyMergeModes pins the cross-mode merge contract: exact recorders
+// fold into sketches losslessly (identical to adding the samples directly);
+// folding a sketch into an exact recorder panics.
+func TestLatencyMergeModes(t *testing.T) {
+	exact := NewLatencyRecorder()
+	direct := NewLatencySketch()
+	for i := 1; i <= 1000; i++ {
+		d := sim.Duration(i*i) * sim.Nanosecond
+		exact.Add(d)
+		direct.Add(d)
+	}
+
+	viaMerge := NewLatencySketch()
+	viaMerge.Merge(exact)
+	if viaMerge.Count() != direct.Count() ||
+		viaMerge.P50() != direct.P50() ||
+		viaMerge.P99() != direct.P99() ||
+		viaMerge.Max() != direct.Max() {
+		t.Fatalf("exact->sketch merge differs from direct adds: merged p99=%v direct p99=%v",
+			viaMerge.P99(), direct.P99())
+	}
+
+	skA, skB := NewLatencySketch(), NewLatencySketch()
+	skA.Add(10 * sim.Microsecond)
+	skB.Add(30 * sim.Microsecond)
+	skA.Merge(skB)
+	if skA.Count() != 2 || skA.Max() != 30*sim.Microsecond {
+		t.Fatalf("sketch-sketch merge wrong: n=%d max=%v", skA.Count(), skA.Max())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging a sketch into an exact recorder did not panic")
+		}
+	}()
+	NewLatencyRecorder().Merge(skA)
+}

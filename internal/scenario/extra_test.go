@@ -24,8 +24,8 @@ func TestValidateSemanticsTable(t *testing.T) {
 			"step_ms: must be positive"},
 		{"fleet missing", "name: t\nduration_ms: 40\n",
 			"fleet: required"},
-		{"fleet too large", "name: t\nduration_ms: 40\nfleet:\n  - group: g\n    count: 300\n",
-			"expands to 300 servers (max 256)"},
+		{"fleet too large", "name: t\nduration_ms: 40\nfleet:\n  - group: g\n    count: 5000\n",
+			"expands to 5000 servers (max 4096)"},
 		{"group unnamed", "name: t\nduration_ms: 40\nfleet:\n  - count: 1\n",
 			"fleet[0].group: required"},
 		{"count zero", base + "    count: 0\n",

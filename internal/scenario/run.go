@@ -18,9 +18,12 @@ import (
 // (Start / apply actions / StepTo / Finish), so scenario execution inherits
 // the step-equivalence guarantee of DESIGN §8: the barrier cadence is a
 // control-plane detail that never perturbs the simulated event sequence.
-// Servers are independent (no cross-server events), and run sequentially in
-// fleet order with seeds derived exactly as RunCluster derives them —
-// identical inputs produce a byte-identical summary.
+// Servers are independent (no cross-server events) and become members of a
+// sim.ShardGroup — one engine per server, advanced in parallel across
+// worker goroutines — with seeds derived exactly as RunCluster derives
+// them. The group's conservative windows are independent of the worker
+// count, so identical inputs produce a byte-identical summary at any
+// -shards value, including 1.
 
 // action kinds, in the order they apply within one barrier.
 type actKind int
@@ -200,44 +203,107 @@ func (r *Report) OK() bool { return r.Failed == 0 }
 // Run executes a validated scenario and evaluates its assertions. On top
 // of the declared assertions, the oracle's flow-balance and Little's-law
 // checks run on every server of the fleet unconditionally — a scenario
-// cannot opt out of conservation.
-func (sc *Scenario) Run() (*Report, error) {
+// cannot opt out of conservation. Fleet servers run sharded (one engine per
+// server, a worker per available CPU); RunShards selects the worker count
+// explicitly.
+func (sc *Scenario) Run() (*Report, error) { return sc.RunShards(0) }
+
+// srvState is one fleet server being advanced inside the shard group: the
+// live server plus its barrier-loop cursor. Each state is touched by exactly
+// one advance call at a time; the group's window barriers order those calls.
+type srvState struct {
+	spec    *serverSpec
+	srv     *cluster.Server
+	meter   *obs.Meter
+	audit   *obs.Audit
+	barrier sim.Time
+	next    int // next un-applied action
+	applied int
+	done    bool
+	err     error
+}
+
+// advance runs the server's barrier loop up to simulated time `to`
+// (inclusive): apply due actions, then step. Instead of pacing at the
+// scenario step, it fast-forwards straight to the next action barrier or to
+// `to` — by DESIGN §8's step-equivalence the barrier cadence never perturbs
+// the event sequence, so skipping empty barriers is O(1) per gap and
+// byte-neutral.
+func (st *srvState) advance(to sim.Time) {
+	if st.done || st.err != nil {
+		return
+	}
+	acts := st.spec.actions
+	for {
+		for st.next < len(acts) && acts[st.next].at <= st.barrier {
+			if err := applyAction(st.srv, acts[st.next], st.barrier); err != nil {
+				st.err = err
+				return
+			}
+			st.applied++
+			st.next++
+		}
+		nb := to
+		if h := st.srv.Horizon(); nb > h {
+			nb = h
+		}
+		if st.next < len(acts) && acts[st.next].at < nb {
+			nb = acts[st.next].at
+		}
+		if st.srv.StepTo(nb) {
+			st.done = true
+			return
+		}
+		if nb >= to {
+			return
+		}
+		st.barrier = nb
+	}
+}
+
+// RunShards is Run with an explicit worker count: the fleet becomes a
+// sim.ShardGroup with one member per server, advanced on up to `shards`
+// goroutines (<= 0 selects GOMAXPROCS). Fleet servers exchange no events,
+// so every member advances to the horizon in one conservative window; the
+// group's window algorithm is independent of the worker count, so summaries
+// are byte-identical at any shards value. Fleet servers record latencies in
+// bounded sketch mode (stats.Sketch): memory stays flat across
+// thousand-server, long-horizon runs.
+func (sc *Scenario) RunShards(shards int) (*Report, error) {
 	specs, err := sc.compile()
 	if err != nil {
 		return nil, err
 	}
-	runs := make([]*serverRun, 0, len(specs))
-	applied := make([]int, len(specs))
-	for _, s := range specs {
+	group := sim.NewShardGroup(shards)
+	states := make([]*srvState, len(specs))
+	horizon := sim.Time(0)
+	for i, s := range specs {
 		meter := obs.NewMeter()
 		audit := obs.NewAudit()
 		s.opts.Observer = obs.Multi(meter, audit)
+		s.opts.SketchLatency = true
 		srv := cluster.NewServer(s.cfg, s.opts, s.work)
 		srv.Start()
-		step := sim.Duration(sc.StepMS) * sim.Millisecond
-		barrier := sim.Time(0)
-		next := 0
-		for {
-			for next < len(s.actions) && s.actions[next].at <= barrier {
-				if err := applyAction(srv, s.actions[next], barrier); err != nil {
-					return nil, fmt.Errorf("scenario: server %d: %w", s.index, err)
-				}
-				applied[s.index]++
-				next++
-			}
-			nb := barrier.Add(step)
-			if h := srv.Horizon(); nb > h {
-				nb = h
-			}
-			if srv.StepTo(nb) {
-				break
-			}
-			barrier = nb
+		if h := srv.Horizon(); h > horizon {
+			horizon = h
 		}
-		res := srv.Finish()
-		audit.Finish(res.AccountedEnd)
+		st := &srvState{spec: s, srv: srv, meter: meter, audit: audit}
+		states[i] = st
+		group.AddFunc(srv.Engine(), st.advance)
+	}
+	group.Run(horizon)
+
+	runs := make([]*serverRun, 0, len(specs))
+	applied := make([]int, len(specs))
+	for i, st := range states {
+		if st.err != nil {
+			return nil, fmt.Errorf("scenario: server %d: %w", st.spec.index, st.err)
+		}
+		res := st.srv.Finish()
+		st.audit.Finish(res.AccountedEnd)
+		applied[i] = st.applied
 		runs = append(runs, &serverRun{
-			index: s.index, group: s.group.Name, res: res, meter: meter, audit: audit,
+			index: st.spec.index, group: st.spec.group.Name, res: res, meter: st.meter, audit: st.audit,
 		})
 	}
 

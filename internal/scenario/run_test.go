@@ -100,6 +100,26 @@ func TestRunDeterministicByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunShardsByteIdentical is the sharding cornerstone: the worker count
+// is an execution detail, so the same scenario must render byte-identical
+// summaries at -shards 1, 2, and 8 (and at the GOMAXPROCS default Run uses).
+func TestRunShardsByteIdentical(t *testing.T) {
+	want, err := quick(t, runYAML).RunShards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8, 0} {
+		got, err := quick(t, runYAML).RunShards(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Summary != want.Summary {
+			t.Fatalf("summary diverged between shards=1 and shards=%d:\n--- shards=1 ---\n%s--- shards=%d ---\n%s",
+				shards, want.Summary, shards, got.Summary)
+		}
+	}
+}
+
 // TestAssertionFailureFailsRun: a violated bound must flip the verdict and
 // name the offending server and value.
 func TestAssertionFailureFailsRun(t *testing.T) {

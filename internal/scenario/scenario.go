@@ -521,8 +521,10 @@ func (sc *Scenario) decodeAssertion(v *node, path string, _ int) error {
 // ---- semantic validation ----
 
 // maxFleetServers bounds fleet expansion so a malformed count cannot
-// allocate an unbounded simulation.
-const maxFleetServers = 256
+// allocate an unbounded simulation. Thousand-server fleets are in scope:
+// the sharded runner advances servers in parallel and their latency
+// recorders run in bounded sketch mode, so memory stays flat per server.
+const maxFleetServers = 4096
 
 // Servers reports the expanded fleet size.
 func (sc *Scenario) Servers() int {

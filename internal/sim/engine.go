@@ -116,6 +116,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// NextEventTime peeks at the earliest pending event's timestamp without
+// executing anything; ok is false when the queue is empty. The shard
+// scheduler uses it as each member's event floor when computing
+// conservative synchronization windows, and to fast-forward past idle gaps
+// in O(1).
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slab[e.heap[0]].when, true
+}
+
 // Schedule runs fn after delay. A negative delay is an error in model code
 // and panics; a zero delay runs fn after all events already scheduled for the
 // current instant.

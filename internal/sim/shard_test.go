@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// chainCB schedules a follow-up event on its own engine until limit events
+// have fired, logging each firing time. It exercises the pure fleet case:
+// members with no links free-running to the horizon.
+type chainCB struct {
+	eng   *Engine
+	step  Duration
+	limit int
+	fired int
+	log   []Time
+}
+
+func (c *chainCB) OnEvent(op int32, a, b any) {
+	c.fired++
+	c.log = append(c.log, c.eng.Now())
+	if c.fired < c.limit {
+		c.eng.ScheduleCall(c.step, c, 0, nil, nil)
+	}
+}
+
+func runFleet(t *testing.T, workers, members int) [][]Time {
+	t.Helper()
+	g := NewShardGroup(workers)
+	cbs := make([]*chainCB, members)
+	for i := 0; i < members; i++ {
+		eng := NewEngine()
+		// Different step per member so their event sets interleave unevenly.
+		cbs[i] = &chainCB{eng: eng, step: Duration(100 + 7*i), limit: 50}
+		eng.ScheduleCall(Duration(i+1), cbs[i], 0, nil, nil)
+		g.Add(eng)
+	}
+	g.Run(Time(1_000_000))
+	logs := make([][]Time, members)
+	for i, c := range cbs {
+		logs[i] = c.log
+	}
+	return logs
+}
+
+func TestShardGroupFleetDeterminism(t *testing.T) {
+	want := runFleet(t, 1, 9)
+	for _, workers := range []int{2, 4, 8} {
+		got := runFleet(t, workers, 9)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fleet logs differ between 1 worker and %d workers", workers)
+		}
+	}
+	// Sanity: every member actually fired its whole chain.
+	for i, log := range want {
+		if len(log) != 50 {
+			t.Fatalf("member %d fired %d events, want 50", i, len(log))
+		}
+	}
+}
+
+// pingCB bounces a message to its peer over the group until limit hops,
+// logging (time, hop) pairs on its own member. It exercises cross-member
+// sends from inside worker-executed callbacks.
+type pingCB struct {
+	g          *ShardGroup
+	self, peer int
+	peerCB     Callback
+	la         Duration
+	hops       *int
+	limit      int
+	log        []string
+}
+
+func (p *pingCB) OnEvent(op int32, a, b any) {
+	*p.hops++
+	p.log = append(p.log, fmt.Sprintf("m%d@%v hop%d", p.self, p.g.members[p.self].eng.Now(), op))
+	if *p.hops < p.limit {
+		p.g.Send(p.self, p.peer, p.la, p.peerCB, op+1, nil, nil)
+	}
+}
+
+func runPingPong(t *testing.T, workers int) []string {
+	t.Helper()
+	g := NewShardGroup(workers)
+	la := Duration(250)
+	a, b := NewEngine(), NewEngine()
+	ida, idb := g.Add(a), g.Add(b)
+	g.Link(ida, idb, la)
+	g.Link(idb, ida, la)
+	hops := 0
+	ca := &pingCB{g: g, self: ida, peer: idb, la: la, hops: &hops, limit: 20}
+	cb := &pingCB{g: g, self: idb, peer: ida, la: la, hops: &hops, limit: 20}
+	ca.peerCB = cb
+	cb.peerCB = ca
+	a.ScheduleCall(Duration(10), ca, 0, nil, nil)
+	g.Run(Time(100_000))
+	out := append([]string{}, ca.log...)
+	return append(out, cb.log...)
+}
+
+func TestShardGroupPingPongDeterminism(t *testing.T) {
+	want := runPingPong(t, 1)
+	if len(want) == 0 {
+		t.Fatal("ping-pong produced no events")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := runPingPong(t, workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ping-pong trace differs between 1 worker and %d workers:\n1: %v\n%d: %v",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// sinkCB logs the source id (carried in op) of each delivered message.
+type sinkCB struct {
+	eng *Engine
+	log []int32
+}
+
+func (s *sinkCB) OnEvent(op int32, a, b any) { s.log = append(s.log, op) }
+
+// burstCB sends one message to the sink when it fires.
+type burstCB struct {
+	g         *ShardGroup
+	self, dst int
+	sink      Callback
+	la        Duration
+}
+
+func (c *burstCB) OnEvent(op int32, a, b any) {
+	c.g.Send(c.self, c.dst, c.la, c.sink, int32(c.self), nil, nil)
+}
+
+// TestShardGroupDeliveryOrder pins the tie-break for simultaneous
+// cross-member messages: equal timestamps deliver in (source id, send
+// sequence) order, independent of which worker goroutine appended first.
+func TestShardGroupDeliveryOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		g := NewShardGroup(workers)
+		sinkEng := NewEngine()
+		sink := &sinkCB{eng: sinkEng}
+		sinkID := g.Add(sinkEng)
+		la := Duration(100)
+		const senders = 5
+		for i := 0; i < senders; i++ {
+			eng := NewEngine()
+			id := g.Add(eng)
+			g.Link(id, sinkID, la)
+			c := &burstCB{g: g, self: id, dst: sinkID, sink: sink, la: la}
+			// All senders fire at t=50, so all messages land at t=150.
+			eng.CallAt(Time(50), c, 0, nil, nil)
+		}
+		g.Run(Time(1_000))
+		if len(sink.log) != senders {
+			t.Fatalf("workers=%d: sink got %d messages, want %d", workers, len(sink.log), senders)
+		}
+		for i := 1; i < len(sink.log); i++ {
+			if sink.log[i] <= sink.log[i-1] {
+				t.Fatalf("workers=%d: delivery order not by source id: %v", workers, sink.log)
+			}
+		}
+	}
+}
+
+// TestShardGroupIdleFastForward verifies a member with a huge event gap still
+// completes (the group skips the gap rather than stepping through it) and
+// that resumable horizons behave like Engine.Run's.
+func TestShardGroupIdleFastForward(t *testing.T) {
+	g := NewShardGroup(2)
+	eng := NewEngine()
+	c := &chainCB{eng: eng, step: Duration(1), limit: 2}
+	eng.CallAt(Time(5), c, 0, nil, nil)
+	busy := NewEngine()
+	cb := &chainCB{eng: busy, step: Duration(1_000_000), limit: 100}
+	busy.ScheduleCall(Duration(1), cb, 0, nil, nil)
+	g.Add(eng)
+	g.Add(busy)
+
+	g.Run(Time(3))
+	if len(c.log) != 0 {
+		t.Fatalf("event fired before horizon: %v", c.log)
+	}
+	g.Run(Time(200_000_000))
+	if want := []Time{5, 6}; !reflect.DeepEqual(c.log, want) {
+		t.Fatalf("sparse member log = %v, want %v", c.log, want)
+	}
+	if len(cb.log) != 100 {
+		t.Fatalf("busy member fired %d events, want 100", len(cb.log))
+	}
+}
+
+func TestShardGroupPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+
+	g := NewShardGroup(1)
+	a, b := g.Add(NewEngine()), g.Add(NewEngine())
+	g.Link(a, b, 100)
+
+	mustPanic("self-link", func() { g.Link(a, a, 10) })
+	mustPanic("zero lookahead", func() { g.Link(b, a, 0) })
+	mustPanic("unknown member", func() { g.Link(a, 99, 10) })
+	mustPanic("send without link", func() { g.Send(b, a, 500, &sinkCB{}, 0, nil, nil) })
+	mustPanic("send below lookahead", func() { g.Send(a, b, 99, &sinkCB{}, 0, nil, nil) })
+	mustPanic("nil advance", func() { g.AddFunc(NewEngine(), nil) })
+}
+
+// TestShardGroupAddFunc checks that custom advance members are driven for
+// every window and observe monotone, inclusive caps up to the horizon.
+func TestShardGroupAddFunc(t *testing.T) {
+	g := NewShardGroup(2)
+	eng := NewEngine()
+	var caps []Time
+	g.AddFunc(eng, func(to Time) {
+		caps = append(caps, to)
+		eng.Run(to)
+	})
+	g.Run(Time(500))
+	g.Run(Time(900))
+	if len(caps) == 0 || caps[len(caps)-1] != 900 {
+		t.Fatalf("caps = %v, want final cap 900", caps)
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i] <= caps[i-1] {
+			t.Fatalf("caps not strictly increasing: %v", caps)
+		}
+	}
+}
+
+func BenchmarkShardGroupFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewShardGroup(1)
+		for m := 0; m < 16; m++ {
+			eng := NewEngine()
+			c := &chainCB{eng: eng, step: Duration(100 + m), limit: 200}
+			eng.ScheduleCall(Duration(m+1), c, 0, nil, nil)
+			g.Add(eng)
+		}
+		g.Run(Time(10_000_000))
+	}
+}

@@ -119,6 +119,15 @@ func (r *Recorder) Merge(other *Recorder) {
 	}
 }
 
+// Each visits every recorded sample in insertion order (or sorted order if
+// the recorder has been sorted). It is how exact recorders fold into
+// bounded sketches without exposing the sample buffer.
+func (r *Recorder) Each(fn func(v float64)) {
+	for _, v := range r.samples {
+		fn(v)
+	}
+}
+
 // Reset discards all samples.
 func (r *Recorder) Reset() {
 	r.samples = r.samples[:0]

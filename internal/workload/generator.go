@@ -34,6 +34,10 @@ type Generator struct {
 	// It starts at exactly 1.0: x*1.0 is an IEEE-754 identity, so a run
 	// that never calls SetIntensity samples bit-identical gaps.
 	intensity float64
+
+	// scratch backs each Next invocation's phases; see Next's aliasing
+	// contract.
+	scratch SampleScratch
 }
 
 // NewGenerator builds a generator for one VM with the given core count. The
@@ -94,6 +98,10 @@ func (g *Generator) rateAt(t sim.Time) float64 {
 // Next returns the next arrival. The exponential gap is sampled at the
 // current cursor's rate (a standard non-homogeneous approximation that is
 // exact within a series step for our step sizes).
+//
+// The returned invocation's phases alias a generator-owned scratch buffer
+// and stay valid only until the following Next call; consumers that keep an
+// invocation across arrivals must copy the phases out.
 func (g *Generator) Next() Arrival {
 	rate := g.rateAt(g.cursor)
 	gapSec := g.rng.Exp(1 / rate)
@@ -102,7 +110,7 @@ func (g *Generator) Next() Arrival {
 		gap = sim.Nanosecond
 	}
 	g.cursor = g.cursor.Add(gap)
-	return Arrival{At: g.cursor, Inv: g.profile.Sample(g.rng)}
+	return Arrival{At: g.cursor, Inv: g.profile.SampleInto(g.rng, &g.scratch)}
 }
 
 // Reset rewinds the generator's clock without reseeding.

@@ -152,31 +152,57 @@ func (inv Invocation) IOCalls() int {
 	return n
 }
 
+// SampleScratch holds the reusable buffers SampleInto draws into. One
+// scratch serves one sampling stream: the returned Invocation aliases the
+// scratch, so each call invalidates the previous call's phases.
+type SampleScratch struct {
+	phases  []Phase
+	weights []float64
+}
+
 // Sample draws one invocation: the total CPU time is log-normal around
 // MeanCPU, split across bursts separated by a Poisson-ish number of I/O
-// calls with log-normal durations.
+// calls with log-normal durations. The returned phases are freshly
+// allocated; hot callers that copy the phases out anyway should use
+// SampleInto with a long-lived scratch instead.
 func (p *Profile) Sample(rng *stats.RNG) Invocation {
+	var s SampleScratch
+	return p.SampleInto(rng, &s)
+}
+
+// SampleInto is Sample drawing into caller-owned scratch buffers, so a warm
+// sampling loop allocates nothing. The RNG consumption is identical to
+// Sample draw for draw — a run keeps its exact event sequence no matter
+// which entry point generated its invocations.
+func (p *Profile) SampleInto(rng *stats.RNG, s *SampleScratch) Invocation {
 	totalCPU := lognormalWithMean(rng, float64(p.MeanCPU), p.CPUSigma)
 	nIO := samplePoisson(rng, p.MeanIOCalls)
-	phases := make([]Phase, nIO+1)
+	if cap(s.phases) < nIO+1 {
+		s.phases = make([]Phase, nIO+1)
+	}
+	if cap(s.weights) < nIO+1 {
+		s.weights = make([]float64, nIO+1)
+	}
+	phases := s.phases[:nIO+1]
+	weights := s.weights[:nIO+1]
 	// Split CPU across bursts with a light imbalance so bursts differ.
-	weights := make([]float64, nIO+1)
 	wsum := 0.0
 	for i := range weights {
 		weights[i] = 0.5 + rng.Float64()
 		wsum += weights[i]
 	}
 	for i := range phases {
-		phases[i].CPU = sim.Duration(totalCPU * weights[i] / wsum)
-		if phases[i].CPU < sim.Microsecond {
-			phases[i].CPU = sim.Microsecond
+		ph := Phase{CPU: sim.Duration(totalCPU * weights[i] / wsum)}
+		if ph.CPU < sim.Microsecond {
+			ph.CPU = sim.Microsecond
 		}
 		if i < nIO {
-			phases[i].IO = sim.Duration(lognormalWithMean(rng, float64(p.IOMean), p.IOSigma))
-			if phases[i].IO < sim.Microsecond {
-				phases[i].IO = sim.Microsecond
+			ph.IO = sim.Duration(lognormalWithMean(rng, float64(p.IOMean), p.IOSigma))
+			if ph.IO < sim.Microsecond {
+				ph.IO = sim.Microsecond
 			}
 		}
+		phases[i] = ph
 	}
 	return Invocation{Service: p, Phases: phases}
 }

@@ -18,6 +18,7 @@ internal/cluster 93.0
 internal/sim 91.0
 internal/serve 87.0
 internal/scenario 85.0
+internal/stats 90.0
 "
 
 check=false
