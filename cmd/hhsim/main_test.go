@@ -298,3 +298,88 @@ func TestScenarioCLI(t *testing.T) {
 		t.Errorf("validate without files: exit %d, want 2", code)
 	}
 }
+
+const cliRoutedScenario = `name: cli-routed
+seed: 11
+warmup_ms: 10
+duration_ms: 40
+step_ms: 10
+routing:
+  policy: round_robin
+  probe_interval_ms: 5
+fleet:
+  - group: web
+    count: 2
+events:
+  - at_ms: 10
+    kind: faults
+    server: 0
+    plan: {"events": [{"at_ms": 0, "kind": "crash", "duration_ms": 6}]}
+assertions:
+  - metric: failovers
+    min: 1
+  - metric: lost
+    max: 0
+  - metric: fleet_conservation
+`
+
+// TestScenarioCLIRouted covers the routed front-door contract end to end:
+// the summary gains router/backend sections, stays byte-identical at any
+// -shards value and across repeats, and -perturb fleet-conservation
+// corrupts the ledger so the mandatory oracle fails the run — while being
+// a usage error for routerless scenarios or unknown fields.
+func TestScenarioCLIRouted(t *testing.T) {
+	dir := t.TempDir()
+	routed := filepath.Join(dir, "routed.yaml")
+	if err := os.WriteFile(routed, []byte(cliRoutedScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.yaml")
+	if err := os.WriteFile(plain, []byte(cliScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runA, stderr, code := hhsim(t, "run", routed)
+	if code != 0 {
+		t.Fatalf("run routed: exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"routing: policy=round_robin",
+		"router: generated=",
+		"backend server0[web]",
+		"fleet conservation PASS",
+		"result: PASS",
+	} {
+		if !strings.Contains(runA, want) {
+			t.Errorf("routed summary missing %q:\n%s", want, runA)
+		}
+	}
+	for _, n := range []string{"1", "2", "8"} {
+		runN, stderr, code := hhsim(t, "run", "-shards", n, routed)
+		if code != 0 {
+			t.Fatalf("run -shards %s: exit %d, stderr: %s", n, code, stderr)
+		}
+		if runN != runA {
+			t.Errorf("-shards %s changed the routed summary:\n--- default ---\n%s--- shards=%s ---\n%s",
+				n, runA, n, runN)
+		}
+	}
+
+	out, _, code := hhsim(t, "run", "-perturb", "fleet-conservation", routed)
+	if code != 1 {
+		t.Errorf("perturbed routed run: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "fleet_conservation FAIL") || !strings.Contains(out, "result: FAIL") {
+		t.Errorf("perturbed summary does not fail conservation:\n%s", out)
+	}
+
+	if _, stderr, code = hhsim(t, "run", "-perturb", "fleet-conservation", plain); code != 2 {
+		t.Errorf("perturb on routerless scenario: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if _, stderr, code = hhsim(t, "run", "-perturb", "bogus", routed); code != 2 {
+		t.Errorf("unknown perturb field: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if _, stderr, code = hhsim(t, "validate", "-perturb", "fleet-conservation", routed); code != 2 {
+		t.Errorf("perturb on validate: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+}

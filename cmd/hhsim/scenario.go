@@ -23,9 +23,13 @@ func scenarioMain(cmd string, args []string) int {
 	fs := flag.NewFlagSet("hhsim "+cmd, flag.ContinueOnError)
 	shards := fs.Int("shards", 0,
 		"worker goroutines for the sharded fleet runner (0 = all CPUs); the summary is byte-identical at any value")
+	perturb := fs.String("perturb", "",
+		"corrupt a ledger to prove an oracle has teeth (routed scenarios only; field: fleet-conservation)")
+	strict := fs.Bool("strict", false,
+		"panic on the first invariant violation with replay info (instead of counting violations)")
 	fs.Usage = func() {
 		if cmd == "run" {
-			fmt.Fprintf(os.Stderr, "usage: hhsim run [-shards n] <scenario.(yaml|json)>\n")
+			fmt.Fprintf(os.Stderr, "usage: hhsim run [-shards n] [-strict] [-perturb fleet-conservation] <scenario.(yaml|json)>\n")
 			fmt.Fprintf(os.Stderr, "  runs one fleet scenario and prints its summary; exit 1 if assertions fail\n")
 		} else {
 			fmt.Fprintf(os.Stderr, "usage: hhsim validate <scenario.(yaml|json)>...\n")
@@ -43,6 +47,14 @@ func scenarioMain(cmd string, args []string) int {
 	}
 
 	if cmd == "validate" {
+		if *perturb != "" {
+			fmt.Fprintln(os.Stderr, "-perturb only applies to run")
+			return 2
+		}
+		if *strict {
+			fmt.Fprintln(os.Stderr, "-strict only applies to run")
+			return 2
+		}
 		rc := 0
 		for _, path := range files {
 			sc, err := scenario.Load(path)
@@ -64,6 +76,19 @@ func scenarioMain(cmd string, args []string) int {
 	sc, err := scenario.Load(files[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc.Strict = *strict
+	switch *perturb {
+	case "":
+	case "fleet-conservation":
+		if sc.Routing == nil {
+			fmt.Fprintln(os.Stderr, "-perturb fleet-conservation needs a routed scenario (routing block)")
+			return 2
+		}
+		sc.PerturbFleet = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -perturb field %q (fields: fleet-conservation)\n", *perturb)
 		return 2
 	}
 	rep, err := sc.RunShards(*shards)

@@ -33,7 +33,19 @@ func serveMain(args []string) {
 	paused := fs.Bool("paused", false, "start with the pacing loop paused (advance via POST /api/step or /api/resume)")
 	actionLog := fs.String("actionlog", "", "append applied control actions to this NDJSON file (replayable)")
 	replay := fs.String("replay", "", "replay an action log headless and print its summary")
+	routed := fs.Bool("routed", false, "serve a routed fleet behind a front-door router instead of one server")
+	backends := fs.Int("backends", 3, "fleet size (with -routed)")
+	policy := fs.String("policy", "", "routing policy: round_robin, least_outstanding, weighted (with -routed)")
 	fs.Parse(args)
+
+	// Assign the fleet fields only in routed mode: routerless config JSON
+	// (the action-log header, /api/state) must stay byte-identical to
+	// pre-fleet builds.
+	if *routed {
+		cfg.Routed = true
+		cfg.Backends = *backends
+		cfg.Policy = *policy
+	}
 
 	if *replay != "" {
 		f, err := os.Open(*replay)

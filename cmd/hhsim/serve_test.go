@@ -193,6 +193,52 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeRoutedLifecycle boots a routed fleet through the real CLI,
+// drains a backend over REST, and replays the action log to the byte.
+func TestServeRoutedLifecycle(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "routed.jsonl")
+	p := startServe(t, "-addr", "127.0.0.1:0", "-paused",
+		"-routed", "-backends", "2", "-policy", "round_robin",
+		"-seed", "5", "-warmup-ms", "10", "-sim-ms", "60", "-step-ms", "10",
+		"-actionlog", logPath)
+
+	m1 := p.get(t, "/metrics")
+	if !strings.Contains(m1, "# TYPE hhsim_router_requests_total counter") ||
+		!strings.Contains(m1, `hhsim_router_backend_up{backend="server1",state="healthy"} 1`) {
+		t.Fatalf("routed scrape missing router families:\n%.600s", m1)
+	}
+	if !strings.Contains(p.get(t, "/api/state"), `"router":{"policy":"round_robin"`) {
+		t.Fatal("routed /api/state has no router block")
+	}
+
+	p.post(t, "/api/config", `{"server": 1, "drain_deadline_ms": 5}`, http.StatusAccepted)
+	p.post(t, "/api/resume", "", http.StatusOK)
+	p.waitStderr(t, "run complete")
+	p.post(t, "/api/shutdown", "", http.StatusOK)
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+	live := p.stdout.String()
+	for _, frag := range []string{
+		"== hhsim serve summary (routed) ==",
+		"fleet: backends=2 policy=round_robin",
+		"drains=1",
+		"PASS fleet_conservation",
+	} {
+		if !strings.Contains(live, frag) {
+			t.Fatalf("routed summary missing %q:\n%s", frag, live)
+		}
+	}
+
+	replayed, stderr, code := hhsim(t, "serve", "-replay", logPath)
+	if code != 0 {
+		t.Fatalf("routed replay exit %d, stderr: %s", code, stderr)
+	}
+	if replayed != live {
+		t.Fatalf("routed replay diverged from served run:\n--- live ---\n%s--- replay ---\n%s", live, replayed)
+	}
+}
+
 func TestServeReplayErrors(t *testing.T) {
 	if _, stderr, code := hhsim(t, "serve", "-replay", "/nonexistent/run.jsonl"); code != 1 || stderr == "" {
 		t.Fatalf("missing log: exit %d stderr %q, want 1 with message", code, stderr)

@@ -32,6 +32,9 @@ type request struct {
 	call *call
 	// isHedge marks the speculative duplicate attempt of a hedged call.
 	isHedge bool
+	// remoteID links a remotely admitted request (Options.RemoteAdmission)
+	// back to the router's attempt record; zero for locally generated work.
+	remoteID uint64
 
 	// Critical-path overhead attribution (Figure 6).
 	reassign sim.Duration

@@ -229,6 +229,18 @@ func DefaultConfig() Config {
 // TotalPrimaryCores reports the cores allocated to Primary VMs.
 func (c Config) TotalPrimaryCores() int { return c.PrimaryVMs * c.CoresPerPrimary }
 
+// RunWindow reports the run timeline a server with this config derives in
+// Start: measurement window edges, the arrival cutoff, and the engine
+// horizon. External drivers (the fleet front door) use it to align their
+// own schedules with the servers they feed.
+func (c Config) RunWindow() (measureStart, measureEnd, stopArrivals, horizon sim.Time) {
+	measureStart = sim.Time(c.WarmupDuration)
+	measureEnd = measureStart.Add(c.MeasureDuration)
+	stopArrivals = measureEnd.Add(c.grace() / 2)
+	horizon = measureEnd.Add(c.grace())
+	return
+}
+
 // grace reports the effective post-window grace.
 func (c Config) grace() sim.Duration {
 	if c.GraceWindow > 0 {

@@ -72,9 +72,20 @@ func (s *Server) faultBegin(ev *faults.Event) {
 		s.preemptStorm(ev.Count)
 	case faults.ServerCrash:
 		s.evFault(ev, nil)
-		for i := range s.cores {
-			c := &s.cores[i]
-			s.coreOffline(c)
+		// Overlapping crash windows nest at the server level: cores go
+		// offline on the first edge only and come back on the last recovery
+		// (faultEnd), so a second crash landing inside the first's window
+		// extends the outage instead of double-restarting the server. The
+		// edges also notify a front door watching the server.
+		s.crashDepth++
+		if s.crashDepth == 1 {
+			for i := range s.cores {
+				c := &s.cores[i]
+				s.coreOffline(c)
+			}
+			if s.opts.Remote.Crash != nil {
+				s.opts.Remote.Crash(true)
+			}
 		}
 		s.eng.ScheduleCall(ev.Dur, s, opFaultEnd, nil, ev)
 	}
@@ -94,9 +105,15 @@ func (s *Server) faultEnd(ev *faults.Event) {
 	case faults.CoreOffline:
 		s.coreOnline(s.faultCore(ev.Core))
 	case faults.ServerCrash:
-		for i := range s.cores {
-			c := &s.cores[i]
-			s.coreOnline(c)
+		s.crashDepth--
+		if s.crashDepth == 0 {
+			for i := range s.cores {
+				c := &s.cores[i]
+				s.coreOnline(c)
+			}
+			if s.opts.Remote.Crash != nil {
+				s.opts.Remote.Crash(false)
+			}
 		}
 	}
 }

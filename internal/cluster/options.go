@@ -152,6 +152,20 @@ type Options struct {
 	// all of them and keeps the simulation byte-identical to a build
 	// without resilience support.
 	Resilience Resilience
+
+	// RemoteAdmission switches Primary VM request admission from the
+	// server's own workload generators to an external front door (see
+	// internal/route): the local per-VM arrival loops are not started and
+	// requests enter through Server.AdmitRemote instead. Harvest VM batch
+	// jobs remain locally generated. Off (the default) the server is
+	// byte-identical to a build without remote-admission support.
+	RemoteAdmission bool
+
+	// Remote carries the callbacks a front door registers to hear about
+	// the fate of remotely admitted requests and about whole-server
+	// crash/recovery transitions. Only consulted when RemoteAdmission is
+	// set (except Crash, which fires whenever it is non-nil).
+	Remote RemoteHooks
 }
 
 // SystemOptions returns the preset for one of the five architectures.

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"testing"
+
+	"hardharvest/internal/faults"
+	"hardharvest/internal/sim"
+)
+
+// crashEdge records one Remote.Crash notification with its simulated time.
+type crashEdge struct {
+	down bool
+	at   sim.Time
+}
+
+func crashRun(t *testing.T, events []faults.ScriptedEvent) []crashEdge {
+	t.Helper()
+	var srv *Server
+	var edges []crashEdge
+	cfg := liveConfig()
+	cfg.Strict = true
+	cfg.FaultPlan = &faults.Plan{Events: events}
+	opts := SystemOptions(HardHarvestBlock)
+	opts.Remote.Crash = func(down bool) {
+		edges = append(edges, crashEdge{down: down, at: srv.Now()})
+	}
+	srv = NewServer(cfg, opts, bfs(t))
+	res := srv.Run()
+	if res.InvariantViolations != 0 {
+		t.Fatalf("%d invariant violations: %s", res.InvariantViolations, res.FirstViolation)
+	}
+	return edges
+}
+
+// TestOverlappingCrashExtendsDowntime pins the recovery timeline for nested
+// whole-server crash windows: a second crash landing inside the first's
+// duration extends the outage and produces exactly one down/up pair — the
+// inner window's end must not restart the server early.
+func TestOverlappingCrashExtendsDowntime(t *testing.T) {
+	ms := func(n int64) sim.Time { return sim.Time(sim.Duration(n) * sim.Millisecond) }
+
+	// Inner window [15,17) inside [10,20): recovery at 20ms.
+	edges := crashRun(t, []faults.ScriptedEvent{
+		{AtMS: 10, Kind: "crash", DurationMS: 10},
+		{AtMS: 15, Kind: "crash", DurationMS: 2},
+	})
+	want := []crashEdge{{down: true, at: ms(10)}, {down: false, at: ms(20)}}
+	if len(edges) != len(want) {
+		t.Fatalf("crash edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("crash edge %d = %+v, want %+v", i, edges[i], want[i])
+		}
+	}
+
+	// Overlapping window [15,30) past [10,20): downtime extends to 30ms.
+	edges = crashRun(t, []faults.ScriptedEvent{
+		{AtMS: 10, Kind: "crash", DurationMS: 10},
+		{AtMS: 15, Kind: "crash", DurationMS: 15},
+	})
+	want = []crashEdge{{down: true, at: ms(10)}, {down: false, at: ms(30)}}
+	if len(edges) != len(want) {
+		t.Fatalf("crash edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("crash edge %d = %+v, want %+v", i, edges[i], want[i])
+		}
+	}
+
+	// Disjoint windows stay two independent outages.
+	edges = crashRun(t, []faults.ScriptedEvent{
+		{AtMS: 10, Kind: "crash", DurationMS: 5},
+		{AtMS: 25, Kind: "crash", DurationMS: 5},
+	})
+	want = []crashEdge{
+		{down: true, at: ms(10)}, {down: false, at: ms(15)},
+		{down: true, at: ms(25)}, {down: false, at: ms(30)},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("crash edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("crash edge %d = %+v, want %+v", i, edges[i], want[i])
+		}
+	}
+}
+
+// TestCrashedAccessor: Crashed() tracks the nested crash depth.
+func TestCrashedAccessor(t *testing.T) {
+	cfg := liveConfig()
+	cfg.FaultPlan = &faults.Plan{Events: []faults.ScriptedEvent{
+		{AtMS: 10, Kind: "crash", DurationMS: 10},
+		{AtMS: 15, Kind: "crash", DurationMS: 2},
+	}}
+	s := NewServer(cfg, SystemOptions(HardHarvestBlock), bfs(t))
+	s.Start()
+	at := func(n int64) sim.Time { return sim.Time(sim.Duration(n) * sim.Millisecond) }
+	for _, tc := range []struct {
+		to   sim.Time
+		want bool
+	}{
+		{at(5), false}, {at(12), true}, {at(16), true}, {at(18), true},
+		{at(21), false},
+	} {
+		s.StepTo(tc.to)
+		if got := s.Crashed(); got != tc.want {
+			t.Fatalf("Crashed() at %v = %v, want %v", tc.to, got, tc.want)
+		}
+	}
+	s.StepTo(s.Horizon())
+	s.Finish()
+}
+
+// TestRemoteAdmission drives the front-door entry point end to end on one
+// server: remote admissions run the full NIC/queue/execute pipeline, report
+// completions with positive latency through Remote.Done, and local primary
+// generators stay off.
+func TestRemoteAdmission(t *testing.T) {
+	cfg := liveConfig()
+	cfg.Strict = true
+	opts := SystemOptions(HardHarvestBlock)
+	opts.RemoteAdmission = true
+	done := map[uint64]sim.Duration{}
+	opts.Remote.Done = func(id uint64, lat sim.Duration) { done[id] = lat }
+	opts.Remote.Shed = func(id uint64) { t.Fatalf("unexpected shed of %d", id) }
+	s := NewServer(cfg, opts, bfs(t))
+	s.Start()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		vm := i % cfg.PrimaryVMs
+		at := sim.Time(0).Add(sim.Duration(i) * 100 * sim.Microsecond)
+		s.Engine().At(at, func() { s.AdmitRemote(vm, id) })
+	}
+	s.StepTo(s.Horizon())
+	res := s.Finish()
+
+	if res.Arrivals != n {
+		t.Fatalf("arrivals = %d, want %d (local generators must stay off)", res.Arrivals, n)
+	}
+	if len(done) != n || res.Requests != n {
+		t.Fatalf("completions: hooks=%d requests=%d, want %d", len(done), res.Requests, n)
+	}
+	for id, lat := range done {
+		if lat <= 0 {
+			t.Fatalf("request %d completed with non-positive latency %v", id, lat)
+		}
+	}
+	if res.InvariantViolations != 0 {
+		t.Fatalf("%d invariant violations: %s", res.InvariantViolations, res.FirstViolation)
+	}
+	if res.HarvestJobs == 0 {
+		t.Fatal("harvest VM idle under remote admission")
+	}
+}
+
+// TestRemoteAdmissionShed: queue-depth admission control applies to remote
+// attempts and reports rejections through Remote.Shed.
+func TestRemoteAdmissionShed(t *testing.T) {
+	cfg := liveConfig()
+	opts := SystemOptions(HardHarvestBlock)
+	opts.RemoteAdmission = true
+	opts.Resilience.MaxQueueDepth = 2
+	var dones, sheds int
+	opts.Remote.Done = func(uint64, sim.Duration) { dones++ }
+	opts.Remote.Shed = func(uint64) { sheds++ }
+	s := NewServer(cfg, opts, bfs(t))
+	s.Start()
+
+	// A synchronized burst at one VM must overflow the depth budget.
+	const n = 64
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		s.Engine().At(sim.Time(0).Add(sim.Millisecond), func() { s.AdmitRemote(0, id) })
+	}
+	s.StepTo(s.Horizon())
+	res := s.Finish()
+	if sheds == 0 {
+		t.Fatal("burst past MaxQueueDepth shed nothing")
+	}
+	if dones+sheds != n {
+		t.Fatalf("done %d + shed %d != admitted %d", dones, sheds, n)
+	}
+	if res.Sheds != uint64(sheds) {
+		t.Fatalf("result sheds %d, hook sheds %d", res.Sheds, sheds)
+	}
+}
+
+// TestRemoteAdmissionGuards: the entry point rejects misuse loudly.
+func TestRemoteAdmissionGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	plain := NewServer(liveConfig(), SystemOptions(HardHarvestBlock), bfs(t))
+	mustPanic("AdmitRemote without RemoteAdmission", func() { plain.AdmitRemote(0, 1) })
+
+	opts := SystemOptions(HardHarvestBlock)
+	opts.RemoteAdmission = true
+	s := NewServer(liveConfig(), opts, bfs(t))
+	mustPanic("harvest-VM admission", func() { s.AdmitRemote(s.harvestIdx, 1) })
+	mustPanic("zero remote id", func() { s.AdmitRemote(0, 0) })
+}

@@ -264,6 +264,19 @@ type Server struct {
 	faultIOUntil   sim.Time
 	faultIOFactor  float64
 	faultsInjected uint64
+	// crashDepth nests overlapping whole-server crash windows: the cores go
+	// offline on the 0->1 edge and come back only on the 1->0 edge, so a
+	// second crash landing inside the first's window extends the outage
+	// instead of double-restarting the server.
+	crashDepth int
+
+	// Remote admission (Options.RemoteAdmission): remoteRNG samples the
+	// phases of front-door-dispatched invocations on an independent stream
+	// so routed and local admission never perturb each other's randomness.
+	// Nil unless remote admission is on, keeping routerless runs stream-
+	// and alloc-identical to builds without routing support.
+	remoteRNG     *stats.RNG
+	remoteScratch workload.SampleScratch
 
 	// Resilience (Options.Resilience): resOn gates the per-arrival branch;
 	// calls are pooled like requests; resRNG drives backoff jitter.
@@ -420,6 +433,12 @@ func NewServer(cfg Config, opts Options, work *batch.Workload) *Server {
 	if s.resOn {
 		s.resRNG = root.Split(7)
 	}
+	// The remote-admission sampling stream derives from a fresh root, not a
+	// Split of the shared one, for the same reason: a routerless run must
+	// not see its streams shift because routing support exists.
+	if opts.RemoteAdmission {
+		s.remoteRNG = stats.NewRNG(cfg.Seed ^ remoteSeedSalt)
+	}
 	return s
 }
 
@@ -514,10 +533,7 @@ func (s *Server) Run() *ServerResult {
 // the same events in exactly the same order as a monolithic Run: the engine
 // orders events by (time, seq) regardless of how the horizon is reached.
 func (s *Server) Start() {
-	s.measureStart = sim.Time(s.cfg.WarmupDuration)
-	s.measureEnd = s.measureStart.Add(s.cfg.MeasureDuration)
-	s.stopArrivals = s.measureEnd.Add(s.cfg.grace() / 2)
-	s.horizon = s.measureEnd.Add(s.cfg.grace())
+	s.measureStart, s.measureEnd, s.stopArrivals, s.horizon = s.cfg.RunWindow()
 	horizon := s.horizon
 
 	// Observability: hand the topology to interested observers and drive
@@ -547,9 +563,13 @@ func (s *Server) Start() {
 			s.eng.ScheduleCall(0, s, opDispatch, c, nil)
 		}
 	}
-	for _, v := range s.vms {
-		if v.isPrimary {
-			s.scheduleNextArrival(v)
+	// Remote admission: the front door drives primary arrivals through
+	// AdmitRemote; only the Harvest VM's local job stream starts here.
+	if !s.opts.RemoteAdmission {
+		for _, v := range s.vms {
+			if v.isPrimary {
+				s.scheduleNextArrival(v)
+			}
 		}
 	}
 	if s.agent != nil {
@@ -773,6 +793,13 @@ func (s *Server) arrivalReady(r *request) {
 	if r.call != nil && s.opts.Resilience.MaxQueueDepth > 0 &&
 		s.be.readyLen(v.idx) >= s.opts.Resilience.MaxQueueDepth {
 		s.shedAttempt(r)
+		return
+	}
+	// Remotely admitted attempts shed under the same depth budget; the
+	// rejection is reported to the front door, which owns the retry policy.
+	if r.remoteID != 0 && s.opts.Resilience.MaxQueueDepth > 0 &&
+		s.be.readyLen(v.idx) >= s.opts.Resilience.MaxQueueDepth {
+		s.shedRemote(r)
 		return
 	}
 	if s.sw != nil && s.opts.Harvesting && v.lentOut > 0 {
@@ -1220,6 +1247,9 @@ func (s *Server) onBurstEnd(c *coreRT, r *request) {
 			v.lat.Add(s.now().Sub(r.arrival))
 			s.breakdown.AddRequest(r.reassign, r.flush, r.exec)
 			v.breakdown.AddRequest(r.reassign, r.flush, r.exec)
+		}
+		if r.remoteID != 0 && s.opts.Remote.Done != nil {
+			s.opts.Remote.Done(r.remoteID, s.now().Sub(r.arrival))
 		}
 	}
 	s.afterRelease(c, true)

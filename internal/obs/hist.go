@@ -148,6 +148,31 @@ func (h *LatencyHist) Clone() *LatencyHist {
 	return &c
 }
 
+// Merge folds another histogram into this one. Buckets share the same
+// log-linear layout, so merging is exact: the result is identical to
+// recording both sample streams into one histogram.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if len(o.buckets) > len(h.buckets) {
+		grown := make([]uint64, len(o.buckets))
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if h.min < 0 || (o.min >= 0 && o.min < h.min) {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // CumulativeBuckets reports count(sample <= bound) for each bound, for
 // exporting the distribution as a native Prometheus histogram. bounds must
 // be ascending. A sample is attributed to its bucket's upper edge, so each

@@ -197,3 +197,44 @@ func TestHistAsciiShape(t *testing.T) {
 		t.Fatalf("no bars rendered:\n%s", a)
 	}
 }
+
+// TestHistMergeEqualsCombinedRecording: merging two histograms must be
+// indistinguishable from recording both streams into one — counts, sum,
+// exact min/max, and every quantile.
+func TestHistMergeEqualsCombinedRecording(t *testing.T) {
+	a, b, both := NewLatencyHist(), NewLatencyHist(), NewLatencyHist()
+	for i := 1; i <= 500; i++ {
+		d := sim.Duration(i) * 17 * sim.Microsecond
+		a.Record(d)
+		both.Record(d)
+	}
+	for i := 1; i <= 300; i++ {
+		d := sim.Duration(i) * 113 * sim.Microsecond
+		b.Record(d)
+		both.Record(d)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() ||
+		a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged summary diverged: count=%d/%d sum=%v/%v min=%v/%v max=%v/%v",
+			a.Count(), both.Count(), a.Sum(), both.Sum(), a.Min(), both.Min(), a.Max(), both.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("q=%v: merged %v, combined %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.String()
+	a.Merge(NewLatencyHist())
+	a.Merge(nil)
+	if a.String() != before {
+		t.Errorf("empty merge changed the histogram: %s -> %s", before, a.String())
+	}
+	// Merging into an empty histogram copies the source exactly.
+	c := NewLatencyHist()
+	c.Merge(both)
+	if c.String() != both.String() {
+		t.Errorf("merge into empty diverged: %s vs %s", c.String(), both.String())
+	}
+}

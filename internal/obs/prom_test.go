@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -141,5 +142,23 @@ func TestMeterBoundedAndCounting(t *testing.T) {
 	}
 	if m.Topology().Run != "X" {
 		t.Fatalf("meter topology lost")
+	}
+}
+
+// TestCountersAddCoversEveryField pins Counters.Add against reflection:
+// every uint64 field must be summed, so adding a counter field without
+// extending Add fails here instead of silently undercounting fleet
+// aggregates.
+func TestCountersAddCoversEveryField(t *testing.T) {
+	a, b := fullCounters(), fullCounters()
+	a.Add(&b)
+	av := reflect.ValueOf(a)
+	bv := reflect.ValueOf(fullCounters())
+	for i := 0; i < av.NumField(); i++ {
+		name := av.Type().Field(i).Name
+		got, orig := av.Field(i).Uint(), bv.Field(i).Uint()
+		if got != 2*orig {
+			t.Errorf("Add missed field %s: got %d, want %d", name, got, 2*orig)
+		}
 	}
 }

@@ -89,6 +89,33 @@ func CounterDefs() []CounterDef {
 	return append([]CounterDef(nil), counterDefs...)
 }
 
+// Add folds another counter set into this one (fleet aggregation for the
+// routed serve endpoints). A reflection test pins that every Counters field
+// is summed — adding a field without extending Add is a build-time-visible
+// test failure, not a silent undercount.
+func (c *Counters) Add(o *Counters) {
+	c.Arrivals += o.Arrivals
+	c.Enqueues += o.Enqueues
+	c.Dispatches += o.Dispatches
+	c.Loans += o.Loans
+	c.LendMoves += o.LendMoves
+	c.Reclaims += o.Reclaims
+	c.Preempts += o.Preempts
+	c.Flushes += o.Flushes
+	c.Aborts += o.Aborts
+	c.Pins += o.Pins
+	c.Blocks += o.Blocks
+	c.Unblocks += o.Unblocks
+	c.Completions += o.Completions
+	c.JobsDone += o.JobsDone
+	c.FaultsInjected += o.FaultsInjected
+	c.Sheds += o.Sheds
+	c.Retries += o.Retries
+	c.Hedges += o.Hedges
+	c.HedgesWon += o.HedgesWon
+	c.DeadlineMisses += o.DeadlineMisses
+}
+
 // Count folds one event into the counters. It is the single place event
 // kinds map to counter fields; SpanTracer and Audit both delegate here so
 // their counts can never disagree.

@@ -1,0 +1,16 @@
+package route
+
+import "testing"
+
+// BenchmarkRoutedFleet pins the cost of a full routed-fleet run: a router
+// plus three servers, single worker, default policy. Guards the routed
+// path's allocation profile.
+func BenchmarkRoutedFleet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, _ := runFleet(b, fleetSpec{n: 3, workers: 1, rc: DefaultConfig()})
+		if res.Completions == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}

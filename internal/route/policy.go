@@ -1,0 +1,90 @@
+package route
+
+import "fmt"
+
+// Policy selects how the router spreads new dispatches over the eligible
+// backends. All policies are RNG-free: the choice is a pure function of
+// dispatch history, so routed runs stay byte-identical at any worker count.
+type Policy int
+
+const (
+	// RoundRobin cycles a global counter over the eligible set.
+	RoundRobin Policy = iota
+	// LeastOutstanding picks the eligible backend with the fewest live
+	// attempts, lowest index on ties.
+	LeastOutstanding
+	// Weighted is smooth weighted round-robin over Backend.Weight (weight
+	// by 1/exec-factor so faster hardware generations absorb more load).
+	Weighted
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round_robin"
+	case LeastOutstanding:
+		return "least_outstanding"
+	case Weighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a scenario policy name to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "round_robin":
+		return RoundRobin, nil
+	case "least_outstanding":
+		return LeastOutstanding, nil
+	case "weighted":
+		return Weighted, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (round_robin, least_outstanding, weighted)", s)
+	}
+}
+
+// pick returns the policy's choice among the currently eligible backends,
+// or nil when none is eligible.
+func (rt *Router) pick() *backendRT {
+	elig := rt.eligible[:0]
+	for i, b := range rt.backends {
+		if b.eligible() {
+			elig = append(elig, i)
+		}
+	}
+	rt.eligible = elig
+	if len(elig) == 0 {
+		return nil
+	}
+	switch rt.cfg.Policy {
+	case LeastOutstanding:
+		best := rt.backends[elig[0]]
+		for _, i := range elig[1:] {
+			if b := rt.backends[i]; len(b.active) < len(best.active) {
+				best = b
+			}
+		}
+		return best
+	case Weighted:
+		var total float64
+		for _, i := range elig {
+			total += rt.backends[i].weight
+		}
+		var best *backendRT
+		for _, i := range elig {
+			b := rt.backends[i]
+			b.wrrCur += b.weight
+			if best == nil || b.wrrCur > best.wrrCur {
+				best = b
+			}
+		}
+		best.wrrCur -= total
+		return best
+	default: // RoundRobin
+		b := rt.backends[elig[int(rt.rr%uint64(len(elig)))]]
+		rt.rr++
+		return b
+	}
+}

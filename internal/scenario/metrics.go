@@ -7,6 +7,7 @@ import (
 
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/obs"
+	"hardharvest/internal/route"
 	"hardharvest/internal/validate"
 )
 
@@ -30,7 +31,14 @@ type metricDef struct {
 	eval func(r *serverRun) float64
 	// check runs an oracle check for one server (nil for numeric metrics).
 	check func(r *serverRun) validate.Check
+	// fleetEval / fleetCheck evaluate against the router's result instead of
+	// a server; such metrics require a routing block and take no target.
+	fleetEval  func(rr *route.Result) float64
+	fleetCheck func(rr *route.Result) validate.Check
 }
+
+// fleet reports whether the metric evaluates at the fleet front door.
+func (d metricDef) fleet() bool { return d.fleetEval != nil || d.fleetCheck != nil }
 
 func msOf(q float64) func(r *serverRun) float64 {
 	return func(r *serverRun) float64 {
@@ -90,6 +98,30 @@ var metricCatalog = []metricDef{
 	{name: "invariant_violations", help: "violations tolerated by the always-on checker", eval: func(r *serverRun) float64 {
 		return float64(r.res.InvariantViolations)
 	}},
+	{name: "fleet_generated", help: "requests created at the fleet front door (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Generated) }},
+	{name: "fleet_completions", help: "requests completed fleet-wide through the router (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Completions) }},
+	{name: "fleet_sheds", help: "requests shed fleet-wide at backend admission (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Sheds) }},
+	{name: "lost", help: "requests lost: failover budget or eligible fleet exhausted (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Lost) }},
+	{name: "failovers", help: "stranded attempts re-dispatched to another server (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Failovers) }},
+	{name: "ejections", help: "outlier-ejection circuit-breaker trips (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Ejections) }},
+	{name: "readmits", help: "half-open re-admissions after ejection backoff (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Readmits) }},
+	{name: "drains", help: "graceful drains started at the router (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.Drains) }},
+	{name: "zombie_completions", help: "completions for superseded attempts after failover (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return float64(rr.ZombieDones) }},
+	{name: "fleet_p50_ms", help: "median fleet end-to-end latency at the router (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return rr.FleetLatency.P50() }},
+	{name: "fleet_p99_ms", help: "99th-percentile fleet end-to-end latency at the router (requires routing)",
+		fleetEval: func(rr *route.Result) float64 { return rr.FleetLatency.P99() }},
+	{name: "fleet_conservation", help: "oracle check: the six routed-fleet conservation identities (requires routing)",
+		fleetCheck: func(rr *route.Result) validate.Check { return rr.Conservation("fleet") }},
 	{name: "flow_balance", help: "oracle check: event-stream flow equals simulator counters exactly",
 		check: func(r *serverRun) validate.Check {
 			return validate.FlowBalance(fmt.Sprintf("server%d", r.index), r.res, r.audit)
@@ -161,10 +193,25 @@ func (t Target) selects(r *serverRun) bool {
 
 // evalAssertion checks one assertion against the fleet. Numeric bounds must
 // hold on every selected server; oracle checks must pass on every selected
-// server.
-func evalAssertion(a Assertion, runs []*serverRun) AssertResult {
+// server. Fleet metrics evaluate once against the router's result.
+func evalAssertion(a Assertion, runs []*serverRun, fleet *route.Result) AssertResult {
 	def := metricsByName[a.Metric] // validated during Parse
 	out := AssertResult{Assertion: a, OK: true}
+	if def.fleet() {
+		// Validation guarantees fleet != nil here (routing block required).
+		if def.fleetCheck != nil {
+			c := def.fleetCheck(fleet)
+			out.OK = c.OK
+			out.Detail = c.Detail
+			return out
+		}
+		v := def.fleetEval(fleet)
+		if (a.Min != nil && v < *a.Min) || (a.Max != nil && v > *a.Max) {
+			out.OK = false
+		}
+		out.Detail = fmt.Sprintf("fleet %s=%s", a.Metric, fnum(v))
+		return out
+	}
 	if def.check != nil {
 		for _, r := range runs {
 			if !a.Target.selects(r) {

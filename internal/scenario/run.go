@@ -9,6 +9,7 @@ import (
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/faults"
 	"hardharvest/internal/obs"
+	"hardharvest/internal/route"
 	"hardharvest/internal/sim"
 )
 
@@ -69,23 +70,27 @@ func (sc *Scenario) barrier(atMS float64) sim.Time {
 }
 
 // compile expands the fleet and distributes timeline entries and events to
-// the servers they target as barrier-aligned actions.
-func (sc *Scenario) compile() ([]*serverSpec, error) {
+// the servers they target as barrier-aligned actions. In routed mode the
+// workload timeline (and drain events) compile to router actions instead:
+// the front door owns the generators, so intensity changes land there,
+// while fault/resilience/harvest toggles stay server-side.
+func (sc *Scenario) compile() ([]*serverSpec, []route.Action, error) {
 	specs := make([]*serverSpec, 0, sc.Servers())
 	for gi := range sc.Fleet {
 		g := &sc.Fleet[gi]
 		kind, err := parseSystem(g.System)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		work, err := batch.WorkloadByName(g.Workload)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for j := 0; j < g.Count; j++ {
 			i := len(specs)
 			cfg := cluster.DefaultConfig()
 			cfg.Seed = sc.Seed + uint64(i)*7919 // the RunCluster derivation
+			cfg.Strict = sc.Strict
 			cfg.CoresPerServer = g.Cores
 			cfg.PrimaryVMs = g.PrimaryVMs
 			cfg.CoresPerPrimary = g.CoresPerPrimary
@@ -115,17 +120,34 @@ func (sc *Scenario) compile() ([]*serverSpec, error) {
 
 	// Distribute workload-timeline entries. seq is the entry's document
 	// position; events follow all timeline entries in the tiebreak order.
+	// In routed mode the generators live at the front door, so each entry
+	// becomes a router action against its source-server generator set.
+	routed := sc.Routing != nil
+	var racts []route.Action
 	for ti := range sc.Workload {
 		e := &sc.Workload[ti]
 		for _, s := range specs {
 			if !e.Target.selects(&serverRun{index: s.index, group: s.group.Name}) {
 				continue
 			}
+			src := s.index
 			switch e.Kind {
 			case TlIntensity:
+				if routed {
+					x := e.Intensity
+					racts = append(racts, route.Action{At: sc.barrier(e.AtMS), Seq: ti,
+						Fn: func(rt *route.Router) { rt.SetIntensity(src, x) }})
+					continue
+				}
 				s.actions = append(s.actions, action{
 					at: sc.barrier(e.AtMS), seq: ti, kind: actIntensity, x: e.Intensity})
 			case TlVMIntensity:
+				if routed {
+					x, vm := e.Intensity, e.VM
+					racts = append(racts, route.Action{At: sc.barrier(e.AtMS), Seq: ti,
+						Fn: func(rt *route.Router) { rt.SetVMIntensity(src, vm, x) }})
+					continue
+				}
 				s.actions = append(s.actions, action{
 					at: sc.barrier(e.AtMS), seq: ti, kind: actVMIntensity, x: e.Intensity, vm: e.VM})
 			case TlFlashCrowd:
@@ -133,9 +155,16 @@ func (sc *Scenario) compile() ([]*serverSpec, error) {
 				// its window: set base*factor at the start barrier, restore
 				// the baseline in effect at the end barrier.
 				start, end := sc.barrier(e.AtMS), sc.barrier(e.AtMS+e.DurationMS)
+				hi, lo := sc.baselineAt(start, s)*e.Factor, sc.baselineAt(end, s)
+				if routed {
+					racts = append(racts,
+						route.Action{At: start, Seq: ti, Fn: func(rt *route.Router) { rt.SetIntensity(src, hi) }},
+						route.Action{At: end, Seq: ti, Fn: func(rt *route.Router) { rt.SetIntensity(src, lo) }})
+					continue
+				}
 				s.actions = append(s.actions,
-					action{at: start, seq: ti, kind: actIntensity, x: sc.baselineAt(start, s) * e.Factor},
-					action{at: end, seq: ti, kind: actIntensity, x: sc.baselineAt(end, s)})
+					action{at: start, seq: ti, kind: actIntensity, x: hi},
+					action{at: end, seq: ti, kind: actIntensity, x: lo})
 			}
 		}
 	}
@@ -153,6 +182,12 @@ func (sc *Scenario) compile() ([]*serverSpec, error) {
 				a.kind, a.on = actResilience, e.On
 			case EvHarvestOnBlock:
 				a.kind, a.on = actHarvestOnBlock, e.On
+			case EvDrain:
+				idx := s.index
+				deadline := sim.Duration(e.DeadlineMS * float64(sim.Millisecond))
+				racts = append(racts, route.Action{At: sc.barrier(e.AtMS), Seq: len(sc.Workload) + ei,
+					Fn: func(rt *route.Router) { rt.StartDrain(idx, deadline) }})
+				continue
 			}
 			s.actions = append(s.actions, a)
 		}
@@ -168,7 +203,16 @@ func (sc *Scenario) compile() ([]*serverSpec, error) {
 			}
 		}
 	}
-	return specs, nil
+	// The same total order for router actions: barrier, then document order,
+	// then fleet index (one timeline entry fans out to one action per
+	// targeted source server, compiled in fleet order above).
+	for i := 1; i < len(racts); i++ {
+		for j := i; j > 0 && (racts[j].At < racts[j-1].At ||
+			(racts[j].At == racts[j-1].At && racts[j].Seq < racts[j-1].Seq)); j-- {
+			racts[j], racts[j-1] = racts[j-1], racts[j]
+		}
+	}
+	return specs, racts, nil
 }
 
 // baselineAt reports the plain-intensity baseline in effect at a barrier
@@ -195,6 +239,7 @@ type Report struct {
 	Summary  string         // deterministic, byte-replayable rendering
 	Asserts  []AssertResult // declared assertions, in document order
 	Failed   int            // failed assertions + failed oracle checks
+	Fleet    *route.Result  // router-side results (nil for routerless runs)
 }
 
 // OK reports whether every assertion and oracle check passed.
@@ -261,6 +306,44 @@ func (st *srvState) advance(to sim.Time) {
 	}
 }
 
+// step is the routed-mode advance: compiled actions are pre-scheduled as
+// engine events (see scheduleActions), so the plain StepTo suffices. The
+// barrier loop would be wrong here — it applies actions outside the event
+// queue, where the group's conservative floors cannot see them, so another
+// member could already hold a window grant past actionTime+lookahead when
+// the action's side effects (e.g. an injected crash notifying the router)
+// send it a message.
+func (st *srvState) step(to sim.Time) {
+	if st.done {
+		return
+	}
+	if h := st.srv.Horizon(); to > h {
+		to = h
+	}
+	st.done = st.srv.StepTo(to)
+}
+
+// scheduleActions installs the server's compiled actions as engine events
+// so the shard group's floor computation accounts for them. An apply error
+// is recorded and later actions are skipped, but the simulation keeps
+// running — freezing the engine mid-group-run would stall every linked
+// member's window cap.
+func (st *srvState) scheduleActions() {
+	for _, a := range st.spec.actions {
+		a := a
+		st.srv.Engine().At(a.at, func() {
+			if st.err != nil {
+				return
+			}
+			if err := applyAction(st.srv, a, a.at); err != nil {
+				st.err = err
+				return
+			}
+			st.applied++
+		})
+	}
+}
+
 // RunShards is Run with an explicit worker count: the fleet becomes a
 // sim.ShardGroup with one member per server, advanced on up to `shards`
 // goroutines (<= 0 selects GOMAXPROCS). Fleet servers exchange no events,
@@ -270,26 +353,72 @@ func (st *srvState) advance(to sim.Time) {
 // bounded sketch mode (stats.Sketch): memory stays flat across
 // thousand-server, long-horizon runs.
 func (sc *Scenario) RunShards(shards int) (*Report, error) {
-	specs, err := sc.compile()
+	specs, racts, err := sc.compile()
 	if err != nil {
 		return nil, err
 	}
+	routed := sc.Routing != nil
 	group := sim.NewShardGroup(shards)
 	states := make([]*srvState, len(specs))
 	horizon := sim.Time(0)
-	for i, s := range specs {
-		meter := obs.NewMeter()
-		audit := obs.NewAudit()
-		s.opts.Observer = obs.Multi(meter, audit)
-		s.opts.SketchLatency = true
-		srv := cluster.NewServer(s.cfg, s.opts, s.work)
-		srv.Start()
-		if h := srv.Horizon(); h > horizon {
-			horizon = h
+	var rt *route.Router
+	if routed {
+		// Routed mode: servers are built first (arrival generation off),
+		// then the router joins the group as member 0, every server links
+		// to it both ways at the network delay, and Bind installs the
+		// reply/crash hooks before any server starts.
+		rc, cerr := sc.Routing.toConfig()
+		if cerr != nil {
+			return nil, cerr
 		}
-		st := &srvState{spec: s, srv: srv, meter: meter, audit: audit}
-		states[i] = st
-		group.AddFunc(srv.Engine(), st.advance)
+		backends := make([]route.Backend, len(specs))
+		for i, s := range specs {
+			meter := obs.NewMeter()
+			audit := obs.NewAudit()
+			s.opts.Observer = obs.Multi(meter, audit)
+			s.opts.SketchLatency = true
+			s.opts.RemoteAdmission = true
+			srv := cluster.NewServer(s.cfg, s.opts, s.work)
+			states[i] = &srvState{spec: s, srv: srv, meter: meter, audit: audit}
+			states[i].scheduleActions()
+			backends[i] = route.Backend{
+				Server: srv, Cfg: s.cfg,
+				Name:   fmt.Sprintf("server%d[%s]", s.index, s.group.Name),
+				Weight: 1 / s.group.effExecFactor(),
+			}
+		}
+		rt = route.New(rc, backends)
+		self := group.AddFunc(rt.Engine(), rt.Advance)
+		members := make([]int, len(states))
+		for i, st := range states {
+			m := group.AddFunc(st.srv.Engine(), st.step)
+			group.Link(self, m, rc.NetDelay)
+			group.Link(m, self, rc.NetDelay)
+			members[i] = m
+		}
+		rt.Bind(group, self, members)
+		rt.SetActions(racts)
+		for _, st := range states {
+			st.srv.Start()
+			if h := st.srv.Horizon(); h > horizon {
+				horizon = h
+			}
+		}
+	} else {
+		for i, s := range specs {
+			meter := obs.NewMeter()
+			audit := obs.NewAudit()
+			s.opts.Observer = obs.Multi(meter, audit)
+			s.opts.SketchLatency = true
+			srv := cluster.NewServer(s.cfg, s.opts, s.work)
+			srv.Start()
+			if h := srv.Horizon(); h > horizon {
+				horizon = h
+			}
+			st := &srvState{spec: s, srv: srv, meter: meter, audit: audit}
+			states[i] = st
+			group.AddFunc(srv.Engine(), st.advance)
+		}
 	}
 	group.Run(horizon)
 
@@ -306,8 +435,15 @@ func (sc *Scenario) RunShards(shards int) (*Report, error) {
 			index: st.spec.index, group: st.spec.group.Name, res: res, meter: st.meter, audit: st.audit,
 		})
 	}
+	var fleet *route.Result
+	if routed {
+		fleet = rt.Finish()
+		if sc.PerturbFleet {
+			fleet.Generated++ // teeth check: the conservation oracle must notice
+		}
+	}
 
-	rep := &Report{Scenario: sc}
+	rep := &Report{Scenario: sc, Fleet: fleet}
 	oracleOK := 0
 	oracleDetail := ""
 	for _, r := range runs {
@@ -323,14 +459,26 @@ func (sc *Scenario) RunShards(shards int) (*Report, error) {
 			}
 		}
 	}
+	if routed {
+		// The fleet-conservation oracle is as mandatory as the per-server
+		// pair: a routed scenario cannot opt out of no-silent-loss.
+		if c := fleet.Conservation("fleet"); c.OK {
+			oracleOK++
+		} else {
+			rep.Failed++
+			if oracleDetail == "" {
+				oracleDetail = "fleet_conservation FAIL: " + c.Detail
+			}
+		}
+	}
 	for _, a := range sc.Assertions {
-		ar := evalAssertion(a, runs)
+		ar := evalAssertion(a, runs, fleet)
 		if !ar.OK {
 			rep.Failed++
 		}
 		rep.Asserts = append(rep.Asserts, ar)
 	}
-	rep.Summary = sc.renderSummary(specs, runs, applied, rep, oracleOK, oracleDetail)
+	rep.Summary = sc.renderSummary(specs, runs, applied, rep, oracleOK, oracleDetail, fleet)
 	return rep, nil
 }
 
@@ -357,7 +505,7 @@ func applyAction(srv *cluster.Server, a action, at sim.Time) error {
 // run's inputs and results — no wall-clock, no map iteration, no pointers —
 // so identical scenarios produce byte-identical summaries.
 func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
-	applied []int, rep *Report, oracleOK int, oracleDetail string) string {
+	applied []int, rep *Report, oracleOK int, oracleDetail string, routed *route.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== hhsim scenario summary ==\n")
 	fmt.Fprintf(&b, "scenario=%s seed=%d servers=%d warmup=%dms measure=%dms step=%dms\n",
@@ -368,6 +516,12 @@ func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
 		fleet[i] = fmt.Sprintf("%s=%dx %s/%s", g.Name, g.Count, g.System, g.Workload)
 	}
 	fmt.Fprintf(&b, "fleet: %s\n", strings.Join(fleet, "  "))
+	if routed != nil {
+		r := sc.Routing
+		fmt.Fprintf(&b, "routing: policy=%s net_delay_us=%s probe_ms=%s unhealthy_after=%d healthy_after=%d eject_after=%d eject_backoff_ms=%s max_failovers=%d\n",
+			r.Policy, fnum(r.NetworkDelayUS), fnum(r.ProbeIntervalMS),
+			r.UnhealthyAfter, r.HealthyAfter, r.EjectAfter, fnum(r.EjectBackoffMS), r.MaxFailovers)
+	}
 	for i, r := range runs {
 		g := specs[i].group
 		fmt.Fprintf(&b, "server %d [%s] cores=%d exec_factor=%s actions=%d\n",
@@ -382,11 +536,37 @@ func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
 				r.res.InvariantViolations, r.res.FirstViolation)
 		}
 	}
+	if routed != nil {
+		fmt.Fprintf(&b, "router: generated=%d dispatched=%d (initial=%d failovers=%d) completed=%d shed=%d lost=%d (at_admit=%d) inflight=%d\n",
+			routed.Generated, routed.Dispatches, routed.InitialDispatches, routed.Failovers,
+			routed.Completions, routed.Sheds, routed.Lost, routed.LostAtAdmit, routed.InflightEnd)
+		fmt.Fprintf(&b, "  replies: done=%d shed=%d zombie_dones=%d zombie_sheds=%d outstanding=%d\n",
+			routed.DoneRecv, routed.ShedRecv, routed.ZombieDones, routed.ZombieSheds, routed.OutstandingEnd)
+		fmt.Fprintf(&b, "  health: probes=%d fails=%d ejections=%d readmits=%d drains=%d\n",
+			routed.Probes, routed.ProbeFails, routed.Ejections, routed.Readmits, routed.Drains)
+		fmt.Fprintf(&b, "  fleet latency: p50=%sms p99=%sms n=%d\n",
+			fnum(routed.FleetLatency.P50()), fnum(routed.FleetLatency.P99()), routed.FleetLatency.Count())
+		for _, br := range routed.Backends {
+			fmt.Fprintf(&b, "  backend %s state=%s dispatched=%d done=%d shed=%d zombies=%d failovers_out=%d lost=%d unhealthy_spells=%d crashes=%d edge_p99=%sms\n",
+				br.Name, br.State, br.Dispatches, br.Dones, br.Sheds,
+				br.ZombieDones+br.ZombieSheds, br.FailoversOut, br.Lost,
+				br.UnhealthySpells, br.Crashes, fnum(br.EdgeLatency.P99()))
+		}
+	}
+	oracleTotal := 2 * len(runs)
+	if routed != nil {
+		oracleTotal++
+	}
 	if oracleDetail == "" {
-		fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers\n", len(runs), len(runs))
+		if routed != nil {
+			fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers; fleet conservation PASS\n",
+				len(runs), len(runs))
+		} else {
+			fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers\n", len(runs), len(runs))
+		}
 	} else {
 		fmt.Fprintf(&b, "oracle: %d/%d checks passed; first failure: %s\n",
-			oracleOK, 2*len(runs), oracleDetail)
+			oracleOK, oracleTotal, oracleDetail)
 	}
 	if len(rep.Asserts) > 0 {
 		fmt.Fprintf(&b, "assertions:\n")
@@ -404,6 +584,6 @@ func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
 		verdict = "FAIL"
 	}
 	fmt.Fprintf(&b, "result: %s (%d assertions, %d oracle checks, %d failed)\n",
-		verdict, len(rep.Asserts), 2*len(runs), rep.Failed)
+		verdict, len(rep.Asserts), oracleTotal, rep.Failed)
 	return b.String()
 }

@@ -120,6 +120,103 @@ func TestRunShardsByteIdentical(t *testing.T) {
 	}
 }
 
+const routedYAML = `name: routed-test
+seed: 9
+warmup_ms: 10
+duration_ms: 60
+step_ms: 10
+routing:
+  policy: least_outstanding
+  probe_interval_ms: 5
+fleet:
+  - group: web
+    count: 3
+    system: HardHarvest-Block
+    workload: BFS
+workload:
+  - at_ms: 20
+    kind: intensity
+    intensity: 1.4
+events:
+  - at_ms: 20
+    kind: drain
+    server: 2
+    deadline_ms: 2
+  - at_ms: 30
+    kind: faults
+    server: 0
+    plan: {"events": [{"at_ms": 0, "kind": "crash", "duration_ms": 8}]}
+assertions:
+  - metric: drains
+    min: 1
+  - metric: lost
+    max: 0
+  - metric: fleet_completions
+    min: 100
+  - metric: fleet_conservation
+  - metric: flow_balance
+  - metric: littles_law
+`
+
+// TestRoutedRunDeterministic is the routed cornerstone: a scenario behind
+// the fleet front door — with a drain, a crash, and an intensity shift all
+// active — must render byte-identical summaries across repeats and at any
+// worker count, and pass its assertions plus the mandatory fleet
+// conservation oracle.
+func TestRoutedRunDeterministic(t *testing.T) {
+	want, err := quick(t, routedYAML).RunShards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.OK() {
+		t.Fatalf("routed run failed (%d):\n%s", want.Failed, want.Summary)
+	}
+	if want.Fleet == nil {
+		t.Fatal("routed run reported no fleet result")
+	}
+	for _, wantStr := range []string{
+		"routing: policy=least_outstanding",
+		"router: generated=",
+		"drains=1",
+		"fleet latency: p50=",
+		"backend server0[web]",
+		"fleet conservation PASS",
+		"PASS fleet_conservation holds [all]",
+	} {
+		if !strings.Contains(want.Summary, wantStr) {
+			t.Errorf("summary missing %q:\n%s", wantStr, want.Summary)
+		}
+	}
+	for _, shards := range []int{1, 2, 8, 0} {
+		got, err := quick(t, routedYAML).RunShards(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Summary != want.Summary {
+			t.Fatalf("routed summary diverged at shards=%d:\n--- shards=1 ---\n%s--- shards=%d ---\n%s",
+				shards, want.Summary, shards, got.Summary)
+		}
+	}
+}
+
+// TestRoutedPerturbFleet: the PerturbFleet knob corrupts the router ledger
+// and the mandatory conservation oracle must catch it — proof the check has
+// teeth at the scenario level.
+func TestRoutedPerturbFleet(t *testing.T) {
+	sc := quick(t, routedYAML)
+	sc.PerturbFleet = true
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("perturbed fleet ledger passed:\n%s", rep.Summary)
+	}
+	if !strings.Contains(rep.Summary, "fleet_conservation FAIL") {
+		t.Fatalf("failure does not name fleet_conservation:\n%s", rep.Summary)
+	}
+}
+
 // TestAssertionFailureFailsRun: a violated bound must flip the verdict and
 // name the offending server and value.
 func TestAssertionFailureFailsRun(t *testing.T) {
@@ -159,7 +256,7 @@ workload:
     factor: 3
     duration_ms: 30
 `)
-	specs, err := sc.compile()
+	specs, _, err := sc.compile()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,8 @@ import (
 	"hardharvest/internal/batch"
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/faults"
+	"hardharvest/internal/route"
+	"hardharvest/internal/sim"
 )
 
 // Scenario is one parsed, semantically validated scenario document.
@@ -28,11 +30,87 @@ type Scenario struct {
 	StepMS     int
 
 	Fleet      []Group
+	Routing    *Routing // nil = routerless (each server generates its own arrivals)
 	Workload   []TimelineEntry
 	Events     []EventEntry
 	Assertions []Assertion
 
+	// PerturbFleet corrupts the router's request ledger after the run
+	// (Generated is incremented by one), proving the fleet-conservation
+	// oracle can actually fail. Not part of the document format — it is set
+	// by `hhsim run -perturb fleet-conservation` and tests only.
+	PerturbFleet bool
+
+	// Strict makes every server's always-on invariant checker panic on the
+	// first violation with replay context instead of counting it. Not part
+	// of the document format — set by `hhsim run -strict` (the chaos-smoke
+	// CI soak) and tests.
+	Strict bool
+
 	baseDir string // resolves plan_file references
+}
+
+// Routing is the scenario's fleet-front-door block. When present, the
+// workload is admitted at a router (internal/route) and dispatched to the
+// fleet over fixed-delay network edges; timeline entries then reconfigure
+// the router's generators instead of each server's. Unset fields take the
+// route.DefaultConfig values.
+type Routing struct {
+	Policy          string  // round_robin | least_outstanding | weighted
+	NetworkDelayUS  float64 // per-edge network delay (microseconds)
+	ProbeIntervalMS float64 // health-check cadence (milliseconds)
+	UnhealthyAfter  int     // consecutive probe failures before unhealthy
+	HealthyAfter    int     // consecutive probe successes before healthy
+	EjectAfter      int     // consecutive sheds tripping the breaker (0 = off)
+	EjectBackoffMS  float64 // first re-admission backoff (milliseconds)
+	MaxFailovers    int     // per-request failover budget
+
+	line int
+	n    *node
+}
+
+// fieldLine reports the source line a routing field appeared on.
+func (r *Routing) fieldLine(name string) int {
+	if r.n != nil {
+		if l, ok := r.n.keyLines[name]; ok {
+			return l
+		}
+	}
+	return r.line
+}
+
+// defaultRouting mirrors route.DefaultConfig in scenario units.
+func defaultRouting() Routing {
+	d := route.DefaultConfig()
+	return Routing{
+		Policy:          d.Policy.String(),
+		NetworkDelayUS:  float64(d.NetDelay) / float64(sim.Microsecond),
+		ProbeIntervalMS: float64(d.ProbeInterval) / float64(sim.Millisecond),
+		UnhealthyAfter:  d.UnhealthyAfter,
+		HealthyAfter:    d.HealthyAfter,
+		EjectAfter:      d.EjectAfter,
+		EjectBackoffMS:  float64(d.EjectBackoff) / float64(sim.Millisecond),
+		MaxFailovers:    d.MaxFailovers,
+	}
+}
+
+// toConfig converts the block to a route.Config. Callers run it only after
+// validation, so the conversion cannot fail there.
+func (r *Routing) toConfig() (route.Config, error) {
+	pol, err := route.ParsePolicy(r.Policy)
+	if err != nil {
+		return route.Config{}, err
+	}
+	return route.Config{
+		Policy:         pol,
+		NetDelay:       sim.Duration(r.NetworkDelayUS * float64(sim.Microsecond)),
+		ProbeInterval:  sim.Duration(r.ProbeIntervalMS * float64(sim.Millisecond)),
+		UnhealthyAfter: r.UnhealthyAfter,
+		HealthyAfter:   r.HealthyAfter,
+		EjectAfter:     r.EjectAfter,
+		EjectBackoff:   sim.Duration(r.EjectBackoffMS * float64(sim.Millisecond)),
+		MaxFailovers:   r.MaxFailovers,
+	}, nil
 }
 
 // Group is one homogeneous slice of the fleet.
@@ -129,16 +207,18 @@ const (
 	EvFaults         = "faults"           // inject a fault plan
 	EvResilience     = "resilience"       // toggle timeout/retry/hedge/shed
 	EvHarvestOnBlock = "harvest_on_block" // toggle harvest-on-block
+	EvDrain          = "drain"            // graceful drain (requires routing)
 )
 
 // EventEntry is one scripted control event.
 type EventEntry struct {
-	AtMS     float64
-	Kind     string
-	On       bool         // resilience, harvest_on_block
-	Plan     *faults.Plan // faults: inline plan
-	PlanFile string       // faults: JSON plan file (relative to the scenario)
-	Target   Target
+	AtMS       float64
+	Kind       string
+	On         bool         // resilience, harvest_on_block
+	Plan       *faults.Plan // faults: inline plan
+	PlanFile   string       // faults: JSON plan file (relative to the scenario)
+	DeadlineMS float64      // drain: in-flight completion deadline
+	Target     Target
 
 	line   int
 	atLine int
@@ -362,6 +442,9 @@ func (sc *Scenario) decode(root *node) error {
 		"fleet": func(v *node, p string) error {
 			return decodeList(v, p, sc.decodeGroup)
 		},
+		"routing": func(v *node, p string) error {
+			return sc.decodeRouting(v, p)
+		},
 		"workload": func(v *node, p string) error {
 			return decodeList(v, p, sc.decodeTimeline)
 		},
@@ -400,6 +483,26 @@ func (sc *Scenario) decodeGroup(v *node, path string, _ int) error {
 		return err
 	}
 	sc.Fleet = append(sc.Fleet, g)
+	return nil
+}
+
+func (sc *Scenario) decodeRouting(v *node, path string) error {
+	r := defaultRouting()
+	r.line, r.n = v.line, v
+	err := decodeObj(v, path, fieldSet{
+		"policy":            func(v *node, p string) (err error) { r.Policy, err = decStr(v, p); return },
+		"network_delay_us":  func(v *node, p string) (err error) { r.NetworkDelayUS, err = decF64(v, p); return },
+		"probe_interval_ms": func(v *node, p string) (err error) { r.ProbeIntervalMS, err = decF64(v, p); return },
+		"unhealthy_after":   func(v *node, p string) (err error) { r.UnhealthyAfter, err = decInt(v, p); return },
+		"healthy_after":     func(v *node, p string) (err error) { r.HealthyAfter, err = decInt(v, p); return },
+		"eject_after":       func(v *node, p string) (err error) { r.EjectAfter, err = decInt(v, p); return },
+		"eject_backoff_ms":  func(v *node, p string) (err error) { r.EjectBackoffMS, err = decF64(v, p); return },
+		"max_failovers":     func(v *node, p string) (err error) { r.MaxFailovers, err = decInt(v, p); return },
+	})
+	if err != nil {
+		return err
+	}
+	sc.Routing = &r
 	return nil
 }
 
@@ -459,7 +562,8 @@ func (sc *Scenario) decodeEvent(v *node, path string, _ int) error {
 			e.Plan = plan
 			return nil
 		},
-		"plan_file": func(v *node, p string) (err error) { e.PlanFile, err = decStr(v, p); return },
+		"plan_file":   func(v *node, p string) (err error) { e.PlanFile, err = decStr(v, p); return },
+		"deadline_ms": func(v *node, p string) (err error) { e.DeadlineMS, err = decF64(v, p); return },
 	}))
 	if err != nil {
 		return err
@@ -563,6 +667,9 @@ func (sc *Scenario) validate() error {
 	if n := sc.Servers(); n > maxFleetServers {
 		return errAt(sc.Fleet[0].line, "fleet", "expands to %d servers (max %d)", n, maxFleetServers)
 	}
+	if err := sc.validateRouting(); err != nil {
+		return err
+	}
 	for i := range sc.Workload {
 		if err := sc.validateTimeline(&sc.Workload[i], fmt.Sprintf("workload[%d]", i)); err != nil {
 			return err
@@ -621,6 +728,33 @@ func (sc *Scenario) validateGroup(g *Group, path string, seen map[string]bool) e
 	}
 	if g.LoadScale < 0 {
 		return errAt(g.line, path+".load_scale", "must be positive, got %g", g.LoadScale)
+	}
+	return nil
+}
+
+// validateRouting checks the routing block and its fleet preconditions:
+// the front door replicates one generator set per (server, primary VM), so
+// every group must agree on primary_vms.
+func (sc *Scenario) validateRouting() error {
+	r := sc.Routing
+	if r == nil {
+		return nil
+	}
+	if _, err := route.ParsePolicy(r.Policy); err != nil {
+		return errAt(r.fieldLine("policy"), "routing.policy", "%v", err)
+	}
+	cfg, _ := r.toConfig()
+	if err := cfg.Validate(); err != nil {
+		// route.Config errors already lead with the routing.<field> path.
+		return fmt.Errorf("line %d: %v", r.line, err)
+	}
+	want := sc.Fleet[0].PrimaryVMs
+	for i := range sc.Fleet {
+		if g := &sc.Fleet[i]; g.PrimaryVMs != want {
+			return errAt(g.fieldLine("primary_vms"), fmt.Sprintf("fleet[%d].primary_vms", i),
+				"routing requires a uniform primary_vms across groups (group %q has %d, group %q has %d)",
+				g.Name, g.PrimaryVMs, sc.Fleet[0].Name, want)
+		}
 	}
 	return nil
 }
@@ -762,11 +896,25 @@ func (sc *Scenario) validateEvent(e *EventEntry, path string) error {
 		if e.Plan != nil || e.PlanFile != "" {
 			return errAt(e.line, path, "plan/plan_file only apply to kind %q", EvFaults)
 		}
+	case EvDrain:
+		if sc.Routing == nil {
+			return errAt(e.line, path, "kind %q requires a routing block (drain is a front-door operation)", EvDrain)
+		}
+		if e.Plan != nil || e.PlanFile != "" {
+			return errAt(e.line, path, "plan/plan_file only apply to kind %q", EvFaults)
+		}
+		if e.DeadlineMS <= 0 {
+			return errAt(e.line, path+".deadline_ms", "must be positive, got %g", e.DeadlineMS)
+		}
 	case "":
-		return errAt(e.line, path+".kind", "required (one of %s, %s, %s)", EvFaults, EvResilience, EvHarvestOnBlock)
+		return errAt(e.line, path+".kind", "required (one of %s, %s, %s, %s)",
+			EvFaults, EvResilience, EvHarvestOnBlock, EvDrain)
 	default:
-		return errAt(e.line, path+".kind", "unknown event kind %q (want one of %s, %s, %s)",
-			e.Kind, EvFaults, EvResilience, EvHarvestOnBlock)
+		return errAt(e.line, path+".kind", "unknown event kind %q (want one of %s, %s, %s, %s)",
+			e.Kind, EvFaults, EvResilience, EvHarvestOnBlock, EvDrain)
+	}
+	if e.Kind != EvDrain && e.DeadlineMS != 0 {
+		return errAt(e.line, path, "deadline_ms only applies to kind %q", EvDrain)
 	}
 	return nil
 }
@@ -783,7 +931,15 @@ func (sc *Scenario) validateAssertion(a *Assertion, path string) error {
 		return errAt(a.metricLine, path+".metric", "unknown metric %q (want one of %s)",
 			a.Metric, metricNames())
 	}
-	if m.check != nil {
+	if m.fleet() {
+		if sc.Routing == nil {
+			return errAt(a.metricLine, path+".metric", "fleet metric %q requires a routing block", a.Metric)
+		}
+		if !a.Target.All() {
+			return errAt(a.line, path, "fleet metric %q evaluates at the router and takes no group/server target", a.Metric)
+		}
+	}
+	if m.check != nil || m.fleetCheck != nil {
 		if a.Min != nil || a.Max != nil {
 			return errAt(a.line, path, "oracle check %q takes no min/max bounds", a.Metric)
 		}

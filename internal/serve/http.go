@@ -100,12 +100,16 @@ func control(r *Runner, f func(*Runner) error) http.HandlerFunc {
 }
 
 // configRequest is the POST /api/config body: each present field becomes
-// one barrier-applied action.
+// one barrier-applied action. Server targets one fleet backend in routed
+// mode (fault_plan, drain_deadline_ms); it is rejected at apply time on a
+// routerless run.
 type configRequest struct {
-	Intensity      *float64     `json:"intensity,omitempty"`
-	HarvestOnBlock *bool        `json:"harvest_on_block,omitempty"`
-	Resilience     *bool        `json:"resilience,omitempty"`
-	FaultPlan      *faults.Plan `json:"fault_plan,omitempty"`
+	Intensity       *float64     `json:"intensity,omitempty"`
+	HarvestOnBlock  *bool        `json:"harvest_on_block,omitempty"`
+	Resilience      *bool        `json:"resilience,omitempty"`
+	FaultPlan       *faults.Plan `json:"fault_plan,omitempty"`
+	Server          int          `json:"server,omitempty"`
+	DrainDeadlineMS *float64     `json:"drain_deadline_ms,omitempty"`
 }
 
 func enqueueConfig(r *Runner, body configRequest) (int, error) {
@@ -120,10 +124,13 @@ func enqueueConfig(r *Runner, body configRequest) (int, error) {
 		acts = append(acts, Action{Kind: ActResilience, On: *body.Resilience})
 	}
 	if body.FaultPlan != nil {
-		acts = append(acts, Action{Kind: ActFaults, Plan: body.FaultPlan})
+		acts = append(acts, Action{Kind: ActFaults, Plan: body.FaultPlan, Server: body.Server})
+	}
+	if body.DrainDeadlineMS != nil {
+		acts = append(acts, Action{Kind: ActDrain, Server: body.Server, DeadlineMS: *body.DrainDeadlineMS})
 	}
 	if len(acts) == 0 {
-		return 0, fmt.Errorf("config body names no settings (intensity, harvest_on_block, resilience, fault_plan)")
+		return 0, fmt.Errorf("config body names no settings (intensity, harvest_on_block, resilience, fault_plan, drain_deadline_ms)")
 	}
 	// Validate everything before enqueueing anything: a config POST is
 	// applied all-or-nothing so a typo cannot half-apply.
@@ -154,7 +161,7 @@ func stateJSON(st State) map[string]any {
 			Queued: v.Queued, LentOut: v.LentOut, Pinned: v.Pinned, BusyCores: v.BusyCores,
 		})
 	}
-	return map[string]any{
+	out := map[string]any{
 		"config":       st.Config,
 		"sim_ms":       sim.Duration(st.SimTime).Milliseconds(),
 		"horizon_ms":   sim.Duration(st.Horizon).Milliseconds(),
@@ -173,6 +180,10 @@ func stateJSON(st State) map[string]any {
 		},
 		"vms": vms,
 	}
+	if st.Router != nil {
+		out["router"] = st.Router
+	}
+	return out
 }
 
 // writeMetrics renders the Prometheus exposition for one published state.
@@ -232,6 +243,63 @@ func writeMetrics(w http.ResponseWriter, st State) {
 		p.Uint("hhsim_vm_occupancy", uint64(v.LentOut), vmLabels("lent_out")...)
 		p.Uint("hhsim_vm_occupancy", uint64(v.Pinned), vmLabels("pinned")...)
 		p.Uint("hhsim_vm_occupancy", uint64(v.BusyCores), vmLabels("busy_cores")...)
+	}
+
+	// Router families appear only in routed mode, after the single-server
+	// families, so routerless scrapes stay byte-identical.
+	if rt := st.Router; rt != nil {
+		p.Head("hhsim_router_requests_total", "front-door request ledger, by stage", "counter")
+		reqKind := func(kind string, v uint64) {
+			p.Uint("hhsim_router_requests_total", v, obs.PromLabel{Key: "kind", Value: kind})
+		}
+		reqKind("generated", rt.Generated)
+		reqKind("dispatched", rt.Dispatches)
+		reqKind("failovers", rt.Failovers)
+		reqKind("completed", rt.Completions)
+		reqKind("shed", rt.Sheds)
+		reqKind("lost", rt.Lost)
+		reqKind("zombie_dones", rt.ZombieDones)
+		p.Head("hhsim_router_outstanding", "attempts dispatched and not yet answered", "gauge")
+		p.Uint("hhsim_router_outstanding", rt.Outstanding)
+		p.Head("hhsim_router_health_total", "health-check and membership transitions, by kind", "counter")
+		healthKind := func(kind string, v uint64) {
+			p.Uint("hhsim_router_health_total", v, obs.PromLabel{Key: "kind", Value: kind})
+		}
+		healthKind("probes", rt.Probes)
+		healthKind("probe_fails", rt.ProbeFails)
+		healthKind("ejections", rt.Ejections)
+		healthKind("readmits", rt.Readmits)
+		healthKind("drains", rt.Drains)
+		p.Head("hhsim_router_fleet_latency_ms", "end-to-end fleet latency quantiles", "gauge")
+		p.Float("hhsim_router_fleet_latency_ms", rt.FleetP50MS, obs.PromLabel{Key: "quantile", Value: "0.5"})
+		p.Float("hhsim_router_fleet_latency_ms", rt.FleetP99MS, obs.PromLabel{Key: "quantile", Value: "0.99"})
+		p.Head("hhsim_router_backend_up", "1 when the backend is routable, by state", "gauge")
+		for _, b := range rt.Backends {
+			up := uint64(0)
+			if b.State == "healthy" {
+				up = 1
+			}
+			p.Uint("hhsim_router_backend_up", up,
+				obs.PromLabel{Key: "backend", Value: b.Name},
+				obs.PromLabel{Key: "state", Value: b.State})
+		}
+		p.Head("hhsim_router_backend_attempts_total", "per-backend attempt ledger, by kind", "counter")
+		for _, b := range rt.Backends {
+			attempt := func(kind string, v uint64) {
+				p.Uint("hhsim_router_backend_attempts_total", v,
+					obs.PromLabel{Key: "backend", Value: b.Name},
+					obs.PromLabel{Key: "kind", Value: kind})
+			}
+			attempt("dispatched", b.Dispatches)
+			attempt("done", b.Dones)
+			attempt("shed", b.Sheds)
+			attempt("crashes", b.Crashes)
+		}
+		p.Head("hhsim_router_backend_active", "live attempts routed to the backend", "gauge")
+		for _, b := range rt.Backends {
+			p.Uint("hhsim_router_backend_active", uint64(b.Active),
+				obs.PromLabel{Key: "backend", Value: b.Name})
+		}
 	}
 	p.Flush()
 }

@@ -90,7 +90,7 @@ func ReplayActions(cfg RunConfig, actions []Action) (string, error) {
 		if h := r.srv.Horizon(); nb > h {
 			nb = h
 		}
-		if r.srv.StepTo(nb) {
+		if r.stepTo(nb) {
 			break
 		}
 		barrier = nb
@@ -98,6 +98,5 @@ func ReplayActions(cfg RunConfig, actions []Action) (string, error) {
 	if next < len(actions) {
 		return "", fmt.Errorf("serve: replay: %d actions logged past the horizon", len(actions)-next)
 	}
-	res := r.srv.Finish()
-	return renderSummary(cfg, res, r.meter.Counters(), r.meter.Hist(), r.applied), nil
+	return r.renderFinish(), nil
 }

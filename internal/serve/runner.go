@@ -26,11 +26,16 @@ import (
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/faults"
 	"hardharvest/internal/obs"
+	"hardharvest/internal/route"
 	"hardharvest/internal/sim"
 )
 
 // RunConfig identifies a served run completely: the same config plus the
-// same action log reproduces the same simulation.
+// same action log reproduces the same simulation. The routed fields select
+// fleet mode: a front-door router (internal/route) admits the workload and
+// dispatches to Backends identical servers over network edges; all three
+// are omitted from JSON when unset so routerless logs and /api/state bytes
+// are unchanged.
 type RunConfig struct {
 	System   string `json:"system"`   // cluster.SystemKind name (e.g. "HardHarvest-Block")
 	Workload string `json:"workload"` // batch workload name (e.g. "BFS")
@@ -38,6 +43,10 @@ type RunConfig struct {
 	WarmupMS int    `json:"warmup_ms"`
 	SimMS    int    `json:"sim_ms"`  // measurement window
 	StepMS   int    `json:"step_ms"` // barrier cadence
+
+	Routed   bool   `json:"routed,omitempty"`   // serve a routed fleet instead of one server
+	Backends int    `json:"backends,omitempty"` // fleet size (routed mode)
+	Policy   string `json:"policy,omitempty"`   // routing policy (routed mode)
 }
 
 // DefaultRunConfig mirrors the quick experiment scale on the paper's full
@@ -76,6 +85,73 @@ func (rc RunConfig) build() (*cluster.Server, *obs.Meter, error) {
 	return cluster.NewServer(ccfg, opts, work), meter, nil
 }
 
+// buildRouted constructs the routed fleet: Backends servers in remote-
+// admission mode behind a router member of one ShardGroup, wired exactly
+// like the scenario runner wires a routed fleet (links both ways at the
+// network delay, hooks installed before any server starts). Per-backend
+// seeds follow the RunCluster derivation.
+func (rc RunConfig) buildRouted() (*sim.ShardGroup, *route.Router, []*cluster.Server, []*obs.Meter, error) {
+	kind, err := ParseSystem(rc.System)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	work, err := batch.WorkloadByName(rc.Workload)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	if rc.Backends <= 0 {
+		return nil, nil, nil, nil, fmt.Errorf("serve: routed mode needs backends >= 1, got %d", rc.Backends)
+	}
+	rcfg := route.DefaultConfig()
+	if rc.Policy != "" {
+		pol, err := route.ParsePolicy(rc.Policy)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("serve: %w", err)
+		}
+		rcfg.Policy = pol
+	}
+	fleet := make([]*cluster.Server, rc.Backends)
+	meters := make([]*obs.Meter, rc.Backends)
+	backends := make([]route.Backend, rc.Backends)
+	for i := range fleet {
+		ccfg := cluster.DefaultConfig()
+		ccfg.WarmupDuration = sim.Duration(rc.WarmupMS) * sim.Millisecond
+		ccfg.MeasureDuration = sim.Duration(rc.SimMS) * sim.Millisecond
+		ccfg.Seed = rc.Seed + uint64(i)*7919
+		opts := cluster.SystemOptions(kind)
+		meters[i] = obs.NewMeter()
+		opts.Observer = meters[i]
+		opts.RemoteAdmission = true
+		fleet[i] = cluster.NewServer(ccfg, opts, work)
+		backends[i] = route.Backend{
+			Server: fleet[i], Cfg: ccfg,
+			Name:   fmt.Sprintf("server%d", i),
+			Weight: 1,
+		}
+	}
+	rt := route.New(rcfg, backends)
+	group := sim.NewShardGroup(0)
+	self := group.AddFunc(rt.Engine(), rt.Advance)
+	members := make([]int, len(fleet))
+	for i, srv := range fleet {
+		srv := srv
+		m := group.AddFunc(srv.Engine(), func(to sim.Time) {
+			if h := srv.Horizon(); to > h {
+				to = h
+			}
+			srv.StepTo(to)
+		})
+		group.Link(self, m, rcfg.NetDelay)
+		group.Link(m, self, rcfg.NetDelay)
+		members[i] = m
+	}
+	rt.Bind(group, self, members)
+	for _, srv := range fleet {
+		srv.Start()
+	}
+	return group, rt, fleet, meters, nil
+}
+
 // ParseSystem resolves a system name as printed by cluster.SystemKind.
 func ParseSystem(name string) (cluster.SystemKind, error) {
 	for _, k := range cluster.Systems() {
@@ -92,21 +168,30 @@ const (
 	ActHarvestOnBlock = "harvest_on_block" // toggle harvest-on-block (On field)
 	ActResilience     = "resilience"       // toggle resilience policies (On field)
 	ActFaults         = "faults"           // inject a fault plan (Plan field)
+	ActDrain          = "drain"            // gracefully drain one backend (routed mode; Server + DeadlineMS)
 )
 
 // Action is one logged control mutation. At is the simulated barrier time
 // (picoseconds) it was applied at; replay re-applies it at the same barrier.
+// Server targets one fleet backend in routed mode (faults, drain); in
+// routerless mode it must stay 0.
 type Action struct {
-	At        int64        `json:"at"`
-	Kind      string       `json:"kind"`
-	Intensity float64      `json:"intensity,omitempty"`
-	On        bool         `json:"on,omitempty"`
-	Plan      *faults.Plan `json:"plan,omitempty"`
+	At         int64        `json:"at"`
+	Kind       string       `json:"kind"`
+	Intensity  float64      `json:"intensity,omitempty"`
+	On         bool         `json:"on,omitempty"`
+	Plan       *faults.Plan `json:"plan,omitempty"`
+	Server     int          `json:"server,omitempty"`
+	DeadlineMS float64      `json:"deadline_ms,omitempty"`
 }
 
 // validate rejects malformed actions at enqueue time, before they reach the
-// log.
+// log. Config-dependent checks (backend range, routed-only kinds) run at
+// apply time, where a failing action is dropped unlogged.
 func (a Action) validate() error {
+	if a.Server < 0 {
+		return fmt.Errorf("serve: server must be >= 0, got %d", a.Server)
+	}
 	switch a.Kind {
 	case ActIntensity:
 		if !(a.Intensity > 0) {
@@ -120,6 +205,10 @@ func (a Action) validate() error {
 		}
 		if err := a.Plan.Validate(); err != nil {
 			return fmt.Errorf("serve: %w", err)
+		}
+	case ActDrain:
+		if !(a.DeadlineMS > 0) {
+			return fmt.Errorf("serve: drain needs deadline_ms > 0, got %v", a.DeadlineMS)
 		}
 	default:
 		return fmt.Errorf("serve: unknown action kind %q", a.Kind)
@@ -159,9 +248,80 @@ type TimePoint struct {
 	VMs         []VMPoint `json:"vms"`
 }
 
+// RouterBackendPoint is one backend's routed view inside a RouterPoint.
+type RouterBackendPoint struct {
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	Dispatches uint64  `json:"dispatches"`
+	Dones      uint64  `json:"dones"`
+	Sheds      uint64  `json:"sheds"`
+	Crashes    uint64  `json:"crashes"`
+	Active     int     `json:"active"`
+	EdgeP99MS  float64 `json:"edge_p99_ms"`
+}
+
+// RouterPoint is the router's barrier snapshot in routed mode: plain data
+// extracted while the shard group is quiescent, safe for concurrent HTTP
+// readers.
+type RouterPoint struct {
+	Policy      string               `json:"policy"`
+	Generated   uint64               `json:"generated"`
+	Dispatches  uint64               `json:"dispatches"`
+	Failovers   uint64               `json:"failovers"`
+	Completions uint64               `json:"completions"`
+	Sheds       uint64               `json:"sheds"`
+	Lost        uint64               `json:"lost"`
+	Outstanding uint64               `json:"outstanding"`
+	ZombieDones uint64               `json:"zombie_dones"`
+	Probes      uint64               `json:"probes"`
+	ProbeFails  uint64               `json:"probe_fails"`
+	Ejections   uint64               `json:"ejections"`
+	Readmits    uint64               `json:"readmits"`
+	Drains      uint64               `json:"drains"`
+	FleetP50MS  float64              `json:"fleet_p50_ms"`
+	FleetP99MS  float64              `json:"fleet_p99_ms"`
+	Backends    []RouterBackendPoint `json:"backends"`
+}
+
+// routerPoint extracts the live router snapshot (caller holds the barrier:
+// no advance goroutines are live).
+func routerPoint(rt *route.Router) *RouterPoint {
+	snap := rt.Snapshot()
+	p := &RouterPoint{
+		Policy:      snap.Policy.String(),
+		Generated:   snap.Generated,
+		Dispatches:  snap.Dispatches,
+		Failovers:   snap.Failovers,
+		Completions: snap.Completions,
+		Sheds:       snap.Sheds,
+		Lost:        snap.Lost,
+		Outstanding: snap.OutstandingEnd,
+		ZombieDones: snap.ZombieDones,
+		Probes:      snap.Probes,
+		ProbeFails:  snap.ProbeFails,
+		Ejections:   snap.Ejections,
+		Readmits:    snap.Readmits,
+		Drains:      snap.Drains,
+		FleetP50MS:  snap.FleetLatency.P50(),
+		FleetP99MS:  snap.FleetLatency.P99(),
+	}
+	for _, b := range snap.Backends {
+		p.Backends = append(p.Backends, RouterBackendPoint{
+			Name: b.Name, State: b.State,
+			Dispatches: b.Dispatches, Dones: b.Dones, Sheds: b.Sheds,
+			Crashes: b.Crashes, Active: b.ActiveEnd,
+			EdgeP99MS: b.EdgeLatency.P99(),
+		})
+	}
+	return p
+}
+
 // State is the published barrier snapshot HTTP readers see. Everything in
 // it is an independent copy: the engine goroutine keeps mutating its own
-// structures while readers render this.
+// structures while readers render this. In routed mode Counters and Hist
+// aggregate the whole fleet, Occupancy/Topology show backend 0 (the live
+// per-VM view stays single-server), and Router carries the front door's
+// snapshot.
 type State struct {
 	Config      RunConfig
 	SimTime     sim.Time
@@ -176,17 +336,25 @@ type State struct {
 	Hist        *obs.LatencyHist
 	Occupancy   obs.Snapshot
 	Topology    obs.Topology
+	Router      *RouterPoint // nil in routerless mode
 }
 
 // Runner drives one served simulation. The loop goroutine owns the cluster
-// server; everything else reads published snapshots or enqueues actions
-// under the runner's lock.
+// server (routed mode: the shard group), everything else reads published
+// snapshots or enqueues actions under the runner's lock. In routed mode srv
+// and meter alias backend 0 so the single-server surfaces keep working.
 type Runner struct {
 	cfg   RunConfig
 	srv   *cluster.Server
 	meter *obs.Meter
 	step  sim.Duration
 	logW  io.Writer
+
+	// Routed-mode fleet (nil/empty when cfg.Routed is off).
+	group  *sim.ShardGroup
+	rt     *route.Router
+	fleet  []*cluster.Server
+	meters []*obs.Meter
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -218,14 +386,8 @@ func NewRunner(cfg RunConfig, logW io.Writer, pace float64) (*Runner, error) {
 	if cfg.SimMS <= 0 || cfg.WarmupMS < 0 {
 		return nil, fmt.Errorf("serve: bad window: warmup=%dms sim=%dms", cfg.WarmupMS, cfg.SimMS)
 	}
-	srv, meter, err := cfg.build()
-	if err != nil {
-		return nil, err
-	}
 	r := &Runner{
 		cfg:        cfg,
-		srv:        srv,
-		meter:      meter,
 		step:       sim.Duration(cfg.StepMS) * sim.Millisecond,
 		logW:       logW,
 		pace:       pace,
@@ -233,8 +395,22 @@ func NewRunner(cfg RunConfig, logW io.Writer, pace float64) (*Runner, error) {
 		subs:       map[chan TimePoint]struct{}{},
 		shutdownCh: make(chan struct{}),
 	}
+	if cfg.Routed {
+		group, rt, fleet, meters, err := cfg.buildRouted()
+		if err != nil {
+			return nil, err
+		}
+		r.group, r.rt, r.fleet, r.meters = group, rt, fleet, meters
+		r.srv, r.meter = fleet[0], meters[0]
+	} else {
+		srv, meter, err := cfg.build()
+		if err != nil {
+			return nil, err
+		}
+		r.srv, r.meter = srv, meter
+		r.srv.Start()
+	}
 	r.cond = sync.NewCond(&r.mu)
-	r.srv.Start()
 	r.publishLocked(false) // pre-loop state for early scrapes
 	if logW != nil {
 		if err := json.NewEncoder(logW).Encode(logHeader{Magic: 1, Config: cfg}); err != nil {
@@ -293,15 +469,14 @@ func (r *Runner) Loop() {
 		if h := r.srv.Horizon(); next > h {
 			next = h
 		}
-		done := r.srv.StepTo(next)
+		done := r.stepTo(next)
 		barrier = next
 
 		r.mu.Lock()
 		r.publishLocked(done)
 		if done {
 			r.done = true
-			r.result = r.srv.Finish()
-			r.summary = renderSummary(r.cfg, r.result, r.meter.Counters(), r.meter.Hist(), r.applied)
+			r.summary = r.renderFinish()
 			r.mu.Unlock()
 			return
 		}
@@ -313,8 +488,47 @@ func (r *Runner) Loop() {
 	}
 }
 
-// applyAction mutates the simulation at a barrier.
+// stepTo advances the simulation one barrier: StepTo on the single server,
+// or one bounded sweep of the shard group's conservative windows in routed
+// mode. Routed barrier application is safe without engine-event actions
+// (unlike the scenario runner's): between group.Run calls every member's
+// window grant sits exactly at the barrier, so a mutation applied here can
+// only create events at or after everyone's doneTo.
+func (r *Runner) stepTo(next sim.Time) bool {
+	if r.group != nil {
+		r.group.Run(next)
+		return next >= r.srv.Horizon()
+	}
+	return r.srv.StepTo(next)
+}
+
+// renderFinish finalizes every simulation member and renders the
+// deterministic end-of-run summary. Caller holds r.mu (live loop) or is
+// single-threaded (replay).
+func (r *Runner) renderFinish() string {
+	if r.rt == nil {
+		r.result = r.srv.Finish()
+		return renderSummary(r.cfg, r.result, r.meter.Counters(), r.meter.Hist(), r.applied)
+	}
+	results := make([]*cluster.ServerResult, len(r.fleet))
+	for i, srv := range r.fleet {
+		results[i] = srv.Finish()
+	}
+	r.result = results[0]
+	return renderRoutedSummary(r.cfg, results, r.meters, r.rt.Finish(), r.applied)
+}
+
+// applyAction mutates the simulation at a barrier. Routed mode redirects
+// the intensity knob to the front door's generators (applied to every
+// source), fleet-wide toggles to every backend, and targeted kinds (faults,
+// drain) to a.Server.
 func (r *Runner) applyAction(a Action, at sim.Time) error {
+	if r.rt != nil {
+		return r.applyRouted(a, at)
+	}
+	if a.Server != 0 {
+		return fmt.Errorf("serve: action targets server %d but the run is routerless", a.Server)
+	}
 	switch a.Kind {
 	case ActIntensity:
 		return r.srv.SetIntensity(a.Intensity)
@@ -326,6 +540,38 @@ func (r *Runner) applyAction(a Action, at sim.Time) error {
 		return nil
 	case ActFaults:
 		return r.srv.InjectFaultPlan(a.Plan, at)
+	case ActDrain:
+		return fmt.Errorf("serve: drain needs a routed run")
+	default:
+		return fmt.Errorf("serve: unknown action kind %q", a.Kind)
+	}
+}
+
+func (r *Runner) applyRouted(a Action, at sim.Time) error {
+	if a.Server >= len(r.fleet) {
+		return fmt.Errorf("serve: server %d out of range (fleet has %d)", a.Server, len(r.fleet))
+	}
+	switch a.Kind {
+	case ActIntensity:
+		for src := range r.fleet {
+			r.rt.SetIntensity(src, a.Intensity)
+		}
+		return nil
+	case ActHarvestOnBlock:
+		for _, srv := range r.fleet {
+			srv.SetHarvestOnBlock(a.On)
+		}
+		return nil
+	case ActResilience:
+		for _, srv := range r.fleet {
+			srv.SetResilienceEnabled(a.On)
+		}
+		return nil
+	case ActFaults:
+		return r.fleet[a.Server].InjectFaultPlan(a.Plan, at)
+	case ActDrain:
+		r.rt.StartDrain(a.Server, sim.Duration(a.DeadlineMS*float64(sim.Millisecond)))
+		return nil
 	default:
 		return fmt.Errorf("serve: unknown action kind %q", a.Kind)
 	}
@@ -339,6 +585,20 @@ func (r *Runner) publishLocked(done bool) {
 	topo := r.srv.LiveTopology()
 	hist := r.meter.Hist().Clone()
 	c := r.meter.Counters()
+	events := r.srv.EventsFired()
+	var router *RouterPoint
+	if r.rt != nil {
+		c = obs.Counters{}
+		hist = obs.NewLatencyHist()
+		events = r.rt.Engine().Fired()
+		for i, m := range r.meters {
+			mc := m.Counters()
+			c.Add(&mc)
+			hist.Merge(m.Hist())
+			events += r.fleet[i].EventsFired()
+		}
+		router = routerPoint(r.rt)
+	}
 	r.pub = State{
 		Config:      r.cfg,
 		SimTime:     r.srv.Now(),
@@ -347,12 +607,13 @@ func (r *Runner) publishLocked(done bool) {
 		Paused:      r.paused,
 		Pace:        r.pace,
 		Intensity:   r.intensty,
-		EventsFired: r.srv.EventsFired(),
+		EventsFired: events,
 		Actions:     r.applied,
 		Counters:    c,
 		Hist:        hist,
 		Occupancy:   occ,
 		Topology:    topo,
+		Router:      router,
 	}
 	tp := TimePoint{
 		SimMS:       sim.Duration(r.pub.SimTime).Milliseconds(),

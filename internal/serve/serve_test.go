@@ -179,6 +179,131 @@ func TestReplayDeterminismWithActions(t *testing.T) {
 	}
 }
 
+// routedCfg is a small routed fleet: three backends behind the front door.
+func routedCfg() RunConfig {
+	cfg := quickCfg()
+	cfg.Routed = true
+	cfg.Backends = 3
+	cfg.Policy = "least_outstanding"
+	return cfg
+}
+
+// TestRoutedServeReplayDeterminism drives a live routed run through every
+// routed action kind — fleet-wide intensity, a targeted crash, a targeted
+// drain — and requires the action log to replay byte-identically.
+func TestRoutedServeReplayDeterminism(t *testing.T) {
+	cfg := routedCfg()
+	var log bytes.Buffer
+	r, err := NewRunner(cfg, &log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := r.Subscribe(4096)
+	defer cancel()
+	r.Pause()
+	go r.Loop()
+
+	mustEnqueue(t, r, Action{Kind: ActIntensity, Intensity: 1.4})
+	step := func() {
+		if err := r.StepBarrier(); err != nil {
+			t.Fatal(err)
+		}
+		<-ch
+	}
+	step() // -> 10ms
+	mustEnqueue(t, r, Action{Kind: ActFaults, Server: 0, Plan: &faults.Plan{
+		Events: []faults.ScriptedEvent{{AtMS: 5, Kind: "crash", DurationMS: 10}},
+	}})
+	step() // -> 20ms
+	mustEnqueue(t, r, Action{Kind: ActDrain, Server: 2, DeadlineMS: 3})
+	r.Resume()
+	for tp := range ch {
+		if tp.Done {
+			break
+		}
+	}
+	live, ok := r.Summary()
+	if !ok {
+		t.Fatal("routed run finished without a summary")
+	}
+	for _, frag := range []string{
+		"== hhsim serve summary (routed) ==",
+		"fleet: backends=3 policy=least_outstanding",
+		"drains=1",
+		"state=drained",
+		"PASS fleet_conservation",
+	} {
+		if !strings.Contains(live, frag) {
+			t.Fatalf("routed summary missing %q:\n%s", frag, live)
+		}
+	}
+
+	replayed, err := Replay(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatalf("routed replay failed: %v\nlog:\n%s", err, log.String())
+	}
+	if replayed != live {
+		t.Fatalf("routed replay diverged from live run:\n--- live ---\n%s--- replay ---\n%s", live, replayed)
+	}
+
+	// The targeted actions must have moved the fleet: a zero-action routed
+	// run ends elsewhere.
+	plain, err := ReplayActions(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == live {
+		t.Fatal("routed action run is identical to the zero-action run: actions were lost")
+	}
+}
+
+// TestRoutedActionTargeting pins the apply-time rules: routerless runs
+// reject drains and nonzero server targets; routed runs reject out-of-range
+// backends.
+func TestRoutedActionTargeting(t *testing.T) {
+	plain, err := NewRunner(quickCfg(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.applyAction(Action{Kind: ActDrain, DeadlineMS: 1}, 0); err == nil {
+		t.Fatal("routerless run accepted a drain")
+	}
+	if err := plain.applyAction(Action{Kind: ActIntensity, Intensity: 2, Server: 1}, 0); err == nil {
+		t.Fatal("routerless run accepted a server-targeted action")
+	}
+
+	routed, err := NewRunner(routedCfg(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routed.applyAction(Action{Kind: ActDrain, Server: 9, DeadlineMS: 1}, 0); err == nil {
+		t.Fatal("routed run accepted an out-of-range backend")
+	}
+	if err := routed.applyAction(Action{Kind: ActDrain, Server: 1, DeadlineMS: 1}, 0); err != nil {
+		t.Fatalf("in-range drain rejected: %v", err)
+	}
+}
+
+// TestRoutedConfigValidation covers the constructor's routed-mode checks.
+func TestRoutedConfigValidation(t *testing.T) {
+	bad := routedCfg()
+	bad.Backends = 0
+	if _, err := NewRunner(bad, nil, 0); err == nil {
+		t.Fatal("routed run with 0 backends accepted")
+	}
+	bad = routedCfg()
+	bad.Policy = "fastest_guess"
+	if _, err := NewRunner(bad, nil, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := (Action{Kind: ActDrain, DeadlineMS: 0}).validate(); err == nil {
+		t.Fatal("drain without a deadline accepted")
+	}
+	if err := (Action{Kind: ActIntensity, Intensity: 2, Server: -1}).validate(); err == nil {
+		t.Fatal("negative server accepted")
+	}
+}
+
 func TestReplayRejectsGarbage(t *testing.T) {
 	if _, err := Replay(strings.NewReader("")); err == nil {
 		t.Fatal("empty log accepted")

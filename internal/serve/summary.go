@@ -7,6 +7,7 @@ import (
 
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/obs"
+	"hardharvest/internal/route"
 )
 
 // renderSummary is the single end-of-run renderer shared by the live loop
@@ -36,5 +37,52 @@ func renderSummary(cfg RunConfig, res *cluster.ServerResult, c obs.Counters, h *
 		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d (first: %s)\n",
 			res.InvariantViolations, res.FirstViolation)
 	}
+	return b.String()
+}
+
+// renderRoutedSummary is renderSummary's fleet-mode counterpart: per-backend
+// server results, the router's request/attempt/health ledgers, fleet-
+// aggregated counters and latency, and the fleet-conservation verdict. The
+// same purity rules apply — routed replay byte-equivalence compares this
+// output.
+func renderRoutedSummary(cfg RunConfig, results []*cluster.ServerResult, meters []*obs.Meter, fr *route.Result, actions int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hhsim serve summary (routed) ==\n")
+	fmt.Fprintf(&b, "system=%s workload=%s seed=%d warmup=%dms measure=%dms step=%dms actions=%d\n",
+		cfg.System, cfg.Workload, cfg.Seed, cfg.WarmupMS, cfg.SimMS, cfg.StepMS, actions)
+	fmt.Fprintf(&b, "fleet: backends=%d policy=%s\n", len(results), fr.Policy)
+	agg := obs.Counters{}
+	merged := obs.NewLatencyHist()
+	for i, res := range results {
+		c := meters[i].Counters()
+		agg.Add(&c)
+		merged.Merge(meters[i].Hist())
+		fmt.Fprintf(&b, "server %d [%s]\n", i, fr.Backends[i].Name)
+		fmt.Fprintf(&b, "  result: %s\n", res)
+		fmt.Fprintf(&b, "  counters: %s\n", c)
+		fmt.Fprintf(&b, "  latency:  %s\n", meters[i].Hist())
+		if res.InvariantViolations > 0 {
+			fmt.Fprintf(&b, "  INVARIANT VIOLATIONS: %d (first: %s)\n",
+				res.InvariantViolations, res.FirstViolation)
+		}
+	}
+	fmt.Fprintf(&b, "router: generated=%d dispatched=%d (initial=%d failovers=%d) completed=%d shed=%d lost=%d (at_admit=%d) inflight=%d\n",
+		fr.Generated, fr.Dispatches, fr.InitialDispatches, fr.Failovers,
+		fr.Completions, fr.Sheds, fr.Lost, fr.LostAtAdmit, fr.InflightEnd)
+	fmt.Fprintf(&b, "  replies: done=%d shed=%d zombie_dones=%d zombie_sheds=%d outstanding=%d\n",
+		fr.DoneRecv, fr.ShedRecv, fr.ZombieDones, fr.ZombieSheds, fr.OutstandingEnd)
+	fmt.Fprintf(&b, "  health: probes=%d fails=%d ejections=%d readmits=%d drains=%d\n",
+		fr.Probes, fr.ProbeFails, fr.Ejections, fr.Readmits, fr.Drains)
+	fmt.Fprintf(&b, "  fleet latency: p50=%.3fms p99=%.3fms n=%d\n",
+		fr.FleetLatency.P50(), fr.FleetLatency.P99(), fr.FleetLatency.Count())
+	for _, br := range fr.Backends {
+		fmt.Fprintf(&b, "  backend %s state=%s dispatched=%d done=%d shed=%d zombies=%d failovers_out=%d lost=%d unhealthy_spells=%d crashes=%d edge_p99=%.3fms\n",
+			br.Name, br.State, br.Dispatches, br.Dones, br.Sheds,
+			br.ZombieDones+br.ZombieSheds, br.FailoversOut, br.Lost,
+			br.UnhealthySpells, br.Crashes, br.EdgeLatency.P99())
+	}
+	fmt.Fprintf(&b, "fleet counters: %s\n", agg)
+	fmt.Fprintf(&b, "fleet latency:  %s\n", merged)
+	fmt.Fprintf(&b, "oracle: %s\n", fr.Conservation("fleet_conservation"))
 	return b.String()
 }

@@ -1,0 +1,84 @@
+package validate
+
+import "fmt"
+
+// Fleet-level conservation: the routed-scenario oracle. The router accounts
+// every generated request and every dispatched attempt; these identities
+// prove that no request is silently lost across crash, ejection, failover,
+// or drain, and that flow through the router balances exactly.
+
+// FleetTotals carries the front door's end-of-run counters (see
+// internal/route). Requests are logical units of work; attempts are
+// dispatches of a request to one backend (failover re-dispatches the same
+// request as a new attempt while the stranded attempt keeps running to a
+// zombie reply).
+type FleetTotals struct {
+	// Request ledger.
+	Generated   uint64 // requests created at the front door
+	Completions uint64 // resolved by a live completion reply
+	Sheds       uint64 // resolved by a live shed reply (admission control)
+	Lost        uint64 // resolved as lost: failover budget or fleet exhausted
+	LostAtAdmit uint64 // subset of Lost: no eligible backend at admission
+	InflightEnd uint64 // unresolved when the run ended
+
+	// Attempt ledger.
+	InitialDispatches uint64 // first attempts
+	Dispatches        uint64 // all attempts (initial + failover)
+	Failovers         uint64 // re-dispatches of stranded requests
+	DoneRecv          uint64 // completion replies received (live + zombie)
+	ShedRecv          uint64 // shed replies received (live + zombie)
+	ZombieDones       uint64 // completion replies for superseded/resolved attempts
+	ZombieSheds       uint64 // shed replies for superseded/resolved attempts
+	OutstandingEnd    uint64 // attempts still awaiting a reply at the end
+}
+
+// FleetConservation checks the six routed-fleet conservation identities:
+//
+//	C1  generated = completions + sheds + lost + in-flight
+//	C2  dispatches = done-replies + shed-replies + outstanding
+//	C3  done-replies = live completions + zombie completions
+//	C4  shed-replies = live sheds + zombie sheds
+//	C5  dispatches = initial dispatches + failovers
+//	C6  generated = initial dispatches + lost-at-admission
+//
+// C1 is the no-silent-loss guarantee; C2 balances flow through the router;
+// C3/C4 pin zombie accounting; C5/C6 tie the attempt ledger back to the
+// request ledger.
+func FleetConservation(name string, t FleetTotals) Check {
+	type identity struct {
+		rel      string
+		lhs, rhs uint64
+	}
+	ids := []identity{
+		{"generated = completions + sheds + lost + inflight",
+			t.Generated, t.Completions + t.Sheds + t.Lost + t.InflightEnd},
+		{"dispatches = done_recv + shed_recv + outstanding",
+			t.Dispatches, t.DoneRecv + t.ShedRecv + t.OutstandingEnd},
+		{"done_recv = completions + zombie_dones",
+			t.DoneRecv, t.Completions + t.ZombieDones},
+		{"shed_recv = sheds + zombie_sheds",
+			t.ShedRecv, t.Sheds + t.ZombieSheds},
+		{"dispatches = initial + failovers",
+			t.Dispatches, t.InitialDispatches + t.Failovers},
+		{"generated = initial + lost_at_admit",
+			t.Generated, t.InitialDispatches + t.LostAtAdmit},
+	}
+	for _, id := range ids {
+		if id.lhs != id.rhs {
+			return Check{
+				Name:     name,
+				Relation: "fleet conservation: " + id.rel,
+				OK:       false,
+				Detail:   fmt.Sprintf("%s: %d != %d", id.rel, id.lhs, id.rhs),
+			}
+		}
+	}
+	return Check{
+		Name:     name,
+		Relation: "fleet conservation (6 identities)",
+		OK:       true,
+		Detail: fmt.Sprintf("generated=%d completed=%d shed=%d lost=%d inflight=%d failovers=%d zombies=%d",
+			t.Generated, t.Completions, t.Sheds, t.Lost, t.InflightEnd,
+			t.Failovers, t.ZombieDones+t.ZombieSheds),
+	}
+}

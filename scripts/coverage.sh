@@ -19,6 +19,7 @@ internal/sim 91.0
 internal/serve 87.0
 internal/scenario 85.0
 internal/stats 90.0
+internal/route 85.0
 "
 
 check=false
