@@ -1,0 +1,211 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cliGraphScenario is a small inline request-DAG scenario: a frontend tier
+// fanning out to two parallel mid-tier calls, each followed by a
+// sequential leaf call.
+const cliGraphScenario = `name: cli-dag
+seed: 12
+warmup_ms: 10
+duration_ms: 100
+step_ms: 10
+graph:
+  rpc_delay_us: 20
+  root: fe
+  tiers:
+    - tier: fe
+      group: web
+      calls:
+        - tier: mid
+          mode: parallel
+          fanout: 2
+    - tier: mid
+      group: back
+      calls:
+        - tier: leafy
+          mode: sequential
+    - tier: leafy
+      group: back
+fleet:
+  - group: web
+    count: 1
+  - group: back
+    count: 2
+workload:
+  - at_ms: 20
+    kind: intensity
+    intensity: 1.3
+assertions:
+  - metric: graph_completed
+    min: 20
+  - metric: graph_failed
+    max: 0
+  - metric: graph_conservation
+  - metric: flow_balance
+`
+
+// TestScenarioCLIGraph covers the DAG front-door contract end to end
+// through the real CLI: the summary gains graph/tier/dag sections, stays
+// byte-identical at any -shards value, and -perturb graph-mc corrupts a
+// hop sketch so the Monte-Carlo oracle fails the run — while being a
+// usage error for graphless scenarios.
+func TestScenarioCLIGraph(t *testing.T) {
+	dir := t.TempDir()
+	dag := filepath.Join(dir, "dag.yaml")
+	if err := os.WriteFile(dag, []byte(cliGraphScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.yaml")
+	if err := os.WriteFile(plain, []byte(cliScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, stderr, code := hhsim(t, "validate", dag)
+	if code != 0 {
+		t.Fatalf("validate dag: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, `scenario "cli-dag"`) {
+		t.Errorf("validate output: %q", out)
+	}
+
+	runA, stderr, code := hhsim(t, "run", dag)
+	if code != 0 {
+		t.Fatalf("run dag: exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"graph: root=fe rpc_delay_us=",
+		"dag: generated=",
+		"tier fe servers=1 vm=0",
+		"tier mid servers=2 vm=0",
+		"graph conservation PASS",
+		"result: PASS",
+	} {
+		if !strings.Contains(runA, want) {
+			t.Errorf("dag summary missing %q:\n%s", want, runA)
+		}
+	}
+	for _, n := range []string{"1", "2", "8"} {
+		runN, stderr, code := hhsim(t, "run", "-shards", n, dag)
+		if code != 0 {
+			t.Fatalf("run -shards %s: exit %d, stderr: %s", n, code, stderr)
+		}
+		if runN != runA {
+			t.Errorf("-shards %s changed the DAG summary:\n--- default ---\n%s--- shards=%s ---\n%s",
+				n, runA, n, runN)
+		}
+	}
+
+	// The MC cross-check scenario passes clean and fails perturbed: the
+	// oracle has teeth through the CLI, not just in-process.
+	mc := "../../scenarios/socialnet-mc.yaml"
+	out, stderr, code = hhsim(t, "run", mc)
+	if code != 0 {
+		t.Fatalf("run socialnet-mc: exit %d, stderr: %s\n%s", code, stderr, out)
+	}
+	if !strings.Contains(out, "PASS graph_mc") {
+		t.Errorf("MC scenario does not exercise the graph_mc oracle:\n%s", out)
+	}
+	out, _, code = hhsim(t, "run", "-perturb", "graph-mc", mc)
+	if code != 1 {
+		t.Errorf("perturbed MC run: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "FAIL graph_mc") || !strings.Contains(out, "result: FAIL") {
+		t.Errorf("perturbed summary does not fail the MC cross-check:\n%s", out)
+	}
+	// The perturbation corrupts one hop sketch, not the ledgers: the
+	// conservation oracle must stay green or the teeth prove nothing.
+	if !strings.Contains(out, "PASS graph_conservation") {
+		t.Errorf("perturbed run also broke conservation (over-corruption):\n%s", out)
+	}
+
+	if _, stderr, code = hhsim(t, "run", "-perturb", "graph-mc", plain); code != 2 {
+		t.Errorf("perturb graph-mc on graphless scenario: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+}
+
+// TestScenarioCLIGraphLibrary: every shipped DAG scenario must run green
+// through the CLI (the CI dag-smoke job leans on this staying true).
+func TestScenarioCLIGraphLibrary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("library runs are not short")
+	}
+	for _, name := range []string{"socialnet-dag.yaml", "socialnet-mc.yaml"} {
+		out, stderr, code := hhsim(t, "run", "../../scenarios/"+name)
+		if code != 0 {
+			t.Errorf("run %s: exit %d, stderr: %s\n%s", name, code, stderr, out)
+		}
+	}
+}
+
+// TestServeGraphLifecycle boots a DAG fleet through the real CLI, scrapes
+// the hhsim_graph_* families, finishes the run, and replays the action log
+// to the byte.
+func TestServeGraphLifecycle(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "graph.jsonl")
+	p := startServe(t, "-addr", "127.0.0.1:0", "-paused",
+		"-graph", "socialnet", "-backends", "1",
+		"-seed", "7", "-warmup-ms", "10", "-sim-ms", "60", "-step-ms", "10",
+		"-actionlog", logPath)
+
+	m1 := p.get(t, "/metrics")
+	if !strings.Contains(m1, "# TYPE hhsim_graph_requests_total counter") ||
+		!strings.Contains(m1, "# TYPE hhsim_graph_tier_hop_ms gauge") {
+		t.Fatalf("graph scrape missing DAG families:\n%.600s", m1)
+	}
+	if !strings.Contains(p.get(t, "/api/state"), `"graph":{"graph":"socialnet","root":"frontend"`) {
+		t.Fatal("graph /api/state has no graph block")
+	}
+
+	p.post(t, "/api/config", `{"intensity": 1.2}`, http.StatusAccepted)
+	p.post(t, "/api/resume", "", http.StatusOK)
+	p.waitStderr(t, "run complete")
+
+	m2 := p.get(t, "/metrics")
+	if v := metricValue(t, m2, "hhsim_run_done"); v != 1 {
+		t.Fatalf("hhsim_run_done = %g, want 1", v)
+	}
+
+	p.post(t, "/api/shutdown", "", http.StatusOK)
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+	live := p.stdout.String()
+	for _, frag := range []string{
+		"== hhsim serve summary (graph) ==",
+		"graph: socialnet tiers=4 servers=3",
+		"dag: generated=",
+		"PASS graph_conservation",
+		"actions=1",
+	} {
+		if !strings.Contains(live, frag) {
+			t.Fatalf("graph summary missing %q:\n%s", frag, live)
+		}
+	}
+
+	replayed, stderr, code := hhsim(t, "serve", "-replay", logPath)
+	if code != 0 {
+		t.Fatalf("graph replay exit %d, stderr: %s", code, stderr)
+	}
+	if replayed != live {
+		t.Fatalf("graph replay diverged from served run:\n--- live ---\n%s--- replay ---\n%s", live, replayed)
+	}
+}
+
+// TestServeGraphFlagErrors pins the serve flag contract around DAG mode.
+func TestServeGraphFlagErrors(t *testing.T) {
+	if _, stderr, code := hhsim(t, "serve", "-routed", "-graph", "socialnet"); code != 2 ||
+		!strings.Contains(stderr, "exclusive") {
+		t.Fatalf("-routed -graph: exit %d stderr %q, want 2 naming the exclusivity", code, stderr)
+	}
+	if _, stderr, code := hhsim(t, "serve", "-graph", "hotelres"); code != 1 ||
+		!strings.Contains(stderr, "socialnet") {
+		t.Fatalf("unknown -graph: exit %d stderr %q, want 1 listing the built-ins", code, stderr)
+	}
+}

@@ -24,12 +24,12 @@ func scenarioMain(cmd string, args []string) int {
 	shards := fs.Int("shards", 0,
 		"worker goroutines for the sharded fleet runner (0 = all CPUs); the summary is byte-identical at any value")
 	perturb := fs.String("perturb", "",
-		"corrupt a ledger to prove an oracle has teeth (routed scenarios only; field: fleet-conservation)")
+		"corrupt a ledger to prove an oracle has teeth (fields: fleet-conservation, graph-mc)")
 	strict := fs.Bool("strict", false,
 		"panic on the first invariant violation with replay info (instead of counting violations)")
 	fs.Usage = func() {
 		if cmd == "run" {
-			fmt.Fprintf(os.Stderr, "usage: hhsim run [-shards n] [-strict] [-perturb fleet-conservation] <scenario.(yaml|json)>\n")
+			fmt.Fprintf(os.Stderr, "usage: hhsim run [-shards n] [-strict] [-perturb fleet-conservation|graph-mc] <scenario.(yaml|json)>\n")
 			fmt.Fprintf(os.Stderr, "  runs one fleet scenario and prints its summary; exit 1 if assertions fail\n")
 		} else {
 			fmt.Fprintf(os.Stderr, "usage: hhsim validate <scenario.(yaml|json)>...\n")
@@ -87,8 +87,14 @@ func scenarioMain(cmd string, args []string) int {
 			return 2
 		}
 		sc.PerturbFleet = true
+	case "graph-mc":
+		if sc.Graph == nil {
+			fmt.Fprintln(os.Stderr, "-perturb graph-mc needs a DAG scenario (graph block)")
+			return 2
+		}
+		sc.PerturbGraphMC = true
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -perturb field %q (fields: fleet-conservation)\n", *perturb)
+		fmt.Fprintf(os.Stderr, "unknown -perturb field %q (fields: fleet-conservation, graph-mc)\n", *perturb)
 		return 2
 	}
 	rep, err := sc.RunShards(*shards)

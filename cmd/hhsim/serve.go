@@ -34,17 +34,26 @@ func serveMain(args []string) {
 	actionLog := fs.String("actionlog", "", "append applied control actions to this NDJSON file (replayable)")
 	replay := fs.String("replay", "", "replay an action log headless and print its summary")
 	routed := fs.Bool("routed", false, "serve a routed fleet behind a front-door router instead of one server")
-	backends := fs.Int("backends", 3, "fleet size (with -routed)")
+	backends := fs.Int("backends", 3, "fleet size (with -routed) or servers per tier group (with -graph)")
 	policy := fs.String("policy", "", "routing policy: round_robin, least_outstanding, weighted (with -routed)")
+	graphName := fs.String("graph", "", "serve a request-DAG fleet over a built-in graph (socialnet); exclusive with -routed")
 	fs.Parse(args)
 
-	// Assign the fleet fields only in routed mode: routerless config JSON
+	// Assign the fleet fields only in fleet modes: routerless config JSON
 	// (the action-log header, /api/state) must stay byte-identical to
 	// pre-fleet builds.
+	if *routed && *graphName != "" {
+		fmt.Fprintln(os.Stderr, "-routed and -graph are exclusive")
+		os.Exit(2)
+	}
 	if *routed {
 		cfg.Routed = true
 		cfg.Backends = *backends
 		cfg.Policy = *policy
+	}
+	if *graphName != "" {
+		cfg.Graph = *graphName
+		cfg.Backends = *backends
 	}
 
 	if *replay != "" {

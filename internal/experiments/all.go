@@ -35,6 +35,7 @@ func Runners() []Runner {
 		{"profiling", "Shared-before-serve validation sweep (§4.2.2)", Profiling},
 		{"loadsweep", "P99 vs offered load (extension)", LoadSweep},
 		{"faultsweep", "P99 vs fault intensity (robustness extension)", FaultSweep},
+		{"graphsweep", "DAG e2e tail vs harvest placement (extension)", GraphSweep},
 		{"summary", "Headline claims, paper vs measured", Summary},
 	}
 }

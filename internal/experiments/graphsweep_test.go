@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"hardharvest/internal/graph"
+	"hardharvest/internal/sim"
+)
+
+func graphScale() Scale {
+	return Scale{Measure: 250 * sim.Millisecond, Warmup: 30 * sim.Millisecond, Servers: 2, Seed: 1}
+}
+
+// TestGraphSweepTable pins the sweep's shape: one row per placement, the
+// e2e and per-tier hop tail columns all populated with parseable latencies.
+func TestGraphSweepTable(t *testing.T) {
+	tbl := GraphSweep(graphScale())
+	if tbl.ID != "graphsweep" {
+		t.Fatalf("table id = %q", tbl.ID)
+	}
+	if len(tbl.Columns) != 7 {
+		t.Fatalf("want 7 columns, got %d: %v", len(tbl.Columns), tbl.Columns)
+	}
+	wantRows := []string{"none", "frontend", "logic", "leaf", "all"}
+	if len(tbl.Rows) != len(wantRows) {
+		t.Fatalf("want %d rows, got %d", len(wantRows), len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if row.Label != wantRows[i] {
+			t.Errorf("row %d label = %q, want %q", i, row.Label, wantRows[i])
+		}
+		for j, cell := range row.Cells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v <= 0 {
+				t.Errorf("row %s cell %d = %q, want a positive latency", row.Label, j, cell)
+			}
+		}
+	}
+}
+
+// TestHarvestPlacementShapesE2ETail is the paper's core DAG claim reduced
+// to an executable assertion: harvesting cores in the leaf tier shapes the
+// end-to-end p99 measurably differently than the identical harvesting in
+// the frontend tier, under a byte-identical arrival stream. The simulator
+// is deterministic, so the placements either separate or they don't.
+func TestHarvestPlacementShapesE2ETail(t *testing.T) {
+	sc := graphScale()
+	spec := graph.SocialNet(20 * sim.Microsecond)
+	front := runGraphFleet(sc, spec, "frontend")
+	leaf := runGraphFleet(sc, spec, "leaf")
+	if front.E2E.Count() == 0 || front.E2E.Count() != leaf.E2E.Count() {
+		t.Fatalf("placement changed the admitted request stream: %d vs %d measured completions",
+			front.E2E.Count(), leaf.E2E.Count())
+	}
+	fp99, lp99 := front.E2E.P99(), leaf.E2E.P99()
+	rel := math.Abs(fp99-lp99) / math.Max(fp99, lp99)
+	if rel < 0.02 {
+		t.Fatalf("frontend vs leaf harvesting left the e2e p99 indistinguishable: %.4fms vs %.4fms (%.2f%%)",
+			fp99, lp99, rel*100)
+	}
+	t.Logf("e2e p99: frontend-harvest=%.3fms leaf-harvest=%.3fms (%.1f%% apart)", fp99, lp99, rel*100)
+}
+
+// TestGraphSweepDeterministic: the sweep must render identically across
+// repeats (it feeds the experiment registry and the golden path).
+func TestGraphSweepDeterministic(t *testing.T) {
+	a, b := GraphSweep(graphScale()), GraphSweep(graphScale())
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts diverged: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i].Cells {
+			if a.Rows[i].Cells[j] != b.Rows[i].Cells[j] {
+				t.Fatalf("cell [%d][%d] diverged: %q vs %q", i, j, a.Rows[i].Cells[j], b.Rows[i].Cells[j])
+			}
+		}
+	}
+}

@@ -158,16 +158,16 @@ func TestEvalAssertionCorners(t *testing.T) {
 	min := func(v float64) Assertion {
 		return Assertion{Metric: "completions", Min: &v, Target: Target{Server: -1}}
 	}
-	r := evalAssertion(min(1), runs, nil)
+	r := evalAssertion(min(1), runs, nil, nil)
 	if !r.OK || r.Detail != "server 0 [g] completions=5" {
 		t.Errorf("min binding extreme = %v %q", r.OK, r.Detail)
 	}
-	r = evalAssertion(min(8), runs, nil)
+	r = evalAssertion(min(8), runs, nil, nil)
 	if r.OK || r.Detail != "server 0 [g] completions=5" {
 		t.Errorf("min violation = %v %q", r.OK, r.Detail)
 	}
 	r = evalAssertion(Assertion{Metric: "completions", Min: new(float64),
-		Target: Target{Group: "nope", Server: -1}}, runs, nil)
+		Target: Target{Group: "nope", Server: -1}}, runs, nil, nil)
 	if r.OK || r.Detail != "no server matched the target" {
 		t.Errorf("empty selection = %v %q", r.OK, r.Detail)
 	}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// bless regenerates the scenario golden summaries instead of diffing:
+//
+//	go test ./internal/scenario -run TestGolden -bless
+var bless = flag.Bool("bless", false, "regenerate golden summaries instead of comparing")
+
+const dagGoldenPath = "testdata/golden/socialnet-dag.summary.txt"
+
+// TestGoldenSocialnetDAG pins the full rendered summary of the shipped
+// socialnet-dag scenario byte for byte. The summary is a pure function of
+// the scenario (no wall-clock, no map order), so any drift is a behaviour
+// change in the DAG pipeline — the dispatcher, the join state machine, the
+// sketches, or the renderer — and must be reviewed and re-blessed.
+func TestGoldenSocialnetDAG(t *testing.T) {
+	sc, err := Load("../../scenarios/socialnet-dag.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.RunShards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("golden scenario failed its own assertions:\n%s", rep.Summary)
+	}
+	if *bless {
+		if err := os.MkdirAll(filepath.Dir(dagGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dagGoldenPath, []byte(rep.Summary), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s (%d bytes)", dagGoldenPath, len(rep.Summary))
+		return
+	}
+	want, err := os.ReadFile(dagGoldenPath)
+	if err != nil {
+		t.Fatalf("load golden summary (regenerate with -bless): %v", err)
+	}
+	if rep.Summary != string(want) {
+		t.Fatalf("summary drifted from blessed golden:\n%s", firstDiffLine(string(want), rep.Summary))
+	}
+
+	// The artifact must be shard-invariant too: a golden blessed at one
+	// worker count must match any other.
+	for _, shards := range []int{2, 8} {
+		got, err := quick(t, mustRead(t, "../../scenarios/socialnet-dag.yaml")).RunShards(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Summary != string(want) {
+			t.Fatalf("golden diverged at shards=%d:\n%s", shards, firstDiffLine(string(want), got.Summary))
+		}
+	}
+}
+
+func mustRead(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// firstDiffLine renders the first line where two summaries diverge.
+func firstDiffLine(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return "line " + itoa(i+1) + ":\n  blessed: " + w[i] + "\n  got:     " + g[i]
+		}
+	}
+	return "length changed: blessed " + itoa(len(w)) + " lines, got " + itoa(len(g))
+}

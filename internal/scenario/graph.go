@@ -1,0 +1,347 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hardharvest/internal/graph"
+	"hardharvest/internal/sim"
+)
+
+// The scenario graph block: request-DAG workloads. When present, the
+// scenario runs in graph mode — a graph.Dispatcher becomes the fleet's
+// front door, admitting root requests and fanning out inter-tier RPCs
+// over ShardGroup edges — instead of per-server arrival generation or the
+// routing front door (the two are mutually exclusive with graph).
+//
+// Document shape:
+//
+//	graph:
+//	  rpc_delay_us: 20        # per-hop network delay (default 20)
+//	  root: frontend          # entry tier (default: the first tier)
+//	  tiers:
+//	    - tier: frontend
+//	      group: fe           # fleet group serving this tier
+//	      vm: 0               # primary VM whose profile is the service time
+//	      calls:
+//	        - tier: logic
+//	          mode: parallel  # parallel | sequential (default parallel)
+//	          fanout: 2       # invocations per call (default 1)
+//	    - tier: logic
+//	      group: logic
+//
+//	graph:
+//	  file: socialnet.graph.yaml   # or: load the same fields from a file
+//
+// Every error is positioned: inline fields report the scenario file's
+// line; file-referenced graphs report the graph file's own line inside a
+// graph.file diagnostic.
+
+// GraphBlock is the decoded graph section.
+type GraphBlock struct {
+	RPCDelayUS float64
+	Root       string
+	File       string
+	Tiers      []GraphTier
+
+	line  int
+	n     *node
+	lines map[string]int // decoded field path -> source line
+
+	// Built during validation.
+	spec *graph.Spec
+}
+
+// GraphTier is one decoded tier entry.
+type GraphTier struct {
+	Name  string
+	Group string
+	VM    int
+	Calls []GraphCall
+
+	line int
+}
+
+// GraphCall is one decoded downstream call.
+type GraphCall struct {
+	Tier   string
+	Mode   string
+	Fanout int
+
+	line int
+}
+
+// Spec returns the compiled DAG (valid after Parse/Load succeeded).
+func (gb *GraphBlock) Spec() *graph.Spec { return gb.spec }
+
+func (sc *Scenario) decodeGraph(v *node, path string) error {
+	gb := &GraphBlock{RPCDelayUS: 20, line: v.line, n: v, lines: map[string]int{}}
+	if err := gb.decodeBody(v, path, true); err != nil {
+		return err
+	}
+	sc.Graph = gb
+	return nil
+}
+
+// decodeBody decodes the graph fields from the scenario block (allowFile)
+// or from a referenced graph file's document root (file recursion is
+// rejected).
+func (gb *GraphBlock) decodeBody(v *node, path string, allowFile bool) error {
+	fields := fieldSet{
+		"rpc_delay_us": func(v *node, p string) (err error) {
+			gb.lines[p] = v.line
+			gb.RPCDelayUS, err = decF64(v, p)
+			return
+		},
+		"root": func(v *node, p string) (err error) {
+			gb.lines[p] = v.line
+			gb.Root, err = decStr(v, p)
+			return
+		},
+		"tiers": func(v *node, p string) error {
+			gb.lines[p] = v.line
+			return decodeList(v, p, gb.decodeTier)
+		},
+	}
+	if allowFile {
+		fields["file"] = func(v *node, p string) (err error) {
+			gb.lines[p] = v.line
+			gb.File, err = decStr(v, p)
+			return
+		}
+	}
+	return decodeObj(v, path, fields)
+}
+
+func (gb *GraphBlock) decodeTier(v *node, path string, _ int) error {
+	t := GraphTier{line: v.line}
+	gb.lines[path] = v.line
+	err := decodeObj(v, path, fieldSet{
+		"tier": func(v *node, p string) (err error) {
+			gb.lines[p] = v.line
+			t.Name, err = decStr(v, p)
+			return
+		},
+		"group": func(v *node, p string) (err error) {
+			gb.lines[p] = v.line
+			t.Group, err = decStr(v, p)
+			return
+		},
+		"vm": func(v *node, p string) (err error) {
+			gb.lines[p] = v.line
+			t.VM, err = decInt(v, p)
+			return
+		},
+		"calls": func(v *node, p string) error {
+			gb.lines[p] = v.line
+			return decodeList(v, p, func(v *node, p string, _ int) error {
+				c := GraphCall{Mode: graph.Parallel.String(), Fanout: 1, line: v.line}
+				gb.lines[p] = v.line
+				err := decodeObj(v, p, fieldSet{
+					"tier": func(v *node, p string) (err error) {
+						gb.lines[p] = v.line
+						c.Tier, err = decStr(v, p)
+						return
+					},
+					"mode": func(v *node, p string) (err error) {
+						gb.lines[p] = v.line
+						c.Mode, err = decStr(v, p)
+						return
+					},
+					"fanout": func(v *node, p string) (err error) {
+						gb.lines[p] = v.line
+						c.Fanout, err = decInt(v, p)
+						return
+					},
+				})
+				if err != nil {
+					return err
+				}
+				t.Calls = append(t.Calls, c)
+				return nil
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	gb.Tiers = append(gb.Tiers, t)
+	return nil
+}
+
+// lineFor maps a spec field path ("tiers[0].calls[1].fanout") to the
+// source line it was decoded from, walking up to the nearest recorded
+// ancestor for defaulted fields.
+func (gb *GraphBlock) lineFor(specPath string) int {
+	p := specPath
+	if gb.File == "" && p != "" {
+		p = "graph." + p
+	}
+	for p != "" {
+		if l, ok := gb.lines[p]; ok {
+			return l
+		}
+		// In file mode the graph file's own fields are recorded bare, but
+		// the file reference itself was decoded from the scenario block
+		// under the graph.* prefix.
+		if l, ok := gb.lines["graph."+p]; ok {
+			return l
+		}
+		if i := strings.LastIndexAny(p, ".["); i >= 0 {
+			p = p[:i]
+		} else {
+			p = ""
+		}
+	}
+	if gb.File == "" {
+		return gb.line
+	}
+	return 1
+}
+
+// errAtPath builds a positioned graph error: inline graphs report the
+// scenario line under graph.<path>; file-referenced graphs report the
+// graph file's line nested inside a graph.file diagnostic.
+func (gb *GraphBlock) errAtPath(specPath, format string, args ...any) error {
+	line := gb.lineFor(specPath)
+	if gb.File == "" {
+		display := "graph"
+		if specPath != "" {
+			display += "." + specPath
+		}
+		return errAt(line, display, format, args...)
+	}
+	display := specPath
+	if display == "" {
+		display = "graph"
+	}
+	inner := errAt(line, display, format, args...)
+	return errAt(gb.lineFor("file"), "graph.file", "%v", prefixFile(gb.File, inner))
+}
+
+// validateGraph resolves and compiles the graph block: load a referenced
+// file, resolve tier/group names against the fleet, build the graph.Spec,
+// and map its structural validation (cycles, bounds, reachability) back
+// to positioned errors.
+func (sc *Scenario) validateGraph() error {
+	gb := sc.Graph
+	if gb == nil {
+		return nil
+	}
+	if sc.Routing != nil {
+		return errAt(gb.line, "graph", "graph and routing are mutually exclusive (the DAG dispatcher is the fleet's front door)")
+	}
+	if gb.File != "" {
+		if len(gb.n.keys) > 1 {
+			return errAt(gb.lineFor("file"), "graph.file", "file is exclusive with inline graph fields")
+		}
+		fp := filepath.Join(sc.baseDir, gb.File)
+		data, err := os.ReadFile(fp)
+		if err != nil {
+			return errAt(gb.lineFor("file"), "graph.file", "%v", err)
+		}
+		var root *node
+		if strings.EqualFold(filepath.Ext(fp), ".json") {
+			root, err = parseJSONTree(data)
+		} else {
+			root, err = parseYAMLTree(data)
+		}
+		if err != nil {
+			return errAt(gb.lineFor("file"), "graph.file", "%v", prefixFile(gb.File, err))
+		}
+		if err := gb.decodeBody(root, "", false); err != nil {
+			return errAt(gb.lineFor("file"), "graph.file", "%v", prefixFile(gb.File, err))
+		}
+	}
+	if len(gb.Tiers) == 0 {
+		return gb.errAtPath("tiers", "required: define at least one tier")
+	}
+
+	// Resolve names scenario-side (the spec speaks indices); structural
+	// checks (duplicates, cycles, fan-out bounds, reachability, expansion)
+	// then run once in graph.Spec.Validate and map back through lineFor.
+	index := make(map[string]int, len(gb.Tiers))
+	names := make([]string, 0, len(gb.Tiers))
+	for i, t := range gb.Tiers {
+		if t.Name == "" {
+			continue // spec.Validate reports the missing name, positioned
+		}
+		if _, dup := index[t.Name]; !dup {
+			index[t.Name] = i
+			names = append(names, t.Name)
+		}
+	}
+	spec := &graph.Spec{NetDelay: sim.Duration(gb.RPCDelayUS * float64(sim.Microsecond))}
+	for i, t := range gb.Tiers {
+		tp := fmt.Sprintf("tiers[%d]", i)
+		if t.Group == "" {
+			return gb.errAtPath(tp+".group", "required (each tier is served by a fleet group)")
+		}
+		g := sc.groupByName(t.Group)
+		if g == nil {
+			return gb.errAtPath(tp+".group", "unknown fleet group %q", t.Group)
+		}
+		if t.VM >= g.PrimaryVMs {
+			return gb.errAtPath(tp+".vm", "vm %d out of range for group %q (%d primary VMs)",
+				t.VM, t.Group, g.PrimaryVMs)
+		}
+		st := graph.Tier{Name: t.Name, Group: t.Group, VM: t.VM}
+		for j, c := range t.Calls {
+			cp := fmt.Sprintf("%s.calls[%d]", tp, j)
+			ti, ok := index[c.Tier]
+			if !ok {
+				return gb.errAtPath(cp+".tier", "unknown tier %q (tiers: %s)", c.Tier, strings.Join(names, ", "))
+			}
+			mode, err := graph.ParseCallMode(c.Mode)
+			if err != nil {
+				return gb.errAtPath(cp+".mode", "%v", err)
+			}
+			st.Calls = append(st.Calls, graph.Call{Tier: ti, Mode: mode, Fanout: c.Fanout})
+		}
+		spec.Tiers = append(spec.Tiers, st)
+	}
+	if gb.Root != "" {
+		ri, ok := index[gb.Root]
+		if !ok {
+			return gb.errAtPath("root", "unknown tier %q (tiers: %s)", gb.Root, strings.Join(names, ", "))
+		}
+		spec.Root = ri
+	}
+	if err := spec.Validate(); err != nil {
+		var fe *graph.FieldError
+		if errors.As(err, &fe) {
+			return gb.errAtPath(fe.Path, "%s", fe.Msg)
+		}
+		return gb.errAtPath("", "%v", err)
+	}
+	served := make(map[string]bool, len(spec.Tiers))
+	for i := range spec.Tiers {
+		served[spec.Tiers[i].Group] = true
+	}
+	for i := range sc.Fleet {
+		if !served[sc.Fleet[i].Name] {
+			return gb.errAtPath("tiers", "fleet group %q serves no tier (every group must be bound in graph mode)",
+				sc.Fleet[i].Name)
+		}
+	}
+	gb.spec = spec
+	return nil
+}
+
+// groupByName resolves a fleet group (nil when absent).
+func (sc *Scenario) groupByName(name string) *Group {
+	for i := range sc.Fleet {
+		if sc.Fleet[i].Name == name {
+			return &sc.Fleet[i]
+		}
+	}
+	return nil
+}
+
+// rootGroup names the fleet group serving the root tier (graph mode).
+func (sc *Scenario) rootGroup() string {
+	return sc.Graph.spec.Tiers[sc.Graph.spec.Root].Group
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hardharvest/internal/cluster"
+	"hardharvest/internal/graph"
 	"hardharvest/internal/obs"
 	"hardharvest/internal/route"
 	"hardharvest/internal/validate"
@@ -35,10 +36,34 @@ type metricDef struct {
 	// a server; such metrics require a routing block and take no target.
 	fleetEval  func(rr *route.Result) float64
 	fleetCheck func(rr *route.Result) validate.Check
+	// graphEval / graphCheck evaluate against the DAG dispatcher's run;
+	// such metrics require a graph block and take no target. tierEval
+	// evaluates one tier selected by the assertion's tier field.
+	graphEval  func(gr *graphRun) float64
+	graphCheck func(gr *graphRun) validate.Check
+	tierEval   func(tr *graph.TierResult) float64
 }
+
+// graphRun is the DAG dispatcher's finished run plus the scenario it ran
+// under (the Monte-Carlo cross-check re-derives the composition from the
+// scenario's spec and seed).
+type graphRun struct {
+	sc  *Scenario
+	res *graph.Result
+}
+
+// mcSeedSalt derives the Monte-Carlo cross-check's sampling stream from
+// the scenario seed, independent of every simulation stream.
+const mcSeedSalt = 0x2545f4914f6cdd1d
 
 // fleet reports whether the metric evaluates at the fleet front door.
 func (d metricDef) fleet() bool { return d.fleetEval != nil || d.fleetCheck != nil }
+
+// graph reports whether the metric evaluates at the DAG dispatcher.
+func (d metricDef) graph() bool { return d.graphEval != nil || d.graphCheck != nil }
+
+// tier reports whether the metric evaluates one DAG tier.
+func (d metricDef) tier() bool { return d.tierEval != nil }
 
 func msOf(q float64) func(r *serverRun) float64 {
 	return func(r *serverRun) float64 {
@@ -122,6 +147,37 @@ var metricCatalog = []metricDef{
 		fleetEval: func(rr *route.Result) float64 { return rr.FleetLatency.P99() }},
 	{name: "fleet_conservation", help: "oracle check: the six routed-fleet conservation identities (requires routing)",
 		fleetCheck: func(rr *route.Result) validate.Check { return rr.Conservation("fleet") }},
+	{name: "graph_generated", help: "root DAG requests admitted at the dispatcher (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return float64(gr.res.Generated) }},
+	{name: "graph_completed", help: "DAG requests whose whole invocation tree completed (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return float64(gr.res.Completed) }},
+	{name: "graph_failed", help: "DAG requests drained with at least one shed invocation (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return float64(gr.res.Failed) }},
+	{name: "graph_rpcs", help: "tier invocations dispatched across the DAG (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return float64(gr.res.Dispatches) }},
+	{name: "graph_p50_ms", help: "median end-to-end DAG latency: root admission to tree completion (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return gr.res.E2E.P50() }},
+	{name: "graph_p99_ms", help: "99th-percentile end-to-end DAG latency (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return gr.res.E2E.P99() }},
+	{name: "graph_mean_ms", help: "mean end-to-end DAG latency (requires graph)",
+		graphEval: func(gr *graphRun) float64 { return gr.res.E2E.Mean() }},
+	{name: "tier_rpcs", help: "invocations dispatched to one DAG tier (requires graph + tier)",
+		tierEval: func(tr *graph.TierResult) float64 { return float64(tr.Dispatches) }},
+	{name: "tier_sheds", help: "invocations shed by one DAG tier's servers (requires graph + tier)",
+		tierEval: func(tr *graph.TierResult) float64 { return float64(tr.Sheds) }},
+	{name: "tier_p50_ms", help: "median per-hop latency through one DAG tier (requires graph + tier)",
+		tierEval: func(tr *graph.TierResult) float64 { return tr.Hop.P50() }},
+	{name: "tier_p99_ms", help: "99th-percentile per-hop latency through one DAG tier (requires graph + tier)",
+		tierEval: func(tr *graph.TierResult) float64 { return tr.Hop.P99() }},
+	{name: "tier_mean_ms", help: "mean per-hop latency through one DAG tier (requires graph + tier)",
+		tierEval: func(tr *graph.TierResult) float64 { return tr.Hop.Mean() }},
+	{name: "graph_conservation", help: "oracle check: the six request-DAG conservation identities (requires graph)",
+		graphCheck: func(gr *graphRun) validate.Check { return validate.GraphResultConservation("graph", gr.res) }},
+	{name: "graph_mc", help: "oracle check: end-to-end tails match the Monte-Carlo critical-path composition (requires graph; declare only on no-queueing scenarios)",
+		graphCheck: func(gr *graphRun) validate.Check {
+			return validate.GraphMC("graph/mc", gr.sc.Graph.spec.ToApp(gr.sc.Name),
+				gr.res.HopSketches(), gr.res.E2E, validate.GraphMCTrials, gr.sc.Seed^mcSeedSalt)
+		}},
 	{name: "flow_balance", help: "oracle check: event-stream flow equals simulator counters exactly",
 		check: func(r *serverRun) validate.Check {
 			return validate.FlowBalance(fmt.Sprintf("server%d", r.index), r.res, r.audit)
@@ -193,10 +249,34 @@ func (t Target) selects(r *serverRun) bool {
 
 // evalAssertion checks one assertion against the fleet. Numeric bounds must
 // hold on every selected server; oracle checks must pass on every selected
-// server. Fleet metrics evaluate once against the router's result.
-func evalAssertion(a Assertion, runs []*serverRun, fleet *route.Result) AssertResult {
+// server. Fleet metrics evaluate once against the router's result; graph
+// and tier metrics once against the DAG dispatcher's.
+func evalAssertion(a Assertion, runs []*serverRun, fleet *route.Result, gr *graphRun) AssertResult {
 	def := metricsByName[a.Metric] // validated during Parse
 	out := AssertResult{Assertion: a, OK: true}
+	if def.graph() || def.tier() {
+		// Validation guarantees gr != nil here (graph block required).
+		if def.graphCheck != nil {
+			c := def.graphCheck(gr)
+			out.OK = c.OK
+			out.Detail = c.Detail
+			return out
+		}
+		var v float64
+		var what string
+		if def.tier() {
+			v = def.tierEval(gr.res.TierByName(a.Tier))
+			what = fmt.Sprintf("tier %s %s", a.Tier, a.Metric)
+		} else {
+			v = def.graphEval(gr)
+			what = "graph " + a.Metric
+		}
+		if (a.Min != nil && v < *a.Min) || (a.Max != nil && v > *a.Max) {
+			out.OK = false
+		}
+		out.Detail = fmt.Sprintf("%s=%s", what, fnum(v))
+		return out
+	}
 	if def.fleet() {
 		// Validation guarantees fleet != nil here (routing block required).
 		if def.fleetCheck != nil {

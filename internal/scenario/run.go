@@ -8,9 +8,11 @@ import (
 	"hardharvest/internal/batch"
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/faults"
+	"hardharvest/internal/graph"
 	"hardharvest/internal/obs"
 	"hardharvest/internal/route"
 	"hardharvest/internal/sim"
+	"hardharvest/internal/validate"
 )
 
 // The scenario runner. A scenario compiles to one serverSpec per fleet
@@ -73,18 +75,20 @@ func (sc *Scenario) barrier(atMS float64) sim.Time {
 // the servers they target as barrier-aligned actions. In routed mode the
 // workload timeline (and drain events) compile to router actions instead:
 // the front door owns the generators, so intensity changes land there,
-// while fault/resilience/harvest toggles stay server-side.
-func (sc *Scenario) compile() ([]*serverSpec, []route.Action, error) {
+// while fault/resilience/harvest toggles stay server-side. Graph mode is
+// analogous: intensity entries compile to dispatcher actions against the
+// root-tier generators.
+func (sc *Scenario) compile() ([]*serverSpec, []route.Action, []graph.Action, error) {
 	specs := make([]*serverSpec, 0, sc.Servers())
 	for gi := range sc.Fleet {
 		g := &sc.Fleet[gi]
 		kind, err := parseSystem(g.System)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		work, err := batch.WorkloadByName(g.Workload)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for j := 0; j < g.Count; j++ {
 			i := len(specs)
@@ -121,13 +125,21 @@ func (sc *Scenario) compile() ([]*serverSpec, []route.Action, error) {
 	// Distribute workload-timeline entries. seq is the entry's document
 	// position; events follow all timeline entries in the tiebreak order.
 	// In routed mode the generators live at the front door, so each entry
-	// becomes a router action against its source-server generator set.
+	// becomes a router action against its source-server generator set; in
+	// graph mode likewise, against the dispatcher's root-tier generators
+	// (entries selecting only non-root servers are rejected at validation,
+	// and non-root servers of a selection have no generator to act on).
 	routed := sc.Routing != nil
+	graphed := sc.Graph != nil
 	var racts []route.Action
+	var gacts []graph.Action
 	for ti := range sc.Workload {
 		e := &sc.Workload[ti]
 		for _, s := range specs {
 			if !e.Target.selects(&serverRun{index: s.index, group: s.group.Name}) {
+				continue
+			}
+			if graphed && s.group.Name != sc.rootGroup() {
 				continue
 			}
 			src := s.index
@@ -137,6 +149,12 @@ func (sc *Scenario) compile() ([]*serverSpec, []route.Action, error) {
 					x := e.Intensity
 					racts = append(racts, route.Action{At: sc.barrier(e.AtMS), Seq: ti,
 						Fn: func(rt *route.Router) { rt.SetIntensity(src, x) }})
+					continue
+				}
+				if graphed {
+					x := e.Intensity
+					gacts = append(gacts, graph.Action{At: sc.barrier(e.AtMS), Seq: ti,
+						Fn: func(d *graph.Dispatcher) { d.SetIntensity(src, x) }})
 					continue
 				}
 				s.actions = append(s.actions, action{
@@ -160,6 +178,12 @@ func (sc *Scenario) compile() ([]*serverSpec, []route.Action, error) {
 					racts = append(racts,
 						route.Action{At: start, Seq: ti, Fn: func(rt *route.Router) { rt.SetIntensity(src, hi) }},
 						route.Action{At: end, Seq: ti, Fn: func(rt *route.Router) { rt.SetIntensity(src, lo) }})
+					continue
+				}
+				if graphed {
+					gacts = append(gacts,
+						graph.Action{At: start, Seq: ti, Fn: func(d *graph.Dispatcher) { d.SetIntensity(src, hi) }},
+						graph.Action{At: end, Seq: ti, Fn: func(d *graph.Dispatcher) { d.SetIntensity(src, lo) }})
 					continue
 				}
 				s.actions = append(s.actions,
@@ -212,7 +236,13 @@ func (sc *Scenario) compile() ([]*serverSpec, []route.Action, error) {
 			racts[j], racts[j-1] = racts[j-1], racts[j]
 		}
 	}
-	return specs, racts, nil
+	for i := 1; i < len(gacts); i++ {
+		for j := i; j > 0 && (gacts[j].At < gacts[j-1].At ||
+			(gacts[j].At == gacts[j-1].At && gacts[j].Seq < gacts[j-1].Seq)); j-- {
+			gacts[j], gacts[j-1] = gacts[j-1], gacts[j]
+		}
+	}
+	return specs, racts, gacts, nil
 }
 
 // baselineAt reports the plain-intensity baseline in effect at a barrier
@@ -240,6 +270,7 @@ type Report struct {
 	Asserts  []AssertResult // declared assertions, in document order
 	Failed   int            // failed assertions + failed oracle checks
 	Fleet    *route.Result  // router-side results (nil for routerless runs)
+	Graph    *graph.Result  // dispatcher-side results (nil without a graph block)
 }
 
 // OK reports whether every assertion and oracle check passed.
@@ -353,15 +384,17 @@ func (st *srvState) scheduleActions() {
 // bounded sketch mode (stats.Sketch): memory stays flat across
 // thousand-server, long-horizon runs.
 func (sc *Scenario) RunShards(shards int) (*Report, error) {
-	specs, racts, err := sc.compile()
+	specs, racts, gacts, err := sc.compile()
 	if err != nil {
 		return nil, err
 	}
 	routed := sc.Routing != nil
+	graphed := sc.Graph != nil
 	group := sim.NewShardGroup(shards)
 	states := make([]*srvState, len(specs))
 	horizon := sim.Time(0)
 	var rt *route.Router
+	var gd *graph.Dispatcher
 	if routed {
 		// Routed mode: servers are built first (arrival generation off),
 		// then the router joins the group as member 0, every server links
@@ -398,6 +431,50 @@ func (sc *Scenario) RunShards(shards int) (*Report, error) {
 		}
 		rt.Bind(group, self, members)
 		rt.SetActions(racts)
+		for _, st := range states {
+			st.srv.Start()
+			if h := st.srv.Horizon(); h > horizon {
+				horizon = h
+			}
+		}
+	} else if graphed {
+		// Graph mode mirrors routed mode: servers are built with arrival
+		// generation off, the DAG dispatcher joins the group as member 0,
+		// every server links to it both ways at the RPC delay, and Bind
+		// installs the reply hooks before any server starts.
+		spec := sc.Graph.spec
+		byGroup := make(map[string][]int, len(sc.Fleet))
+		backends := make([]graph.Backend, len(specs))
+		for i, s := range specs {
+			meter := obs.NewMeter()
+			audit := obs.NewAudit()
+			s.opts.Observer = obs.Multi(meter, audit)
+			s.opts.SketchLatency = true
+			s.opts.RemoteAdmission = true
+			srv := cluster.NewServer(s.cfg, s.opts, s.work)
+			states[i] = &srvState{spec: s, srv: srv, meter: meter, audit: audit}
+			states[i].scheduleActions()
+			backends[i] = graph.Backend{
+				Server: srv, Cfg: s.cfg,
+				Name: fmt.Sprintf("server%d[%s]", s.index, s.group.Name),
+			}
+			byGroup[s.group.Name] = append(byGroup[s.group.Name], i)
+		}
+		tiers := make([][]int, len(spec.Tiers))
+		for ti := range spec.Tiers {
+			tiers[ti] = byGroup[spec.Tiers[ti].Group]
+		}
+		gd = graph.New(spec, backends, tiers)
+		self := group.AddFunc(gd.Engine(), gd.Advance)
+		members := make([]int, len(states))
+		for i, st := range states {
+			m := group.AddFunc(st.srv.Engine(), st.step)
+			group.Link(self, m, spec.NetDelay)
+			group.Link(m, self, spec.NetDelay)
+			members[i] = m
+		}
+		gd.Bind(group, self, members)
+		gd.SetActions(gacts)
 		for _, st := range states {
 			st.srv.Start()
 			if h := st.srv.Horizon(); h > horizon {
@@ -442,8 +519,25 @@ func (sc *Scenario) RunShards(shards int) (*Report, error) {
 			fleet.Generated++ // teeth check: the conservation oracle must notice
 		}
 	}
+	var gres *graph.Result
+	var gr *graphRun
+	if graphed {
+		gres = gd.Finish()
+		if sc.PerturbGraphMC {
+			// Teeth check for the Monte-Carlo cross-check: corrupt one tier's
+			// measured hop distribution so the composed tails drift away from
+			// the measured end-to-end sketch while every counter ledger (and
+			// with it graph conservation) stays intact.
+			hop := gres.Tiers[0].Hop
+			inflated := hop.Max() * 10
+			for i, n := 0, hop.Count()/5+1; i < n; i++ {
+				hop.Add(inflated)
+			}
+		}
+		gr = &graphRun{sc: sc, res: gres}
+	}
 
-	rep := &Report{Scenario: sc, Fleet: fleet}
+	rep := &Report{Scenario: sc, Fleet: fleet, Graph: gres}
 	oracleOK := 0
 	oracleDetail := ""
 	for _, r := range runs {
@@ -471,14 +565,26 @@ func (sc *Scenario) RunShards(shards int) (*Report, error) {
 			}
 		}
 	}
+	if graphed {
+		// Graph conservation is equally mandatory: a shed subtree must
+		// still drain its joins, and the RPC ledgers must balance.
+		if c := validate.GraphResultConservation("graph", gres); c.OK {
+			oracleOK++
+		} else {
+			rep.Failed++
+			if oracleDetail == "" {
+				oracleDetail = "graph_conservation FAIL: " + c.Detail
+			}
+		}
+	}
 	for _, a := range sc.Assertions {
-		ar := evalAssertion(a, runs, fleet)
+		ar := evalAssertion(a, runs, fleet, gr)
 		if !ar.OK {
 			rep.Failed++
 		}
 		rep.Asserts = append(rep.Asserts, ar)
 	}
-	rep.Summary = sc.renderSummary(specs, runs, applied, rep, oracleOK, oracleDetail, fleet)
+	rep.Summary = sc.renderSummary(specs, runs, applied, rep, oracleOK, oracleDetail, fleet, gres)
 	return rep, nil
 }
 
@@ -505,7 +611,8 @@ func applyAction(srv *cluster.Server, a action, at sim.Time) error {
 // run's inputs and results — no wall-clock, no map iteration, no pointers —
 // so identical scenarios produce byte-identical summaries.
 func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
-	applied []int, rep *Report, oracleOK int, oracleDetail string, routed *route.Result) string {
+	applied []int, rep *Report, oracleOK int, oracleDetail string,
+	routed *route.Result, graphed *graph.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== hhsim scenario summary ==\n")
 	fmt.Fprintf(&b, "scenario=%s seed=%d servers=%d warmup=%dms measure=%dms step=%dms\n",
@@ -516,6 +623,16 @@ func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
 		fleet[i] = fmt.Sprintf("%s=%dx %s/%s", g.Name, g.Count, g.System, g.Workload)
 	}
 	fmt.Fprintf(&b, "fleet: %s\n", strings.Join(fleet, "  "))
+	if graphed != nil {
+		spec := sc.Graph.spec
+		tiers := make([]string, len(spec.Tiers))
+		for i := range spec.Tiers {
+			tiers[i] = spec.Tiers[i].Name
+		}
+		fmt.Fprintf(&b, "graph: root=%s rpc_delay_us=%s tiers=%s nodes=%d\n",
+			spec.Tiers[spec.Root].Name, fnum(float64(spec.NetDelay)/float64(sim.Microsecond)),
+			strings.Join(tiers, ","), spec.Nodes())
+	}
 	if routed != nil {
 		r := sc.Routing
 		fmt.Fprintf(&b, "routing: policy=%s net_delay_us=%s probe_ms=%s unhealthy_after=%d healthy_after=%d eject_after=%d eject_backoff_ms=%s max_failovers=%d\n",
@@ -553,15 +670,35 @@ func (sc *Scenario) renderSummary(specs []*serverSpec, runs []*serverRun,
 				br.UnhealthySpells, br.Crashes, fnum(br.EdgeLatency.P99()))
 		}
 	}
+	if graphed != nil {
+		fmt.Fprintf(&b, "dag: generated=%d completed=%d failed=%d inflight=%d\n",
+			graphed.Generated, graphed.Completed, graphed.Failed, graphed.InflightEnd)
+		fmt.Fprintf(&b, "  rpcs: dispatched=%d done=%d shed=%d outstanding=%d\n",
+			graphed.Dispatches, graphed.DoneRecv, graphed.ShedRecv, graphed.OutstandingEnd)
+		fmt.Fprintf(&b, "  e2e latency: p50=%sms p99=%sms n=%d\n",
+			fnum(graphed.E2E.P50()), fnum(graphed.E2E.P99()), graphed.E2E.Count())
+		for _, tr := range graphed.Tiers {
+			fmt.Fprintf(&b, "  tier %s servers=%d vm=%d rpcs=%d done=%d shed=%d hop_p50=%sms hop_p99=%sms\n",
+				tr.Name, tr.Servers, tr.VM, tr.Dispatches, tr.Dones, tr.Sheds,
+				fnum(tr.Hop.P50()), fnum(tr.Hop.P99()))
+		}
+	}
 	oracleTotal := 2 * len(runs)
 	if routed != nil {
 		oracleTotal++
 	}
+	if graphed != nil {
+		oracleTotal++
+	}
 	if oracleDetail == "" {
-		if routed != nil {
+		switch {
+		case routed != nil:
 			fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers; fleet conservation PASS\n",
 				len(runs), len(runs))
-		} else {
+		case graphed != nil:
+			fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers; graph conservation PASS\n",
+				len(runs), len(runs))
+		default:
 			fmt.Fprintf(&b, "oracle: flow-balance+littles-law PASS on %d/%d servers\n", len(runs), len(runs))
 		}
 	} else {

@@ -30,7 +30,8 @@ type Scenario struct {
 	StepMS     int
 
 	Fleet      []Group
-	Routing    *Routing // nil = routerless (each server generates its own arrivals)
+	Routing    *Routing    // nil = routerless (each server generates its own arrivals)
+	Graph      *GraphBlock // nil = no request DAG (mutually exclusive with Routing)
 	Workload   []TimelineEntry
 	Events     []EventEntry
 	Assertions []Assertion
@@ -40,6 +41,11 @@ type Scenario struct {
 	// oracle can actually fail. Not part of the document format — it is set
 	// by `hhsim run -perturb fleet-conservation` and tests only.
 	PerturbFleet bool
+
+	// PerturbGraphMC corrupts one tier's measured hop sketch after a graph
+	// run, proving the Monte-Carlo cross-check (graph_mc) can actually
+	// fail. Set by `hhsim run -perturb graph-mc` and tests only.
+	PerturbGraphMC bool
 
 	// Strict makes every server's always-on invariant checker panic on the
 	// first violation with replay context instead of counting it. Not part
@@ -247,15 +253,19 @@ func (t Target) String() string {
 }
 
 // Assertion is one end-of-run check. Numeric metrics need at least one
-// bound; oracle check metrics (flow_balance, littles_law) take none.
+// bound; oracle check metrics (flow_balance, littles_law, graph_mc) take
+// none. Tier metrics (tier_*) select a DAG tier by name instead of a
+// group/server target.
 type Assertion struct {
 	Metric string
 	Min    *float64
 	Max    *float64
 	Target Target
+	Tier   string // tier_* metrics: the DAG tier evaluated (graph mode)
 
 	line       int
 	metricLine int
+	tierLine   int
 }
 
 // errAt builds a positioned decode/validation error. The "line N:" prefix
@@ -445,6 +455,9 @@ func (sc *Scenario) decode(root *node) error {
 		"routing": func(v *node, p string) error {
 			return sc.decodeRouting(v, p)
 		},
+		"graph": func(v *node, p string) error {
+			return sc.decodeGraph(v, p)
+		},
 		"workload": func(v *node, p string) error {
 			return decodeList(v, p, sc.decodeTimeline)
 		},
@@ -614,6 +627,11 @@ func (sc *Scenario) decodeAssertion(v *node, path string, _ int) error {
 			a.Max = &f
 			return nil
 		},
+		"tier": func(v *node, p string) (err error) {
+			a.tierLine = v.line
+			a.Tier, err = decStr(v, p)
+			return
+		},
 	}))
 	if err != nil {
 		return err
@@ -668,6 +686,9 @@ func (sc *Scenario) validate() error {
 		return errAt(sc.Fleet[0].line, "fleet", "expands to %d servers (max %d)", n, maxFleetServers)
 	}
 	if err := sc.validateRouting(); err != nil {
+		return err
+	}
+	if err := sc.validateGraph(); err != nil {
 		return err
 	}
 	for i := range sc.Workload {
@@ -830,6 +851,25 @@ func (sc *Scenario) validateTimeline(e *TimelineEntry, path string) error {
 	if err := sc.validateTarget(&e.Target, path); err != nil {
 		return err
 	}
+	// In graph mode the dispatcher owns the generators, replicated only
+	// for the root tier's servers: an entry that selects no root-tier
+	// server could never take effect, and per-VM switches have no meaning
+	// (the DAG pins each tier to one VM).
+	if sc.Graph != nil && sc.Graph.spec != nil {
+		if e.Kind == TlVMIntensity {
+			return errAt(e.line, path+".kind", "%s does not apply in graph mode (each tier is pinned to one VM)", TlVMIntensity)
+		}
+		hit := false
+		for _, g := range sc.targetedGroups(e.Target) {
+			if g.Name == sc.rootGroup() {
+				hit = true
+			}
+		}
+		if !hit {
+			return errAt(e.line, path, "selects no root-tier server (graph workload applies to root group %q generators)",
+				sc.rootGroup())
+		}
+	}
 	switch e.Kind {
 	case TlIntensity:
 		if e.Intensity <= 0 {
@@ -939,7 +979,25 @@ func (sc *Scenario) validateAssertion(a *Assertion, path string) error {
 			return errAt(a.line, path, "fleet metric %q evaluates at the router and takes no group/server target", a.Metric)
 		}
 	}
-	if m.check != nil || m.fleetCheck != nil {
+	if m.graph() || m.tier() {
+		if sc.Graph == nil {
+			return errAt(a.metricLine, path+".metric", "graph metric %q requires a graph block", a.Metric)
+		}
+		if !a.Target.All() {
+			return errAt(a.line, path, "graph metric %q evaluates at the DAG dispatcher and takes no group/server target", a.Metric)
+		}
+	}
+	if m.tier() {
+		if a.Tier == "" {
+			return errAt(a.line, path+".tier", "required: tier metric %q names the DAG tier it evaluates", a.Metric)
+		}
+		if sc.Graph.spec.TierByName(a.Tier) < 0 {
+			return errAt(a.tierLine, path+".tier", "unknown tier %q", a.Tier)
+		}
+	} else if a.Tier != "" {
+		return errAt(a.tierLine, path+".tier", "tier only applies to tier_* metrics, not %q", a.Metric)
+	}
+	if m.check != nil || m.fleetCheck != nil || m.graphCheck != nil {
 		if a.Min != nil || a.Max != nil {
 			return errAt(a.line, path, "oracle check %q takes no min/max bounds", a.Metric)
 		}

@@ -183,6 +183,9 @@ func stateJSON(st State) map[string]any {
 	if st.Router != nil {
 		out["router"] = st.Router
 	}
+	if st.Graph != nil {
+		out["graph"] = st.Graph
+	}
 	return out
 }
 
@@ -299,6 +302,52 @@ func writeMetrics(w http.ResponseWriter, st State) {
 		for _, b := range rt.Backends {
 			p.Uint("hhsim_router_backend_active", uint64(b.Active),
 				obs.PromLabel{Key: "backend", Value: b.Name})
+		}
+	}
+
+	// Graph families appear only in DAG mode, after everything else, so
+	// graphless scrapes stay byte-identical.
+	if gp := st.Graph; gp != nil {
+		p.Head("hhsim_graph_requests_total", "end-to-end DAG request ledger, by stage", "counter")
+		reqKind := func(kind string, v uint64) {
+			p.Uint("hhsim_graph_requests_total", v, obs.PromLabel{Key: "kind", Value: kind})
+		}
+		reqKind("generated", gp.Generated)
+		reqKind("completed", gp.Completed)
+		reqKind("failed", gp.Failed)
+		p.Head("hhsim_graph_inflight", "root requests admitted and not yet drained", "gauge")
+		p.Uint("hhsim_graph_inflight", gp.Inflight)
+		p.Head("hhsim_graph_rpcs_total", "inter-tier RPC ledger, by kind", "counter")
+		rpcKind := func(kind string, v uint64) {
+			p.Uint("hhsim_graph_rpcs_total", v, obs.PromLabel{Key: "kind", Value: kind})
+		}
+		rpcKind("dispatched", gp.Dispatches)
+		rpcKind("done", gp.DoneRecv)
+		rpcKind("shed", gp.ShedRecv)
+		p.Head("hhsim_graph_outstanding", "RPCs dispatched and not yet answered", "gauge")
+		p.Uint("hhsim_graph_outstanding", gp.Outstanding)
+		p.Head("hhsim_graph_e2e_latency_ms", "end-to-end critical-path latency quantiles", "gauge")
+		p.Float("hhsim_graph_e2e_latency_ms", gp.E2EP50MS, obs.PromLabel{Key: "quantile", Value: "0.5"})
+		p.Float("hhsim_graph_e2e_latency_ms", gp.E2EP99MS, obs.PromLabel{Key: "quantile", Value: "0.99"})
+		p.Head("hhsim_graph_tier_rpcs_total", "per-tier RPC ledger, by kind", "counter")
+		for _, t := range gp.Tiers {
+			tierKind := func(kind string, v uint64) {
+				p.Uint("hhsim_graph_tier_rpcs_total", v,
+					obs.PromLabel{Key: "tier", Value: t.Tier},
+					obs.PromLabel{Key: "kind", Value: kind})
+			}
+			tierKind("dispatched", t.Dispatches)
+			tierKind("done", t.Dones)
+			tierKind("shed", t.Sheds)
+		}
+		p.Head("hhsim_graph_tier_hop_ms", "per-tier RPC round-trip quantiles", "gauge")
+		for _, t := range gp.Tiers {
+			p.Float("hhsim_graph_tier_hop_ms", t.HopP50MS,
+				obs.PromLabel{Key: "tier", Value: t.Tier},
+				obs.PromLabel{Key: "quantile", Value: "0.5"})
+			p.Float("hhsim_graph_tier_hop_ms", t.HopP99MS,
+				obs.PromLabel{Key: "tier", Value: t.Tier},
+				obs.PromLabel{Key: "quantile", Value: "0.99"})
 		}
 	}
 	p.Flush()

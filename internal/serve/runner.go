@@ -25,6 +25,7 @@ import (
 	"hardharvest/internal/batch"
 	"hardharvest/internal/cluster"
 	"hardharvest/internal/faults"
+	"hardharvest/internal/graph"
 	"hardharvest/internal/obs"
 	"hardharvest/internal/route"
 	"hardharvest/internal/sim"
@@ -45,8 +46,14 @@ type RunConfig struct {
 	StepMS   int    `json:"step_ms"` // barrier cadence
 
 	Routed   bool   `json:"routed,omitempty"`   // serve a routed fleet instead of one server
-	Backends int    `json:"backends,omitempty"` // fleet size (routed mode)
+	Backends int    `json:"backends,omitempty"` // fleet size (routed mode) or servers per tier group (graph mode)
 	Policy   string `json:"policy,omitempty"`   // routing policy (routed mode)
+
+	// Graph names a built-in request DAG ("socialnet"); when set the run
+	// serves a DAG fleet behind a graph dispatcher (internal/graph): each
+	// tier group gets Backends identical servers, and the `hhsim_graph_*`
+	// Prometheus families report the DAG ledgers. Exclusive with Routed.
+	Graph string `json:"graph,omitempty"`
 }
 
 // DefaultRunConfig mirrors the quick experiment scale on the paper's full
@@ -150,6 +157,98 @@ func (rc RunConfig) buildRouted() (*sim.ShardGroup, *route.Router, []*cluster.Se
 		srv.Start()
 	}
 	return group, rt, fleet, meters, nil
+}
+
+// ParseGraph resolves a built-in DAG name to its spec.
+func ParseGraph(name string, netDelay sim.Duration) (*graph.Spec, error) {
+	switch name {
+	case "socialnet":
+		return graph.SocialNet(netDelay), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown graph %q (want one of [socialnet])", name)
+	}
+}
+
+// buildGraph constructs the DAG fleet: every tier group in the spec gets
+// cfg.Backends identical remote-admission servers, all behind one graph
+// dispatcher wired over ShardGroup edges exactly like the scenario runner
+// wires graph mode (links both ways at the RPC network delay, hooks bound
+// before any server starts).
+func (rc RunConfig) buildGraph() (*sim.ShardGroup, *graph.Dispatcher, []*cluster.Server, []*obs.Meter, error) {
+	kind, err := ParseSystem(rc.System)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	work, err := batch.WorkloadByName(rc.Workload)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	if rc.Backends <= 0 {
+		return nil, nil, nil, nil, fmt.Errorf("serve: graph mode needs backends >= 1 per tier group, got %d", rc.Backends)
+	}
+	spec, err := ParseGraph(rc.Graph, 20*sim.Microsecond)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// Tier groups in first-appearance order; tiers in the same group share
+	// the same server set (the scenario runner's binding rule).
+	var groups []string
+	groupIdx := map[string]int{}
+	for i := range spec.Tiers {
+		if _, ok := groupIdx[spec.Tiers[i].Group]; !ok {
+			groupIdx[spec.Tiers[i].Group] = len(groups)
+			groups = append(groups, spec.Tiers[i].Group)
+		}
+	}
+	n := len(groups) * rc.Backends
+	fleet := make([]*cluster.Server, n)
+	meters := make([]*obs.Meter, n)
+	backends := make([]graph.Backend, n)
+	byGroup := make([][]int, len(groups))
+	for gi, gname := range groups {
+		for k := 0; k < rc.Backends; k++ {
+			i := gi*rc.Backends + k
+			ccfg := cluster.DefaultConfig()
+			ccfg.WarmupDuration = sim.Duration(rc.WarmupMS) * sim.Millisecond
+			ccfg.MeasureDuration = sim.Duration(rc.SimMS) * sim.Millisecond
+			ccfg.Seed = rc.Seed + uint64(i)*7919
+			opts := cluster.SystemOptions(kind)
+			meters[i] = obs.NewMeter()
+			opts.Observer = meters[i]
+			opts.RemoteAdmission = true
+			fleet[i] = cluster.NewServer(ccfg, opts, work)
+			backends[i] = graph.Backend{
+				Server: fleet[i], Cfg: ccfg,
+				Name: fmt.Sprintf("server%d[%s]", i, gname),
+			}
+			byGroup[gi] = append(byGroup[gi], i)
+		}
+	}
+	tiers := make([][]int, len(spec.Tiers))
+	for ti := range spec.Tiers {
+		tiers[ti] = byGroup[groupIdx[spec.Tiers[ti].Group]]
+	}
+	gd := graph.New(spec, backends, tiers)
+	group := sim.NewShardGroup(0)
+	self := group.AddFunc(gd.Engine(), gd.Advance)
+	members := make([]int, len(fleet))
+	for i, srv := range fleet {
+		srv := srv
+		m := group.AddFunc(srv.Engine(), func(to sim.Time) {
+			if h := srv.Horizon(); to > h {
+				to = h
+			}
+			srv.StepTo(to)
+		})
+		group.Link(self, m, spec.NetDelay)
+		group.Link(m, self, spec.NetDelay)
+		members[i] = m
+	}
+	gd.Bind(group, self, members)
+	for _, srv := range fleet {
+		srv.Start()
+	}
+	return group, gd, fleet, meters, nil
 }
 
 // ParseSystem resolves a system name as printed by cluster.SystemKind.
@@ -316,6 +415,69 @@ func routerPoint(rt *route.Router) *RouterPoint {
 	return p
 }
 
+// GraphTierPoint is one tier's view inside a GraphPoint.
+type GraphTierPoint struct {
+	Tier       string  `json:"tier"`
+	Servers    int     `json:"servers"`
+	VM         int     `json:"vm"`
+	Dispatches uint64  `json:"dispatches"`
+	Dones      uint64  `json:"dones"`
+	Sheds      uint64  `json:"sheds"`
+	HopP50MS   float64 `json:"hop_p50_ms"`
+	HopP99MS   float64 `json:"hop_p99_ms"`
+}
+
+// GraphPoint is the DAG dispatcher's barrier snapshot in graph mode: plain
+// data extracted while the shard group is quiescent, safe for concurrent
+// HTTP readers.
+type GraphPoint struct {
+	Graph       string           `json:"graph"`
+	Root        string           `json:"root"`
+	Generated   uint64           `json:"generated"`
+	Completed   uint64           `json:"completed"`
+	Failed      uint64           `json:"failed"`
+	Inflight    uint64           `json:"inflight"`
+	Dispatches  uint64           `json:"dispatches"`
+	DoneRecv    uint64           `json:"done_recv"`
+	ShedRecv    uint64           `json:"shed_recv"`
+	Outstanding uint64           `json:"outstanding"`
+	E2EP50MS    float64          `json:"e2e_p50_ms"`
+	E2EP99MS    float64          `json:"e2e_p99_ms"`
+	E2ECount    int              `json:"e2e_count"`
+	Tiers       []GraphTierPoint `json:"tiers"`
+}
+
+// graphPoint extracts the live DAG snapshot (caller holds the barrier: no
+// advance goroutines are live, so reading the dispatcher's sketches here is
+// race-free; only plain floats escape).
+func graphPoint(cfg RunConfig, gd *graph.Dispatcher) *GraphPoint {
+	snap := gd.Snapshot()
+	spec := gd.Spec()
+	p := &GraphPoint{
+		Graph:       cfg.Graph,
+		Root:        spec.Tiers[spec.Root].Name,
+		Generated:   snap.Generated,
+		Completed:   snap.Completed,
+		Failed:      snap.Failed,
+		Inflight:    snap.InflightEnd,
+		Dispatches:  snap.Dispatches,
+		DoneRecv:    snap.DoneRecv,
+		ShedRecv:    snap.ShedRecv,
+		Outstanding: snap.OutstandingEnd,
+		E2EP50MS:    snap.E2E.P50(),
+		E2EP99MS:    snap.E2E.P99(),
+		E2ECount:    snap.E2E.Count(),
+	}
+	for _, t := range snap.Tiers {
+		p.Tiers = append(p.Tiers, GraphTierPoint{
+			Tier: t.Name, Servers: t.Servers, VM: t.VM,
+			Dispatches: t.Dispatches, Dones: t.Dones, Sheds: t.Sheds,
+			HopP50MS: t.Hop.P50(), HopP99MS: t.Hop.P99(),
+		})
+	}
+	return p
+}
+
 // State is the published barrier snapshot HTTP readers see. Everything in
 // it is an independent copy: the engine goroutine keeps mutating its own
 // structures while readers render this. In routed mode Counters and Hist
@@ -337,6 +499,7 @@ type State struct {
 	Occupancy   obs.Snapshot
 	Topology    obs.Topology
 	Router      *RouterPoint // nil in routerless mode
+	Graph       *GraphPoint  // nil outside graph mode
 }
 
 // Runner drives one served simulation. The loop goroutine owns the cluster
@@ -350,9 +513,11 @@ type Runner struct {
 	step  sim.Duration
 	logW  io.Writer
 
-	// Routed-mode fleet (nil/empty when cfg.Routed is off).
+	// Fleet-mode members (nil/empty in single-server mode). Exactly one of
+	// rt (routed) and gd (graph) is set when group is.
 	group  *sim.ShardGroup
 	rt     *route.Router
+	gd     *graph.Dispatcher
 	fleet  []*cluster.Server
 	meters []*obs.Meter
 
@@ -395,12 +560,22 @@ func NewRunner(cfg RunConfig, logW io.Writer, pace float64) (*Runner, error) {
 		subs:       map[chan TimePoint]struct{}{},
 		shutdownCh: make(chan struct{}),
 	}
+	if cfg.Routed && cfg.Graph != "" {
+		return nil, fmt.Errorf("serve: routed and graph modes are exclusive")
+	}
 	if cfg.Routed {
 		group, rt, fleet, meters, err := cfg.buildRouted()
 		if err != nil {
 			return nil, err
 		}
 		r.group, r.rt, r.fleet, r.meters = group, rt, fleet, meters
+		r.srv, r.meter = fleet[0], meters[0]
+	} else if cfg.Graph != "" {
+		group, gd, fleet, meters, err := cfg.buildGraph()
+		if err != nil {
+			return nil, err
+		}
+		r.group, r.gd, r.fleet, r.meters = group, gd, fleet, meters
 		r.srv, r.meter = fleet[0], meters[0]
 	} else {
 		srv, meter, err := cfg.build()
@@ -506,7 +681,7 @@ func (r *Runner) stepTo(next sim.Time) bool {
 // deterministic end-of-run summary. Caller holds r.mu (live loop) or is
 // single-threaded (replay).
 func (r *Runner) renderFinish() string {
-	if r.rt == nil {
+	if r.rt == nil && r.gd == nil {
 		r.result = r.srv.Finish()
 		return renderSummary(r.cfg, r.result, r.meter.Counters(), r.meter.Hist(), r.applied)
 	}
@@ -515,6 +690,9 @@ func (r *Runner) renderFinish() string {
 		results[i] = srv.Finish()
 	}
 	r.result = results[0]
+	if r.gd != nil {
+		return renderGraphSummary(r.cfg, results, r.meters, r.gd.Finish(), r.applied)
+	}
 	return renderRoutedSummary(r.cfg, results, r.meters, r.rt.Finish(), r.applied)
 }
 
@@ -525,6 +703,9 @@ func (r *Runner) renderFinish() string {
 func (r *Runner) applyAction(a Action, at sim.Time) error {
 	if r.rt != nil {
 		return r.applyRouted(a, at)
+	}
+	if r.gd != nil {
+		return r.applyGraph(a, at)
 	}
 	if a.Server != 0 {
 		return fmt.Errorf("serve: action targets server %d but the run is routerless", a.Server)
@@ -577,6 +758,36 @@ func (r *Runner) applyRouted(a Action, at sim.Time) error {
 	}
 }
 
+// applyGraph mutates the DAG fleet at a barrier: the intensity knob scales
+// every root generator, fleet-wide toggles hit every server, faults target
+// a.Server, and drain (a router concept) is rejected.
+func (r *Runner) applyGraph(a Action, at sim.Time) error {
+	if a.Server >= len(r.fleet) {
+		return fmt.Errorf("serve: server %d out of range (fleet has %d)", a.Server, len(r.fleet))
+	}
+	switch a.Kind {
+	case ActIntensity:
+		r.gd.SetIntensityAll(a.Intensity)
+		return nil
+	case ActHarvestOnBlock:
+		for _, srv := range r.fleet {
+			srv.SetHarvestOnBlock(a.On)
+		}
+		return nil
+	case ActResilience:
+		for _, srv := range r.fleet {
+			srv.SetResilienceEnabled(a.On)
+		}
+		return nil
+	case ActFaults:
+		return r.fleet[a.Server].InjectFaultPlan(a.Plan, at)
+	case ActDrain:
+		return fmt.Errorf("serve: drain needs a routed run")
+	default:
+		return fmt.Errorf("serve: unknown action kind %q", a.Kind)
+	}
+}
+
 // publishLocked refreshes the published snapshot and fans a TimePoint out
 // to subscribers. Caller holds r.mu; the cluster server is quiescent (the
 // loop goroutine is between StepTo calls).
@@ -587,17 +798,23 @@ func (r *Runner) publishLocked(done bool) {
 	c := r.meter.Counters()
 	events := r.srv.EventsFired()
 	var router *RouterPoint
-	if r.rt != nil {
+	var gp *GraphPoint
+	if r.rt != nil || r.gd != nil {
 		c = obs.Counters{}
 		hist = obs.NewLatencyHist()
-		events = r.rt.Engine().Fired()
+		if r.rt != nil {
+			events = r.rt.Engine().Fired()
+			router = routerPoint(r.rt)
+		} else {
+			events = r.gd.Engine().Fired()
+			gp = graphPoint(r.cfg, r.gd)
+		}
 		for i, m := range r.meters {
 			mc := m.Counters()
 			c.Add(&mc)
 			hist.Merge(m.Hist())
 			events += r.fleet[i].EventsFired()
 		}
-		router = routerPoint(r.rt)
 	}
 	r.pub = State{
 		Config:      r.cfg,
@@ -614,6 +831,7 @@ func (r *Runner) publishLocked(done bool) {
 		Occupancy:   occ,
 		Topology:    topo,
 		Router:      router,
+		Graph:       gp,
 	}
 	tp := TimePoint{
 		SimMS:       sim.Duration(r.pub.SimTime).Milliseconds(),

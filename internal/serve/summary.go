@@ -6,8 +6,10 @@ import (
 	"strings"
 
 	"hardharvest/internal/cluster"
+	"hardharvest/internal/graph"
 	"hardharvest/internal/obs"
 	"hardharvest/internal/route"
+	"hardharvest/internal/validate"
 )
 
 // renderSummary is the single end-of-run renderer shared by the live loop
@@ -37,6 +39,48 @@ func renderSummary(cfg RunConfig, res *cluster.ServerResult, c obs.Counters, h *
 		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d (first: %s)\n",
 			res.InvariantViolations, res.FirstViolation)
 	}
+	return b.String()
+}
+
+// renderGraphSummary is renderSummary's DAG-mode counterpart: per-server
+// results, the dispatcher's request/RPC ledgers, per-tier hop latencies,
+// the end-to-end tail, and the graph-conservation verdict. The same purity
+// rules apply — graph replay byte-equivalence compares this output.
+func renderGraphSummary(cfg RunConfig, results []*cluster.ServerResult, meters []*obs.Meter, gr *graph.Result, actions int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hhsim serve summary (graph) ==\n")
+	fmt.Fprintf(&b, "system=%s workload=%s seed=%d warmup=%dms measure=%dms step=%dms actions=%d\n",
+		cfg.System, cfg.Workload, cfg.Seed, cfg.WarmupMS, cfg.SimMS, cfg.StepMS, actions)
+	fmt.Fprintf(&b, "graph: %s tiers=%d servers=%d\n", cfg.Graph, len(gr.Tiers), len(results))
+	agg := obs.Counters{}
+	merged := obs.NewLatencyHist()
+	for i, res := range results {
+		c := meters[i].Counters()
+		agg.Add(&c)
+		merged.Merge(meters[i].Hist())
+		fmt.Fprintf(&b, "server %d\n", i)
+		fmt.Fprintf(&b, "  result: %s\n", res)
+		fmt.Fprintf(&b, "  counters: %s\n", c)
+		fmt.Fprintf(&b, "  latency:  %s\n", meters[i].Hist())
+		if res.InvariantViolations > 0 {
+			fmt.Fprintf(&b, "  INVARIANT VIOLATIONS: %d (first: %s)\n",
+				res.InvariantViolations, res.FirstViolation)
+		}
+	}
+	fmt.Fprintf(&b, "dag: generated=%d completed=%d failed=%d inflight=%d\n",
+		gr.Generated, gr.Completed, gr.Failed, gr.InflightEnd)
+	fmt.Fprintf(&b, "  rpcs: dispatched=%d done=%d shed=%d outstanding=%d\n",
+		gr.Dispatches, gr.DoneRecv, gr.ShedRecv, gr.OutstandingEnd)
+	fmt.Fprintf(&b, "  e2e latency: p50=%.3fms p99=%.3fms n=%d\n",
+		gr.E2E.P50(), gr.E2E.P99(), gr.E2E.Count())
+	for _, tr := range gr.Tiers {
+		fmt.Fprintf(&b, "  tier %s servers=%d vm=%d rpcs=%d done=%d shed=%d hop_p50=%.3fms hop_p99=%.3fms\n",
+			tr.Name, tr.Servers, tr.VM, tr.Dispatches, tr.Dones, tr.Sheds,
+			tr.Hop.P50(), tr.Hop.P99())
+	}
+	fmt.Fprintf(&b, "fleet counters: %s\n", agg)
+	fmt.Fprintf(&b, "fleet latency:  %s\n", merged)
+	fmt.Fprintf(&b, "oracle: %s\n", validate.GraphResultConservation("graph_conservation", gr))
 	return b.String()
 }
 

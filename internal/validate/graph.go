@@ -1,0 +1,242 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"hardharvest/internal/app"
+	"hardharvest/internal/graph"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// Graph-level oracles: conservation of the request-DAG dispatcher's
+// ledgers, and the Monte-Carlo cross-check tying live DAG execution back
+// to the internal/app critical-path composer.
+
+// GraphTotals carries the DAG dispatcher's end-of-run counters (see
+// internal/graph). Requests are end-to-end DAG traversals; RPCs are the
+// individual tier invocations a request expands into.
+type GraphTotals struct {
+	// Request ledger.
+	Generated   uint64 // root requests admitted
+	Completed   uint64 // whole invocation tree completed, no shed
+	Failed      uint64 // drained with at least one shed invocation
+	InflightEnd uint64 // invocation tree still incomplete at the end
+
+	// RPC ledger.
+	Dispatches     uint64 // tier invocations sent to servers
+	DoneRecv       uint64 // completion replies received
+	ShedRecv       uint64 // shed replies received
+	OutstandingEnd uint64 // invocations still awaiting a reply at the end
+
+	// Per-tier sums (over every tier's own counters).
+	TierDispatchSum uint64
+	TierDoneSum     uint64
+	TierShedSum     uint64
+
+	// E2ESamples counts latencies recorded into the end-to-end sketch
+	// (measured-window completions only).
+	E2ESamples uint64
+}
+
+// GraphConservation checks the request-DAG conservation identities:
+//
+//	D1  generated = completed + failed + in-flight
+//	D2  dispatches = done-replies + shed-replies + outstanding
+//	D3  dispatches = Σ per-tier dispatches
+//	D4  done-replies = Σ per-tier dones, shed-replies = Σ per-tier sheds
+//	D5  failed ≤ shed-replies (every failure names at least one shed)
+//	D6  e2e samples ≤ completed (only measured completions record latency)
+//
+// D1 is the no-silent-loss guarantee for whole request trees (a shed
+// subtree must still drain its joins); D2/D3/D4 balance the RPC flow
+// between the dispatcher and the tiers.
+func GraphConservation(name string, t GraphTotals) Check {
+	type identity struct {
+		rel      string
+		lhs, rhs uint64
+	}
+	ids := []identity{
+		{"generated = completed + failed + inflight",
+			t.Generated, t.Completed + t.Failed + t.InflightEnd},
+		{"dispatches = done_recv + shed_recv + outstanding",
+			t.Dispatches, t.DoneRecv + t.ShedRecv + t.OutstandingEnd},
+		{"dispatches = sum(tier dispatches)",
+			t.Dispatches, t.TierDispatchSum},
+		{"done_recv = sum(tier dones)",
+			t.DoneRecv, t.TierDoneSum},
+		{"shed_recv = sum(tier sheds)",
+			t.ShedRecv, t.TierShedSum},
+	}
+	for _, id := range ids {
+		if id.lhs != id.rhs {
+			return Check{
+				Name:     name,
+				Relation: "graph conservation: " + id.rel,
+				OK:       false,
+				Detail:   fmt.Sprintf("%s: %d != %d", id.rel, id.lhs, id.rhs),
+			}
+		}
+	}
+	if t.Failed > t.ShedRecv {
+		return Check{
+			Name:     name,
+			Relation: "graph conservation: failed <= shed_recv",
+			OK:       false,
+			Detail:   fmt.Sprintf("failed <= shed_recv: %d > %d", t.Failed, t.ShedRecv),
+		}
+	}
+	if t.E2ESamples > t.Completed {
+		return Check{
+			Name:     name,
+			Relation: "graph conservation: e2e_samples <= completed",
+			OK:       false,
+			Detail:   fmt.Sprintf("e2e_samples <= completed: %d > %d", t.E2ESamples, t.Completed),
+		}
+	}
+	return Check{
+		Name:     name,
+		Relation: "graph conservation (6 identities)",
+		OK:       true,
+		Detail: fmt.Sprintf("generated=%d completed=%d failed=%d inflight=%d rpcs=%d outstanding=%d",
+			t.Generated, t.Completed, t.Failed, t.InflightEnd, t.Dispatches, t.OutstandingEnd),
+	}
+}
+
+// GraphResultTotals maps a dispatcher result onto the conservation
+// oracle's ledger. (The adapter lives here, not on graph.Result: graph
+// must not import validate, whose golden harness imports experiments —
+// which hosts DAG sweeps over graph.)
+func GraphResultTotals(r *graph.Result) GraphTotals {
+	t := GraphTotals{
+		Generated:      r.Generated,
+		Completed:      r.Completed,
+		Failed:         r.Failed,
+		InflightEnd:    r.InflightEnd,
+		Dispatches:     r.Dispatches,
+		DoneRecv:       r.DoneRecv,
+		ShedRecv:       r.ShedRecv,
+		OutstandingEnd: r.OutstandingEnd,
+		E2ESamples:     uint64(r.E2E.Count()),
+	}
+	for i := range r.Tiers {
+		t.TierDispatchSum += r.Tiers[i].Dispatches
+		t.TierDoneSum += r.Tiers[i].Dones
+		t.TierShedSum += r.Tiers[i].Sheds
+	}
+	return t
+}
+
+// GraphResultConservation runs the graph-conservation oracle over a
+// dispatcher result.
+func GraphResultConservation(name string, r *graph.Result) Check {
+	return GraphConservation(name, GraphResultTotals(r))
+}
+
+// Monte-Carlo cross-check band: the live end-to-end p50/p99 must agree
+// with the composed distribution within this relative tolerance, and the
+// means within the tighter one. The band absorbs three error sources that
+// remain even with queueing-induced hop correlation excluded by design
+// (the relation is declared only on scenarios whose load is far below
+// saturation): sketch bucket quantization (stats.SketchRelativeError on
+// both the hop inputs and the measured e2e), Monte-Carlo sampling noise
+// at the p99, and the dispatcher's hop sketches folding every server of a
+// tier into one distribution.
+const (
+	GraphMCQuantileBand = 0.15
+	GraphMCMeanBand     = 0.10
+	// GraphMCTrials is the default Monte-Carlo sample count: small enough
+	// to keep scenario oracles fast, large enough that p99 sampling noise
+	// stays well inside the quantile band.
+	GraphMCTrials = 20000
+	// GraphMCMinSamples gates the relation: below this many measured
+	// end-to-end samples the quantiles are too noisy to compare.
+	GraphMCMinSamples = 200
+)
+
+// sketchSource samples per-tier hop latencies by inverse CDF over the
+// dispatcher's measured hop sketches (milliseconds).
+type sketchSource map[string]*stats.Sketch
+
+func (ss sketchSource) SampleLatency(service string, u float64) (sim.Duration, bool) {
+	sk, ok := ss[service]
+	if !ok || sk.Count() == 0 {
+		return 0, false
+	}
+	return sim.Duration(sk.Quantile(u) * float64(sim.Millisecond)), true
+}
+
+// GraphMC cross-checks a live DAG run against the internal/app composer
+// in the no-queueing limit: a is the spec's expanded per-request
+// invocation tree (graph.Spec.ToApp), hops the per-tier measured hop
+// sketches, e2e the measured end-to-end sketch (both in milliseconds).
+// The composer Monte-Carlo samples each invocation's hop independently
+// and joins by critical path — exactly the dispatcher's stage semantics —
+// so at loads where queueing does not correlate hops, the composed
+// p50/p99/mean must match the measured ones within the stated bands.
+func GraphMC(name string, a *app.App, hops map[string]*stats.Sketch, e2e *stats.Sketch, trials int, seed uint64) Check {
+	if e2e.Count() < GraphMCMinSamples {
+		return Check{
+			Name:     name,
+			Relation: "graph/mc: enough measured completions to compare quantiles",
+			OK:       false,
+			Detail:   fmt.Sprintf("only %d measured e2e samples (need >= %d)", e2e.Count(), GraphMCMinSamples),
+		}
+	}
+	if trials <= 0 {
+		trials = GraphMCTrials
+	}
+	rec, err := a.SimulateE2E(sketchSource(hops), stats.NewRNG(seed), trials)
+	if err != nil {
+		return Check{
+			Name:     name,
+			Relation: "graph/mc: composer accepts the expanded DAG",
+			OK:       false,
+			Detail:   err.Error(),
+		}
+	}
+	type point struct {
+		what     string
+		measured float64 // ms
+		composed float64 // ms
+		band     float64
+	}
+	pts := []point{
+		{"p50", e2e.P50(), rec.P50().Milliseconds(), GraphMCQuantileBand},
+		{"p99", e2e.P99(), rec.P99().Milliseconds(), GraphMCQuantileBand},
+		{"mean", e2e.Mean(), rec.Mean().Milliseconds(), GraphMCMeanBand},
+	}
+	detail := ""
+	for _, p := range pts {
+		if detail != "" {
+			detail += " "
+		}
+		detail += fmt.Sprintf("%s=%.3f/%.3fms", p.what, p.measured, p.composed)
+		if p.composed <= 0 {
+			return Check{
+				Name:     name,
+				Relation: "graph/mc: composed " + p.what + " is positive",
+				OK:       false,
+				Detail:   detail,
+			}
+		}
+		if r := math.Abs(math.Log(p.measured/p.composed)) - math.Log(1+p.band); r > 0 {
+			return Check{
+				Name: name,
+				Relation: fmt.Sprintf("graph/mc: measured %s within %.0f%% of Monte-Carlo composition",
+					p.what, p.band*100),
+				OK: false,
+				Detail: fmt.Sprintf("%s measured=%.3fms composed=%.3fms (off by %.1f%%, band %.0f%%)",
+					p.what, p.measured, p.composed,
+					(math.Exp(math.Abs(math.Log(p.measured/p.composed)))-1)*100, p.band*100),
+			}
+		}
+	}
+	return Check{
+		Name:     name,
+		Relation: fmt.Sprintf("graph/mc: e2e p50/p99 within %.0f%%, mean within %.0f%% of composition", GraphMCQuantileBand*100, GraphMCMeanBand*100),
+		OK:       true,
+		Detail:   detail + fmt.Sprintf(" trials=%d", trials),
+	}
+}

@@ -1,0 +1,180 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"hardharvest/internal/graph"
+	"hardharvest/internal/sim"
+	"hardharvest/internal/stats"
+)
+
+// balancedTotals is a ledger satisfying every conservation identity.
+func balancedTotals() GraphTotals {
+	return GraphTotals{
+		Generated: 100, Completed: 90, Failed: 6, InflightEnd: 4,
+		Dispatches: 400, DoneRecv: 380, ShedRecv: 10, OutstandingEnd: 10,
+		TierDispatchSum: 400, TierDoneSum: 380, TierShedSum: 10,
+		E2ESamples: 80,
+	}
+}
+
+func TestGraphConservationPasses(t *testing.T) {
+	c := GraphConservation("g", balancedTotals())
+	if !c.OK {
+		t.Fatalf("balanced ledger failed: %s", c.Detail)
+	}
+	if !strings.Contains(c.Detail, "generated=100") {
+		t.Errorf("detail does not summarize the ledger: %s", c.Detail)
+	}
+}
+
+// TestGraphConservationCatches breaks each identity in turn; every breach
+// must fail and name its relation.
+func TestGraphConservationCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*GraphTotals)
+		rel  string
+	}{
+		{"lost request", func(g *GraphTotals) { g.Completed-- },
+			"generated = completed + failed + inflight"},
+		{"lost rpc", func(g *GraphTotals) { g.DoneRecv-- },
+			"dispatches = done_recv + shed_recv + outstanding"},
+		{"tier dispatch drift", func(g *GraphTotals) { g.TierDispatchSum++ },
+			"dispatches = sum(tier dispatches)"},
+		{"tier done drift", func(g *GraphTotals) {
+			g.TierDoneSum--
+			g.TierShedSum++ // keep D2 intact so D4 is the first breach
+		}, "done_recv = sum(tier dones)"},
+		{"tier shed drift", func(g *GraphTotals) { g.TierShedSum++ },
+			"shed_recv = sum(tier sheds)"},
+		{"failure without a shed", func(g *GraphTotals) {
+			g.Failed += 10
+			g.Completed -= 10
+		}, "failed <= shed_recv"},
+		{"phantom e2e samples", func(g *GraphTotals) { g.E2ESamples = 95 },
+			"e2e_samples <= completed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := balancedTotals()
+			tc.mut(&g)
+			c := GraphConservation("g", g)
+			if c.OK {
+				t.Fatalf("breach passed: %+v", g)
+			}
+			if !strings.Contains(c.Relation, tc.rel) {
+				t.Errorf("relation %q does not name %q", c.Relation, tc.rel)
+			}
+			if c.Detail == "" {
+				t.Error("failure has no detail")
+			}
+		})
+	}
+}
+
+// TestGraphResultTotals: the adapter must fold a dispatcher result,
+// including per-tier sums and the e2e sample count, into the ledger.
+func TestGraphResultTotals(t *testing.T) {
+	e2e := stats.NewSketch()
+	for i := 0; i < 7; i++ {
+		e2e.Add(1.5)
+	}
+	r := &graph.Result{
+		Generated: 10, Completed: 8, Failed: 1, InflightEnd: 1,
+		Dispatches: 30, DoneRecv: 27, ShedRecv: 2, OutstandingEnd: 1,
+		E2E: e2e,
+		Tiers: []graph.TierResult{
+			{Name: "a", Dispatches: 10, Dones: 9, Sheds: 1, Hop: stats.NewSketch()},
+			{Name: "b", Dispatches: 20, Dones: 18, Sheds: 1, Hop: stats.NewSketch()},
+		},
+	}
+	got := GraphResultTotals(r)
+	if got.TierDispatchSum != 30 || got.TierDoneSum != 27 || got.TierShedSum != 2 {
+		t.Errorf("tier sums wrong: %+v", got)
+	}
+	if got.E2ESamples != 7 {
+		t.Errorf("E2ESamples = %d, want 7", got.E2ESamples)
+	}
+	if c := GraphResultConservation("g", r); !c.OK {
+		t.Errorf("consistent result failed conservation: %s", c.Detail)
+	}
+	r.DoneRecv++ // now the ledgers disagree
+	if c := GraphResultConservation("g", r); c.OK {
+		t.Error("corrupted result passed conservation")
+	}
+}
+
+// mcFixture builds a sequential two-tier DAG with constant-latency hop
+// sketches and the exactly-composed e2e sketch: a -> b means every request
+// measures hop(a) + hop(b) end to end.
+func mcFixture(n int) (spec *graph.Spec, hops map[string]*stats.Sketch, e2e *stats.Sketch) {
+	spec = &graph.Spec{
+		NetDelay: 20 * sim.Microsecond,
+		Tiers: []graph.Tier{
+			{Name: "a", Group: "g", Calls: []graph.Call{{Tier: 1, Mode: graph.Sequential, Fanout: 1}}},
+			{Name: "b", Group: "g"},
+		},
+	}
+	ha, hb := stats.NewSketch(), stats.NewSketch()
+	e2e = stats.NewSketch()
+	for i := 0; i < n; i++ {
+		ha.Add(2.0)
+		hb.Add(3.0)
+		e2e.Add(5.0)
+	}
+	return spec, map[string]*stats.Sketch{"a": ha, "b": hb}, e2e
+}
+
+func TestGraphMCPassesOnExactComposition(t *testing.T) {
+	spec, hops, e2e := mcFixture(GraphMCMinSamples)
+	c := GraphMC("mc", spec.ToApp("chain"), hops, e2e, 0, 42)
+	if !c.OK {
+		t.Fatalf("exact composition failed: %s", c.Detail)
+	}
+	if !strings.Contains(c.Detail, "trials=20000") {
+		t.Errorf("zero trials should fall back to the default: %s", c.Detail)
+	}
+}
+
+func TestGraphMCCatchesDrift(t *testing.T) {
+	spec, hops, e2e := mcFixture(GraphMCMinSamples)
+	// Shift the measured e2e far outside the band while the hops stay put.
+	for i := 0; i < GraphMCMinSamples; i++ {
+		e2e.Add(50.0)
+	}
+	c := GraphMC("mc", spec.ToApp("chain"), hops, e2e, 0, 42)
+	if c.OK {
+		t.Fatalf("drifted e2e passed: %s", c.Detail)
+	}
+	if !strings.Contains(c.Detail, "off by") || !strings.Contains(c.Relation, "Monte-Carlo") {
+		t.Errorf("failure not diagnostic: rel=%q detail=%q", c.Relation, c.Detail)
+	}
+}
+
+func TestGraphMCGatesOnSamples(t *testing.T) {
+	spec, hops, e2e := mcFixture(GraphMCMinSamples - 1)
+	c := GraphMC("mc", spec.ToApp("chain"), hops, e2e, 0, 42)
+	if c.OK || !strings.Contains(c.Detail, "measured e2e samples") {
+		t.Fatalf("undersampled run not gated: ok=%v %s", c.OK, c.Detail)
+	}
+}
+
+func TestGraphMCRejectsMissingService(t *testing.T) {
+	spec, hops, e2e := mcFixture(GraphMCMinSamples)
+	delete(hops, "b")
+	c := GraphMC("mc", spec.ToApp("chain"), hops, e2e, 0, 42)
+	if c.OK || !strings.Contains(c.Detail, "no latency data") {
+		t.Fatalf("missing hop distribution not rejected: ok=%v %s", c.OK, c.Detail)
+	}
+}
+
+func TestGraphMCDeterministic(t *testing.T) {
+	spec, hops, e2e := mcFixture(GraphMCMinSamples)
+	a := GraphMC("mc", spec.ToApp("chain"), hops, e2e, 1000, 7)
+	b := GraphMC("mc", spec.ToApp("chain"), hops, e2e, 1000, 7)
+	if a.Detail != b.Detail {
+		t.Fatalf("same seed, different detail:\n%s\n%s", a.Detail, b.Detail)
+	}
+}

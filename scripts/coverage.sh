@@ -20,6 +20,7 @@ internal/serve 87.0
 internal/scenario 85.0
 internal/stats 90.0
 internal/route 85.0
+internal/graph 85.0
 "
 
 check=false
